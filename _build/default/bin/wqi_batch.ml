@@ -1,0 +1,72 @@
+(* Batch extractor: run the form extractor over every .html file in a
+   directory (e.g. one produced by wqi_corpus_gen) and emit one JSON
+   source description per line, plus a human summary on stderr.
+
+   This is the mediator-bootstrap workflow the paper motivates: crawl a
+   directory of query interfaces, get machine-readable capability
+   descriptions out. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let run dir output =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+    Format.eprintf "%s is not a directory@." dir;
+    1
+  end
+  else begin
+    let files =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".html")
+      |> List.sort compare
+    in
+    let oc =
+      match output with Some path -> open_out path | None -> stdout
+    in
+    let total_conditions = ref 0 in
+    let total_seconds = ref 0. in
+    let with_errors = ref 0 in
+    List.iter
+      (fun file ->
+         let html = read_file (Filename.concat dir file) in
+         let t0 = Unix.gettimeofday () in
+         let e = Wqi_core.Extractor.extract html in
+         total_seconds := !total_seconds +. (Unix.gettimeofday () -. t0);
+         let model = e.Wqi_core.Extractor.model in
+         total_conditions :=
+           !total_conditions + List.length model.Wqi_model.Semantic_model.conditions;
+         if model.Wqi_model.Semantic_model.errors <> [] then incr with_errors;
+         output_string oc
+           (Wqi_model.Export.source_description
+              ~name:(Filename.remove_extension file)
+              model);
+         output_char oc '\n')
+      files;
+    if output <> None then close_out oc;
+    Format.eprintf
+      "%d interfaces, %d conditions extracted, %d with error reports, \
+       %.2f s total@."
+      (List.length files) !total_conditions !with_errors !total_seconds;
+    if files = [] then 1 else 0
+  end
+
+open Cmdliner
+
+let dir =
+  let doc = "Directory of .html query interfaces." in
+  Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR" ~doc)
+
+let output =
+  let doc = "Write JSONL here instead of stdout." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let cmd =
+  let doc = "extract capabilities from a directory of query interfaces" in
+  let term = Term.(const run $ dir $ output) in
+  Cmd.v (Cmd.info "wqi_batch" ~version:"1.0.0" ~doc) term
+
+let () = exit (Cmd.eval' cmd)

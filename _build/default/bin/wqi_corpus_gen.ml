@@ -1,0 +1,50 @@
+(* Command-line dataset generator: write the four experimental datasets
+   (HTML sources plus ground-truth manifests) to a directory. *)
+
+let run dir names =
+  let all = Wqi_corpus.Dataset.all () in
+  let selected =
+    match names with
+    | [] -> all
+    | names ->
+      List.filter
+        (fun (d : Wqi_corpus.Dataset.t) ->
+           List.mem (String.lowercase_ascii d.name) names)
+        all
+  in
+  if selected = [] then begin
+    Format.eprintf "no dataset matches; available: %s@."
+      (String.concat ", "
+         (List.map (fun (d : Wqi_corpus.Dataset.t) -> d.name) all));
+    1
+  end
+  else begin
+    List.iter
+      (fun (d : Wqi_corpus.Dataset.t) ->
+         Wqi_corpus.Dataset.save ~dir d;
+         Format.printf "wrote %s (%d sources) under %s@." d.name
+           (List.length d.sources)
+           (Filename.concat dir d.name))
+      selected;
+    0
+  end
+
+open Cmdliner
+
+let dir =
+  let doc = "Output directory." in
+  Arg.(value & opt string "corpus" & info [ "o"; "output" ] ~docv:"DIR" ~doc)
+
+let names =
+  let doc =
+    "Datasets to generate (basic, newsource, newdomain, random); all when \
+     omitted."
+  in
+  Arg.(value & pos_all string [] & info [] ~docv:"DATASET" ~doc)
+
+let cmd =
+  let doc = "generate the synthetic query-interface datasets" in
+  let term = Term.(const run $ dir $ names) in
+  Cmd.v (Cmd.info "wqi_corpus_gen" ~version:"1.0.0" ~doc) term
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,117 @@
+(* Command-line form extractor: read an HTML query interface and print
+   its semantic model (query capabilities), optionally with the token
+   set, the parse trees, and parsing diagnostics. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let read_stdin () =
+  let b = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel b stdin 4096
+     done
+   with End_of_file -> ());
+  Buffer.contents b
+
+let setup_logs verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  if verbose then Logs.set_level (Some Logs.Debug)
+
+let run input show_tokens show_trees show_stats show_ascii as_json verbose width =
+  setup_logs verbose;
+  let html = match input with Some path -> read_file path | None -> read_stdin () in
+  let e = Wqi_core.Extractor.extract ?width html in
+  if as_json then begin
+    let name =
+      match input with Some path -> Filename.basename path | None -> "stdin"
+    in
+    print_endline
+      (Wqi_model.Export.source_description ~name e.model);
+    exit (if Wqi_core.Extractor.conditions e = [] then 1 else 0)
+  end;
+  if show_ascii then begin
+    Format.printf "--- layout@.";
+    print_string (Wqi_layout.Debug.ascii_of_html ?width html)
+  end;
+  if show_tokens then begin
+    Format.printf "--- tokens@.";
+    List.iter (fun t -> Format.printf "%a@." Wqi_token.Token.pp t) e.tokens
+  end;
+  if show_trees then
+    List.iter
+      (fun tree ->
+         Format.printf "--- parse tree@.%a@." Wqi_grammar.Instance.pp_tree tree)
+      e.trees;
+  Format.printf "--- query capabilities@.%a@." Wqi_model.Semantic_model.pp
+    e.model;
+  if show_stats then begin
+    let d = e.diagnostics in
+    Format.printf "--- diagnostics@.";
+    Format.printf
+      "tokens=%d instances=%d live=%d pruned=%d trees=%d complete=%b@."
+      d.token_count d.parse_stats.created d.parse_stats.live
+      d.parse_stats.pruned d.tree_count d.complete;
+    Format.printf "tokenize=%.1f ms parse=%.1f ms@."
+      (1000. *. d.tokenize_seconds)
+      (1000. *. d.parse_seconds)
+  end;
+  if e.model.conditions = [] then 1 else 0
+
+open Cmdliner
+
+let input =
+  let doc = "HTML file to read (stdin when omitted)." in
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+let show_tokens =
+  Arg.(value & flag & info [ "tokens" ] ~doc:"Print the token set.")
+
+let show_trees =
+  Arg.(value & flag & info [ "trees" ] ~doc:"Print the maximal parse trees.")
+
+let show_stats =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print parsing diagnostics.")
+
+let show_ascii =
+  Arg.(value & flag
+       & info [ "ascii" ] ~doc:"Draw the laid-out page as ASCII art.")
+
+let as_json =
+  Arg.(value & flag
+       & info [ "json" ]
+           ~doc:"Emit a JSON source description instead of text output.")
+
+let verbose =
+  Arg.(value & flag
+       & info [ "v"; "verbose" ]
+           ~doc:"Trace instance creation and preference pruning.")
+
+let width =
+  let doc = "Page width in pixels handed to the layout engine." in
+  Arg.(value & opt (some int) None & info [ "width" ] ~docv:"PX" ~doc)
+
+let cmd =
+  let doc = "extract query capabilities from a Web query interface" in
+  let man =
+    [ `S Manpage.s_description;
+      `P
+        "Parses an HTML query form with the best-effort 2P-grammar parser \
+         and prints the extracted conditions [attribute; operators; \
+         domain], one per line, followed by any conflict or \
+         missing-element reports.";
+      `P "Exits with status 1 when no condition was extracted." ]
+  in
+  let term =
+    Term.(
+      const run $ input $ show_tokens $ show_trees $ show_stats $ show_ascii
+      $ as_json $ verbose $ width)
+  in
+  Cmd.v (Cmd.info "wqi_extract" ~version:"1.0.0" ~doc ~man) term
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,17 @@
+(* Print the derived global 2P grammar: symbol inventory, productions,
+   preferences, and the 2P schedule (instantiation order, transformed
+   and relaxed r-edges) — the analog of the paper's statement that "the
+   grammar is available online". *)
+
+let () =
+  let g = Wqi_stdgrammar.Std.grammar in
+  let terminals, nonterminals, productions, preferences =
+    Wqi_grammar.Grammar.stats g
+  in
+  Format.printf
+    "derived global 2P grammar: %d terminals, %d nonterminals, %d \
+     productions, %d preferences@.@."
+    terminals nonterminals productions preferences;
+  Format.printf "%a@.@." Wqi_grammar.Grammar.pp g;
+  let schedule = Wqi_grammar.Schedule.build g in
+  Format.printf "2P schedule:@.%a@." Wqi_grammar.Schedule.pp schedule

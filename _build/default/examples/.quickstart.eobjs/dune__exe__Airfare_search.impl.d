@@ -1,0 +1,1 @@
+examples/airfare_search.ml: Format List Wqi_core Wqi_model

@@ -1,0 +1,1 @@
+examples/airfare_search.mli:

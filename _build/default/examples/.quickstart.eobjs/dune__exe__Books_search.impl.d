@@ -1,0 +1,1 @@
+examples/books_search.ml: Format List String Wqi_core Wqi_grammar Wqi_model Wqi_token

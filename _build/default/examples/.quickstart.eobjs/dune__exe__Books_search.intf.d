@@ -1,0 +1,1 @@
+examples/books_search.mli:

@@ -1,0 +1,1 @@
+examples/custom_grammar.ml: Array Format List String Wqi_grammar Wqi_parser Wqi_token

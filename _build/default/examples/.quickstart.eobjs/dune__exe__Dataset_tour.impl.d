@@ -1,0 +1,1 @@
+examples/dataset_tour.ml: Format List String Wqi_baseline Wqi_core Wqi_corpus Wqi_eval Wqi_metrics Wqi_model

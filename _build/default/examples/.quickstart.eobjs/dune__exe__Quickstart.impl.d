@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List String Wqi_core Wqi_model

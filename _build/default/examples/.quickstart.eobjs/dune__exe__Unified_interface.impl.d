@@ -1,0 +1,1 @@
+examples/unified_interface.ml: Format List Printf String Wqi_core Wqi_corpus Wqi_html Wqi_layout Wqi_match Wqi_model

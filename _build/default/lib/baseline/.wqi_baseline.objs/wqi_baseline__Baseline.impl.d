@@ -1,0 +1,1 @@
+lib/baseline/baseline.ml: Hashtbl List Option Wqi_layout Wqi_model Wqi_token

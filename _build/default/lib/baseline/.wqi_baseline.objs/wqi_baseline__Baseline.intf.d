@@ -1,0 +1,1 @@
+lib/baseline/baseline.mli: Wqi_model Wqi_token

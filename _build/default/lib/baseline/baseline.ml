@@ -1,0 +1,122 @@
+module Token = Wqi_token.Token
+module Geometry = Wqi_layout.Geometry
+module Condition = Wqi_model.Condition
+
+(* Closest text token left of or above the box, within loose thresholds;
+   ties broken by Euclidean center distance. *)
+let nearest_label texts box =
+  let candidates =
+    List.filter
+      (fun (t : Token.t) ->
+         Geometry.left_of ~max_gap:100 t.box box
+         || Geometry.above ~max_gap:60 t.box box)
+      texts
+  in
+  match candidates with
+  | [] -> None
+  | _ ->
+    Some
+      (List.fold_left
+         (fun best (t : Token.t) ->
+            match best with
+            | None -> Some t
+            | Some b ->
+              if Geometry.distance t.box box < Geometry.distance b.Token.box box
+              then Some t
+              else best)
+         None candidates
+       |> Option.get)
+
+(* The text immediately right of a radio/checkbox is its value label. *)
+let value_label texts (button : Token.t) =
+  let candidates =
+    List.filter
+      (fun (t : Token.t) -> Geometry.left_of ~max_gap:30 button.box t.box)
+      texts
+  in
+  List.fold_left
+    (fun best (t : Token.t) ->
+       match best with
+       | None -> Some t
+       | Some b ->
+         if Geometry.distance t.box button.box
+            < Geometry.distance b.Token.box button.box
+         then Some t
+         else best)
+    None candidates
+
+let extract_tokens tokens =
+  let texts =
+    List.filter (fun (t : Token.t) -> t.kind = Token.Text) tokens
+  in
+  let label_or_empty box =
+    match nearest_label texts box with
+    | Some t -> t.sval
+    | None -> ""
+  in
+  (* Group radios and checkboxes by their form-field name. *)
+  let groups : (string, Token.t list) Hashtbl.t = Hashtbl.create 16 in
+  let group_order = ref [] in
+  List.iter
+    (fun (t : Token.t) ->
+       match t.kind with
+       | Token.Radio | Token.Checkbox ->
+         let key = Token.kind_name t.kind ^ ":" ^ t.name in
+         if not (Hashtbl.mem groups key) then
+           group_order := key :: !group_order;
+         Hashtbl.replace groups key
+           (t :: Option.value ~default:[] (Hashtbl.find_opt groups key))
+       | _ -> ())
+    tokens;
+  let simple =
+    List.filter_map
+      (fun (t : Token.t) ->
+         match t.kind with
+         | Token.Textbox ->
+           Some (Condition.make ~attribute:(label_or_empty t.box) Condition.Text)
+         | Token.Selection ->
+           Some
+             (Condition.make ~attribute:(label_or_empty t.box)
+                (Condition.Enumeration t.options))
+         | Token.Radio | Token.Checkbox | Token.Text | Token.Button
+         | Token.Image ->
+           None)
+      tokens
+  in
+  let grouped =
+    List.rev_map
+      (fun key ->
+         let buttons = List.rev (Hashtbl.find groups key) in
+         let labels =
+           List.map
+             (fun b ->
+                match value_label texts b with
+                | Some t -> t.Token.sval
+                | None -> "")
+             buttons
+         in
+         let group_box =
+           Geometry.union_all (List.map (fun (b : Token.t) -> b.box) buttons)
+         in
+         (* The group's attribute: the closest label text that is not one
+            of the per-button value labels. *)
+         let value_texts =
+           List.filter_map (fun b -> value_label texts b) buttons
+         in
+         let attr_candidates =
+           List.filter
+             (fun (t : Token.t) ->
+                not (List.exists (fun (v : Token.t) -> v.id = t.id) value_texts))
+             texts
+         in
+         let attribute =
+           match nearest_label attr_candidates group_box with
+           | Some t -> t.sval
+           | None -> ""
+         in
+         Condition.make ~attribute (Condition.Enumeration labels))
+      !group_order
+  in
+  simple @ grouped
+
+let extract ?width html = extract_tokens (Wqi_token.Tokenize.of_html ?width html)

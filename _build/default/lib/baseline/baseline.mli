@@ -1,0 +1,15 @@
+(** Pairwise proximity/alignment baseline extractor.
+
+    Implements the heuristic association strategy of the related work the
+    paper contrasts with (Raghavan & Garcia-Molina's hidden-web crawler
+    [21], Section 2): each form field is paired with the closest text to
+    its left or above, radio/checkbox groups are recovered from the HTML
+    [name] attribute, and every widget becomes its own condition.  No
+    operator extraction, no composite domains (ranges, dates), no global
+    interpretation — exactly the gaps the parsing paradigm closes. *)
+
+val extract_tokens : Wqi_token.Token.t list -> Wqi_model.Condition.t list
+
+val extract : ?width:int -> string -> Wqi_model.Condition.t list
+(** [extract html] tokenizes with the shared front-end and associates
+    pairwise. *)

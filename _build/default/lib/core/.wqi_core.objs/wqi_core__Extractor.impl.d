@@ -1,0 +1,1 @@
+lib/core/extractor.ml: Array List Unix Wqi_grammar Wqi_html Wqi_model Wqi_parser Wqi_stdgrammar Wqi_token

@@ -1,0 +1,1 @@
+lib/core/extractor.mli: Wqi_grammar Wqi_html Wqi_model Wqi_parser Wqi_token

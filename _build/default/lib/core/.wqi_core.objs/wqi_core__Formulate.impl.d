@@ -1,0 +1,1 @@
+lib/core/formulate.ml: Extractor Fmt Hashtbl List Wqi_grammar Wqi_model Wqi_token

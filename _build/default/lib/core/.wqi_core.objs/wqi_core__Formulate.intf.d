@@ -1,0 +1,1 @@
+lib/core/formulate.mli: Extractor Wqi_model Wqi_token

@@ -1,0 +1,97 @@
+module Engine = Wqi_parser.Engine
+module Instance = Wqi_grammar.Instance
+module Token = Wqi_token.Token
+module Semantic_model = Wqi_model.Semantic_model
+module Merger = Wqi_model.Merger
+
+type diagnostics = {
+  token_count : int;
+  parse_stats : Engine.stats;
+  tree_count : int;
+  complete : bool;
+  tokenize_seconds : float;
+  parse_seconds : float;
+}
+
+type extraction = {
+  model : Semantic_model.t;
+  tokens : Token.t list;
+  trees : Instance.t list;
+  diagnostics : diagnostics;
+}
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+let extract_tokens ?(grammar = Wqi_stdgrammar.Std.grammar) ?options tokens =
+  let result, parse_seconds =
+    time (fun () -> Engine.parse ?options grammar tokens)
+  in
+  (* Only trees that explain at least one condition count as parses of
+     the query interface; a bare atom wrapper covers nothing semantic,
+     so its tokens must still be reported as missing. *)
+  let trees =
+    List.filter
+      (fun tree -> Instance.collect_conditions tree <> [])
+      result.Engine.maximal
+  in
+  let parses =
+    List.map
+      (fun tree ->
+         { Merger.conditions = Instance.collect_conditions tree;
+           cover = Instance.tokens tree })
+      trees
+  in
+  let all_tokens =
+    List.map (fun (t : Token.t) -> (t.id, Token.describe t)) tokens
+  in
+  (* Buttons and decorative images carry no query semantics; do not
+     report them missing when no parse claimed them. *)
+  let token_array = Array.of_list tokens in
+  let ignorable id =
+    match (token_array.(id)).Token.kind with
+    | Token.Button | Token.Image -> true
+    | Token.Text | Token.Textbox | Token.Selection | Token.Radio
+    | Token.Checkbox ->
+      false
+  in
+  let model = Merger.merge ~all_tokens ~ignorable parses in
+  { model;
+    tokens;
+    trees;
+    diagnostics =
+      { token_count = List.length tokens;
+        parse_stats = result.Engine.stats;
+        tree_count = List.length trees;
+        complete = result.Engine.complete <> None;
+        tokenize_seconds = 0.;
+        parse_seconds } }
+
+let extract_document ?grammar ?options ?width doc =
+  let tokens, tokenize_seconds =
+    time (fun () -> Wqi_token.Tokenize.of_document ?width doc)
+  in
+  let extraction = extract_tokens ?grammar ?options tokens in
+  { extraction with
+    diagnostics = { extraction.diagnostics with tokenize_seconds } }
+
+let extract ?grammar ?options ?width html =
+  extract_document ?grammar ?options ?width (Wqi_html.Parser.parse html)
+
+let extract_forms ?grammar ?options ?width html =
+  let module Dom = Wqi_html.Dom in
+  let doc = Wqi_html.Parser.parse html in
+  match Dom.find_all (Dom.is_element ~named:"form") doc with
+  | [] -> [ extract_document ?grammar ?options ?width doc ]
+  | forms ->
+    List.map
+      (fun form ->
+         (* Lay out each form as its own page so that unrelated page
+            furniture cannot interfere with its spatial structure. *)
+         let isolated = Dom.element "html" [ Dom.element "body" [ form ] ] in
+         extract_document ?grammar ?options ?width isolated)
+      forms
+
+let conditions e = e.model.Semantic_model.conditions

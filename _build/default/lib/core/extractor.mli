@@ -1,0 +1,64 @@
+(** The form extractor (paper Figure 2): the public entry point.
+
+    Pipeline: HTML → DOM → layout → tokens → best-effort parse with the
+    2P grammar → merge partial parses → semantic model (query
+    capabilities) plus error reports and diagnostics. *)
+
+type diagnostics = {
+  token_count : int;
+  parse_stats : Wqi_parser.Engine.stats;
+  tree_count : int;      (** maximal partial trees selected by the parser *)
+  complete : bool;       (** a single parse covered every token *)
+  tokenize_seconds : float;
+  parse_seconds : float;
+}
+
+type extraction = {
+  model : Wqi_model.Semantic_model.t;
+  tokens : Wqi_token.Token.t list;
+  trees : Wqi_grammar.Instance.t list;
+      (** the maximal partial parse trees the model was merged from *)
+  diagnostics : diagnostics;
+}
+
+val extract :
+  ?grammar:Wqi_grammar.Grammar.t ->
+  ?options:Wqi_parser.Engine.options ->
+  ?width:int ->
+  string ->
+  extraction
+(** [extract html] runs the full pipeline on raw markup.  [grammar]
+    defaults to the derived global grammar [Wqi_stdgrammar.Std.grammar];
+    [options] to [Wqi_parser.Engine.default_options]; [width] to the
+    default page width. *)
+
+val extract_document :
+  ?grammar:Wqi_grammar.Grammar.t ->
+  ?options:Wqi_parser.Engine.options ->
+  ?width:int ->
+  Wqi_html.Dom.t ->
+  extraction
+
+val extract_forms :
+  ?grammar:Wqi_grammar.Grammar.t ->
+  ?options:Wqi_parser.Engine.options ->
+  ?width:int ->
+  string ->
+  extraction list
+(** [extract_forms html] extracts each [<form>] element of the page
+    separately — real pages often carry several independent interfaces
+    (a site-wide keyword box plus an advanced search form).  Each form
+    is laid out in isolation, so a page returns one extraction per form,
+    in document order.  Pages with no [<form>] element yield a single
+    whole-page extraction (some interfaces are built without form
+    tags). *)
+
+val extract_tokens :
+  ?grammar:Wqi_grammar.Grammar.t ->
+  ?options:Wqi_parser.Engine.options ->
+  Wqi_token.Token.t list ->
+  extraction
+(** Skip the front-end: parse an already-tokenized interface. *)
+
+val conditions : extraction -> Wqi_model.Condition.t list
+(** Shorthand for [extraction.model.conditions]. *)

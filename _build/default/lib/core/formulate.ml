@@ -1,0 +1,177 @@
+module Condition = Wqi_model.Condition
+module Token = Wqi_token.Token
+module Instance = Wqi_grammar.Instance
+
+type fillable = {
+  condition : Condition.t;
+  inputs : Token.t list;
+}
+
+type constraint_ = {
+  attribute : string;
+  operator : string option;
+  values : string list;
+}
+
+let fillables (e : Extractor.extraction) =
+  let token_by_id = Hashtbl.create 32 in
+  List.iter (fun (t : Token.t) -> Hashtbl.replace token_by_id t.id t) e.tokens;
+  List.concat_map
+    (fun tree ->
+       List.map
+         (fun (condition, token_ids) ->
+            let inputs =
+              List.filter_map
+                (fun id ->
+                   match Hashtbl.find_opt token_by_id id with
+                   | Some t when Token.is_field t -> Some t
+                   | _ -> None)
+                token_ids
+            in
+            { condition; inputs })
+         (Instance.collect_conditions tree))
+    e.trees
+
+let norm = Condition.normalize_label
+
+(* The parameter a single widget contributes when selected/filled. *)
+let widget_param (t : Token.t) chosen =
+  match t.kind with
+  | Token.Radio | Token.Checkbox ->
+    (t.name, if t.value <> "" then t.value else "on")
+  | Token.Textbox | Token.Selection -> (t.name, chosen)
+  | Token.Text | Token.Button | Token.Image -> (t.name, chosen)
+
+let find_index pred items =
+  let rec go i = function
+    | [] -> None
+    | x :: rest -> if pred x then Some i else go (i + 1) rest
+  in
+  go 0 items
+
+let fill_condition (f : fillable) (c : constraint_) =
+  let condition = f.condition in
+  let err fmt = Fmt.kstr (fun m -> Error m) fmt in
+  (* Split inputs: value carriers vs operator selectors.  For a Text
+     condition with operators, radios/checkboxes/an all-operator select
+     select the operator; everything else carries values. *)
+  let is_op_selector (t : Token.t) =
+    condition.operators <> []
+    &&
+    match t.kind with
+    | Token.Radio | Token.Checkbox -> true
+    | Token.Selection ->
+      (* The operator select is the one whose options are exactly the
+         condition's operator set. *)
+      List.map norm t.options = List.map norm condition.operators
+    | Token.Textbox | Token.Text | Token.Button | Token.Image -> false
+  in
+  let op_selectors = List.filter is_op_selector f.inputs in
+  let value_inputs =
+    List.filter (fun t -> not (is_op_selector t)) f.inputs
+  in
+  (* Operator parameters. *)
+  let operator_params =
+    match c.operator with
+    | None -> Ok []
+    | Some wording ->
+      (match
+         find_index (fun o -> norm o = norm wording) condition.operators
+       with
+       | None ->
+         err "condition %s does not support operator %S"
+           condition.attribute wording
+       | Some index ->
+         (match op_selectors with
+          | [ (({ kind = Token.Selection; _ }) as sel) ] ->
+            Ok [ (sel.name, List.nth condition.operators index) ]
+          | selectors when List.length selectors > index ->
+            Ok [ widget_param (List.nth selectors index) "" ]
+          | _ ->
+            err "condition %s: no widget for operator %S"
+              condition.attribute wording))
+  in
+  (* Value parameters, by domain shape. *)
+  let value_params =
+    match condition.domain, c.values with
+    | Condition.Text, [ v ] ->
+      (match value_inputs with
+       | t :: _ -> Ok [ (t.name, v) ]
+       | [] -> err "condition %s has no input field" condition.attribute)
+    | Condition.Text, vs ->
+      err "condition %s takes one value, got %d" condition.attribute
+        (List.length vs)
+    | Condition.Enumeration allowed, [ v ] ->
+      if not (List.exists (fun a -> norm a = norm v) allowed) then
+        err "value %S is outside the domain of %s" v condition.attribute
+      else begin
+        match value_inputs with
+        | [ ({ kind = Token.Selection; _ } as sel) ] -> Ok [ (sel.name, v) ]
+        | inputs ->
+          (* Radio/checkbox enumerations: pick the widget at the value's
+             index. *)
+          (match find_index (fun a -> norm a = norm v) allowed with
+           | Some index when List.length inputs > index ->
+             Ok [ widget_param (List.nth inputs index) v ]
+           | _ ->
+             err "condition %s: no widget for value %S" condition.attribute v)
+      end
+    | Condition.Enumeration allowed, values ->
+      (* Multi-valued selection (checkbox groups / multi-selects). *)
+      let rec collect acc = function
+        | [] -> Ok (List.rev acc)
+        | v :: rest ->
+          if not (List.exists (fun a -> norm a = norm v) allowed) then
+            err "value %S is outside the domain of %s" v condition.attribute
+          else begin
+            match value_inputs with
+            | [ ({ kind = Token.Selection; _ } as sel) ] ->
+              collect ((sel.name, v) :: acc) rest
+            | inputs ->
+              (match find_index (fun a -> norm a = norm v) allowed with
+               | Some index when List.length inputs > index ->
+                 collect (widget_param (List.nth inputs index) v :: acc) rest
+               | _ ->
+                 err "condition %s: no widget for value %S"
+                   condition.attribute v)
+          end
+      in
+      collect [] values
+    | Condition.Range _, [ low; high ] ->
+      (match value_inputs with
+       | lo :: hi :: _ -> Ok [ (lo.name, low); (hi.name, high) ]
+       | _ ->
+         err "condition %s lacks the two range fields" condition.attribute)
+    | Condition.Range _, vs ->
+      err "range condition %s takes two values, got %d" condition.attribute
+        (List.length vs)
+    | Condition.Datetime, values ->
+      if List.length values > List.length value_inputs then
+        err "datetime condition %s has %d component fields, got %d values"
+          condition.attribute (List.length value_inputs) (List.length values)
+      else
+        Ok (List.map2 (fun (t : Token.t) v -> (t.name, v))
+              (List.filteri (fun i _ -> i < List.length values) value_inputs)
+              values)
+  in
+  match (operator_params, value_params) with
+  | Ok ops, Ok vals -> Ok (vals @ ops)
+  | (Error _ as e), _ | _, (Error _ as e) -> e
+
+let formulate extraction constraints =
+  let fs = fillables extraction in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | c :: rest ->
+      (match
+         List.find_opt
+           (fun f -> norm f.condition.attribute = norm c.attribute)
+           fs
+       with
+       | None -> Error (Fmt.str "no condition for attribute %S" c.attribute)
+       | Some f ->
+         (match fill_condition f c with
+          | Ok params -> go (List.rev_append params acc) rest
+          | Error _ as e -> e))
+  in
+  go [] constraints

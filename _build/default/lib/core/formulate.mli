@@ -1,0 +1,43 @@
+(** Query formulation: from semantic model to form submission.
+
+    The paper's Section 1: "Users can then use the condition to
+    formulate a specific constraint (e.g., [author = "tom clancy"]) by
+    selecting an operator (e.g., "exact name") and filling in a value."
+    This module closes that loop: given an extraction, it binds each
+    condition to its concrete form fields (via the parse trees), and
+    translates user constraints into the [name=value] parameters a
+    mediator would submit. *)
+
+type fillable = {
+  condition : Wqi_model.Condition.t;
+  inputs : Wqi_token.Token.t list;
+      (** Input-field tokens of the condition, reading order: the
+          textbox(es)/select(s) carrying values first-class, plus any
+          operator radios/checkboxes. *)
+}
+
+val fillables : Extractor.extraction -> fillable list
+(** Bind every extracted condition to its form fields by walking the
+    parse trees.  Conditions in reading order. *)
+
+type constraint_ = {
+  attribute : string;
+      (** Which condition, matched modulo label normalization. *)
+  operator : string option;
+      (** Operator wording to select (must be one of the condition's
+          operators, matched modulo normalization); [None] keeps the
+          implicit/default operator. *)
+  values : string list;
+      (** One value normally; two (low, high) for a range; up to three
+          components (month, day, year) for a datetime. *)
+}
+
+val formulate :
+  Extractor.extraction ->
+  constraint_ list ->
+  ((string * string) list, string) result
+(** [formulate extraction constraints] produces the submission
+    parameters.  Errors (as [Error message]) on: an attribute no
+    condition carries, an operator the condition does not support, an
+    enumeration value outside the domain, or a value count that does
+    not fit the domain shape. *)

@@ -1,0 +1,1 @@
+lib/corpus/dataset.ml: Buffer Filename Generator List Printf Prng Sys Vocabulary Wqi_model

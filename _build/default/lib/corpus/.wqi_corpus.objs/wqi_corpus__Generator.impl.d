@@ -1,0 +1,1 @@
+lib/corpus/generator.ml: List Pattern Prng Vocabulary Wqi_html Wqi_model

@@ -1,0 +1,1 @@
+lib/corpus/generator.mli: Pattern Prng Vocabulary Wqi_model

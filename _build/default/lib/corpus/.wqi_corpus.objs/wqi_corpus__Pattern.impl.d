@@ -1,0 +1,1 @@
+lib/corpus/pattern.ml: Float List Option Printf Prng String Vocabulary Wqi_html Wqi_model

@@ -1,0 +1,1 @@
+lib/corpus/pattern.mli: Prng Vocabulary Wqi_html Wqi_model

@@ -1,0 +1,1 @@
+lib/corpus/prng.ml: Array Fun Int64 List

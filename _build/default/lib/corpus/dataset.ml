@@ -1,0 +1,82 @@
+type t = {
+  name : string;
+  sources : Generator.source list;
+}
+
+let generate_for g ~prefix ~domain ~count ~complexity ~oog_prob ~header_prob =
+  List.init count (fun i ->
+      Generator.generate g
+        ~id:(Printf.sprintf "%s-%s-%03d" prefix domain.Vocabulary.name (i + 1))
+        ~domain ~complexity ~oog_prob ~header_prob ())
+
+let basic () =
+  let g = Prng.create 0x5349474D4F442004L in
+  { name = "Basic";
+    sources =
+      List.concat_map
+        (fun domain ->
+           generate_for g ~prefix:"basic" ~domain ~count:50 ~complexity:`Rich
+             ~oog_prob:0.10 ~header_prob:0.20)
+        Vocabulary.core_three }
+
+let new_source () =
+  let g = Prng.create 0x4E45575352432004L in
+  { name = "NewSource";
+    sources =
+      List.concat_map
+        (fun domain ->
+           generate_for g ~prefix:"newsrc" ~domain ~count:10
+             ~complexity:`Simple ~oog_prob:0.04 ~header_prob:0.03)
+        Vocabulary.core_three }
+
+let new_domain () =
+  let g = Prng.create 0x4E4557444F4D2004L in
+  { name = "NewDomain";
+    sources =
+      List.concat_map
+        (fun domain ->
+           let complexity = if Prng.bool g then `Simple else `Rich in
+           generate_for g ~prefix:"newdom" ~domain ~count:7 ~complexity
+             ~oog_prob:0.13 ~header_prob:0.10)
+        Vocabulary.new_six }
+
+let random () =
+  let g = Prng.create 0x52414E444F4D2004L in
+  let pool = Vocabulary.all in
+  { name = "Random";
+    sources =
+      List.init 30 (fun i ->
+          let domain = Prng.pick g pool in
+          let complexity = if Prng.bernoulli g 0.7 then `Simple else `Rich in
+          Generator.generate g
+            ~id:(Printf.sprintf "random-%03d" (i + 1))
+            ~domain ~complexity ~oog_prob:0.20 ~header_prob:0.12 ()) }
+
+let all () = [ basic (); new_source (); new_domain (); random () ]
+
+let save ~dir t =
+  let dataset_dir = Filename.concat dir t.name in
+  let rec mkdir_p path =
+    if not (Sys.file_exists path) then begin
+      mkdir_p (Filename.dirname path);
+      (try Sys.mkdir path 0o755 with Sys_error _ -> ())
+    end
+  in
+  mkdir_p dataset_dir;
+  let manifest = Buffer.create 1024 in
+  List.iter
+    (fun (s : Generator.source) ->
+       let file = Filename.concat dataset_dir (s.id ^ ".html") in
+       let oc = open_out file in
+       output_string oc s.html;
+       close_out oc;
+       Buffer.add_string manifest (Printf.sprintf "## %s (%s)\n" s.id s.domain);
+       List.iter
+         (fun c ->
+            Buffer.add_string manifest
+              ("  " ^ Wqi_model.Condition.to_string c ^ "\n"))
+         s.truth)
+    t.sources;
+  let oc = open_out (Filename.concat dataset_dir "MANIFEST") in
+  output_string oc (Buffer.contents manifest);
+  close_out oc

@@ -1,0 +1,31 @@
+(** The four experimental datasets (paper Section 6).
+
+    All are produced deterministically from fixed seeds, so every table
+    and figure of the evaluation is reproducible bit-for-bit.
+
+    - {!basic}: 150 sources, 50 each in Books/Automobiles/Airfares; the
+      grammar-derivation dataset, biased toward complex forms (the paper
+      observes its survey favoured many-condition interfaces).
+    - {!new_source}: 30 additional sources (10 per core domain), simpler
+      forms — the paper found these score slightly *better* than Basic.
+    - {!new_domain}: 42 sources from six unseen domains (7 each).
+    - {!random}: 30 sources sampled across 16 heterogeneous domains with
+      a higher rate of out-of-grammar layouts, standing in for the
+      invisible-web.net random sample. *)
+
+type t = {
+  name : string;
+  sources : Generator.source list;
+}
+
+val basic : unit -> t
+val new_source : unit -> t
+val new_domain : unit -> t
+val random : unit -> t
+
+val all : unit -> t list
+(** The four datasets, in the paper's order. *)
+
+val save : dir:string -> t -> unit
+(** Write each source's HTML plus a [MANIFEST] of ground-truth conditions
+    under [dir/<dataset>/<source-id>.html]. *)

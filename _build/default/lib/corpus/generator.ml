@@ -1,0 +1,154 @@
+module Dom = Wqi_html.Dom
+module Printer = Wqi_html.Printer
+
+type complexity = [ `Simple | `Rich ]
+
+type layout_style =
+  | Rows_table
+  | Flow
+  | Two_column
+  | Column_wise
+
+type source = {
+  id : string;
+  domain : string;
+  html : string;
+  truth : Wqi_model.Condition.t list;
+  patterns : Pattern.id list;
+  style : layout_style;
+}
+
+let el = Dom.element
+let txt = Dom.text
+
+let titles =
+  [ "Advanced Search"; "Search our catalog"; "Quick Search"; "Power Search";
+    "Find it here"; "Search" ]
+
+let blurbs =
+  [ "Use the options below to narrow your results and find what you need.";
+    "Fill in one or more of the fields below and press the search button.";
+    "Our advanced search helps you locate items quickly and easily." ]
+
+let pick_style g =
+  Prng.weighted_pick g
+    [ (Rows_table, 0.5); (Flow, 0.3); (Two_column, 0.12); (Column_wise, 0.08) ]
+
+let condition_count g = function
+  | `Simple -> 2 + Prng.int g 3
+  | `Rich -> 4 + Prng.int g 5
+
+let render_conditions g ~oog_prob attrs field_seq =
+  List.map
+    (fun attr ->
+       let oog_candidates = Pattern.applicable_oog attr in
+       if oog_candidates <> [] && Prng.bernoulli g oog_prob then
+         Pattern.render g ~field_seq attr (Prng.pick g oog_candidates)
+       else
+         let weighted =
+           List.map
+             (fun p -> (p, Pattern.zipf_weight p))
+             (Pattern.applicable attr)
+         in
+         Pattern.render g ~field_seq attr (Prng.weighted_pick g weighted))
+    attrs
+
+let submit_row g =
+  let button =
+    el "input" ~attrs:[ ("type", "submit"); ("value", Prng.pick g
+      [ "Search"; "Find"; "Go"; "Submit"; "Search Now" ]) ] []
+  in
+  let row =
+    if Prng.bernoulli g 0.3 then
+      [ button; el "input" ~attrs:[ ("type", "reset"); ("value", "Clear") ] [] ]
+    else [ button ]
+  in
+  (* Submit rows are frequently centered on real forms. *)
+  if Prng.bernoulli g 0.3 then [ el "center" row ] else row
+
+(* Split a list into two contiguous halves. *)
+let halve items =
+  let n = List.length items in
+  let k = (n + 1) / 2 in
+  let rec go i acc = function
+    | rest when i = k -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> go (i + 1) (x :: acc) rest
+  in
+  go 0 [] items
+
+let td nodes = el "td" nodes
+let tr cells = el "tr" cells
+let table rows =
+  el "table" ~attrs:[ ("cellpadding", "3"); ("cellspacing", "2") ] rows
+
+let rec pair_up = function
+  | [] -> []
+  | [ x ] -> [ [ x ] ]
+  | x :: y :: rest -> [ x; y ] :: pair_up rest
+
+let section_headers =
+  [ "Search options"; "More choices"; "Refine your search"; "Narrow it down";
+    "Other criteria" ]
+
+let arrange g style ~header_prob (renderings : Pattern.rendering list) =
+  (* Section headers are short label-like texts dropped between
+     conditions; they are decoration the ground truth does not list. *)
+  let blocks =
+    List.concat_map
+      (fun (r : Pattern.rendering) ->
+         if header_prob > 0. && Prng.bernoulli g header_prob then
+           [ [ el "b" [ txt (Prng.pick g section_headers) ] ]; r.nodes ]
+         else [ r.nodes ])
+      renderings
+  in
+  match style with
+  | Rows_table ->
+    [ table (List.map (fun nodes -> tr [ td nodes ]) blocks @ [ tr [ td (submit_row g) ] ]) ]
+  | Flow ->
+    List.map (fun nodes -> el "p" nodes) blocks
+    @ [ el "p" (submit_row g) ]
+  | Two_column ->
+    [ table
+        (List.map (fun pair -> tr (List.map td pair)) (pair_up blocks)
+         @ [ tr [ td (submit_row g) ] ]) ]
+  | Column_wise ->
+    let left, right = halve blocks in
+    let stack blocks = List.map (fun nodes -> el "p" nodes) blocks in
+    [ table [ tr [ td (stack left); td (stack right) ] ];
+      el "p" (submit_row g) ]
+
+let generate g ~id ~domain ~complexity ~oog_prob ?(header_prob = 0.) () =
+  let field_seq = ref 0 in
+  let n = condition_count g complexity in
+  let attrs = Prng.sample g n domain.Vocabulary.attributes in
+  let renderings = render_conditions g ~oog_prob attrs field_seq in
+  let style = pick_style g in
+  let body = arrange g style ~header_prob renderings in
+  let header =
+    (if Prng.bernoulli g 0.5 then
+       let title = el "h2" [ txt (Prng.pick g titles) ] in
+       [ (if Prng.bernoulli g 0.4 then el "center" [ title ] else title) ]
+     else [])
+    @
+    if Prng.bernoulli g 0.3 then [ el "p" [ txt (Prng.pick g blurbs) ] ]
+    else []
+  in
+  let doc =
+    el "html"
+      [ el "head" [ el "title" [ txt (domain.Vocabulary.name ^ " search") ] ];
+        el "body"
+          [ el "form" ~attrs:[ ("method", "get"); ("action", "/search") ]
+              (header @ body) ] ]
+  in
+  { id;
+    domain = domain.Vocabulary.name;
+    html = Printer.to_string doc;
+    truth = List.map (fun (r : Pattern.rendering) -> r.truth) renderings;
+    patterns =
+      List.filter_map
+        (fun (r : Pattern.rendering) ->
+           if List.mem r.pattern Pattern.in_vocabulary then Some r.pattern
+           else None)
+        renderings;
+    style }

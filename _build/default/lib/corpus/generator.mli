@@ -1,0 +1,45 @@
+(** Synthetic query-interface generator.
+
+    Assembles a full HTML query form for a domain: a set of conditions
+    rendered by {!Pattern} templates, arranged in one of several layout
+    styles (label/field table rows, free flow, two-column rows, or the
+    column-wise arrangement that defeats row-based grammars — the paper's
+    Figure-14 case), plus realistic noise (form titles, decorative prose,
+    submit/reset rows).  Ground truth travels with the markup. *)
+
+type complexity =
+  [ `Simple  (** 2–4 conditions; the paper's NewSource-style forms *)
+  | `Rich    (** 4–8 conditions; the paper notes its Basic survey was
+                 biased toward complex forms *) ]
+
+type layout_style =
+  | Rows_table   (** one condition per table row *)
+  | Flow         (** conditions as flowing paragraphs *)
+  | Two_column   (** two conditions side by side per row *)
+  | Column_wise  (** conditions stacked column-by-column (Figure 14) *)
+
+type source = {
+  id : string;
+  domain : string;
+  html : string;
+  truth : Wqi_model.Condition.t list;
+  patterns : Pattern.id list;
+      (** the condition patterns used, in rendering order (ground truth
+          for the Figure-4 survey) *)
+  style : layout_style;
+}
+
+val generate :
+  Prng.t ->
+  id:string ->
+  domain:Vocabulary.domain ->
+  complexity:complexity ->
+  oog_prob:float ->
+  ?header_prob:float ->
+  unit ->
+  source
+(** [oog_prob] is the per-condition probability of using an
+    out-of-grammar pattern (when one applies to the drawn attribute);
+    [header_prob] (default 0) the per-condition probability of a short
+    section-header text being inserted before it — a decoration the
+    extractor can confuse with an attribute label. *)

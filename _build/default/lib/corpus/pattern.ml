@@ -1,0 +1,446 @@
+module Dom = Wqi_html.Dom
+module Condition = Wqi_model.Condition
+
+type id =
+  | Attr_left_text
+  | Attr_left_select
+  | Attr_above_text
+  | Attr_above_select
+  | Enum_radio_h
+  | Solo_checkbox
+  | Date_mdy
+  | Range_text_from_to
+  | Text_op_radio_below
+  | Keyword_bare
+  | Enum_checkbox_h
+  | Text_op_select_left
+  | Range_select
+  | Enum_radio_v
+  | Multi_select
+  | Enum_radio_bare
+  | Date_my
+  | Time_sel
+  | Range_text_to_only
+  | Textarea_keyword
+  | Attr_below_text
+  | Text_op_radio_right
+  | Attr_text_unit
+  | Text_op_checkbox
+  | Text_op_select_right
+  | Oog_attr_right_text
+  | Oog_attr_right_select
+  | Oog_image_label
+  | Oog_double_box
+
+type rendering = {
+  nodes : Dom.t list;
+  truth : Condition.t;
+  pattern : id;
+}
+
+let in_vocabulary =
+  [ Attr_left_text; Attr_left_select; Attr_above_text; Attr_above_select;
+    Enum_radio_h; Solo_checkbox; Date_mdy; Range_text_from_to;
+    Text_op_radio_below; Keyword_bare; Enum_checkbox_h; Text_op_select_left;
+    Range_select; Enum_radio_v; Multi_select; Enum_radio_bare; Date_my;
+    Time_sel; Range_text_to_only; Textarea_keyword; Attr_text_unit;
+    Attr_below_text; Text_op_radio_right; Text_op_select_right;
+    Text_op_checkbox ]
+
+let out_of_grammar =
+  [ Oog_attr_right_text; Oog_attr_right_select; Oog_image_label;
+    Oog_double_box ]
+
+let name = function
+  | Attr_left_text -> "attr-left-text"
+  | Attr_left_select -> "attr-left-select"
+  | Attr_above_text -> "attr-above-text"
+  | Attr_above_select -> "attr-above-select"
+  | Enum_radio_h -> "enum-radio-h"
+  | Solo_checkbox -> "solo-checkbox"
+  | Date_mdy -> "date-mdy"
+  | Range_text_from_to -> "range-text-from-to"
+  | Text_op_radio_below -> "text-op-radio-below"
+  | Keyword_bare -> "keyword-bare"
+  | Enum_checkbox_h -> "enum-checkbox-h"
+  | Text_op_select_left -> "text-op-select-left"
+  | Range_select -> "range-select"
+  | Enum_radio_v -> "enum-radio-v"
+  | Multi_select -> "multi-select"
+  | Enum_radio_bare -> "enum-radio-bare"
+  | Date_my -> "date-my"
+  | Time_sel -> "time-sel"
+  | Range_text_to_only -> "range-text-to-only"
+  | Textarea_keyword -> "textarea-keyword"
+  | Attr_below_text -> "attr-below-text"
+  | Text_op_radio_right -> "text-op-radio-right"
+  | Attr_text_unit -> "attr-text-unit"
+  | Text_op_checkbox -> "text-op-checkbox"
+  | Text_op_select_right -> "text-op-select-right"
+  | Oog_attr_right_text -> "oog-attr-right-text"
+  | Oog_attr_right_select -> "oog-attr-right-select"
+  | Oog_image_label -> "oog-image-label"
+  | Oog_double_box -> "oog-double-box"
+
+let rank id =
+  let rec index i = function
+    | [] -> 0
+    | x :: rest -> if x = id then i else index (i + 1) rest
+  in
+  index 1 in_vocabulary
+
+let zipf_weight id =
+  match rank id with
+  | 0 -> 0.
+  | r -> 1. /. Float.pow (float_of_int r) 0.95
+
+(* ------------------------------------------------------------------ *)
+(* Markup helpers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let el = Dom.element
+let txt = Dom.text
+let br = el "br" []
+
+let fresh_name field_seq prefix =
+  let n = !field_seq in
+  incr field_seq;
+  Printf.sprintf "%s_%d" prefix n
+
+let textbox ?(size = 20) field_seq =
+  el "input"
+    ~attrs:
+      [ ("type", "text"); ("name", fresh_name field_seq "f");
+        ("size", string_of_int size) ]
+    []
+
+let select ?(multiple = false) ?size field_seq options =
+  let attrs =
+    [ ("name", fresh_name field_seq "s") ]
+    @ (if multiple then [ ("multiple", "") ] else [])
+    @ (match size with Some s -> [ ("size", string_of_int s) ] | None -> [])
+  in
+  el "select" ~attrs (List.map (fun o -> el "option" [ txt o ]) options)
+
+let radio ?(checked = false) group =
+  el "input"
+    ~attrs:
+      ([ ("type", "radio"); ("name", group) ]
+       @ if checked then [ ("checked", "") ] else [])
+    []
+
+let checkbox field_seq =
+  el "input" ~attrs:[ ("type", "checkbox"); ("name", fresh_name field_seq "c") ] []
+
+let textarea ?(cols = 24) ?(rows = 3) field_seq =
+  el "textarea"
+    ~attrs:
+      [ ("name", fresh_name field_seq "t"); ("cols", string_of_int cols);
+        ("rows", string_of_int rows) ]
+    []
+
+let submit label =
+  el "input" ~attrs:[ ("type", "submit"); ("value", label) ] []
+
+(* Interleave radio/checkbox widgets with their labels on one line. *)
+let unit_row make_box labels =
+  List.concat_map (fun label -> [ make_box (); txt (" " ^ label ^ "  ") ]) labels
+
+let unit_column make_box labels =
+  List.concat
+    (List.mapi
+       (fun i label ->
+          (if i = 0 then [] else [ br ]) @ [ make_box (); txt (" " ^ label) ])
+       labels)
+
+(* ------------------------------------------------------------------ *)
+(* Attribute-data helpers                                              *)
+(* ------------------------------------------------------------------ *)
+
+let label_of g (attr : Vocabulary.attribute) =
+  match attr.variants with
+  | [] -> attr.label
+  | variants ->
+    if Prng.bernoulli g 0.4 then attr.label else Prng.pick g variants
+
+(* The ground truth records the label as displayed (normalization happens
+   in the metric). *)
+
+let money_buckets =
+  [ "Under $10"; "$10 - $25"; "$25 - $50"; "$50 - $100"; "Over $100" ]
+
+let money_bounds = [ "$0"; "$10"; "$25"; "$50"; "$100"; "$250"; "$500" ]
+
+let enum_values g (attr : Vocabulary.attribute) ~max_values =
+  match attr.kind with
+  | Vocabulary.Enum values | Vocabulary.Numeric values ->
+    if List.length values <= max_values then values
+    else Prng.sample g max_values values
+  | Vocabulary.Money -> money_buckets
+  | Vocabulary.Free_text | Vocabulary.Date | Vocabulary.Time -> []
+
+let select_options g (attr : Vocabulary.attribute) =
+  match attr.kind with
+  | Vocabulary.Enum values -> values
+  | Vocabulary.Numeric values -> values
+  | Vocabulary.Money -> money_buckets
+  | Vocabulary.Free_text | Vocabulary.Date | Vocabulary.Time ->
+    ignore g;
+    []
+
+let checkbox_operator_sets =
+  [ [ "exact match"; "whole words" ];
+    [ "match all words"; "match exact phrase" ] ]
+
+let operator_sets =
+  [ [ "contains"; "starts with"; "exact phrase" ];
+    [ "begins with"; "ends with"; "contains" ];
+    [ "exact match"; "contains all words"; "contains any words" ];
+    [ "keywords"; "exact title"; "starts with" ] ]
+
+let months =
+  [ "January"; "February"; "March"; "April"; "May"; "June"; "July";
+    "August"; "September"; "October"; "November"; "December" ]
+
+let days = List.init 31 (fun i -> string_of_int (i + 1))
+let years_opts = List.init 8 (fun i -> string_of_int (2004 + i))
+let hours =
+  List.init 12 (fun i -> string_of_int (i + 1) ^ " am")
+  @ List.init 12 (fun i -> string_of_int (i + 1) ^ " pm")
+let minutes = [ "00"; "15"; "30"; "45" ]
+
+(* ------------------------------------------------------------------ *)
+(* Applicability                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let lowercase_contains ~needle s =
+  let s = String.lowercase_ascii s in
+  let n = String.length needle and h = String.length s in
+  let rec at i =
+    i + n <= h && (String.sub s i n = needle || at (i + 1))
+  in
+  at 0
+
+let is_keywordish (attr : Vocabulary.attribute) =
+  lowercase_contains ~needle:"keyword" attr.label
+  || lowercase_contains ~needle:"search" attr.label
+
+let allows_bare (attr : Vocabulary.attribute) = List.mem "" attr.variants
+
+(* Labels whose value boxes conventionally carry a trailing unit. *)
+let unit_table =
+  [ ("Mileage", "miles"); ("Distance", "miles"); ("Square feet", "sq ft");
+    ("Memory", "MB"); ("Guests", "people"); ("Rooms", "rooms") ]
+
+let unit_for (attr : Vocabulary.attribute) =
+  List.assoc_opt attr.label unit_table
+
+let applicable (attr : Vocabulary.attribute) =
+  match attr.kind with
+  | Vocabulary.Free_text ->
+    [ Attr_left_text; Attr_above_text; Attr_below_text; Text_op_radio_below;
+      Text_op_select_left; Text_op_radio_right; Text_op_select_right;
+      Text_op_checkbox; Textarea_keyword ]
+    @ (if is_keywordish attr then [ Keyword_bare ] else [])
+  | Vocabulary.Enum values ->
+    [ Attr_left_select; Attr_above_select; Multi_select ]
+    @ (if List.length values <= 5 then
+         [ Enum_radio_h; Enum_radio_v; Enum_checkbox_h ]
+       else [])
+    @ (if allows_bare attr then [ Enum_radio_bare ] else [])
+    @ [ Solo_checkbox ]
+  | Vocabulary.Numeric _ ->
+    [ Attr_left_select; Attr_above_select; Range_select ]
+    @ (if unit_for attr <> None then [ Attr_text_unit ] else [])
+  | Vocabulary.Money ->
+    [ Range_text_from_to; Range_text_to_only; Range_select;
+      Attr_left_select; Attr_left_text ]
+  | Vocabulary.Date -> [ Date_mdy; Date_my; Attr_left_text ]
+  | Vocabulary.Time -> [ Time_sel ]
+
+let applicable_oog (attr : Vocabulary.attribute) =
+  match attr.kind with
+  | Vocabulary.Free_text ->
+    [ Oog_attr_right_text; Oog_image_label; Oog_double_box ]
+  | Vocabulary.Enum _ | Vocabulary.Numeric _ -> [ Oog_attr_right_select ]
+  | Vocabulary.Money | Vocabulary.Date | Vocabulary.Time -> []
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let truth ?operators ~attribute domain =
+  Condition.make ?operators ~attribute domain
+
+let render g ~field_seq (attr : Vocabulary.attribute) id =
+  if not (List.mem id (applicable attr) || List.mem id (applicable_oog attr))
+  then
+    invalid_arg
+      (Printf.sprintf "Pattern.render: %s not applicable to %s" (name id)
+         attr.label);
+  let label = label_of g attr in
+  let group = fresh_name field_seq "g" in
+  let finish nodes truth = { nodes; truth; pattern = id } in
+  match id with
+  | Attr_left_text ->
+    finish
+      [ txt label; textbox ~size:(15 + Prng.int g 15) field_seq ]
+      (truth ~attribute:label Condition.Text)
+  | Attr_above_text ->
+    finish
+      [ txt label; br; textbox field_seq ]
+      (truth ~attribute:label Condition.Text)
+  | Attr_below_text ->
+    finish
+      [ textbox field_seq; br; txt label ]
+      (truth ~attribute:label Condition.Text)
+  | Attr_left_select ->
+    let options = select_options g attr in
+    finish
+      [ txt label; select field_seq options ]
+      (truth ~attribute:label (Condition.Enumeration options))
+  | Attr_above_select ->
+    let options = select_options g attr in
+    finish
+      [ txt label; br; select field_seq options ]
+      (truth ~attribute:label (Condition.Enumeration options))
+  | Multi_select ->
+    let options = select_options g attr in
+    finish
+      [ txt label; br;
+        select ~multiple:true ~size:(min 4 (List.length options)) field_seq
+          options ]
+      (truth ~attribute:label (Condition.Enumeration options))
+  | Enum_radio_h ->
+    let values = enum_values g attr ~max_values:4 in
+    finish
+      (txt label :: unit_row (fun () -> radio group) values)
+      (truth ~attribute:label (Condition.Enumeration values))
+  | Enum_radio_v ->
+    let values = enum_values g attr ~max_values:4 in
+    finish
+      ((txt label :: br :: unit_column (fun () -> radio group) values))
+      (truth ~attribute:label (Condition.Enumeration values))
+  | Enum_radio_bare ->
+    let values = enum_values g attr ~max_values:3 in
+    finish
+      (unit_row (fun () -> radio group) values)
+      (truth ~attribute:"" (Condition.Enumeration values))
+  | Enum_checkbox_h ->
+    let values = enum_values g attr ~max_values:4 in
+    finish
+      (txt label :: unit_row (fun () -> checkbox field_seq) values)
+      (truth ~attribute:label (Condition.Enumeration values))
+  | Solo_checkbox ->
+    let value =
+      match enum_values g attr ~max_values:8 with
+      | [] -> attr.label
+      | values -> Prng.pick g values
+    in
+    let solo_label = value ^ " only" in
+    finish
+      [ checkbox field_seq; txt (" " ^ solo_label) ]
+      (truth ~attribute:solo_label (Condition.Enumeration [ solo_label ]))
+  | Text_op_radio_below ->
+    let ops = Prng.pick g operator_sets in
+    finish
+      ([ txt label; textbox field_seq; br ]
+       @ unit_row (fun () -> radio group) ops)
+      (truth ~operators:ops ~attribute:label Condition.Text)
+  | Text_op_radio_right ->
+    let ops = Prng.pick g operator_sets in
+    finish
+      ([ txt label; textbox ~size:14 field_seq ]
+       @ unit_row (fun () -> radio group) ops)
+      (truth ~operators:ops ~attribute:label Condition.Text)
+  | Text_op_select_left ->
+    let ops = Prng.pick g operator_sets in
+    finish
+      [ txt label; select field_seq ops; textbox ~size:16 field_seq ]
+      (truth ~operators:ops ~attribute:label Condition.Text)
+  | Range_text_from_to ->
+    finish
+      [ txt label; txt " from "; textbox ~size:8 field_seq; txt " to ";
+        textbox ~size:8 field_seq ]
+      (truth ~operators:[ "between" ] ~attribute:label
+         (Condition.Range Condition.Text))
+  | Range_text_to_only ->
+    finish
+      [ txt label; textbox ~size:8 field_seq; txt " to ";
+        textbox ~size:8 field_seq ]
+      (truth ~operators:[ "between" ] ~attribute:label
+         (Condition.Range Condition.Text))
+  | Range_select ->
+    let options =
+      match attr.kind with
+      | Vocabulary.Money -> money_bounds
+      | _ -> select_options g attr
+    in
+    let lo, hi =
+      if Prng.bernoulli g 0.5 then ("from", "to") else ("min", "max")
+    in
+    finish
+      [ txt label; txt (" " ^ lo ^ " "); select field_seq options;
+        txt (" " ^ hi ^ " "); select field_seq options ]
+      (truth ~operators:[ "between" ] ~attribute:label
+         (Condition.Range (Condition.Enumeration options)))
+  | Date_mdy ->
+    finish
+      [ txt label; select field_seq months; select field_seq days;
+        select field_seq years_opts ]
+      (truth ~attribute:label Condition.Datetime)
+  | Date_my ->
+    finish
+      [ txt label; select field_seq months; select field_seq years_opts ]
+      (truth ~attribute:label Condition.Datetime)
+  | Time_sel ->
+    finish
+      [ txt label; select field_seq hours; select field_seq minutes ]
+      (truth ~attribute:label Condition.Datetime)
+  | Keyword_bare ->
+    finish
+      [ textbox ~size:30 field_seq; submit "Search" ]
+      (truth ~attribute:"" Condition.Text)
+  | Textarea_keyword ->
+    finish
+      [ txt label; br; textarea field_seq ]
+      (truth ~attribute:label Condition.Text)
+  | Attr_text_unit ->
+    let unit = Option.value ~default:"units" (unit_for attr) in
+    finish
+      [ txt label; textbox ~size:8 field_seq; txt (" " ^ unit) ]
+      (truth ~attribute:label Condition.Text)
+  | Text_op_checkbox ->
+    let ops = Prng.pick g checkbox_operator_sets in
+    finish
+      ([ txt label; textbox ~size:16 field_seq; br ]
+       @ unit_row (fun () -> checkbox field_seq) ops)
+      (truth ~operators:ops ~attribute:label Condition.Text)
+  | Text_op_select_right ->
+    let ops = Prng.pick g operator_sets in
+    finish
+      [ txt label; textbox ~size:16 field_seq; select field_seq ops ]
+      (truth ~operators:ops ~attribute:label Condition.Text)
+  | Oog_attr_right_text ->
+    finish
+      [ textbox field_seq; txt (" " ^ label) ]
+      (truth ~attribute:label Condition.Text)
+  | Oog_attr_right_select ->
+    let options = select_options g attr in
+    finish
+      [ select field_seq options; txt (" " ^ label) ]
+      (truth ~attribute:label (Condition.Enumeration options))
+  | Oog_image_label ->
+    finish
+      [ el "img"
+          ~attrs:
+            [ ("src", "label.gif"); ("alt", label); ("width", "60");
+              ("height", "16") ]
+          [];
+        textbox field_seq ]
+      (truth ~attribute:label Condition.Text)
+  | Oog_double_box ->
+    finish
+      [ txt (label ^ ", State:"); textbox ~size:14 field_seq;
+        textbox ~size:4 field_seq ]
+      (truth ~attribute:(label ^ ", State") Condition.Text)

@@ -1,0 +1,73 @@
+(** Condition-pattern templates: the presentation vocabulary.
+
+    The paper's survey found ~25 condition patterns across 150 sources
+    (21 occurring more than once), with Zipf-distributed frequencies.
+    Each template renders one query condition as HTML markup plus its
+    ground-truth semantic model entry.  Three additional *out-of-grammar*
+    templates model the unconventional layouts real sources occasionally
+    use; they are what keeps extraction accuracy below 1.0. *)
+
+type id =
+  (* In-vocabulary patterns, by descending conventional frequency. *)
+  | Attr_left_text        (** "Author: [__]" *)
+  | Attr_left_select      (** "Format: [v]" *)
+  | Attr_above_text
+  | Attr_above_select
+  | Enum_radio_h          (** "Class: ( ) economy ( ) business" *)
+  | Solo_checkbox         (** "[x] Hardcover only" *)
+  | Date_mdy              (** "Departing: [m][d][y]" *)
+  | Range_text_from_to    (** "Price: from [__] to [__]" *)
+  | Text_op_radio_below   (** amazon author: ops under the textbox *)
+  | Keyword_bare          (** "[________] (Search)" *)
+  | Enum_checkbox_h
+  | Text_op_select_left   (** "Title [contains|starts...|] [__]" *)
+  | Range_select          (** "Year: from [v] to [v]" *)
+  | Enum_radio_v          (** vertical radio enumeration *)
+  | Multi_select          (** attr above a multi-select list box *)
+  | Enum_radio_bare       (** "( ) Round trip ( ) One way" *)
+  | Date_my               (** month/year pair *)
+  | Time_sel              (** hour/minute pair *)
+  | Range_text_to_only    (** "Price: [__] to [__]" *)
+  | Textarea_keyword
+  | Attr_below_text
+  | Text_op_radio_right
+  | Attr_text_unit        (** "Mileage: [__] miles" — trailing unit *)
+  | Text_op_checkbox      (** "[x] exact match [x] whole words" modifiers *)
+  | Text_op_select_right  (** "Title: [__] [contains|...]" *)
+  (* Out-of-grammar noise patterns. *)
+  | Oog_attr_right_text   (** "[__] Author" — label on the right *)
+  | Oog_attr_right_select (** "[v] Format" — label right of a select *)
+  | Oog_image_label       (** an image carries the attribute label *)
+  | Oog_double_box        (** "City, State: [__] [__]" — one condition,
+                              two unmarked boxes *)
+
+type rendering = {
+  nodes : Wqi_html.Dom.t list;   (** markup for this condition *)
+  truth : Wqi_model.Condition.t;
+  pattern : id;
+}
+
+val in_vocabulary : id list
+(** The 25 conventional patterns, most-frequent first (the paper's
+    survey found 25 patterns overall, 21 occurring more than once). *)
+
+val out_of_grammar : id list
+
+val name : id -> string
+val rank : id -> int
+(** 1-based conventional-frequency rank (1 = most frequent); used as the
+    Zipf weight source.  Out-of-grammar patterns have rank 0. *)
+
+val zipf_weight : id -> float
+(** [1 / rank^0.95] for in-vocabulary patterns; 0 for out-of-grammar. *)
+
+val applicable : Vocabulary.attribute -> id list
+(** In-vocabulary patterns that can render the given attribute. *)
+
+val applicable_oog : Vocabulary.attribute -> id list
+
+val render :
+  Prng.t -> field_seq:int ref -> Vocabulary.attribute -> id -> rendering
+(** [render g ~field_seq attr id] produces markup and ground truth;
+    raises [Invalid_argument] when [id] is not applicable to [attr].
+    [field_seq] provides unique form-field names. *)

@@ -1,0 +1,71 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let next_int64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  let z = g.state in
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split g = create (next_int64 g)
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let raw = Int64.to_int (Int64.shift_right_logical (next_int64 g) 2) in
+  raw mod bound
+
+let float g bound =
+  let raw = Int64.to_float (Int64.shift_right_logical (next_int64 g) 11) in
+  bound *. (raw /. 9007199254740992.0) (* 2^53 *)
+
+let bool g = Int64.logand (next_int64 g) 1L = 1L
+
+let bernoulli g p = float g 1.0 < p
+
+let pick g = function
+  | [] -> invalid_arg "Prng.pick: empty list"
+  | items -> List.nth items (int g (List.length items))
+
+let weighted_pick g weighted =
+  let total = List.fold_left (fun acc (_, w) -> acc +. max 0. w) 0. weighted in
+  if total <= 0. then invalid_arg "Prng.weighted_pick: no positive weight";
+  let target = float g total in
+  let rec go acc = function
+    | [] -> invalid_arg "Prng.weighted_pick: empty list"
+    | [ (x, _) ] -> x
+    | (x, w) :: rest ->
+      let acc = acc +. max 0. w in
+      if target < acc then x else go acc rest
+  in
+  go 0. weighted
+
+let shuffle g items =
+  let arr = Array.of_list items in
+  for i = Array.length arr - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr
+
+let sample g k items =
+  let n = List.length items in
+  let k = min k n in
+  let chosen = shuffle g (List.init n Fun.id) in
+  let keep =
+    List.sort_uniq compare (List.filteri (fun i _ -> i < k) chosen)
+  in
+  List.filteri (fun i _ -> List.mem i keep) items

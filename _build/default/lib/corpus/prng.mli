@@ -1,0 +1,36 @@
+(** Deterministic pseudo-random generator (splitmix64).
+
+    Every dataset in the experiments is generated from a fixed seed so
+    that all tables and figures are exactly reproducible; library code
+    never touches the global [Random] state. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] — equal seeds give equal streams. *)
+
+val split : t -> t
+(** An independent generator derived from the current state. *)
+
+val int : t -> int -> int
+(** [int g bound] draws uniformly from [0, bound)].  [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float g bound] draws uniformly from [0, bound)]. *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli g p] is true with probability [p]. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice; raises [Invalid_argument] on an empty list. *)
+
+val weighted_pick : t -> ('a * float) list -> 'a
+(** Choice proportional to the (positive) weights. *)
+
+val sample : t -> int -> 'a list -> 'a list
+(** [sample g k items] draws [min k (length items)] distinct items,
+    preserving their original relative order. *)
+
+val shuffle : t -> 'a list -> 'a list

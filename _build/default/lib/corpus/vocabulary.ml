@@ -1,0 +1,353 @@
+type value_kind =
+  | Free_text
+  | Enum of string list
+  | Money
+  | Numeric of string list
+  | Date
+  | Time
+
+type attribute = {
+  label : string;
+  variants : string list;
+  kind : value_kind;
+}
+
+type domain = {
+  name : string;
+  attributes : attribute list;
+}
+
+let attribute ?(variants = []) label kind = { label; variants; kind }
+
+let years lo hi =
+  List.init (hi - lo + 1) (fun i -> string_of_int (hi - i))
+
+let counts lo hi = List.init (hi - lo + 1) (fun i -> string_of_int (lo + i))
+
+(* ------------------------------------------------------------------ *)
+(* The three survey domains                                            *)
+(* ------------------------------------------------------------------ *)
+
+let books =
+  { name = "Books";
+    attributes =
+      [ attribute "Author" ~variants:[ "Author:"; "Author name"; "Written by" ]
+          Free_text;
+        attribute "Title" ~variants:[ "Title:"; "Book title"; "Title word(s)" ]
+          Free_text;
+        attribute "Keyword" ~variants:[ "Keywords"; "Keyword(s):"; "Search for" ]
+          Free_text;
+        attribute "ISBN" ~variants:[ "ISBN:"; "ISBN number" ] Free_text;
+        attribute "Publisher" ~variants:[ "Publisher:" ] Free_text;
+        attribute "Subject" ~variants:[ "Subject:"; "Category" ]
+          (Enum
+             [ "Arts"; "Biography"; "Business"; "Computers"; "Fiction";
+               "History"; "Science"; "Travel" ]);
+        attribute "Price" ~variants:[ "Price:"; "Price range" ] Money;
+        attribute "Format"
+          ~variants:[ "Format:"; "Binding" ]
+          (Enum [ "Hardcover"; "Paperback"; "Audio"; "eBook" ]);
+        attribute "Condition" ~variants:[ "Condition:" ]
+          (Enum [ "New"; "Used"; "Collectible" ]);
+        attribute "Language" ~variants:[ "Language:" ]
+          (Enum [ "English"; "French"; "German"; "Spanish"; "Italian" ]);
+        attribute "Publication year"
+          ~variants:[ "Published:"; "Publication date" ]
+          Date;
+        attribute "Reader age" ~variants:[ "Age range:" ]
+          (Enum [ "Baby-3"; "4-8"; "9-12"; "Teens"; "Adult" ]) ] }
+
+let automobiles =
+  { name = "Automobiles";
+    attributes =
+      [ attribute "Make" ~variants:[ "Make:"; "Select a make" ]
+          (Enum
+             [ "Acura"; "BMW"; "Chevrolet"; "Ford"; "Honda"; "Nissan";
+               "Toyota"; "Volkswagen" ]);
+        attribute "Model" ~variants:[ "Model:"; "Model name" ] Free_text;
+        attribute "Year" ~variants:[ "Year:"; "Model year" ]
+          (Numeric (years 1990 2004));
+        attribute "Price" ~variants:[ "Price:"; "Price range"; "Asking price" ]
+          Money;
+        attribute "Mileage" ~variants:[ "Mileage:"; "Max mileage" ]
+          (Numeric [ "10000"; "25000"; "50000"; "75000"; "100000" ]);
+        attribute "Color" ~variants:[ "Color:"; "Exterior color" ]
+          (Enum [ "Black"; "Blue"; "Green"; "Red"; "Silver"; "White" ]);
+        attribute "Body style" ~variants:[ "Body style:"; "Type" ]
+          (Enum [ "Convertible"; "Coupe"; "Sedan"; "SUV"; "Truck"; "Wagon" ]);
+        attribute "Transmission" ~variants:[ "Transmission:" ]
+          (Enum [ "Automatic"; "Manual" ]);
+        attribute "Zip code" ~variants:[ "Zip:"; "Your zip code" ] Free_text;
+        attribute "Distance" ~variants:[ "Within:"; "Search radius" ]
+          (Numeric [ "10"; "25"; "50"; "100"; "250"; "500" ]);
+        attribute "Fuel type" ~variants:[ "Fuel:" ]
+          (Enum [ "Gasoline"; "Diesel"; "Hybrid" ]);
+        attribute "Doors" ~variants:[ "Doors:" ] (Numeric [ "2"; "3"; "4"; "5" ]) ] }
+
+let airfares =
+  { name = "Airfares";
+    attributes =
+      [ attribute "From" ~variants:[ "From:"; "Departure city"; "Leaving from" ]
+          Free_text;
+        attribute "To" ~variants:[ "To:"; "Arrival city"; "Going to" ]
+          Free_text;
+        attribute "Departure date"
+          ~variants:[ "Departing:"; "Departure" ]
+          Date;
+        attribute "Return date" ~variants:[ "Returning:"; "Return" ] Date;
+        attribute "Departure time" ~variants:[ "Depart time:" ] Time;
+        attribute "Passengers" ~variants:[ "Passengers:"; "Number of passengers" ]
+          (Numeric (counts 1 6));
+        attribute "Adults" ~variants:[ "Adults:" ] (Numeric (counts 1 6));
+        attribute "Children" ~variants:[ "Children:" ] (Numeric (counts 0 5));
+        attribute "Class" ~variants:[ "Class:"; "Cabin" ]
+          (Enum [ "Economy"; "Premium economy"; "Business"; "First" ]);
+        attribute "Airline" ~variants:[ "Airline:"; "Preferred airline" ]
+          (Enum
+             [ "Any airline"; "American"; "Continental"; "Delta"; "United";
+               "US Airways" ]);
+        attribute "Trip type" ~variants:[ "" ]
+          (Enum [ "Round trip"; "One way"; "Multi-city" ]);
+        attribute "Ticket price" ~variants:[ "Fare:" ] Money ] }
+
+let core_three = [ books; automobiles; airfares ]
+
+(* ------------------------------------------------------------------ *)
+(* NewDomain-dataset domains                                           *)
+(* ------------------------------------------------------------------ *)
+
+let movies =
+  { name = "Movies";
+    attributes =
+      [ attribute "Title" ~variants:[ "Title:"; "Movie title" ] Free_text;
+        attribute "Director" ~variants:[ "Director:" ] Free_text;
+        attribute "Actor" ~variants:[ "Actor:"; "Starring" ] Free_text;
+        attribute "Genre" ~variants:[ "Genre:"; "Category" ]
+          (Enum
+             [ "Action"; "Comedy"; "Documentary"; "Drama"; "Horror";
+               "Romance"; "Sci-Fi" ]);
+        attribute "Rating" ~variants:[ "Rating:"; "MPAA rating" ]
+          (Enum [ "G"; "PG"; "PG-13"; "R"; "NC-17" ]);
+        attribute "Release year" ~variants:[ "Year:" ]
+          (Numeric (years 1970 2004));
+        attribute "Format" ~variants:[ "Format:" ]
+          (Enum [ "DVD"; "VHS"; "Laserdisc" ]);
+        attribute "Price" ~variants:[ "Price:" ] Money ] }
+
+let music =
+  { name = "Music";
+    attributes =
+      [ attribute "Artist" ~variants:[ "Artist:"; "Artist name"; "Band" ]
+          Free_text;
+        attribute "Album" ~variants:[ "Album:"; "Album title" ] Free_text;
+        attribute "Song" ~variants:[ "Song:"; "Song title"; "Track" ] Free_text;
+        attribute "Genre" ~variants:[ "Genre:"; "Style" ]
+          (Enum
+             [ "Blues"; "Classical"; "Country"; "Jazz"; "Pop"; "Rap";
+               "Rock"; "World" ]);
+        attribute "Label" ~variants:[ "Label:"; "Record label" ] Free_text;
+        attribute "Format" ~variants:[ "Format:" ]
+          (Enum [ "CD"; "Cassette"; "Vinyl"; "MP3" ]);
+        attribute "Release year" ~variants:[ "Year:" ]
+          (Numeric (years 1960 2004));
+        attribute "Price" ~variants:[ "Price:" ] Money ] }
+
+let hotels =
+  { name = "Hotels";
+    attributes =
+      [ attribute "City" ~variants:[ "City:"; "Destination"; "Where" ]
+          Free_text;
+        attribute "Check-in" ~variants:[ "Check-in date:"; "Arriving" ] Date;
+        attribute "Check-out" ~variants:[ "Check-out date:"; "Departing" ]
+          Date;
+        attribute "Guests" ~variants:[ "Guests:"; "Number of guests" ]
+          (Numeric (counts 1 8));
+        attribute "Rooms" ~variants:[ "Rooms:" ] (Numeric (counts 1 4));
+        attribute "Stars" ~variants:[ "Star rating:"; "Class" ]
+          (Enum [ "1 star"; "2 stars"; "3 stars"; "4 stars"; "5 stars" ]);
+        attribute "Nightly rate" ~variants:[ "Rate:"; "Price per night" ]
+          Money;
+        attribute "Hotel name" ~variants:[ "Hotel:" ] Free_text ] }
+
+let car_rentals =
+  { name = "CarRentals";
+    attributes =
+      [ attribute "Pick-up city" ~variants:[ "Pick-up location:" ] Free_text;
+        attribute "Drop-off city" ~variants:[ "Drop-off location:" ]
+          Free_text;
+        attribute "Pick-up date" ~variants:[ "Pick-up:" ] Date;
+        attribute "Drop-off date" ~variants:[ "Drop-off:" ] Date;
+        attribute "Pick-up time" ~variants:[ "Time:" ] Time;
+        attribute "Car type" ~variants:[ "Car class:"; "Vehicle type" ]
+          (Enum
+             [ "Economy"; "Compact"; "Midsize"; "Full size"; "SUV";
+               "Minivan"; "Luxury" ]);
+        attribute "Rental company" ~variants:[ "Company:" ]
+          (Enum [ "Any"; "Alamo"; "Avis"; "Budget"; "Hertz"; "National" ]);
+        attribute "Daily rate" ~variants:[ "Rate:" ] Money ] }
+
+let jobs =
+  { name = "Jobs";
+    attributes =
+      [ attribute "Keywords" ~variants:[ "Keywords:"; "Job keywords" ]
+          Free_text;
+        attribute "Location" ~variants:[ "Location:"; "City or state" ]
+          Free_text;
+        attribute "Category" ~variants:[ "Category:"; "Job category" ]
+          (Enum
+             [ "Accounting"; "Engineering"; "Education"; "Healthcare";
+               "Marketing"; "Sales"; "Technology" ]);
+        attribute "Job type" ~variants:[ "Type:" ]
+          (Enum [ "Full time"; "Part time"; "Contract"; "Internship" ]);
+        attribute "Salary" ~variants:[ "Salary:"; "Salary range" ] Money;
+        attribute "Experience" ~variants:[ "Experience level:" ]
+          (Enum [ "Entry level"; "Mid level"; "Senior"; "Executive" ]);
+        attribute "Company" ~variants:[ "Company name:" ] Free_text;
+        attribute "Posted within" ~variants:[ "Posted:" ]
+          (Enum [ "1 day"; "7 days"; "30 days"; "90 days" ]) ] }
+
+let real_estates =
+  { name = "RealEstates";
+    attributes =
+      [ attribute "Location" ~variants:[ "Location:"; "City"; "Zip code" ]
+          Free_text;
+        attribute "Price" ~variants:[ "Price:"; "Price range" ] Money;
+        attribute "Bedrooms" ~variants:[ "Bedrooms:"; "Beds" ]
+          (Numeric (counts 1 6));
+        attribute "Bathrooms" ~variants:[ "Bathrooms:"; "Baths" ]
+          (Numeric (counts 1 5));
+        attribute "Property type" ~variants:[ "Type:" ]
+          (Enum [ "House"; "Condo"; "Townhouse"; "Land"; "Multi-family" ]);
+        attribute "Square feet" ~variants:[ "Sq. ft.:" ]
+          (Numeric [ "1000"; "1500"; "2000"; "2500"; "3000"; "4000" ]);
+        attribute "Year built" ~variants:[ "Built:" ]
+          (Numeric (years 1900 2004));
+        attribute "Garage" ~variants:[ "Garage:" ]
+          (Enum [ "None"; "1 car"; "2 cars"; "3+ cars" ]) ] }
+
+let new_six = [ movies; music; hotels; car_rentals; jobs; real_estates ]
+
+(* ------------------------------------------------------------------ *)
+(* Extended domains for the Random dataset                             *)
+(* ------------------------------------------------------------------ *)
+
+let electronics =
+  { name = "Electronics";
+    attributes =
+      [ attribute "Product" ~variants:[ "Product name:"; "Search for" ]
+          Free_text;
+        attribute "Brand" ~variants:[ "Brand:" ]
+          (Enum [ "Canon"; "Dell"; "HP"; "Panasonic"; "Samsung"; "Sony" ]);
+        attribute "Category" ~variants:[ "Category:" ]
+          (Enum [ "Cameras"; "Computers"; "Phones"; "TVs"; "Audio" ]);
+        attribute "Price" ~variants:[ "Price:" ] Money;
+        attribute "Condition" ~variants:[ "Condition:" ]
+          (Enum [ "New"; "Refurbished"; "Used" ]) ] }
+
+let watches =
+  { name = "Watches";
+    attributes =
+      [ attribute "Brand" ~variants:[ "Brand:" ]
+          (Enum [ "Casio"; "Citizen"; "Omega"; "Rolex"; "Seiko"; "Timex" ]);
+        attribute "Gender" ~variants:[ "For:" ]
+          (Enum [ "Men"; "Women"; "Unisex" ]);
+        attribute "Price" ~variants:[ "Price:" ] Money;
+        attribute "Band material" ~variants:[ "Band:" ]
+          (Enum [ "Leather"; "Metal"; "Rubber" ]);
+        attribute "Model" ~variants:[ "Model:" ] Free_text ] }
+
+let flowers =
+  { name = "Flowers";
+    attributes =
+      [ attribute "Occasion" ~variants:[ "Occasion:" ]
+          (Enum
+             [ "Anniversary"; "Birthday"; "Get well"; "Sympathy"; "Thank you" ]);
+        attribute "Flower type" ~variants:[ "Type:" ]
+          (Enum [ "Roses"; "Tulips"; "Lilies"; "Orchids"; "Mixed" ]);
+        attribute "Price" ~variants:[ "Price:" ] Money;
+        attribute "Delivery date" ~variants:[ "Deliver on:" ] Date;
+        attribute "Recipient zip" ~variants:[ "Zip code:" ] Free_text ] }
+
+let coins =
+  { name = "Coins";
+    attributes =
+      [ attribute "Country" ~variants:[ "Country:" ]
+          (Enum [ "United States"; "Canada"; "Great Britain"; "France";
+                  "Germany" ]);
+        attribute "Denomination" ~variants:[ "Denomination:" ]
+          (Enum [ "Cent"; "Nickel"; "Dime"; "Quarter"; "Dollar" ]);
+        attribute "Year" ~variants:[ "Year:" ] (Numeric (years 1850 2004));
+        attribute "Grade" ~variants:[ "Grade:" ]
+          (Enum [ "Good"; "Fine"; "Extremely fine"; "Uncirculated"; "Proof" ]);
+        attribute "Price" ~variants:[ "Price:" ] Money ] }
+
+let stamps =
+  { name = "Stamps";
+    attributes =
+      [ attribute "Country" ~variants:[ "Country:" ] Free_text;
+        attribute "Year of issue" ~variants:[ "Issued:" ]
+          (Numeric (years 1900 2004));
+        attribute "Topic" ~variants:[ "Topic:" ]
+          (Enum [ "Animals"; "Art"; "Famous people"; "Space"; "Sports" ]);
+        attribute "Condition" ~variants:[ "Condition:" ]
+          (Enum [ "Mint"; "Used"; "First day cover" ]);
+        attribute "Price" ~variants:[ "Price:" ] Money ] }
+
+let toys =
+  { name = "Toys";
+    attributes =
+      [ attribute "Toy name" ~variants:[ "Search:"; "Toy or brand" ]
+          Free_text;
+        attribute "Age group" ~variants:[ "Age:" ]
+          (Enum [ "0-2"; "3-5"; "6-8"; "9-12"; "Teen" ]);
+        attribute "Category" ~variants:[ "Category:" ]
+          (Enum [ "Action figures"; "Dolls"; "Games"; "Puzzles"; "Vehicles" ]);
+        attribute "Brand" ~variants:[ "Brand:" ]
+          (Enum [ "Fisher-Price"; "Hasbro"; "Lego"; "Mattel" ]);
+        attribute "Price" ~variants:[ "Price:" ] Money ] }
+
+let sports =
+  { name = "SportingGoods";
+    attributes =
+      [ attribute "Keyword" ~variants:[ "Search:" ] Free_text;
+        attribute "Sport" ~variants:[ "Sport:" ]
+          (Enum [ "Baseball"; "Basketball"; "Cycling"; "Golf"; "Running";
+                  "Tennis" ]);
+        attribute "Brand" ~variants:[ "Brand:" ]
+          (Enum [ "Adidas"; "Nike"; "Reebok"; "Wilson" ]);
+        attribute "Price" ~variants:[ "Price:" ] Money;
+        attribute "Gender" ~variants:[ "For:" ]
+          (Enum [ "Men"; "Women"; "Youth" ]) ] }
+
+let computers =
+  { name = "Computers";
+    attributes =
+      [ attribute "Keyword" ~variants:[ "Search:" ] Free_text;
+        attribute "Manufacturer" ~variants:[ "Manufacturer:" ]
+          (Enum [ "Apple"; "Compaq"; "Dell"; "Gateway"; "IBM"; "Toshiba" ]);
+        attribute "Processor" ~variants:[ "CPU:" ]
+          (Enum [ "Celeron"; "Pentium III"; "Pentium 4"; "Athlon" ]);
+        attribute "Memory" ~variants:[ "RAM:" ]
+          (Numeric [ "128"; "256"; "512"; "1024" ]);
+        attribute "Price" ~variants:[ "Price:" ] Money ] }
+
+let wines =
+  { name = "Wines";
+    attributes =
+      [ attribute "Winery" ~variants:[ "Winery:" ] Free_text;
+        attribute "Varietal" ~variants:[ "Varietal:" ]
+          (Enum [ "Cabernet"; "Chardonnay"; "Merlot"; "Pinot Noir";
+                  "Zinfandel" ]);
+        attribute "Region" ~variants:[ "Region:" ]
+          (Enum [ "California"; "France"; "Italy"; "Australia"; "Chile" ]);
+        attribute "Vintage" ~variants:[ "Vintage:" ]
+          (Numeric (years 1980 2003));
+        attribute "Price" ~variants:[ "Price:" ] Money ] }
+
+let extended =
+  [ electronics; watches; flowers; coins; stamps; toys; sports; computers;
+    wines ]
+
+let all = core_three @ new_six @ extended
+
+let find name = List.find (fun d -> d.name = name) all

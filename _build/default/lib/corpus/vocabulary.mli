@@ -1,0 +1,43 @@
+(** Domain vocabularies for the synthetic corpus.
+
+    Each Web-source domain (Books, Automobiles, Airfares, ...) carries a
+    pool of queryable attributes with their value kinds; the generator
+    draws a form's conditions from this pool.  The three core domains are
+    the paper's survey domains; the extended list covers its NewDomain
+    and Random datasets (invisible-web.net spanned 18 top-level
+    categories, of which the paper's random sample hit 16). *)
+
+type value_kind =
+  | Free_text                (** keyword-searchable text *)
+  | Enum of string list      (** closed categorical values *)
+  | Money                    (** price-like; range patterns apply *)
+  | Numeric of string list   (** numeric choice values (years, counts) *)
+  | Date
+  | Time
+
+type attribute = {
+  label : string;             (** canonical label, e.g. "Author" *)
+  variants : string list;     (** presentation variants, e.g. "Author:",
+                                  "Author name" *)
+  kind : value_kind;
+}
+
+type domain = {
+  name : string;
+  attributes : attribute list;
+}
+
+val core_three : domain list
+(** Books, Automobiles, Airfares — the Basic-dataset domains. *)
+
+val new_six : domain list
+(** Movies, Music, Hotels, CarRentals, Jobs, RealEstates — the
+    NewDomain-dataset domains. *)
+
+val extended : domain list
+(** Additional domains used only by the Random dataset. *)
+
+val all : domain list
+
+val find : string -> domain
+(** Lookup by name; raises [Not_found]. *)

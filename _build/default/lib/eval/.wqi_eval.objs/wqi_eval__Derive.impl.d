@@ -1,0 +1,1 @@
+lib/eval/derive.ml: Hashtbl List Wqi_corpus Wqi_grammar Wqi_stdgrammar

@@ -1,0 +1,1 @@
+lib/eval/derive.mli: Wqi_corpus Wqi_grammar

@@ -1,0 +1,1 @@
+lib/eval/eval.ml: Fmt List Unix Wqi_core Wqi_corpus Wqi_metrics Wqi_model

@@ -1,0 +1,1 @@
+lib/eval/eval.mli: Format Wqi_corpus Wqi_metrics Wqi_model

@@ -1,0 +1,121 @@
+module G = Wqi_grammar
+module Pattern = Wqi_corpus.Pattern
+
+(* Productions every derived grammar needs: atoms and QI/HQI/CP
+   assembly. *)
+let base_productions =
+  [ "P-Attr"; "P-Val"; "P-SelVal"; "P-Action"; "P-Decor"; "P-HQI-base";
+    "P-HQI-left"; "P-QI-base"; "P-QI-above" ]
+
+let radio_list = [ "P-RBU"; "P-RBList-base"; "P-RBList-h"; "P-RBList-v" ]
+let checkbox_list = [ "P-CBU"; "P-CBList-base"; "P-CBList-h"; "P-CBList-v" ]
+
+let productions_for = function
+  | Pattern.Attr_left_text -> [ "P-TextVal-left" ]
+  | Pattern.Attr_above_text -> [ "P-TextVal-above" ]
+  | Pattern.Attr_below_text -> [ "P-TextVal-below" ]
+  | Pattern.Attr_text_unit -> [ "P-UnitWord"; "P-TextVal-unit" ]
+  | Pattern.Textarea_keyword -> [ "P-TextVal-above" ]
+  | Pattern.Attr_left_select -> [ "P-SelectCP-left" ]
+  | Pattern.Attr_above_select | Pattern.Multi_select ->
+    [ "P-SelectCP-above" ]
+  | Pattern.Enum_radio_h -> radio_list @ [ "P-EnumRB-left" ]
+  | Pattern.Enum_radio_v -> radio_list @ [ "P-EnumRB-left"; "P-EnumRB-above" ]
+  | Pattern.Enum_radio_bare -> radio_list @ [ "P-EnumRB-bare" ]
+  | Pattern.Enum_checkbox_h ->
+    checkbox_list @ [ "P-CheckCP-left"; "P-CheckCP-above"; "P-CheckCP-bare" ]
+  | Pattern.Solo_checkbox -> [ "P-CBU"; "P-CBSolo" ]
+  | Pattern.Text_op_radio_below ->
+    radio_list @ [ "P-Op-RB"; "P-TextOp-below"; "P-TextOp-attrabove" ]
+  | Pattern.Text_op_radio_right -> radio_list @ [ "P-Op-RB"; "P-TextOp-right" ]
+  | Pattern.Text_op_checkbox ->
+    checkbox_list @ [ "P-Op-CB"; "P-TextOp-below" ]
+  | Pattern.Text_op_select_left -> [ "P-OpSel"; "P-Op-Sel"; "P-TextOp-opleft" ]
+  | Pattern.Text_op_select_right -> [ "P-OpSel"; "P-Op-Sel"; "P-TextOp-right" ]
+  | Pattern.Range_text_from_to ->
+    [ "P-AttrBound"; "P-BoundWord"; "P-BoundVal"; "P-RangeBody-h";
+      "P-RangeBody-v"; "P-RangeCP-combined"; "P-RangeCP-left";
+      "P-RangeCP-above" ]
+  | Pattern.Range_text_to_only ->
+    [ "P-BoundWord"; "P-BoundVal"; "P-RangeBody-valfirst"; "P-RangeCP-left";
+      "P-RangeCP-above" ]
+  | Pattern.Range_select ->
+    [ "P-AttrBound"; "P-BoundWord"; "P-BoundSel"; "P-RangeSelBody-h";
+      "P-RangeSelBody-v"; "P-RangeSelCP-combined"; "P-RangeSelCP-left";
+      "P-RangeSelCP-above" ]
+  | Pattern.Date_mdy -> [ "P-DateBody-3"; "P-DateCP-left"; "P-DateCP-above" ]
+  | Pattern.Date_my | Pattern.Time_sel ->
+    [ "P-DateBody-2"; "P-DateCP-left"; "P-DateCP-above" ]
+  | Pattern.Keyword_bare -> [ "P-KeywordCP" ]
+  | Pattern.Oog_attr_right_text | Pattern.Oog_attr_right_select
+  | Pattern.Oog_image_label | Pattern.Oog_double_box ->
+    []
+
+let grammar_for_patterns patterns =
+  let std = Wqi_stdgrammar.Std.grammar in
+  let wanted = Hashtbl.create 64 in
+  List.iter (fun n -> Hashtbl.replace wanted n ()) base_productions;
+  List.iter
+    (fun p -> List.iter (fun n -> Hashtbl.replace wanted n ()) (productions_for p))
+    patterns;
+  let selected =
+    List.filter
+      (fun (p : G.Production.t) -> Hashtbl.mem wanted p.name)
+      std.productions
+  in
+  (* CP alternatives are kept only for surviving pattern symbols. *)
+  let heads =
+    List.fold_left
+      (fun acc (p : G.Production.t) -> G.Symbol.Set.add p.head acc)
+      G.Symbol.Set.empty selected
+  in
+  let cp_productions =
+    List.filter
+      (fun (p : G.Production.t) ->
+         G.Symbol.equal p.head (G.Symbol.nonterminal "CP")
+         && List.for_all
+              (fun c -> G.Symbol.is_terminal c || G.Symbol.Set.mem c heads)
+              p.components)
+      std.productions
+  in
+  let selected = selected @ cp_productions in
+  (* Iteratively drop productions whose nonterminal components have no
+     production, then preferences over vanished symbols. *)
+  let rec prune productions =
+    let heads =
+      List.fold_left
+        (fun acc (p : G.Production.t) -> G.Symbol.Set.add p.head acc)
+        G.Symbol.Set.empty productions
+    in
+    let kept =
+      List.filter
+        (fun (p : G.Production.t) ->
+           List.for_all
+             (fun c -> G.Symbol.is_terminal c || G.Symbol.Set.mem c heads)
+             p.components)
+        productions
+    in
+    if List.length kept = List.length productions then productions
+    else prune kept
+  in
+  let productions = prune selected in
+  let heads =
+    List.fold_left
+      (fun acc (p : G.Production.t) -> G.Symbol.Set.add p.head acc)
+      G.Symbol.Set.empty productions
+  in
+  let preferences =
+    List.filter
+      (fun (r : G.Preference.t) ->
+         G.Symbol.Set.mem r.winner heads && G.Symbol.Set.mem r.loser heads)
+      std.preferences
+  in
+  G.Grammar.make ~terminals:std.terminals ~start:std.start ~productions
+    ~preferences ()
+
+let grammar_from_sources sources =
+  grammar_for_patterns
+    (List.sort_uniq compare
+       (List.concat_map
+          (fun (s : Wqi_corpus.Generator.source) -> s.patterns)
+          sources))

@@ -1,0 +1,31 @@
+(** Grammar derivation from an observed source sample.
+
+    The paper's grammar is *derived*: its authors observed the 150
+    Basic-dataset interfaces, summarized the recurring condition
+    patterns, and wrote productions for them (Section 6; Section 7
+    discusses automating this and selecting training sources).  This
+    module mechanizes the derivation step: given the condition patterns
+    observed in a sample of sources, assemble the sub-grammar of the
+    global grammar that covers exactly those patterns (plus the always-
+    needed atoms and QI/HQI/CP assembly), with preferences restricted to
+    the surviving symbols.
+
+    The resulting experiment — extraction accuracy as a function of how
+    many survey sources the grammar was derived from — reproduces the
+    convergence story of Figure 4(a) at the *accuracy* level: a few
+    dozen sources suffice. *)
+
+val productions_for : Wqi_corpus.Pattern.id -> string list
+(** Names of the global-grammar productions that recognizing the given
+    condition pattern requires (transitive prerequisites included);
+    [[]] for out-of-grammar patterns. *)
+
+val grammar_for_patterns : Wqi_corpus.Pattern.id list -> Wqi_grammar.Grammar.t
+(** The derived sub-grammar covering the given observed patterns.  It
+    always contains the atom and assembly productions, keeps only the
+    preferences whose symbols survive, and passes
+    [Wqi_grammar.Grammar.validate]. *)
+
+val grammar_from_sources :
+  Wqi_corpus.Generator.source list -> Wqi_grammar.Grammar.t
+(** Derive from the patterns observed across the given sources. *)

@@ -1,0 +1,42 @@
+(** Experiment driver: run an extractor over a dataset and score it.
+
+    Produces everything Figure 15 needs: per-source precision/recall,
+    their distributions and averages, and the aggregated overall
+    metric. *)
+
+type source_result = {
+  source : Wqi_corpus.Generator.source;
+  extracted : Wqi_model.Condition.t list;
+  counts : Wqi_metrics.Metrics.counts;
+  precision : float;
+  recall : float;
+  seconds : float;
+}
+
+type report = {
+  dataset : string;
+  results : source_result list;
+  avg_precision : float;   (** mean per-source precision *)
+  avg_recall : float;
+  overall : Wqi_metrics.Metrics.counts;
+  overall_precision : float;  (** Pa over aggregated conditions *)
+  overall_recall : float;     (** Ra over aggregated conditions *)
+}
+
+val parser_extract : string -> Wqi_model.Condition.t list
+(** The full form extractor with the derived global grammar. *)
+
+val run :
+  ?extract:(string -> Wqi_model.Condition.t list) ->
+  Wqi_corpus.Dataset.t ->
+  report
+(** [run dataset] scores [extract] (default {!parser_extract}) on every
+    source. *)
+
+val precision_distribution : report -> (float * float) list
+(** Figure 15(a) series for this dataset: thresholds
+    [1.0; 0.9; 0.8; 0.7; 0.6; 0.0] against percentage of sources. *)
+
+val recall_distribution : report -> (float * float) list
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/grammar/bitset.ml: Array Fmt Hashtbl List Printf Sys

@@ -1,0 +1,1 @@
+lib/grammar/grammar.ml: Fmt Hashtbl List Preference Production Symbol

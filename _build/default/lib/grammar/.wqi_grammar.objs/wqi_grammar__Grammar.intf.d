@@ -1,0 +1,1 @@
+lib/grammar/grammar.mli: Format Preference Production Symbol

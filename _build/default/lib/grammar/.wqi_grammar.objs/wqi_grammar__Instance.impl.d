@@ -1,0 +1,1 @@
+lib/grammar/instance.ml: Bitset Fmt List Symbol Wqi_layout Wqi_model Wqi_token

@@ -1,0 +1,1 @@
+lib/grammar/instance.mli: Bitset Format Symbol Wqi_layout Wqi_model Wqi_token

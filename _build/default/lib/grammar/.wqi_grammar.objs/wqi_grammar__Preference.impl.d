@@ -1,0 +1,1 @@
+lib/grammar/preference.ml: Fmt Instance Symbol

@@ -1,0 +1,1 @@
+lib/grammar/preference.mli: Format Instance Symbol

@@ -1,0 +1,1 @@
+lib/grammar/relation.ml: Instance Wqi_layout

@@ -1,0 +1,1 @@
+lib/grammar/relation.mli: Instance

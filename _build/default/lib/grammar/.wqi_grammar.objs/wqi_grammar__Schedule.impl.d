@@ -1,0 +1,1 @@
+lib/grammar/schedule.ml: Fmt Grammar Hashtbl List Option Preference Production Symbol

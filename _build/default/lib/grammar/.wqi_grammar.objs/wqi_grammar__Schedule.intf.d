@@ -1,0 +1,1 @@
+lib/grammar/schedule.mli: Format Grammar Preference Symbol

@@ -1,0 +1,1 @@
+lib/grammar/symbol.mli: Format Map Set Wqi_token

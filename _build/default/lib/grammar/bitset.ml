@@ -1,0 +1,76 @@
+type t = { size : int; words : int array }
+
+let bits_per_word = Sys.int_size
+
+let words_for n = (n + bits_per_word - 1) / bits_per_word
+
+let universe_size t = t.size
+
+let empty n = { size = n; words = Array.make (max 1 (words_for n)) 0 }
+
+let check t i =
+  if i < 0 || i >= t.size then
+    invalid_arg (Printf.sprintf "Bitset: index %d outside universe %d" i t.size)
+
+let add t i =
+  check t i;
+  let words = Array.copy t.words in
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  words.(w) <- words.(w) lor (1 lsl b);
+  { t with words }
+
+let singleton n i = add (empty n) i
+
+let mem t i =
+  check t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) land (1 lsl b) <> 0
+
+let binop op a b =
+  if a.size <> b.size then invalid_arg "Bitset: universe mismatch";
+  { size = a.size; words = Array.map2 op a.words b.words }
+
+let union = binop ( lor )
+let inter = binop ( land )
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
+  go x 0
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let disjoint a b =
+  if a.size <> b.size then invalid_arg "Bitset: universe mismatch";
+  let n = Array.length a.words in
+  let rec go i = i >= n || (a.words.(i) land b.words.(i) = 0 && go (i + 1)) in
+  go 0
+
+let subset a b =
+  if a.size <> b.size then invalid_arg "Bitset: universe mismatch";
+  let n = Array.length a.words in
+  let rec go i =
+    i >= n || (a.words.(i) land lnot b.words.(i) = 0 && go (i + 1))
+  in
+  go 0
+
+let equal a b = a.size = b.size && a.words = b.words
+
+let strict_subset a b = subset a b && not (equal a b)
+
+let elements t =
+  let acc = ref [] in
+  for i = t.size - 1 downto 0 do
+    if mem t i then acc := i :: !acc
+  done;
+  !acc
+
+let of_list n items = List.fold_left add (empty n) items
+
+let union_all n = List.fold_left union (empty n)
+
+let hash t = Hashtbl.hash t.words
+
+let pp ppf t =
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ",") int) (elements t)

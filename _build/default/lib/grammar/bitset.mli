@@ -1,0 +1,37 @@
+(** Fixed-universe bitsets over token ids.
+
+    Instance coverage, conflict detection and subsumption checks are the
+    innermost operations of the parser, so they are implemented over
+    immutable [int array] words. *)
+
+type t
+
+val universe_size : t -> int
+
+val empty : int -> t
+(** [empty n] is the empty set over universe [{0, ..., n-1}]. *)
+
+val singleton : int -> int -> t
+(** [singleton n i] is [{i}] over a universe of size [n]. *)
+
+val add : t -> int -> t
+val mem : t -> int -> bool
+val union : t -> t -> t
+val inter : t -> t -> t
+val cardinal : t -> int
+val is_empty : t -> bool
+
+val disjoint : t -> t -> bool
+(** [disjoint a b] — no common element; the parser's conflict test. *)
+
+val subset : t -> t -> bool
+(** [subset a b] — every element of [a] is in [b]. *)
+
+val strict_subset : t -> t -> bool
+
+val equal : t -> t -> bool
+val elements : t -> int list
+val of_list : int -> int list -> t
+val union_all : int -> t list -> t
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

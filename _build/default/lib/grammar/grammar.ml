@@ -1,0 +1,128 @@
+type t = {
+  terminals : Symbol.t list;
+  start : Symbol.t;
+  productions : Production.t list;
+  preferences : Preference.t list;
+}
+
+let make ~terminals ~start ~productions ?(preferences = []) () =
+  { terminals; start; productions; preferences }
+
+let nonterminals g =
+  let seen = ref Symbol.Set.empty in
+  let out = ref [] in
+  let note sym =
+    if (not (Symbol.is_terminal sym)) && not (Symbol.Set.mem sym !seen)
+    then begin
+      seen := Symbol.Set.add sym !seen;
+      out := sym :: !out
+    end
+  in
+  List.iter
+    (fun (p : Production.t) ->
+       note p.head;
+       List.iter note p.components)
+    g.productions;
+  List.rev !out
+
+let productions_with_head g sym =
+  List.filter (fun (p : Production.t) -> Symbol.equal p.head sym) g.productions
+
+let parents_of g sym =
+  List.filter_map
+    (fun (p : Production.t) ->
+       if (not (Symbol.equal p.head sym))
+       && List.exists (Symbol.equal sym) p.components
+       then Some p.head
+       else None)
+    g.productions
+  |> List.sort_uniq Symbol.compare
+
+let extend g ?(productions = []) ?(preferences = []) () =
+  { g with
+    productions = g.productions @ productions;
+    preferences = g.preferences @ preferences }
+
+(* Depth-first cycle detection over the d-edge graph (head -> component),
+   ignoring self-loops. *)
+let d_graph_cycle g =
+  let color : (Symbol.t, [ `Grey | `Black ]) Hashtbl.t = Hashtbl.create 64 in
+  let children sym =
+    List.concat_map
+      (fun (p : Production.t) ->
+         if Symbol.equal p.head sym then
+           List.filter
+             (fun c -> not (Symbol.equal c sym) && not (Symbol.is_terminal c))
+             p.components
+         else [])
+      g.productions
+    |> List.sort_uniq Symbol.compare
+  in
+  let exception Cycle of Symbol.t in
+  let rec visit sym =
+    match Hashtbl.find_opt color sym with
+    | Some `Black -> ()
+    | Some `Grey -> raise (Cycle sym)
+    | None ->
+      Hashtbl.replace color sym `Grey;
+      List.iter visit (children sym);
+      Hashtbl.replace color sym `Black
+  in
+  try
+    List.iter (fun (p : Production.t) -> visit p.head) g.productions;
+    None
+  with Cycle sym -> Some sym
+
+let validate g =
+  let errors = ref [] in
+  let err fmt = Fmt.kstr (fun s -> errors := s :: !errors) fmt in
+  let heads =
+    List.fold_left
+      (fun acc (p : Production.t) -> Symbol.Set.add p.head acc)
+      Symbol.Set.empty g.productions
+  in
+  let terminal_set = Symbol.Set.of_list g.terminals in
+  if Symbol.is_terminal g.start then
+    err "start symbol %a is a terminal" Symbol.pp g.start
+  else if not (Symbol.Set.mem g.start heads) then
+    err "start symbol %a has no production" Symbol.pp g.start;
+  let names = Hashtbl.create 64 in
+  List.iter
+    (fun (p : Production.t) ->
+       if Hashtbl.mem names p.name then
+         err "duplicate production name %s" p.name;
+       Hashtbl.replace names p.name ();
+       if Symbol.is_terminal p.head then
+         err "%s: terminal head %a" p.name Symbol.pp p.head;
+       List.iter
+         (fun c ->
+            if Symbol.is_terminal c then begin
+              if not (Symbol.Set.mem c terminal_set) then
+                err "%s: undeclared terminal %a" p.name Symbol.pp c
+            end
+            else if not (Symbol.Set.mem c heads) then
+              err "%s: component %a has no production" p.name Symbol.pp c)
+         p.components)
+    g.productions;
+  (match d_graph_cycle g with
+   | Some sym ->
+     err "d-edge cycle through %a (mutual recursion between distinct \
+          symbols is not schedulable)"
+       Symbol.pp sym
+   | None -> ());
+  match !errors with [] -> Ok () | errs -> Error (List.rev errs)
+
+let pp ppf g =
+  Fmt.pf ppf "@[<v>terminals: %a@,start: %a@,@,productions:@,%a@,@,preferences:@,%a@]"
+    Fmt.(list ~sep:(any " ") Symbol.pp)
+    g.terminals Symbol.pp g.start
+    Fmt.(list ~sep:cut (fun ppf p -> pf ppf "  %a" Production.pp p))
+    g.productions
+    Fmt.(list ~sep:cut (fun ppf r -> pf ppf "  %a" Preference.pp r))
+    g.preferences
+
+let stats g =
+  ( List.length g.terminals,
+    List.length (nonterminals g),
+    List.length g.productions,
+    List.length g.preferences )

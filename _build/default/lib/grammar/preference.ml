@@ -1,0 +1,16 @@
+type t = {
+  name : string;
+  winner : Symbol.t;
+  loser : Symbol.t;
+  conflict : Instance.t -> Instance.t -> bool;
+  wins : Instance.t -> Instance.t -> bool;
+}
+
+let make ~name ~winner ~loser ?(conflict = fun _ _ -> true)
+    ?(wins = fun _ _ -> true) () =
+  { name; winner; loser; conflict; wins }
+
+let same_symbol r = Symbol.equal r.winner r.loser
+
+let pp ppf r =
+  Fmt.pf ppf "%s: %a beats %a" r.name Symbol.pp r.winner Symbol.pp r.loser

@@ -1,0 +1,19 @@
+type t = {
+  name : string;
+  head : Symbol.t;
+  components : Symbol.t list;
+  guard : Instance.t array -> bool;
+  build : Instance.t array -> Instance.sem;
+}
+
+let make ~name ~head ~components ?(guard = fun _ -> true)
+    ?(build = fun _ -> Instance.S_none) () =
+  if components = [] then invalid_arg "Production.make: empty components";
+  { name; head; components; guard; build }
+
+let is_recursive p = List.exists (Symbol.equal p.head) p.components
+
+let pp ppf p =
+  Fmt.pf ppf "%s: %a -> %a" p.name Symbol.pp p.head
+    Fmt.(list ~sep:(any " ") Symbol.pp)
+    p.components

@@ -1,0 +1,37 @@
+(** Productions of a 2P grammar (Definition 2): ⟨Head, Components,
+    Constraint, Constructor⟩.
+
+    The constraint is an arbitrary boolean over the chosen component
+    instances — this is where spatial relations (left, above, aligned;
+    adjacency implied) are expressed.  The constructor computes the head
+    instance's semantic value from the components; its position is always
+    the bounding union (the paper's universal [pos] attribute). *)
+
+type t = {
+  name : string;
+      (** Unique name, e.g. "P5-TextOp"; used in dedup keys and traces. *)
+  head : Symbol.t;
+  components : Symbol.t list;
+      (** The multiset M, in the order the guard and builder receive the
+          instances. *)
+  guard : Instance.t array -> bool;
+      (** Constraint C.  Receives component instances in declaration
+          order; covers are already known to be pairwise disjoint. *)
+  build : Instance.t array -> Instance.sem;
+      (** Constructor F: the head's semantic value. *)
+}
+
+val make :
+  name:string ->
+  head:Symbol.t ->
+  components:Symbol.t list ->
+  ?guard:(Instance.t array -> bool) ->
+  ?build:(Instance.t array -> Instance.sem) ->
+  unit ->
+  t
+(** [guard] defaults to always true, [build] to [S_none]. *)
+
+val is_recursive : t -> bool
+(** The head also appears among the components. *)
+
+val pp : Format.formatter -> t -> unit

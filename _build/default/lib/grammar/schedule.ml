@@ -1,0 +1,158 @@
+type t = {
+  order : Symbol.t list;
+  transformed : (Preference.t * Symbol.t list) list;
+  relaxed : Preference.t list;
+}
+
+module Graph = struct
+  (* Directed graph over symbols; an edge a -> b reads "a is scheduled
+     before b". *)
+  type g = { mutable succ : Symbol.Set.t Symbol.Map.t }
+
+  let create () = { succ = Symbol.Map.empty }
+
+  let add_node g sym =
+    if not (Symbol.Map.mem sym g.succ) then
+      g.succ <- Symbol.Map.add sym Symbol.Set.empty g.succ
+
+  let successors g sym =
+    match Symbol.Map.find_opt sym g.succ with
+    | Some s -> s
+    | None -> Symbol.Set.empty
+
+  let add_edge g a b =
+    add_node g a;
+    add_node g b;
+    g.succ <- Symbol.Map.add a (Symbol.Set.add b (successors g a)) g.succ
+
+  let remove_edge g a b =
+    g.succ <- Symbol.Map.add a (Symbol.Set.remove b (successors g a)) g.succ
+
+  (* Is [target] reachable from [source]?  Used as the cycle test before
+     inserting the edge target -> source ... i.e. adding a -> b creates a
+     cycle iff a is reachable from b. *)
+  let reaches g source target =
+    let visited = ref Symbol.Set.empty in
+    let rec go sym =
+      Symbol.equal sym target
+      || (if Symbol.Set.mem sym !visited then false
+          else begin
+            visited := Symbol.Set.add sym !visited;
+            Symbol.Set.exists go (successors g sym)
+          end)
+    in
+    go source
+
+  let would_cycle g a b = reaches g b a
+
+  (* Kahn's algorithm with name-ordered tie-breaking for determinism. *)
+  let topological_order g =
+    let indegree = Hashtbl.create 64 in
+    Symbol.Map.iter (fun sym _ ->
+        if not (Hashtbl.mem indegree sym) then Hashtbl.replace indegree sym 0;
+        Symbol.Set.iter
+          (fun b ->
+             let d = Option.value ~default:0 (Hashtbl.find_opt indegree b) in
+             Hashtbl.replace indegree b (d + 1))
+          (successors g sym))
+      g.succ;
+    let ready =
+      Hashtbl.fold (fun sym d acc -> if d = 0 then sym :: acc else acc)
+        indegree []
+      |> List.sort Symbol.compare
+      |> ref
+    in
+    let order = ref [] in
+    let rec loop () =
+      match !ready with
+      | [] -> ()
+      | sym :: rest ->
+        ready := rest;
+        order := sym :: !order;
+        let newly_ready =
+          Symbol.Set.fold
+            (fun b acc ->
+               let d = Hashtbl.find indegree b - 1 in
+               Hashtbl.replace indegree b d;
+               if d = 0 then b :: acc else acc)
+            (successors g sym) []
+        in
+        ready := List.merge Symbol.compare (List.sort Symbol.compare newly_ready) !ready;
+        loop ()
+    in
+    loop ();
+    List.rev !order
+end
+
+let build (g : Grammar.t) =
+  (match Grammar.validate g with
+   | Ok () -> ()
+   | Error errs ->
+     invalid_arg
+       (Fmt.str "Schedule.build: invalid grammar: %a"
+          Fmt.(list ~sep:(any "; ") string)
+          errs));
+  let graph = Graph.create () in
+  List.iter (fun sym -> Graph.add_node graph sym) (Grammar.nonterminals g);
+  (* d-edges: every (non-self, nonterminal) component precedes its head. *)
+  List.iter
+    (fun (p : Production.t) ->
+       List.iter
+         (fun c ->
+            if (not (Symbol.is_terminal c)) && not (Symbol.equal c p.head)
+            then Graph.add_edge graph c p.head)
+         p.components)
+    g.productions;
+  (* r-edges, added greedily with transformation as the fallback. *)
+  let transformed = ref [] in
+  let relaxed = ref [] in
+  List.iter
+    (fun (r : Preference.t) ->
+       if not (Preference.same_symbol r) then begin
+         if not (Graph.would_cycle graph r.winner r.loser) then
+           Graph.add_edge graph r.winner r.loser
+         else begin
+           (* Transformation (Figure 13): winner before each parent of the
+              loser, so false parents are still never generated. *)
+           let parents =
+             List.filter
+               (fun p -> not (Symbol.equal p r.winner))
+               (Grammar.parents_of g r.loser)
+           in
+           let ok =
+             parents <> []
+             && List.for_all
+                  (fun p -> not (Graph.would_cycle graph r.winner p))
+                  parents
+           in
+           if ok then begin
+             List.iter (fun p -> Graph.add_edge graph r.winner p) parents;
+             transformed := (r, parents) :: !transformed
+           end
+           else begin
+             (* Roll back any partial insertion is unnecessary: edges are
+                only added after the all-parents check. *)
+             relaxed := r :: !relaxed
+           end
+         end
+       end)
+    g.preferences;
+  ignore Graph.remove_edge;
+  { order = Graph.topological_order graph;
+    transformed = List.rev !transformed;
+    relaxed = List.rev !relaxed }
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>order: %a%a%a@]"
+    Fmt.(list ~sep:(any " -> ") Symbol.pp)
+    t.order
+    Fmt.(
+      list ~sep:nop (fun ppf (r, parents) ->
+          pf ppf "@,transformed %s -> {%a}" r.Preference.name
+            (list ~sep:(any ", ") Symbol.pp)
+            parents))
+    t.transformed
+    Fmt.(
+      list ~sep:nop (fun ppf r ->
+          pf ppf "@,relaxed %s" r.Preference.name))
+    t.relaxed

@@ -1,0 +1,1 @@
+lib/html/lexer.ml: Char Entity Fmt List String

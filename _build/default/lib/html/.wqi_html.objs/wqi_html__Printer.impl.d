@@ -1,0 +1,1 @@
+lib/html/printer.ml: Buffer Dom Entity List Parser

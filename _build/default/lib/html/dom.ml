@@ -1,0 +1,69 @@
+type t =
+  | Element of string * (string * string) list * t list
+  | Text of string
+  | Comment of string
+
+let element ?(attrs = []) name children = Element (name, attrs, children)
+
+let text s = Text s
+
+let name = function
+  | Element (n, _, _) -> n
+  | Text _ | Comment _ -> ""
+
+let attr key = function
+  | Element (_, attrs, _) -> List.assoc_opt key attrs
+  | Text _ | Comment _ -> None
+
+let attr_default key ~default node =
+  match attr key node with Some v -> v | None -> default
+
+let has_attr key node = attr key node <> None
+
+let children = function
+  | Element (_, _, cs) -> cs
+  | Text _ | Comment _ -> []
+
+let is_element ?named node =
+  match node, named with
+  | Element _, None -> true
+  | Element (n, _, _), Some wanted -> n = wanted
+  | (Text _ | Comment _), _ -> false
+
+let text_content node =
+  let b = Buffer.create 64 in
+  let rec go = function
+    | Text s -> Buffer.add_string b s
+    | Comment _ -> ()
+    | Element (_, _, cs) -> List.iter go cs
+  in
+  go node;
+  Buffer.contents b
+
+let fold f acc node =
+  let rec go acc node =
+    let acc = f acc node in
+    List.fold_left go acc (children node)
+  in
+  go acc node
+
+let find_all pred node =
+  List.rev
+    (fold (fun acc n -> if pred n then n :: acc else acc) [] node)
+
+let find_first pred node =
+  let exception Found of t in
+  try
+    fold (fun () n -> if pred n then raise (Found n)) () node;
+    None
+  with Found n -> Some n
+
+let rec pp ppf = function
+  | Text s -> Fmt.pf ppf "%S" s
+  | Comment s -> Fmt.pf ppf "<!--%s-->" s
+  | Element (n, attrs, cs) ->
+    Fmt.pf ppf "@[<v 2>(%s%a%a)@]" n
+      Fmt.(list ~sep:nop (fun ppf (k, v) -> pf ppf " %s=%S" k v))
+      attrs
+      Fmt.(list ~sep:nop (fun ppf c -> pf ppf "@,%a" pp c))
+      cs

@@ -1,0 +1,53 @@
+(** Document object model for parsed HTML.
+
+    A deliberately small, immutable tree: elements with lowercased names and
+    decoded attributes, text nodes, and comments.  All navigation needed by
+    the layout engine and tokenizer is provided here. *)
+
+type t =
+  | Element of string * (string * string) list * t list
+      (** [Element (name, attributes, children)] *)
+  | Text of string
+  | Comment of string
+
+val element : ?attrs:(string * string) list -> string -> t list -> t
+(** [element name children] builds an element node. *)
+
+val text : string -> t
+(** [text s] builds a text node. *)
+
+val name : t -> string
+(** [name node] is the element name, or [""] for text and comments. *)
+
+val attr : string -> t -> string option
+(** [attr key node] looks up an attribute on an element node. *)
+
+val attr_default : string -> default:string -> t -> string
+(** [attr_default key ~default node] is [attr key node] with a fallback. *)
+
+val has_attr : string -> t -> bool
+(** [has_attr key node] tests attribute presence (valueless attributes such
+    as [checked] count as present). *)
+
+val children : t -> t list
+(** [children node] is the child list ([[]] for text and comments). *)
+
+val is_element : ?named:string -> t -> bool
+(** [is_element node] tests for an element node; [?named] additionally
+    constrains the element name. *)
+
+val text_content : t -> string
+(** [text_content node] concatenates all descendant text. *)
+
+val find_all : (t -> bool) -> t -> t list
+(** [find_all pred node] returns all descendants (including [node]
+    itself) satisfying [pred], in document order. *)
+
+val find_first : (t -> bool) -> t -> t option
+(** [find_first pred node] is the first node of [find_all pred node]. *)
+
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+(** [fold f acc node] folds [f] over the tree in document order. *)
+
+val pp : Format.formatter -> t -> unit
+(** Structural pretty-printer (indented), for debugging and tests. *)

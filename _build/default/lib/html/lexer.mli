@@ -1,0 +1,31 @@
+(** Tolerant lexer for HTML markup.
+
+    Splits raw HTML into a flat stream of tags, text runs, comments, and
+    doctype declarations.  The lexer never fails: malformed constructs are
+    recovered from the way browsers recover (a lone [<] becomes text, an
+    unterminated tag extends to end of input, and so on). *)
+
+type token =
+  | Text of string
+      (** A text run, with character references decoded. *)
+  | Open of string * (string * string) list * bool
+      (** [Open (name, attributes, self_closing)].  The tag name is
+          lowercased; attribute names are lowercased and values have their
+          character references decoded.  A valueless attribute (e.g.
+          [checked]) carries [""] as value. *)
+  | Close of string
+      (** A closing tag; the name is lowercased. *)
+  | Comment of string
+      (** Contents of an HTML comment, verbatim. *)
+  | Doctype of string
+      (** Contents of a [<!DOCTYPE ...>] declaration, verbatim. *)
+
+val tokenize : string -> token list
+(** [tokenize html] lexes the whole input.  The content of raw-text
+    elements ([script], [style], [textarea], [title]) is returned as a
+    single [Text] token that extends to the matching close tag; [script]
+    and [style] keep their content verbatim while [textarea] and [title]
+    get entity decoding. *)
+
+val pp_token : Format.formatter -> token -> unit
+(** Pretty-printer for debugging. *)

@@ -1,0 +1,120 @@
+let void_elements =
+  [ "area"; "base"; "br"; "col"; "embed"; "hr"; "img"; "input"; "link";
+    "meta"; "param"; "source"; "track"; "wbr" ]
+
+let is_void name = List.mem name void_elements
+
+(* For an incoming open tag [name], the set of currently-open element names
+   it implicitly closes (checked innermost-first, repeatedly). *)
+let implicitly_closes name open_name =
+  match name with
+  | "li" -> open_name = "li"
+  | "option" -> open_name = "option"
+  | "optgroup" -> open_name = "option" || open_name = "optgroup"
+  | "td" | "th" -> open_name = "td" || open_name = "th"
+  | "tr" -> open_name = "td" || open_name = "th" || open_name = "tr"
+  | "thead" | "tbody" | "tfoot" ->
+    List.mem open_name [ "td"; "th"; "tr"; "thead"; "tbody"; "tfoot" ]
+  | "p" | "div" | "table" | "form" | "ul" | "ol" | "h1" | "h2" | "h3"
+  | "h4" | "h5" | "h6" | "hr" | "pre" | "blockquote" ->
+    open_name = "p"
+  | _ -> false
+
+(* Elements that stop the upward search when recovering from an unmatched
+   close tag: we never close past these scoping boundaries. *)
+let is_scope_boundary = function
+  | "html" | "body" | "table" | "td" | "th" -> true
+  | _ -> false
+
+type frame = {
+  f_name : string;
+  f_attrs : (string * string) list;
+  mutable f_children : Dom.t list; (* reversed *)
+}
+
+type builder = { mutable stack : frame list (* innermost first *) }
+
+let new_frame name attrs = { f_name = name; f_attrs = attrs; f_children = [] }
+
+let add_child b node =
+  match b.stack with
+  | top :: _ -> top.f_children <- node :: top.f_children
+  | [] -> assert false
+
+let pop b =
+  match b.stack with
+  | top :: rest ->
+    b.stack <- rest;
+    add_child b
+      (Dom.Element (top.f_name, top.f_attrs, List.rev top.f_children))
+  | [] -> assert false
+
+let push b name attrs = b.stack <- new_frame name attrs :: b.stack
+
+let rec close_implicit b name =
+  match b.stack with
+  | top :: _ :: _ when implicitly_closes name top.f_name ->
+    pop b;
+    close_implicit b name
+  | _ -> ()
+
+let handle_open b name attrs self_closing =
+  match name with
+  | "html" | "head" | "body" ->
+    (* The skeleton is synthesized; ignore explicit skeleton tags but keep
+       any attributes off (they do not matter for form extraction). *)
+    ()
+  | _ ->
+    close_implicit b name;
+    if is_void name || self_closing then
+      add_child b (Dom.Element (name, attrs, []))
+    else push b name attrs
+
+let handle_close b name =
+  if name = "br" then add_child b (Dom.Element ("br", [], []))
+  else if is_void name || name = "html" || name = "head" || name = "body"
+  then ()
+  else begin
+    (* Search for a matching open element without crossing a scope
+       boundary; if absent, ignore the close tag. *)
+    let rec find_depth depth = function
+      | [] -> None
+      | f :: _ when f.f_name = name -> Some depth
+      | f :: _ when is_scope_boundary f.f_name -> None
+      | _ :: rest -> find_depth (depth + 1) rest
+    in
+    match find_depth 0 b.stack with
+    | None -> ()
+    | Some depth ->
+      for _ = 0 to depth do
+        pop b
+      done
+  end
+
+(* Text inside elements that only admit element children is dropped when it
+   is pure whitespace, otherwise it is reparented conceptually; we keep it
+   in place (the layout engine ignores inter-cell text anyway). *)
+let handle_text b s = add_child b (Dom.Text s)
+
+let build tokens =
+  let root = new_frame "#root" [] in
+  let b = { stack = [ root ] } in
+  List.iter
+    (fun tok ->
+       match tok with
+       | Lexer.Text s -> handle_text b s
+       | Lexer.Open (name, attrs, self) -> handle_open b name attrs self
+       | Lexer.Close name -> handle_close b name
+       | Lexer.Comment c -> add_child b (Dom.Comment c)
+       | Lexer.Doctype _ -> ())
+    tokens;
+  while List.length b.stack > 1 do
+    pop b
+  done;
+  List.rev root.f_children
+
+let parse html =
+  let body_children = build (Lexer.tokenize html) in
+  Dom.element "html" [ Dom.element "body" body_children ]
+
+let parse_fragment html = build (Lexer.tokenize html)

@@ -1,0 +1,20 @@
+(** Tolerant HTML tree construction.
+
+    Implements the subset of the HTML5 tree-building rules that matters for
+    query forms: void elements, implicit closing of [li], [option], [p],
+    table cells and rows, recovery from mismatched close tags, and an
+    always-present [html]/[body] skeleton.  Parsing never fails. *)
+
+val is_void : string -> bool
+(** [is_void name] is true for void elements ([br], [img], [input], ...)
+    which never carry children or close tags. *)
+
+val parse : string -> Dom.t
+(** [parse html] parses the markup and returns the document root, an
+    [Element ("html", ...)] node containing a [body].  Markup found
+    outside [body] (for instance a bare [<form>] fragment) is placed
+    inside the synthesized [body]. *)
+
+val parse_fragment : string -> Dom.t list
+(** [parse_fragment html] parses the markup and returns the children of
+    the resulting body, convenient for fragment round-trips in tests. *)

@@ -1,0 +1,39 @@
+let add_attrs b attrs =
+  List.iter
+    (fun (k, v) ->
+       Buffer.add_char b ' ';
+       Buffer.add_string b k;
+       if v <> "" then begin
+         Buffer.add_string b "=\"";
+         Buffer.add_string b (Entity.encode_attribute v);
+         Buffer.add_char b '"'
+       end)
+    attrs
+
+let rec add_node b = function
+  | Dom.Text s -> Buffer.add_string b (Entity.encode_text s)
+  | Dom.Comment c ->
+    Buffer.add_string b "<!--";
+    Buffer.add_string b c;
+    Buffer.add_string b "-->"
+  | Dom.Element (name, attrs, children) ->
+    Buffer.add_char b '<';
+    Buffer.add_string b name;
+    add_attrs b attrs;
+    Buffer.add_char b '>';
+    if not (Parser.is_void name) then begin
+      List.iter (add_node b) children;
+      Buffer.add_string b "</";
+      Buffer.add_string b name;
+      Buffer.add_char b '>'
+    end
+
+let to_string node =
+  let b = Buffer.create 256 in
+  add_node b node;
+  Buffer.contents b
+
+let fragment_to_string nodes =
+  let b = Buffer.create 256 in
+  List.iter (add_node b) nodes;
+  Buffer.contents b

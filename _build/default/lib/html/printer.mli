@@ -1,0 +1,13 @@
+(** Serialization of DOM trees back to HTML markup.
+
+    Used by the synthetic corpus generator (which builds forms as DOM trees
+    and must emit real HTML for the extractor to consume) and by round-trip
+    tests of the parser. *)
+
+val to_string : Dom.t -> string
+(** [to_string node] serializes the subtree rooted at [node].  Text is
+    entity-escaped, attribute values are double-quoted and escaped, and
+    void elements are emitted without close tags. *)
+
+val fragment_to_string : Dom.t list -> string
+(** [fragment_to_string nodes] serializes a node list by concatenation. *)

@@ -1,0 +1,1 @@
+lib/layout/debug.ml: Array Buffer Bytes Engine Geometry List String Style Wqi_html

@@ -1,0 +1,1 @@
+lib/layout/debug.mli: Engine

@@ -1,0 +1,1 @@
+lib/layout/engine.ml: Array Buffer Geometry List String Style Wqi_html

@@ -1,0 +1,1 @@
+lib/layout/engine.mli: Geometry Wqi_html

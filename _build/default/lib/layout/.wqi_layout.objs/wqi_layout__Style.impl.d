@@ -1,0 +1,1 @@
+lib/layout/style.ml: Char List String Wqi_html

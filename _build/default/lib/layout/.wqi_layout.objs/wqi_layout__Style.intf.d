@@ -1,0 +1,1 @@
+lib/layout/style.mli: Wqi_html

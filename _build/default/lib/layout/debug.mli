@@ -1,0 +1,25 @@
+(** ASCII rendering of a laid-out page, for debugging spatial patterns.
+
+    The parser's behaviour is entirely driven by token geometry, so
+    "what does the layout engine think this form looks like" is the
+    first question when an extraction surprises.  This module draws the
+    laid atoms on a character grid:
+
+    {v
+    Author:    [............]
+               (_) First name/initials and last name
+    v}
+
+    Text runs render as themselves; textboxes as [=[...]=],
+    selection lists as [[v ...]], radio buttons as [(_)], checkboxes
+    as [[_]], buttons as [<...>], images as [#...#]. *)
+
+val ascii : ?columns:int -> Engine.laid list -> string
+(** [ascii items] renders the atoms on a grid of [columns] characters
+    (default 100).  One character cell covers {!Style.char_width}
+    horizontal pixels and one line covers {!Style.line_height} vertical
+    pixels; overlapping content is drawn in paint order (later atoms
+    win). *)
+
+val ascii_of_html : ?width:int -> ?columns:int -> string -> string
+(** Convenience: parse, lay out and render markup in one call. *)

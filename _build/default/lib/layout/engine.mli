@@ -1,0 +1,35 @@
+(** Flow and table layout: assigns a bounding box to every visible atom.
+
+    This is the stand-in for the browser layout engine the paper relied on
+    (the HTML DOM API of Internet Explorer).  It implements the subset of
+    CSS2 visual formatting that query forms exercise:
+
+    - block stacking for [div], [p], [form], [h1]..[h6], [ul]/[li],
+      [fieldset], [center], ...;
+    - inline flow with whitespace collapsing, word wrapping at the page
+      width, and [<br>] line breaks; entries on a line are vertically
+      centered within the line box;
+    - table layout with column sizing from cell content, [colspan],
+      [cellpadding]/[cellspacing]; [rowspan] is treated as 1 (query forms
+      in the corpus never rely on it);
+    - intrinsic widget sizes from {!Style}.
+
+    Invisible content ([<input type="hidden">], [head], [script],
+    [style], option lists inside [select]) produces no atoms. *)
+
+type item =
+  | Text_run of string
+      (** A maximal run of inline text on a single line, whitespace
+          collapsed.  Runs break at widgets, line breaks and block
+          boundaries — exactly the granularity of the paper's [text]
+          terminals (Figure 5). *)
+  | Widget of Wqi_html.Dom.t
+      (** A form widget or image; the DOM node is kept so the tokenizer
+          can read its attributes and option list. *)
+
+type laid = { item : item; box : Geometry.box }
+
+val render : ?width:int -> Wqi_html.Dom.t -> laid list
+(** [render doc] lays out the document and returns its visible atoms in
+    reading order (top-to-bottom, left-to-right).  [width] defaults to
+    {!Style.page_width}. *)

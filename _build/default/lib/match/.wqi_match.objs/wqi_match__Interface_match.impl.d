@@ -1,0 +1,1 @@
+lib/match/interface_match.ml: Array Fun Hashtbl List Option String Wqi_model

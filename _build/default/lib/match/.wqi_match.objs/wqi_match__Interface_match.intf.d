@@ -1,0 +1,1 @@
+lib/match/interface_match.mli: Wqi_model

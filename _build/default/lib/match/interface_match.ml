@@ -1,0 +1,224 @@
+module Condition = Wqi_model.Condition
+module Textsim = Wqi_model.Textsim
+
+type schema = {
+  source : string;
+  conditions : Condition.t list;
+}
+
+let attribute_match (a : Condition.t) (b : Condition.t) =
+  let base = Textsim.similarity a.attribute b.attribute in
+  if Condition.same_domain_shape a.domain b.domain then base else base *. 0.8
+
+let correspondences ?(threshold = 0.6) sa sb =
+  let pairs =
+    List.concat_map
+      (fun a ->
+         List.map (fun b -> (a, b, attribute_match a b)) sb.conditions)
+      sa.conditions
+    |> List.filter (fun (_, _, s) -> s >= threshold)
+    |> List.sort (fun (_, _, x) (_, _, y) -> compare y x)
+  in
+  let used_a = Hashtbl.create 8 and used_b = Hashtbl.create 8 in
+  List.filter
+    (fun (a, b, _) ->
+       let ka = Condition.to_string a and kb = Condition.to_string b in
+       if Hashtbl.mem used_a ka || Hashtbl.mem used_b kb then false
+       else begin
+         Hashtbl.replace used_a ka ();
+         Hashtbl.replace used_b kb ();
+         true
+       end)
+    pairs
+
+let schema_similarity ?threshold sa sb =
+  let na = List.length sa.conditions and nb = List.length sb.conditions in
+  if na = 0 && nb = 0 then 1.0
+  else if na = 0 || nb = 0 then 0.0
+  else begin
+    let matched = correspondences ?threshold sa sb in
+    let total =
+      List.fold_left (fun acc (_, _, s) -> acc +. s) 0. matched
+    in
+    let m = List.length matched in
+    total /. float_of_int (na + nb - m)
+  end
+
+let cluster ?(threshold = 0.5) schemas =
+  (* Union-find over schema indices, linked by pairwise similarity. *)
+  let n = List.length schemas in
+  let arr = Array.of_list schemas in
+  let parent = Array.init n Fun.id in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(max ri rj) <- min ri rj
+  in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if schema_similarity arr.(i) arr.(j) >= threshold then union i j
+    done
+  done;
+  let buckets = Hashtbl.create 8 in
+  let order = ref [] in
+  for i = 0 to n - 1 do
+    let root = find i in
+    if not (Hashtbl.mem buckets root) then begin
+      Hashtbl.replace buckets root [];
+      order := root :: !order
+    end;
+    Hashtbl.replace buckets root (arr.(i) :: Hashtbl.find buckets root)
+  done;
+  (* [!order] holds roots in reverse discovery order; rev_map restores
+     discovery order. *)
+  List.rev_map (fun root -> List.rev (Hashtbl.find buckets root)) !order
+
+let unify ?(threshold = 0.6) schemas =
+  (* All conditions tagged with their source index, then clustered by
+     pairwise attribute_match using union-find. *)
+  let tagged =
+    List.concat
+      (List.mapi
+         (fun src_index s ->
+            List.map (fun c -> (src_index, c)) s.conditions)
+         schemas)
+  in
+  let arr = Array.of_list tagged in
+  let n = Array.length arr in
+  let parent = Array.init n Fun.id in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(max ri rj) <- min ri rj
+  in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      (* Never merge two conditions of the same source: one interface
+         never shows the same attribute twice. *)
+      let si, ci = arr.(i) and sj, cj = arr.(j) in
+      if si <> sj && attribute_match ci cj >= threshold then union i j
+    done
+  done;
+  let buckets = Hashtbl.create 16 in
+  let order = ref [] in
+  for i = 0 to n - 1 do
+    let root = find i in
+    if not (Hashtbl.mem buckets root) then begin
+      Hashtbl.replace buckets root [];
+      order := root :: !order
+    end;
+    Hashtbl.replace buckets root (arr.(i) :: Hashtbl.find buckets root)
+  done;
+  let merge members =
+    let conditions = List.map snd members in
+    let support =
+      List.length (List.sort_uniq compare (List.map fst members))
+    in
+    (* Most frequent normalized label; longest original as the face. *)
+    let label_counts = Hashtbl.create 8 in
+    List.iter
+      (fun (c : Condition.t) ->
+         let l = Condition.normalize_label c.attribute in
+         Hashtbl.replace label_counts l
+           (1 + Option.value ~default:0 (Hashtbl.find_opt label_counts l)))
+      conditions;
+    let best_label =
+      Hashtbl.fold
+        (fun l count best ->
+           match best with
+           | Some (_, bc) when bc >= count -> best
+           | _ -> Some (l, count))
+        label_counts None
+      |> Option.map fst
+      |> Option.value ~default:""
+    in
+    let face =
+      List.fold_left
+        (fun best (c : Condition.t) ->
+           if Condition.normalize_label c.attribute = best_label
+           && String.length c.attribute > String.length best
+           then c.attribute
+           else best)
+        "" conditions
+    in
+    let operators =
+      List.sort_uniq compare (List.concat_map (fun (c : Condition.t) -> c.operators) conditions)
+    in
+    (* Majority domain shape; enumeration values unioned. *)
+    let shape_key (c : Condition.t) =
+      match c.domain with
+      | Condition.Text -> `Text
+      | Condition.Datetime -> `Datetime
+      | Condition.Range _ -> `Range
+      | Condition.Enumeration _ -> `Enumeration
+    in
+    let shapes = List.map shape_key conditions in
+    let majority =
+      List.fold_left
+        (fun best shape ->
+           let count s = List.length (List.filter (( = ) s) shapes) in
+           match best with
+           | Some b when count b >= count shape -> best
+           | _ -> Some shape)
+        None shapes
+      |> Option.get
+    in
+    let domain =
+      match majority with
+      | `Text -> Condition.Text
+      | `Datetime -> Condition.Datetime
+      | `Range ->
+        (match
+           List.find_map
+             (fun (c : Condition.t) ->
+                match c.domain with Condition.Range d -> Some d | _ -> None)
+             conditions
+         with
+         | Some inner -> Condition.Range inner
+         | None -> Condition.Range Condition.Text)
+      | `Enumeration ->
+        let values =
+          List.concat_map
+            (fun (c : Condition.t) ->
+               match c.domain with Condition.Enumeration vs -> vs | _ -> [])
+            conditions
+        in
+        let seen = Hashtbl.create 16 in
+        Condition.Enumeration
+          (List.filter
+             (fun v ->
+                let key = Condition.normalize_label v in
+                if Hashtbl.mem seen key then false
+                else begin
+                  Hashtbl.replace seen key ();
+                  true
+                end)
+             values)
+    in
+    (Condition.make ~operators ~attribute:face domain, support)
+  in
+  List.rev_map (fun root -> merge (List.rev (Hashtbl.find buckets root))) !order
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let purity ~label clusters =
+  let total = List.fold_left (fun acc c -> acc + List.length c) 0 clusters in
+  if total = 0 then 1.0
+  else begin
+    let agreeing =
+      List.fold_left
+        (fun acc members ->
+           let counts = Hashtbl.create 4 in
+           List.iter
+             (fun s ->
+                let l = label s in
+                Hashtbl.replace counts l
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt counts l)))
+             members;
+           let majority =
+             Hashtbl.fold (fun _ n best -> max n best) counts 0
+           in
+           acc + majority)
+        0 clusters
+    in
+    float_of_int agreeing /. float_of_int total
+  end

@@ -1,0 +1,57 @@
+(** Interface matching and clustering over extracted schemas.
+
+    The paper motivates automatic capability extraction with integration
+    tasks: matching query interfaces and clustering Web sources by their
+    schemas (Section 1, citing [11, 12]).  This module implements both
+    over the extractor's output, so the end-to-end story — raw HTML to
+    organized source collections — closes. *)
+
+type schema = {
+  source : string;
+  conditions : Wqi_model.Condition.t list;
+}
+
+val attribute_match :
+  Wqi_model.Condition.t -> Wqi_model.Condition.t -> float
+(** Similarity of two conditions: bigram-Dice similarity of attribute
+    labels, with a 20% penalty when the domain shapes differ (an
+    "Author" textbox and an "Author" enumeration are related but not
+    interchangeable).  In [0, 1]. *)
+
+val correspondences :
+  ?threshold:float ->
+  schema ->
+  schema ->
+  (Wqi_model.Condition.t * Wqi_model.Condition.t * float) list
+(** Greedy one-to-one matching of conditions by descending
+    {!attribute_match}, keeping pairs at or above [threshold]
+    (default 0.6) — the per-pair output an interface matcher needs. *)
+
+val schema_similarity : ?threshold:float -> schema -> schema -> float
+(** Soft-Jaccard over {!correspondences}: total matched similarity
+    divided by [|A| + |B| - matched].  1.0 for identical schemas, 0.0
+    when nothing matches. *)
+
+val cluster :
+  ?threshold:float -> schema list -> schema list list
+(** Single-linkage agglomerative clustering: two schemas land in one
+    cluster when some chain of pairwise similarities ≥ [threshold]
+    (default 0.5) connects them.  Order-stable. *)
+
+val purity : label:(schema -> string) -> schema list list -> float
+(** Cluster purity against external labels (e.g. the true domain of
+    each synthetic source): the fraction of schemas that agree with
+    their cluster's majority label. *)
+
+val unify :
+  ?threshold:float ->
+  schema list ->
+  (Wqi_model.Condition.t * int) list
+(** Build a *unified interface* for a set of same-domain schemas (the
+    last motivating application of the paper's introduction): cluster
+    all conditions across sources by {!attribute_match} (single
+    linkage, threshold default 0.6), then merge each cluster into one
+    condition — the most frequent label, the union of operators, and
+    the merged domain (enumeration values unioned; the majority shape
+    wins on disagreement).  Returns conditions with their support
+    (number of sources exhibiting them), most-supported first. *)

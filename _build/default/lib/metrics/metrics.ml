@@ -1,0 +1,60 @@
+module Condition = Wqi_model.Condition
+
+type counts = {
+  truth : int;
+  extracted : int;
+  correct : int;
+}
+
+let count ~truth ~extracted =
+  let remaining = ref truth in
+  let correct = ref 0 in
+  List.iter
+    (fun e ->
+       let rec take acc = function
+         | [] -> ()
+         | t :: rest ->
+           if Condition.matches ~truth:t e then begin
+             incr correct;
+             remaining := List.rev_append acc rest
+           end
+           else take (t :: acc) rest
+       in
+       take [] !remaining)
+    extracted;
+  { truth = List.length truth;
+    extracted = List.length extracted;
+    correct = !correct }
+
+let precision c =
+  if c.extracted = 0 then 1.0
+  else float_of_int c.correct /. float_of_int c.extracted
+
+let recall c =
+  if c.truth = 0 then 1.0
+  else float_of_int c.correct /. float_of_int c.truth
+
+let accuracy ~precision ~recall = (precision +. recall) /. 2.0
+
+let add a b =
+  { truth = a.truth + b.truth;
+    extracted = a.extracted + b.extracted;
+    correct = a.correct + b.correct }
+
+let zero = { truth = 0; extracted = 0; correct = 0 }
+
+let distribution ~thresholds values =
+  let n = List.length values in
+  List.map
+    (fun threshold ->
+       let hits = List.length (List.filter (fun v -> v >= threshold) values) in
+       let pct =
+         if n = 0 then 0. else 100. *. float_of_int hits /. float_of_int n
+       in
+       (threshold, pct))
+    thresholds
+
+let mean = function
+  | [] -> 0.
+  | values ->
+    List.fold_left ( +. ) 0. values /. float_of_int (List.length values)

@@ -1,0 +1,41 @@
+(** Precision/recall metrics of Section 6.1.
+
+    A source's semantic model is compared against ground truth by
+    matching conditions ({!Wqi_model.Condition.matches}: attribute label,
+    operator set and domain shape).  Per-source and overall (aggregated)
+    variants mirror the paper's two measurement modes. *)
+
+type counts = {
+  truth : int;      (** |Cs(q)| — conditions in the ground-truth model *)
+  extracted : int;  (** |Es(q)| — conditions the extractor produced *)
+  correct : int;    (** |Cs(q) ∩ Es(q)| — matched pairs *)
+}
+
+val count :
+  truth:Wqi_model.Condition.t list ->
+  extracted:Wqi_model.Condition.t list ->
+  counts
+(** Greedy one-to-one matching: each extracted condition may match at
+    most one ground-truth condition and vice versa. *)
+
+val precision : counts -> float
+(** [correct / extracted]; defined as 1.0 when nothing was extracted
+    (no false positives). *)
+
+val recall : counts -> float
+(** [correct / truth]; defined as 1.0 when the truth is empty. *)
+
+val accuracy : precision:float -> recall:float -> float
+(** The paper's headline number: the average of P and R. *)
+
+val add : counts -> counts -> counts
+(** Aggregation for the overall metric Pa/Ra. *)
+
+val zero : counts
+
+val distribution : thresholds:float list -> float list -> (float * float) list
+(** [distribution ~thresholds values] returns, for each threshold t, the
+    percentage (0–100) of values >= t — the source-distribution curves of
+    Figure 15(a,b). *)
+
+val mean : float list -> float

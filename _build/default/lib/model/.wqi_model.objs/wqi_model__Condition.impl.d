@@ -1,0 +1,1 @@
+lib/model/condition.ml: Buffer Char Fmt List String

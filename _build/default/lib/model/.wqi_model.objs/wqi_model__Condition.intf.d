@@ -1,0 +1,1 @@
+lib/model/condition.mli: Format

@@ -1,0 +1,1 @@
+lib/model/domain_analysis.ml: Condition Fmt List Option String

@@ -1,0 +1,1 @@
+lib/model/domain_analysis.mli: Condition Format

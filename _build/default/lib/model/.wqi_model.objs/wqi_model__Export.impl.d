@@ -1,0 +1,1 @@
+lib/model/export.ml: Buffer Char Condition List Printf Semantic_model String

@@ -1,0 +1,1 @@
+lib/model/export.mli: Condition Semantic_model

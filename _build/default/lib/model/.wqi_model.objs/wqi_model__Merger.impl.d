@@ -1,0 +1,1 @@
+lib/model/merger.ml: Condition Fmt Hashtbl Int List Semantic_model Set

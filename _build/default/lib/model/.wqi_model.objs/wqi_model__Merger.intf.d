@@ -1,0 +1,1 @@
+lib/model/merger.mli: Condition Semantic_model

@@ -1,0 +1,1 @@
+lib/model/operator.ml: Condition Fmt Hashtbl List String

@@ -1,0 +1,1 @@
+lib/model/operator.mli: Condition Format

@@ -1,0 +1,1 @@
+lib/model/semantic_model.ml: Condition Fmt List

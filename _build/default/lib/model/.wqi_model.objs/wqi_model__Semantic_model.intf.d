@@ -1,0 +1,1 @@
+lib/model/semantic_model.mli: Condition Format

@@ -1,0 +1,1 @@
+lib/model/textsim.ml: Condition List String

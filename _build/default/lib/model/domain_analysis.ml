@@ -1,0 +1,130 @@
+type bucket = {
+  label : string;
+  low : float option;
+  high : float option;
+}
+
+type analysis =
+  | Free_text
+  | Numeric_values of float list
+  | Money_buckets of bucket list
+  | Month_names
+  | Categorical of string list
+  | Composite_range of analysis
+  | Composite_datetime
+
+(* Pull every number (with optional decimal part) out of a string,
+   ignoring currency signs and thousands separators. *)
+let numbers_in s =
+  let out = ref [] in
+  let n = String.length s in
+  let i = ref 0 in
+  let is_digit c = c >= '0' && c <= '9' in
+  while !i < n do
+    if is_digit s.[!i] then begin
+      let start = !i in
+      while
+        !i < n && (is_digit s.[!i] || s.[!i] = ',' || s.[!i] = '.')
+      do
+        incr i
+      done;
+      let raw = String.sub s start (!i - start) in
+      let cleaned =
+        String.concat "" (String.split_on_char ',' raw)
+      in
+      (* A trailing '.' is sentence punctuation, not a decimal point. *)
+      let cleaned =
+        if String.length cleaned > 0
+        && cleaned.[String.length cleaned - 1] = '.'
+        then String.sub cleaned 0 (String.length cleaned - 1)
+        else cleaned
+      in
+      match float_of_string_opt cleaned with
+      | Some v -> out := v :: !out
+      | None -> ()
+    end
+    else incr i
+  done;
+  List.rev !out
+
+let mentions words s =
+  let s = String.lowercase_ascii s in
+  List.exists
+    (fun w ->
+       let n = String.length w and h = String.length s in
+       let rec at i = i + n <= h && (String.sub s i n = w || at (i + 1)) in
+       at 0)
+    words
+
+let parse_bucket label =
+  match numbers_in label with
+  | [] -> { label; low = None; high = None }
+  | [ v ] ->
+    if mentions [ "under"; "below"; "less"; "up to"; "max" ] label then
+      { label; low = None; high = Some v }
+    else if mentions [ "over"; "above"; "more"; "at least"; "min"; "+" ] label
+    then { label; low = Some v; high = None }
+    else { label; low = Some v; high = Some v }
+  | v1 :: v2 :: _ ->
+    { label; low = Some (min v1 v2); high = Some (max v1 v2) }
+
+let month_names =
+  [ "january"; "february"; "march"; "april"; "may"; "june"; "july";
+    "august"; "september"; "october"; "november"; "december" ]
+
+let is_month s = List.mem (String.lowercase_ascii (String.trim s)) month_names
+
+let rec analyze (domain : Condition.domain) =
+  match domain with
+  | Condition.Text -> Free_text
+  | Condition.Datetime -> Composite_datetime
+  | Condition.Range inner -> Composite_range (analyze inner)
+  | Condition.Enumeration values ->
+    let numeric =
+      List.map (fun v -> float_of_string_opt (String.trim v)) values
+    in
+    if values <> [] && List.for_all Option.is_some numeric then
+      Numeric_values (List.map Option.get numeric)
+    else if values <> [] && List.for_all is_month values then Month_names
+    else begin
+      let buckets = List.map parse_bucket values in
+      let bounded =
+        List.length
+          (List.filter (fun b -> b.low <> None || b.high <> None) buckets)
+      in
+      if values <> [] && 2 * bounded >= List.length values then
+        Money_buckets buckets
+      else Categorical values
+    end
+
+let covers analysis v =
+  match analysis with
+  | Money_buckets buckets ->
+    List.exists
+      (fun b ->
+         (match b.low with Some lo -> v >= lo | None -> true)
+         && match b.high with Some hi -> v <= hi | None -> true)
+      buckets
+  | Numeric_values values -> List.mem v values
+  | Free_text | Month_names | Categorical _ | Composite_range _
+  | Composite_datetime ->
+    false
+
+let rec pp ppf = function
+  | Free_text -> Fmt.string ppf "free-text"
+  | Numeric_values vs ->
+    Fmt.pf ppf "numeric{%a}" Fmt.(list ~sep:(any ",") float) vs
+  | Money_buckets bs ->
+    Fmt.pf ppf "buckets{%a}"
+      Fmt.(
+        list ~sep:(any "; ") (fun ppf b ->
+            pf ppf "%s[%a..%a]" b.label
+              (option ~none:(any "-inf") float)
+              b.low
+              (option ~none:(any "+inf") float)
+              b.high))
+      bs
+  | Month_names -> Fmt.string ppf "months"
+  | Categorical vs -> Fmt.pf ppf "categorical(%d)" (List.length vs)
+  | Composite_range inner -> Fmt.pf ppf "range(%a)" pp inner
+  | Composite_datetime -> Fmt.string ppf "datetime"

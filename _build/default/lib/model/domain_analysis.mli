@@ -1,0 +1,43 @@
+(** Deeper typing of extracted value domains.
+
+    An extractor client that wants to *query* a source needs more than
+    the surface strings: whether an enumeration is numeric, whether its
+    values encode price buckets with bounds, whether a list is a month
+    list.  This analysis refines {!Condition.domain} values into typed
+    descriptions a mediator can translate constraints against. *)
+
+type bucket = {
+  label : string;          (** the option as displayed *)
+  low : float option;      (** lower bound, if the wording has one *)
+  high : float option;     (** upper bound *)
+}
+
+type analysis =
+  | Free_text
+  | Numeric_values of float list
+      (** every value parses as a number (years, counts, sizes) *)
+  | Money_buckets of bucket list
+      (** price-range wording: "under $5", "$5 to $20", "above $20" *)
+  | Month_names
+  | Categorical of string list
+      (** a plain closed vocabulary *)
+  | Composite_range of analysis
+  | Composite_datetime
+
+val parse_bucket : string -> bucket
+(** [parse_bucket "under $5"] = [{label; low = None; high = Some 5.}];
+    ["$5 to $20"] has both bounds; wording without numbers has
+    neither. *)
+
+val analyze : Condition.domain -> analysis
+(** Refine a domain.  An enumeration is [Money_buckets] when at least
+    half its values carry a parsed bound, [Numeric_values] when all
+    values are numbers, [Month_names] when all are months. *)
+
+val covers : analysis -> float -> bool
+(** [covers analysis v]: can the domain express the numeric value [v]?
+    For [Money_buckets] some bucket must admit it; for
+    [Numeric_values], the value must be listed; other analyses return
+    [false]. *)
+
+val pp : Format.formatter -> analysis -> unit

@@ -1,0 +1,66 @@
+(* Minimal JSON emission — only what export needs, no dependency. *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | '\r' -> Buffer.add_string b "\\r"
+       | '\t' -> Buffer.add_string b "\\t"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let string s = "\"" ^ escape s ^ "\""
+
+let array items = "[" ^ String.concat ", " items ^ "]"
+
+let obj fields =
+  "{"
+  ^ String.concat ", "
+      (List.map (fun (k, v) -> string k ^ ": " ^ v) fields)
+  ^ "}"
+
+let rec domain (d : Condition.domain) =
+  match d with
+  | Condition.Text -> obj [ ("kind", string "text") ]
+  | Condition.Datetime -> obj [ ("kind", string "datetime") ]
+  | Condition.Enumeration values ->
+    obj
+      [ ("kind", string "enumeration");
+        ("values", array (List.map string values)) ]
+  | Condition.Range inner ->
+    obj [ ("kind", string "range"); ("of", domain inner) ]
+
+let condition (c : Condition.t) =
+  obj
+    [ ("attribute", string c.attribute);
+      ("operators", array (List.map string c.operators));
+      ("domain", domain c.domain) ]
+
+let error (e : Semantic_model.error) =
+  match e with
+  | Semantic_model.Conflict (tok, a, b) ->
+    obj
+      [ ("kind", string "conflict"); ("token", string_of_int tok);
+        ("between", array [ string a; string b ]) ]
+  | Semantic_model.Missing (tok, descr) ->
+    obj
+      [ ("kind", string "missing"); ("token", string_of_int tok);
+        ("element", string descr) ]
+
+let model (m : Semantic_model.t) =
+  obj
+    [ ("conditions", array (List.map condition m.conditions));
+      ("errors", array (List.map error m.errors)) ]
+
+let source_description ~name ?url m =
+  obj
+    ([ ("source", string name) ]
+     @ (match url with Some u -> [ ("url", string u) ] | None -> [])
+     @ [ ("capabilities", model m) ])

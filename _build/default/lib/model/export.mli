@@ -1,0 +1,23 @@
+(** Machine-readable export of semantic models.
+
+    The paper's motivation is large-scale integration: mediators need
+    *source descriptions* that characterize each deep-Web source's query
+    capabilities (Section 1 cites hand-written descriptions as a major
+    scaling obstacle).  This module renders an extracted model as JSON
+    so downstream tools (interface matching, clustering, unified-
+    interface building) can consume it without linking OCaml code. *)
+
+val condition : Condition.t -> string
+(** One condition as a JSON object:
+    [{"attribute": ..., "operators": [...], "domain": {...}}].
+    Domains encode as [{"kind":"text"}], [{"kind":"enumeration",
+    "values":[...]}], [{"kind":"range","of":{...}}] or
+    [{"kind":"datetime"}]. *)
+
+val model : Semantic_model.t -> string
+(** The whole model: conditions plus error reports, pretty-printed. *)
+
+val source_description :
+  name:string -> ?url:string -> Semantic_model.t -> string
+(** A named source description wrapping {!model} — the integration
+    artifact the paper's mediator scenario consumes. *)

@@ -1,0 +1,59 @@
+type parse = {
+  conditions : (Condition.t * int list) list;
+  cover : int list;
+}
+
+module Int_set = Set.Make (Int)
+
+let condition_key (c : Condition.t) =
+  let rec domain_key = function
+    | Condition.Text -> "t"
+    | Condition.Datetime -> "d"
+    | Condition.Range d -> "r(" ^ domain_key d ^ ")"
+    | Condition.Enumeration vs -> Fmt.str "e%d" (List.length vs)
+  in
+  ( Condition.normalize_label c.attribute,
+    List.sort_uniq compare (List.map Condition.normalize_label c.operators),
+    domain_key c.domain )
+
+let merge ~all_tokens ?(ignorable = fun _ -> false) parses =
+  (* Union of conditions, deduplicated; remember the first token-set each
+     distinct condition claims so conflicts can be detected. *)
+  let seen = Hashtbl.create 16 in
+  let conditions = ref [] in
+  let claims : (int, string) Hashtbl.t = Hashtbl.create 64 in
+  let errors = ref [] in
+  List.iter
+    (fun parse ->
+       List.iter
+         (fun (cond, tokens) ->
+            let key = condition_key cond in
+            if not (Hashtbl.mem seen key) then begin
+              Hashtbl.replace seen key ();
+              conditions := cond :: !conditions;
+              let label = Condition.to_string cond in
+              List.iter
+                (fun tok ->
+                   match Hashtbl.find_opt claims tok with
+                   | Some other when other <> label ->
+                     errors :=
+                       Semantic_model.Conflict (tok, other, label) :: !errors
+                   | Some _ -> ()
+                   | None -> Hashtbl.replace claims tok label)
+                tokens
+            end)
+         parse.conditions)
+    parses;
+  let covered =
+    List.fold_left
+      (fun acc parse ->
+         List.fold_left (fun acc t -> Int_set.add t acc) acc parse.cover)
+      Int_set.empty parses
+  in
+  List.iter
+    (fun (tok, descr) ->
+       if (not (Int_set.mem tok covered)) && not (ignorable tok) then
+         errors := Semantic_model.Missing (tok, descr) :: !errors)
+    all_tokens;
+  { Semantic_model.conditions = List.rev !conditions;
+    errors = List.rev !errors }

@@ -1,0 +1,25 @@
+(** Merging multiple partial parses into one semantic model.
+
+    The best-effort parser outputs several (possibly overlapping) partial
+    parse trees; the merger takes the union of their extracted conditions
+    to maximize coverage, and reports the two error classes of Section 3.4:
+    conflicts (a token claimed by two different conditions) and missing
+    elements (tokens covered by no selected tree). *)
+
+type parse = {
+  conditions : (Condition.t * int list) list;
+      (** Each extracted condition with the ids of the tokens it uses. *)
+  cover : int list;
+      (** All token ids covered by the parse tree. *)
+}
+
+val merge :
+  all_tokens:(int * string) list ->
+  ?ignorable:(int -> bool) ->
+  parse list ->
+  Semantic_model.t
+(** [merge ~all_tokens parses] unions the conditions of all parses
+    (deduplicating equivalent conditions), detects conflicts, and reports
+    as missing every token of [all_tokens] not covered by any parse and
+    not deemed [ignorable] (the default ignores nothing).  [all_tokens]
+    pairs a token id with a short description used in error messages. *)

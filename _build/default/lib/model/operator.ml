@@ -1,0 +1,87 @@
+type kind =
+  | Contains
+  | Contains_all
+  | Contains_any
+  | Equals
+  | Starts_with
+  | Ends_with
+  | Less_than
+  | Greater_than
+  | Between
+  | Sounds_like
+  | Unknown of string
+
+let contains_substring ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec at i =
+    i + n <= h && (String.sub haystack i n = needle || at (i + 1))
+  in
+  n > 0 && at 0
+
+(* Rule order matters: more specific wording first ("contains all" before
+   "contains"; "exact start" is a prefix match, not equality). *)
+let rules =
+  [ ([ "all words"; "all of the words"; "contains all" ], Contains_all);
+    ([ "any word"; "any of the words"; "contains any" ], Contains_any);
+    ([ "exact start"; "start of"; "starts with"; "start with"; "begins with";
+       "begin with"; "prefix" ],
+     Starts_with);
+    ([ "ends with"; "end with"; "suffix" ], Ends_with);
+    ([ "exact"; "equal"; "is exactly"; "whole word"; "full name" ], Equals);
+    ([ "at most"; "less"; "under"; "before"; "below"; "fewer"; "up to";
+       "or earlier"; "maximum"; "max" ],
+     Less_than);
+    ([ "at least"; "greater"; "more than"; "over"; "after"; "above";
+       "or later"; "minimum"; "min" ],
+     Greater_than);
+    ([ "between"; "range" ], Between);
+    ([ "similar"; "sounds like"; "like" ], Sounds_like);
+    ([ "contain"; "keyword"; "substring"; "phrase"; "word" ], Contains) ]
+
+let classify wording =
+  let w = String.lowercase_ascii (String.trim wording) in
+  let matched =
+    List.find_opt
+      (fun (needles, _) ->
+         List.exists (fun needle -> contains_substring ~needle w) needles)
+      rules
+  in
+  match matched with
+  | Some (_, kind) -> kind
+  | None -> Unknown wording
+
+let classify_all operators =
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun wording ->
+       let kind = classify wording in
+       if Hashtbl.mem seen kind then None
+       else begin
+         Hashtbl.replace seen kind ();
+         Some kind
+       end)
+    operators
+
+let default_for (domain : Condition.domain) =
+  match domain with
+  | Condition.Text -> Contains
+  | Condition.Enumeration _ -> Equals
+  | Condition.Range _ -> Between
+  | Condition.Datetime -> Equals
+
+let name = function
+  | Contains -> "contains"
+  | Contains_all -> "contains-all"
+  | Contains_any -> "contains-any"
+  | Equals -> "equals"
+  | Starts_with -> "starts-with"
+  | Ends_with -> "ends-with"
+  | Less_than -> "less-than"
+  | Greater_than -> "greater-than"
+  | Between -> "between"
+  | Sounds_like -> "sounds-like"
+  | Unknown w -> "unknown(" ^ w ^ ")"
+
+let pp ppf k = Fmt.string ppf (name k)
+
+let equal a b = a = b

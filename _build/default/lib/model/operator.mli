@@ -1,0 +1,38 @@
+(** Canonicalization of operator wording.
+
+    Extracted operators are surface strings ("Start of last name",
+    "contains all words", "exact phrase").  Integration needs them
+    mapped onto a small algebra so that a mediator can translate a
+    user's constraint into each source's vocabulary — the translation
+    step of the paper's mediator scenario. *)
+
+type kind =
+  | Contains        (** keyword / substring containment *)
+  | Contains_all    (** all words must appear *)
+  | Contains_any    (** any word may appear *)
+  | Equals          (** exact match *)
+  | Starts_with
+  | Ends_with
+  | Less_than       (** before / under / at most / less than *)
+  | Greater_than    (** after / over / at least / more than *)
+  | Between
+  | Sounds_like     (** similar / like *)
+  | Unknown of string  (** unrecognized wording, kept verbatim *)
+
+val classify : string -> kind
+(** [classify wording] maps surface wording to its canonical kind. *)
+
+val classify_all : string list -> kind list
+(** Classify each operator of a condition, deduplicated, order kept. *)
+
+val default_for : Condition.domain -> kind
+(** The implicit operator of a condition with no explicit modifiers:
+    [Contains] for text, [Equals] for enumerations, [Between] for
+    ranges, [Equals] for datetimes (Section 1: keyword search "by an
+    implicit contains operator"). *)
+
+val name : kind -> string
+(** Stable lowercase name ("contains", "equals", ...). *)
+
+val pp : Format.formatter -> kind -> unit
+val equal : kind -> kind -> bool

@@ -1,0 +1,32 @@
+type error =
+  | Conflict of int * string * string
+  | Missing of int * string
+
+type t = {
+  conditions : Condition.t list;
+  errors : error list;
+}
+
+let empty = { conditions = []; errors = [] }
+
+let pp_error ppf = function
+  | Conflict (tok, a, b) ->
+    Fmt.pf ppf "conflict on token %d: %s vs %s" tok a b
+  | Missing (tok, descr) -> Fmt.pf ppf "missing token %d: %s" tok descr
+
+let pp ppf m =
+  Fmt.pf ppf "@[<v>%a%a@]"
+    Fmt.(list ~sep:cut Condition.pp)
+    m.conditions
+    Fmt.(list ~sep:nop (fun ppf e -> pf ppf "@,! %a" pp_error e))
+    m.errors
+
+let condition_count m = List.length m.conditions
+
+let conflict_count m =
+  List.length
+    (List.filter (function Conflict _ -> true | Missing _ -> false) m.errors)
+
+let missing_count m =
+  List.length
+    (List.filter (function Missing _ -> true | Conflict _ -> false) m.errors)

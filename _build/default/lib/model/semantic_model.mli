@@ -1,0 +1,26 @@
+(** The semantic model of a query interface: its set of conditions,
+    together with the extraction errors the merger reports (Section 3.4). *)
+
+type error =
+  | Conflict of int * string * string
+      (** [Conflict (token_id, cond_a, cond_b)]: the same token is claimed
+          by two different conditions (e.g. a selection list grabbed by
+          both "passengers" and "adults" in interface Qaa). *)
+  | Missing of int * string
+      (** [Missing (token_id, description)]: a visible token was not
+          covered by any selected parse tree. *)
+
+type t = {
+  conditions : Condition.t list;
+      (** Extracted conditions in reading order, deduplicated. *)
+  errors : error list;
+}
+
+val empty : t
+
+val pp_error : Format.formatter -> error -> unit
+val pp : Format.formatter -> t -> unit
+
+val condition_count : t -> int
+val conflict_count : t -> int
+val missing_count : t -> int

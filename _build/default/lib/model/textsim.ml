@@ -1,0 +1,20 @@
+let bigrams s =
+  let s = Condition.normalize_label s in
+  let n = String.length s in
+  if n = 0 then []
+  else if n = 1 then [ s ^ "$" ]
+  else List.init (n - 1) (fun i -> String.sub s i 2)
+
+let similarity a b =
+  let ba = bigrams a and bb = bigrams b in
+  if ba = [] || bb = [] then 0.
+  else if Condition.normalize_label a = Condition.normalize_label b then 1.
+  else begin
+    let count_in items x = List.length (List.filter (( = ) x) items) in
+    let shared =
+      List.fold_left
+        (fun acc g -> acc + min (count_in ba g) (count_in bb g))
+        0 (List.sort_uniq compare ba)
+    in
+    2. *. float_of_int shared /. float_of_int (List.length ba + List.length bb)
+  end

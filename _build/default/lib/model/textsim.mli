@@ -1,0 +1,15 @@
+(** Textual similarity of labels.
+
+    Used wherever extracted attribute wording must be compared fuzzily:
+    cross-interface refinement (recovering "Publishers" against a known
+    "Publisher") and interface matching/clustering (the integration
+    applications the paper motivates). *)
+
+val bigrams : string -> string list
+(** Character bigrams of the normalized label; a sentinel is appended to
+    single-character labels so they still produce one bigram. *)
+
+val similarity : string -> string -> float
+(** Dice coefficient over character bigrams of normalized labels, in
+    [0, 1]; exactly 1.0 when the normalized labels are equal and 0.0
+    when either is empty. *)

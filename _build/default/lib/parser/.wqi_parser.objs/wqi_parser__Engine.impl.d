@@ -1,0 +1,1 @@
+lib/parser/engine.ml: Array Buffer Fmt Hashtbl List Logs Option Wqi_grammar Wqi_token

@@ -1,0 +1,1 @@
+lib/parser/engine.mli: Wqi_grammar Wqi_token

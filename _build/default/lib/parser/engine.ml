@@ -1,0 +1,336 @@
+module G = Wqi_grammar
+module Instance = G.Instance
+module Symbol = G.Symbol
+module Bitset = G.Bitset
+module Token = Wqi_token.Token
+
+let src = Logs.Src.create "wqi.parser" ~doc:"Best-effort 2P parser"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type options = {
+  use_preferences : bool;
+  use_scheduling : bool;
+  max_instances : int;
+}
+
+let default_options =
+  { use_preferences = true; use_scheduling = true; max_instances = 200_000 }
+
+type stats = {
+  created : int;
+  live : int;
+  pruned : int;
+  rolled_back : int;
+  temporary : int;
+  truncated : bool;
+}
+
+type result = {
+  tokens : Token.t list;
+  token_instances : Instance.t list;
+  all_live : Instance.t list;
+  maximal : Instance.t list;
+  complete : Instance.t option;
+  stats : stats;
+}
+
+exception Truncated
+
+type state = {
+  grammar : G.Grammar.t;
+  store : (Symbol.t, Instance.t list ref) Hashtbl.t;
+  dedup : (string, unit) Hashtbl.t;
+  mutable next_id : int;
+  mutable created : int;
+  mutable pruned : int;
+  mutable rolled_back : int;
+  options : options;
+}
+
+(* Live instances in creation order (oldest first): downstream
+   derivations then inherit the priority that production order
+   established (earlier productions yield smaller ids, and maximal-tree
+   selection prefers smaller ids on ties). *)
+let live_instances st sym =
+  match Hashtbl.find_opt st.store sym with
+  | None -> []
+  | Some cell ->
+    List.rev (List.filter (fun (i : Instance.t) -> i.alive) !cell)
+
+let add_instance st inst =
+  let cell =
+    match Hashtbl.find_opt st.store inst.Instance.sym with
+    | Some cell -> cell
+    | None ->
+      let cell = ref [] in
+      Hashtbl.replace st.store inst.Instance.sym cell;
+      cell
+  in
+  cell := inst :: !cell
+
+let fresh_id st =
+  let id = st.next_id in
+  st.next_id <- id + 1;
+  id
+
+let dedup_key (p : G.Production.t) children =
+  let b = Buffer.create 32 in
+  Buffer.add_string b p.name;
+  List.iter
+    (fun (c : Instance.t) ->
+       Buffer.add_char b '|';
+       Buffer.add_string b (string_of_int c.id))
+    children;
+  Buffer.contents b
+
+(* Apply one production over the current live instances.  Returns true when
+   at least one new instance was created. *)
+let apply_production st (p : G.Production.t) =
+  let candidates =
+    List.map (fun sym -> Array.of_list (live_instances st sym)) p.components
+  in
+  let arity = List.length p.components in
+  let candidates = Array.of_list candidates in
+  let chosen = Array.make arity None in
+  let added = ref false in
+  let rec assign i cover =
+    if i = arity then begin
+      let children =
+        Array.to_list (Array.map (fun c -> Option.get c) chosen)
+      in
+      let arr = Array.of_list children in
+      if p.guard arr then begin
+        let key = dedup_key p children in
+        if not (Hashtbl.mem st.dedup key) then begin
+          Hashtbl.replace st.dedup key ();
+          if st.created >= st.options.max_instances then raise Truncated;
+          let sem = p.build arr in
+          let inst =
+            Instance.make ~id:(fresh_id st) ~sym:p.head ~prod:p.name
+              ~children ~sem
+          in
+          st.created <- st.created + 1;
+          add_instance st inst;
+          Log.debug (fun m ->
+              m "new %a by %s from [%a]" Instance.pp inst p.name
+                Fmt.(list ~sep:comma Instance.pp)
+                children);
+          added := true
+        end
+      end
+    end
+    else
+      Array.iter
+        (fun (cand : Instance.t) ->
+           if cand.alive && Bitset.disjoint cover cand.cover then begin
+             chosen.(i) <- Some cand;
+             assign (i + 1) (Bitset.union cover cand.cover);
+             chosen.(i) <- None
+           end)
+        candidates.(i)
+  in
+  (match candidates with
+   | [||] -> ()
+   | _ ->
+     let universe =
+       (* Any instance knows the universe size; if a component has no
+          candidates the production cannot fire. *)
+       if Array.exists (fun c -> Array.length c = 0) candidates then None
+       else Some (Bitset.universe_size candidates.(0).(0).Instance.cover)
+     in
+     match universe with
+     | None -> ()
+     | Some n -> assign 0 (Bitset.empty n));
+  !added
+
+(* Fix-point instantiation of one symbol (procedure [instantiate] of
+   Figure 11). *)
+let instantiate st sym =
+  let productions = G.Grammar.productions_with_head st.grammar sym in
+  let rec loop () =
+    let progressed =
+      List.fold_left (fun acc p -> apply_production st p || acc) false
+        productions
+    in
+    if progressed then loop ()
+  in
+  loop ()
+
+(* Enforce one preference over the current instances (procedure [enforce]).
+   Returns unit; updates pruning counters via rollback. *)
+let enforce st (r : G.Preference.t) =
+  let winners () = live_instances st r.winner in
+  let losers = live_instances st r.loser in
+  List.iter
+    (fun (v2 : Instance.t) ->
+       if v2.alive then
+         List.iter
+           (fun (v1 : Instance.t) ->
+              if v1.alive && v2.alive && v1.id <> v2.id
+              && Instance.conflicts v1 v2
+              && r.conflict v1 v2 && r.wins v1 v2
+              && not (Instance.is_descendant v2 ~of_:v1)
+              then begin
+                let killed = Instance.rollback v2 in
+                st.pruned <- st.pruned + 1;
+                st.rolled_back <- st.rolled_back + (killed - 1);
+                Log.debug (fun m ->
+                    m "preference %s: %a beats %a (%d rolled back)"
+                      r.G.Preference.name Instance.pp v1 Instance.pp v2
+                      (killed - 1))
+              end)
+           (winners ()))
+    losers
+
+let preferences_involving (g : G.Grammar.t) sym =
+  List.filter
+    (fun (r : G.Preference.t) ->
+       Symbol.equal r.winner sym || Symbol.equal r.loser sym)
+    g.preferences
+
+(* d-edge-only topological order, used when scheduling is disabled. *)
+let d_only_order (g : G.Grammar.t) =
+  let bare =
+    G.Grammar.make ~terminals:g.terminals ~start:g.start
+      ~productions:g.productions ()
+  in
+  (G.Schedule.build bare).G.Schedule.order
+
+let all_live_list st =
+  Hashtbl.fold
+    (fun _sym cell acc ->
+       List.rev_append (List.filter (fun (i : Instance.t) -> i.alive) !cell) acc)
+    st.store []
+  |> List.sort (fun (a : Instance.t) b -> compare a.id b.id)
+
+let reachable_ids roots =
+  let seen = Hashtbl.create 256 in
+  let rec go (i : Instance.t) =
+    if not (Hashtbl.mem seen i.id) then begin
+      Hashtbl.replace seen i.id ();
+      List.iter go i.children
+    end
+  in
+  List.iter go roots;
+  seen
+
+let maximal_trees st =
+  let tops =
+    List.filter
+      (fun (i : Instance.t) ->
+         (not (Symbol.is_terminal i.sym))
+         && not (List.exists (fun (p : Instance.t) -> p.alive) i.parents))
+      (all_live_list st)
+  in
+  (* Maximum subsumption: drop any top whose cover is contained in the
+     cover of an already-kept top.  Sorting big-to-small makes one pass
+     sufficient and keeps the result deterministic. *)
+  (* Between equal covers, prefer the interpretation that yields query
+     conditions (e.g. an EnumRB top over a bare Op top), then the earliest
+     instance for determinism. *)
+  let cond_count (i : Instance.t) =
+    List.length (Instance.collect_conditions i)
+  in
+  let sorted =
+    List.sort
+      (fun (a : Instance.t) (b : Instance.t) ->
+         match compare (Bitset.cardinal b.cover) (Bitset.cardinal a.cover) with
+         | 0 ->
+           (match compare (cond_count b) (cond_count a) with
+            | 0 -> compare a.id b.id
+            | c -> c)
+         | c -> c)
+      tops
+  in
+  List.rev
+    (List.fold_left
+       (fun kept (t : Instance.t) ->
+          if List.exists (fun (k : Instance.t) -> Bitset.subset t.cover k.Instance.cover) kept
+          then kept
+          else t :: kept)
+       [] sorted)
+
+let parse ?(options = default_options) grammar tokens =
+  let st =
+    { grammar;
+      store = Hashtbl.create 64;
+      dedup = Hashtbl.create 1024;
+      next_id = 0;
+      created = 0;
+      pruned = 0;
+      rolled_back = 0;
+      options }
+  in
+  let universe = List.length tokens in
+  let token_instances =
+    List.map
+      (fun tok ->
+         let inst = Instance.of_token ~id:(fresh_id st) ~universe tok in
+         st.created <- st.created + 1;
+         add_instance st inst;
+         inst)
+      tokens
+  in
+  let schedule =
+    if options.use_scheduling then G.Schedule.build grammar
+    else
+      { G.Schedule.order = d_only_order grammar; transformed = []; relaxed = [] }
+  in
+  let truncated = ref false in
+  (try
+     List.iter
+       (fun sym ->
+          Log.debug (fun m -> m "instantiating %a" Symbol.pp sym);
+          instantiate st sym;
+          if options.use_preferences && options.use_scheduling then
+            List.iter (enforce st) (preferences_involving grammar sym))
+       schedule.G.Schedule.order;
+     (* Late pruning when scheduling is off; also a final sweep in the
+        scheduled mode for relaxed preferences whose loser precedes its
+        winner. *)
+     if options.use_preferences then
+       if not options.use_scheduling then
+         List.iter (enforce st) grammar.preferences
+       else List.iter (enforce st) schedule.G.Schedule.relaxed
+   with Truncated -> truncated := true);
+  let all_live = all_live_list st in
+  let maximal = maximal_trees st in
+  let complete =
+    List.find_opt
+      (fun (i : Instance.t) ->
+         Symbol.equal i.sym grammar.start
+         && Bitset.cardinal i.cover = universe)
+      all_live
+  in
+  let in_maximal = reachable_ids maximal in
+  let temporary = st.created - Hashtbl.length in_maximal in
+  { tokens;
+    token_instances;
+    all_live;
+    maximal;
+    complete;
+    stats =
+      { created = st.created;
+        live = List.length all_live;
+        pruned = st.pruned;
+        rolled_back = st.rolled_back;
+        temporary;
+        truncated = !truncated } }
+
+let count_trees result =
+  let universe = List.length result.tokens in
+  let complete_trees =
+    List.filter
+      (fun (i : Instance.t) ->
+         (not (Symbol.is_terminal i.sym))
+         && Bitset.cardinal i.cover = universe)
+      result.all_live
+  in
+  let start_trees =
+    List.filter
+      (fun (i : Instance.t) -> i.prod <> None)
+      complete_trees
+  in
+  if start_trees <> [] then List.length start_trees
+  else List.length result.maximal

@@ -1,0 +1,69 @@
+(** The best-effort parser (Section 5, algorithm 2PParser of Figure 11).
+
+    Fix-point, bottom-up instantiation of grammar symbols in 2P-schedule
+    order, with just-in-time pruning by preferences, rollback of
+    invalidated ancestors, and partial-tree maximization by maximum
+    subsumption.
+
+    The parser never rejects an input: when the grammar cannot explain
+    the whole token set it returns the maximal partial parse trees
+    (Section 5.3). *)
+
+type options = {
+  use_preferences : bool;
+      (** [false] disables pruning entirely — the "brute-force"
+          exhaustive parse of Section 4.2.1, used for the ambiguity
+          ablation. *)
+  use_scheduling : bool;
+      (** [false] keeps preferences but enforces them only once, at the
+          end of parsing ("late pruning"), relying on rollback; isolates
+          the benefit of the 2P schedule graph. *)
+  max_instances : int;
+      (** Safety valve: parsing stops growing (and sets
+          [stats.truncated]) once this many instances exist.  Visual
+          language membership is NP-complete (Section 5.1), so the
+          exhaustive mode needs a bound. *)
+}
+
+val default_options : options
+(** Preferences on, scheduling on, [max_instances = 200_000]. *)
+
+type stats = {
+  created : int;       (** instances ever created, tokens included *)
+  live : int;          (** instances alive at the end *)
+  pruned : int;        (** losers killed by preference enforcement *)
+  rolled_back : int;   (** ancestors killed by rollback *)
+  temporary : int;     (** created instances that ended up in no maximal
+                           tree — the paper's "temporary instances" *)
+  truncated : bool;
+}
+
+type result = {
+  tokens : Wqi_token.Token.t list;
+  token_instances : Wqi_grammar.Instance.t list;
+  all_live : Wqi_grammar.Instance.t list;
+      (** Every live instance, terminals included. *)
+  maximal : Wqi_grammar.Instance.t list;
+      (** Maximum partial parse trees: live nonterminal instances with no
+          live parent whose cover is not subsumed by another such
+          instance.  A complete parse is the special case of a single
+          tree covering every token. *)
+  complete : Wqi_grammar.Instance.t option;
+      (** A live start-symbol instance covering all tokens, if any. *)
+  stats : stats;
+}
+
+val parse :
+  ?options:options ->
+  Wqi_grammar.Grammar.t ->
+  Wqi_token.Token.t list ->
+  result
+(** [parse g tokens] runs the 2P parser.  The grammar must pass
+    [Grammar.validate]; [Invalid_argument] is raised otherwise. *)
+
+val count_trees : result -> int
+(** Number of distinct complete parse trees (live start-symbol instances
+    covering all tokens) — the quantity the paper reports as "25 parse
+    trees" for the exhaustive parse of the Figure-5 fragment.  Falls back
+    to the number of maximal partial trees when no complete parse
+    exists. *)

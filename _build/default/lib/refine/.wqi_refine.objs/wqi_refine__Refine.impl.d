@@ -1,0 +1,1 @@
+lib/refine/refine.ml: Hashtbl List Option Wqi_core Wqi_layout Wqi_model Wqi_token

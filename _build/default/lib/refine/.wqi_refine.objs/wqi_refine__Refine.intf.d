@@ -1,0 +1,1 @@
+lib/refine/refine.mli: Wqi_core Wqi_model

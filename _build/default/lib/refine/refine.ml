@@ -1,0 +1,166 @@
+module Condition = Wqi_model.Condition
+module Semantic_model = Wqi_model.Semantic_model
+module Token = Wqi_token.Token
+module Geometry = Wqi_layout.Geometry
+
+type knowledge = {
+  attribute_support : (string * int) list;
+}
+
+let learn extractions =
+  let counts = Hashtbl.create 32 in
+  List.iter
+    (fun conditions ->
+       let labels =
+         List.sort_uniq compare
+           (List.filter_map
+              (fun (c : Condition.t) ->
+                 let l = Condition.normalize_label c.attribute in
+                 if l = "" then None else Some l)
+              conditions)
+       in
+       List.iter
+         (fun l ->
+            Hashtbl.replace counts l
+              (1 + Option.value ~default:0 (Hashtbl.find_opt counts l)))
+         labels)
+    extractions;
+  { attribute_support =
+      Hashtbl.fold (fun l n acc -> (l, n) :: acc) counts []
+      |> List.sort (fun (la, a) (lb, b) ->
+          match compare b a with 0 -> compare la lb | c -> c) }
+
+let known k ?(min_support = 1) label =
+  let label = Condition.normalize_label label in
+  List.exists
+    (fun (l, n) -> l = label && n >= min_support)
+    k.attribute_support
+
+let similarity = Wqi_model.Textsim.similarity
+
+let best_match k ?(threshold = 0.55) label =
+  List.fold_left
+    (fun best (candidate, _support) ->
+       let score = similarity label candidate in
+       match best with
+       | Some (_, best_score) when best_score >= score -> best
+       | _ -> if score >= threshold then Some (candidate, score) else best)
+    None k.attribute_support
+  |> Option.map fst
+
+(* ------------------------------------------------------------------ *)
+(* Refinement                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let condition_label (c : Condition.t) = Condition.to_string c
+
+(* Conflict resolution: keep the condition whose attribute the domain
+   knows; drop its rival when the rival's attribute is unknown. *)
+let resolve_conflicts k (model : Semantic_model.t) =
+  let dropped = ref [] in
+  let errors =
+    List.filter
+      (fun err ->
+         match err with
+         | Semantic_model.Missing _ -> true
+         | Semantic_model.Conflict (_tok, a, b) ->
+           let find label =
+             List.find_opt
+               (fun c -> condition_label c = label)
+               model.conditions
+           in
+           (match (find a, find b) with
+            | Some ca, Some cb ->
+              let ka = known k ca.attribute and kb = known k cb.attribute in
+              if ka && not kb then begin
+                dropped := cb :: !dropped;
+                false
+              end
+              else if kb && not ka then begin
+                dropped := ca :: !dropped;
+                false
+              end
+              else true
+            | _ -> true))
+      model.errors
+  in
+  let conditions =
+    List.filter (fun c -> not (List.memq c !dropped)) model.conditions
+  in
+  { Semantic_model.conditions; errors }
+
+(* Missing-element recovery: pair an unclaimed label-like text token with
+   an unclaimed field token beside or below it, when the label resembles
+   a known domain attribute. *)
+let recover_missing k (extraction : Wqi_core.Extractor.extraction)
+    (model : Semantic_model.t) =
+  let missing_ids =
+    List.filter_map
+      (function Semantic_model.Missing (tok, _) -> Some tok | _ -> None)
+      model.errors
+  in
+  let token_by_id id =
+    List.find_opt (fun (t : Token.t) -> t.id = id) extraction.tokens
+  in
+  let missing_tokens = List.filter_map token_by_id missing_ids in
+  let texts =
+    List.filter (fun (t : Token.t) -> t.kind = Token.Text) missing_tokens
+  in
+  let fields = List.filter Token.is_field missing_tokens in
+  let recovered = ref [] in
+  let claimed = Hashtbl.create 8 in
+  List.iter
+    (fun (label_tok : Token.t) ->
+       match best_match k label_tok.sval with
+       | None -> ()
+       | Some _known_attr ->
+         (* Associate with the closest unclaimed field left, right, above
+            or below the label. *)
+         let candidate =
+           List.fold_left
+             (fun best (f : Token.t) ->
+                if Hashtbl.mem claimed f.id then best
+                else
+                  let near =
+                    Geometry.left_of ~max_gap:100 label_tok.box f.box
+                    || Geometry.left_of ~max_gap:100 f.box label_tok.box
+                    || Geometry.above ~max_gap:40 label_tok.box f.box
+                    || Geometry.above ~max_gap:40 f.box label_tok.box
+                  in
+                  if not near then best
+                  else
+                    let d = Geometry.distance label_tok.box f.box in
+                    match best with
+                    | Some (_, bd) when bd <= d -> best
+                    | _ -> Some (f, d))
+             None fields
+         in
+         (match candidate with
+          | None -> ()
+          | Some (field, _) ->
+            Hashtbl.replace claimed field.id ();
+            Hashtbl.replace claimed label_tok.id ();
+            let domain =
+              match field.kind with
+              | Token.Selection -> Condition.Enumeration field.options
+              | Token.Radio | Token.Checkbox ->
+                Condition.Enumeration [ field.sval ]
+              | Token.Textbox | Token.Text | Token.Button | Token.Image ->
+                Condition.Text
+            in
+            recovered :=
+              Condition.make ~attribute:label_tok.sval domain :: !recovered))
+    texts;
+  let errors =
+    List.filter
+      (function
+        | Semantic_model.Missing (tok, _) -> not (Hashtbl.mem claimed tok)
+        | Semantic_model.Conflict _ -> true)
+      model.errors
+  in
+  { Semantic_model.conditions = model.conditions @ List.rev !recovered;
+    errors }
+
+let refine k extraction =
+  let model = resolve_conflicts k extraction.Wqi_core.Extractor.model in
+  recover_missing k extraction model

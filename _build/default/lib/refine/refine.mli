@@ -1,0 +1,53 @@
+(** Cross-interface refinement (the paper's first two future-work items,
+    Section 7).
+
+    Query interfaces of one domain share an attribute vocabulary, so the
+    correctly parsed conditions of sibling sources can help a struggling
+    extraction: "to resolve the conflict in a specific query interface,
+    we can leverage the correctly parsed conditions from other query
+    interfaces of the same domain (e.g., using the extraction of
+    flyairnorth.com to help the understanding of aa.com).  Also, to
+    handle missing elements, we find it promising to explore matching
+    non-associated tokens by their textual similarity."
+
+    {!learn} accumulates a domain's attribute vocabulary from several
+    extractions; {!refine} then applies two repairs to a single
+    extraction:
+
+    - {b conflict resolution}: when two conditions claim the same token,
+      drop the one whose attribute the domain has never seen (provided
+      the other is known);
+    - {b missing-element recovery}: an unclaimed text token whose label
+      is textually similar to a known domain attribute, sitting next to
+      an unclaimed input field, is promoted to a new condition. *)
+
+type knowledge = {
+  attribute_support : (string * int) list;
+      (** Normalized attribute labels with the number of sibling sources
+          exhibiting them, most-supported first. *)
+}
+
+val learn : Wqi_model.Condition.t list list -> knowledge
+(** [learn extractions] builds domain knowledge from the condition sets
+    of sibling interfaces (typically the extractor's own output — no
+    ground truth involved). *)
+
+val known : knowledge -> ?min_support:int -> string -> bool
+(** [known k label] — the normalized label occurs with at least
+    [min_support] (default 1) sources' support. *)
+
+val similarity : string -> string -> float
+(** Character-bigram Dice similarity of normalized labels, in [0, 1];
+    1.0 for equal labels.  Used to match stray tokens against the
+    domain vocabulary. *)
+
+val best_match : knowledge -> ?threshold:float -> string -> string option
+(** [best_match k label] is the most similar known attribute at or above
+    [threshold] (default 0.55). *)
+
+val refine :
+  knowledge ->
+  Wqi_core.Extractor.extraction ->
+  Wqi_model.Semantic_model.t
+(** [refine k extraction] returns the repaired semantic model.  The
+    input extraction is not modified; unresolvable errors are kept. *)

@@ -1,0 +1,1 @@
+lib/stdgrammar/lexicon.mli:

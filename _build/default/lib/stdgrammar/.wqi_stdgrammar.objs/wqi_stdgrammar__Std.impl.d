@@ -1,0 +1,1 @@
+lib/stdgrammar/std.ml: Array Fmt Lexicon List Wqi_grammar Wqi_layout Wqi_model Wqi_token

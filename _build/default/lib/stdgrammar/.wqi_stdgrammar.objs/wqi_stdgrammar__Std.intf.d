@@ -1,0 +1,1 @@
+lib/stdgrammar/std.mli: Wqi_grammar

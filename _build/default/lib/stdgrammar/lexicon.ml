@@ -1,0 +1,171 @@
+let lowercase = String.lowercase_ascii
+
+let contains_substring ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec at i =
+    if i + n > h then false
+    else if String.sub haystack i n = needle then true
+    else at (i + 1)
+  in
+  n > 0 && at 0
+
+let operator_keywords =
+  [ "contain"; "start"; "begin"; "end with"; "ends with"; "exact";
+    "equal"; "match"; "is exactly"; "keyword"; "phrase"; "all of";
+    "any of"; "at least"; "at most"; "greater"; "less"; "more than";
+    "fewer"; "before"; "after"; "between"; "similar"; "like";
+    "first name"; "last name"; "initials"; "whole word"; "substring";
+    "prefix"; "suffix" ]
+
+let is_operator_phrase s =
+  let s = lowercase (String.trim s) in
+  s <> "" && List.exists (fun kw -> contains_substring ~needle:kw s) operator_keywords
+
+let all_operator_options options =
+  List.length options >= 2 && List.for_all is_operator_phrase options
+
+let bound_markers =
+  [ "from"; "to"; "min"; "max"; "minimum"; "maximum"; "under"; "over";
+    "between"; "and"; "at least"; "at most"; "low"; "high"; "lowest";
+    "highest"; "up to" ]
+
+let strip_label_punctuation s =
+  let s = String.trim (lowercase s) in
+  let n = String.length s in
+  let rec last i =
+    if i > 0 && (s.[i - 1] = ':' || s.[i - 1] = '$' || s.[i - 1] = '.')
+    then last (i - 1)
+    else i
+  in
+  let rec first i =
+    if i < n && (s.[i] = '$' || s.[i] = '(') then first (i + 1) else i
+  in
+  let f = first 0 and l = last n in
+  if l > f then String.sub s f (l - f) else ""
+
+let is_bound_marker s = List.mem (strip_label_punctuation s) bound_markers
+
+let unit_words =
+  [ "miles"; "mile"; "mi"; "km"; "kilometers"; "nights"; "night"; "days";
+    "day"; "years"; "yrs"; "dollars"; "usd"; "%"; "percent"; "sq ft";
+    "sqft"; "lbs"; "kg"; "people"; "guests"; "rooms"; "passengers" ]
+
+let is_unit_word s = List.mem (strip_label_punctuation s) unit_words
+
+let month_names =
+  [ "january"; "february"; "march"; "april"; "may"; "june"; "july";
+    "august"; "september"; "october"; "november"; "december";
+    "jan"; "feb"; "mar"; "apr"; "jun"; "jul"; "aug"; "sep"; "sept";
+    "oct"; "nov"; "dec" ]
+
+let is_int s = match int_of_string_opt (String.trim s) with
+  | Some _ -> true
+  | None -> false
+
+let as_int s = int_of_string_opt (String.trim s)
+
+let is_month s =
+  let s = lowercase (String.trim s) in
+  List.mem s month_names
+  || (match as_int s with Some m -> m >= 1 && m <= 12 | None -> false)
+
+let is_day s =
+  match as_int s with Some d -> d >= 1 && d <= 31 | None -> false
+
+let is_year s =
+  match as_int s with Some y -> y >= 1900 && y <= 2100 | None -> false
+
+let is_hour_or_minute s =
+  let s = lowercase (String.trim s) in
+  match as_int s with
+  | Some v -> v >= 0 && v <= 59
+  | None ->
+    contains_substring ~needle:"am" s || contains_substring ~needle:"pm" s
+    || contains_substring ~needle:":" s
+
+let header_placeholders = [ "mm"; "dd"; "yy"; "yyyy"; "month"; "day"; "year";
+                            "hour"; "minute"; "time"; "hh"; "mi"; "--" ]
+
+let significant_options options =
+  List.filter
+    (fun o -> not (List.mem (lowercase (String.trim o)) header_placeholders))
+    options
+
+let date_component options =
+  let significant = significant_options options in
+  match significant with
+  | [] -> if options = [] then `None else `Day
+  | _ ->
+    let all pred = List.for_all pred significant in
+    if List.length significant < 2 then `None
+    else if all (fun s -> is_month s && not (is_day s)) then `Month
+    else if all is_year then `Year
+    else if all is_day then `Day
+    else if all is_hour_or_minute then `Time
+    else `None
+
+let is_dateish_options options = date_component options <> `None
+
+let plausible_date_combo option_lists =
+  let components = List.map date_component option_lists in
+  match components with
+  | [ a; b; c ] ->
+    (* A composite date: month, day and year in any order.  Numeric month
+       lists (1..12) classify as `Day, hence the second form. *)
+    let sorted = List.sort compare [ a; b; c ] in
+    sorted = List.sort compare [ `Month; `Day; `Year ]
+    || sorted = List.sort compare [ `Day; `Day; `Year ]
+  | [ a; b ] ->
+    (* Month/day, month/year, day/year pairs or an hour/minute pair; two
+       generic number lists (e.g. passenger counts) do not qualify. *)
+    (match List.sort compare [ a; b ] with
+     | [ `Day; `Month ] | [ `Month; `Year ] | [ `Day; `Year ]
+     | [ `Time; `Time ] ->
+       true
+     | _ -> false)
+  | _ -> false
+
+let split_unit_prefix s =
+  let s = String.trim s in
+  match String.index_opt s ' ' with
+  | None -> None
+  | Some i ->
+    let first = String.sub s 0 i in
+    let rest = String.trim (String.sub s i (String.length s - i)) in
+    if not (is_unit_word first) || rest = "" then None
+    else begin
+      let label =
+        if String.length rest > 3 && String.lowercase_ascii (String.sub rest 0 3) = "of "
+        then String.trim (String.sub rest 3 (String.length rest - 3))
+        else rest
+      in
+      if label = "" then None else Some (first, label)
+    end
+
+let split_bound_suffix s =
+  let s = String.trim s in
+  match String.rindex_opt s ' ' with
+  | None -> None
+  | Some i ->
+    let prefix = String.trim (String.sub s 0 i) in
+    let suffix = String.sub s (i + 1) (String.length s - i - 1) in
+    if prefix <> "" && is_bound_marker suffix
+       && not (is_bound_marker prefix)
+    then Some (prefix, suffix)
+    else None
+
+let word_count s =
+  String.split_on_char ' ' (String.trim s)
+  |> List.filter (fun w -> w <> "")
+  |> List.length
+
+let plausible_attribute s =
+  let s = String.trim s in
+  let n = String.length s in
+  n > 0 && n <= 60
+  && word_count s <= 6
+  && (not (is_int s))
+  && String.exists
+       (fun c -> (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'))
+       s
+  && not (n > 1 && s.[n - 1] = '!')

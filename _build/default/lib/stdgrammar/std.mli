@@ -1,0 +1,31 @@
+(** The derived global 2P grammar.
+
+    The paper derives a single grammar from the 150-source Basic dataset
+    (21 recurring condition patterns; 82 productions, 39 nonterminals, 16
+    terminals) and shows it generalizes to new sources, new domains and
+    random sources.  This module is our derivation of that grammar for
+    the same pattern vocabulary.
+
+    Nonterminal inventory (paper names kept where they exist):
+
+    - atoms: [Attr], [Val], [SelVal], [OpSel], [BoundWord], [Action],
+      [Decor]
+    - radio/checkbox structure: [RBU], [RBList], [CBU], [CBList], [Op]
+    - condition patterns: [TextVal], [TextOp], [SelectCP], [EnumRB],
+      [CheckCP], [CBSolo], [RangeCP], [RangeSelCP], [DateCP],
+      [KeywordCP]
+    - assembly: [CP], [HQI], [QI] (start symbol)
+
+    Preferences encode the precedence conventions of Section 4.2
+    (R1: a radio/checkbox unit beats an attribute on a shared text
+    token; R2: the longer of two subsuming lists wins; pattern-level
+    precedence such as TextOp over TextVal; and closest-pairing for
+    equal-type conflicts). *)
+
+val grammar : Wqi_grammar.Grammar.t
+(** The derived grammar; passes [Grammar.validate]. *)
+
+val start : Wqi_grammar.Symbol.t
+(** The start symbol [QI]. *)
+
+val terminals : Wqi_grammar.Symbol.t list

@@ -1,0 +1,1 @@
+lib/survey/survey.ml: Hashtbl List Option Wqi_corpus

@@ -1,0 +1,1 @@
+lib/survey/survey.mli: Wqi_corpus

@@ -1,0 +1,80 @@
+module Pattern = Wqi_corpus.Pattern
+module Generator = Wqi_corpus.Generator
+
+type occurrence = {
+  source_index : int;
+  source_id : string;
+  domain : string;
+  patterns : Pattern.id list;
+}
+
+let occurrences sources =
+  List.mapi
+    (fun i (s : Generator.source) ->
+       { source_index = i + 1;
+         source_id = s.id;
+         domain = s.domain;
+         patterns = List.sort_uniq compare s.patterns })
+    sources
+
+let growth_curve occs =
+  let seen = Hashtbl.create 32 in
+  List.map
+    (fun occ ->
+       List.iter (fun p -> Hashtbl.replace seen p ()) occ.patterns;
+       (occ.source_index, Hashtbl.length seen))
+    occs
+
+let frequency_by_rank occs =
+  let totals : (Pattern.id, int) Hashtbl.t = Hashtbl.create 32 in
+  let by_domain : (Pattern.id * string, int) Hashtbl.t = Hashtbl.create 64 in
+  let domains = ref [] in
+  List.iter
+    (fun occ ->
+       if not (List.mem occ.domain !domains) then
+         domains := occ.domain :: !domains;
+       List.iter
+         (fun p ->
+            Hashtbl.replace totals p
+              (1 + Option.value ~default:0 (Hashtbl.find_opt totals p));
+            let key = (p, occ.domain) in
+            Hashtbl.replace by_domain key
+              (1 + Option.value ~default:0 (Hashtbl.find_opt by_domain key)))
+         occ.patterns)
+    occs;
+  let domains = List.rev !domains in
+  Hashtbl.fold (fun p total acc -> (p, total) :: acc) totals []
+  |> List.sort (fun (pa, a) (pb, b) ->
+      match compare b a with 0 -> compare pa pb | c -> c)
+  |> List.map (fun (p, total) ->
+      let breakdown =
+        List.map
+          (fun d ->
+             (d, Option.value ~default:0 (Hashtbl.find_opt by_domain (p, d))))
+          domains
+      in
+      (p, total, breakdown))
+
+let domain_first_new_pattern occs =
+  let seen = Hashtbl.create 32 in
+  let new_by_domain = Hashtbl.create 8 in
+  let domain_order = ref [] in
+  List.iter
+    (fun occ ->
+       if not (List.mem occ.domain !domain_order) then
+         domain_order := occ.domain :: !domain_order;
+       List.iter
+         (fun p ->
+            if not (Hashtbl.mem seen p) then begin
+              Hashtbl.replace seen p ();
+              Hashtbl.replace new_by_domain occ.domain
+                (1
+                 + Option.value ~default:0
+                     (Hashtbl.find_opt new_by_domain occ.domain))
+            end)
+         occ.patterns)
+    occs;
+  List.rev_map
+    (fun d ->
+       (d, Option.value ~default:0 (Hashtbl.find_opt new_by_domain d)))
+    !domain_order

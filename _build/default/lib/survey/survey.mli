@@ -1,0 +1,27 @@
+(** The motivating survey (paper Section 3.1, Figure 4): condition
+    patterns as the building-block vocabulary of query interfaces. *)
+
+type occurrence = {
+  source_index : int;   (** x-axis position, in dataset order *)
+  source_id : string;
+  domain : string;
+  patterns : Wqi_corpus.Pattern.id list;  (** distinct patterns used *)
+}
+
+val occurrences : Wqi_corpus.Generator.source list -> occurrence list
+
+val growth_curve : occurrence list -> (int * int) list
+(** Figure 4(a): after each source (1-based index), the cumulative number
+    of distinct patterns observed.  The curve's flattening is the paper's
+    "concerted structure" evidence. *)
+
+val frequency_by_rank :
+  occurrence list ->
+  (Wqi_corpus.Pattern.id * int * (string * int) list) list
+(** Figure 4(b): patterns with total occurrence counts, sorted most
+    frequent first, each with its per-domain breakdown. *)
+
+val domain_first_new_pattern : occurrence list -> (string * int) list
+(** For each domain (in order of first appearance), how many patterns it
+    introduced that earlier domains had not used — evidence that the
+    vocabulary is generic rather than domain-specific. *)

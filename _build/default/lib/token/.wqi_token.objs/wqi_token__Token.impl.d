@@ -1,0 +1,1 @@
+lib/token/token.ml: Fmt Wqi_layout

@@ -1,0 +1,1 @@
+lib/token/tokenize.ml: List String Token Wqi_html Wqi_layout

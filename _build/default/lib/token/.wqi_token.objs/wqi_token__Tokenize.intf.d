@@ -1,0 +1,1 @@
+lib/token/tokenize.mli: Token Wqi_html

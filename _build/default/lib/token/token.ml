@@ -1,0 +1,47 @@
+type kind =
+  | Text
+  | Textbox
+  | Selection
+  | Radio
+  | Checkbox
+  | Button
+  | Image
+
+type t = {
+  id : int;
+  kind : kind;
+  box : Wqi_layout.Geometry.box;
+  sval : string;
+  name : string;
+  options : string list;
+  value : string;
+  checked : bool;
+  multiple : bool;
+}
+
+let kind_name = function
+  | Text -> "text"
+  | Textbox -> "textbox"
+  | Selection -> "selection"
+  | Radio -> "radio"
+  | Checkbox -> "checkbox"
+  | Button -> "button"
+  | Image -> "image"
+
+let pp ppf t =
+  Fmt.pf ppf "#%d %s %a %S" t.id (kind_name t.kind) Wqi_layout.Geometry.pp
+    t.box t.sval
+
+let is_field t =
+  match t.kind with
+  | Textbox | Selection | Radio | Checkbox -> true
+  | Text | Button | Image -> false
+
+let describe t =
+  match t.kind with
+  | Text -> Fmt.str "text %S" t.sval
+  | Selection -> Fmt.str "selection list %S" t.name
+  | kind ->
+    if t.sval <> "" then Fmt.str "%s %S" (kind_name kind) t.sval
+    else if t.name <> "" then Fmt.str "%s %S" (kind_name kind) t.name
+    else kind_name kind

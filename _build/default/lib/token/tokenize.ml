@@ -1,0 +1,67 @@
+module Dom = Wqi_html.Dom
+module Engine = Wqi_layout.Engine
+
+let option_labels node =
+  Dom.find_all (Dom.is_element ~named:"option") node
+  |> List.map (fun opt -> String.trim (Dom.text_content opt))
+  |> List.filter (fun label -> label <> "")
+
+let classify_widget node =
+  match Dom.name node with
+  | "input" ->
+    let input_type =
+      String.lowercase_ascii (Dom.attr_default "type" ~default:"text" node)
+    in
+    (match input_type with
+     | "radio" -> Some (Token.Radio, "")
+     | "checkbox" -> Some (Token.Checkbox, "")
+     | "submit" | "reset" | "button" ->
+       Some (Token.Button, Dom.attr_default "value" ~default:"Submit" node)
+     | "image" ->
+       Some (Token.Button, Dom.attr_default "alt" ~default:"" node)
+     | "hidden" -> None
+     | _ -> Some (Token.Textbox, ""))
+  | "textarea" -> Some (Token.Textbox, "")
+  | "select" -> Some (Token.Selection, "")
+  | "button" -> Some (Token.Button, String.trim (Dom.text_content node))
+  | "img" -> Some (Token.Image, Dom.attr_default "alt" ~default:"" node)
+  | _ -> None
+
+let of_document ?width doc =
+  let atoms = Engine.render ?width doc in
+  let next_id = ref 0 in
+  let fresh () =
+    let id = !next_id in
+    incr next_id;
+    id
+  in
+  List.filter_map
+    (fun { Engine.item; box } ->
+       match item with
+       | Engine.Text_run s ->
+         let s = String.trim s in
+         if s = "" then None
+         else
+           Some
+             { Token.id = fresh (); kind = Token.Text; box; sval = s;
+               name = ""; options = []; value = ""; checked = false;
+               multiple = false }
+       | Engine.Widget node ->
+         (match classify_widget node with
+          | None -> None
+          | Some (kind, sval) ->
+            let options =
+              match kind with
+              | Token.Selection -> option_labels node
+              | _ -> []
+            in
+            Some
+              { Token.id = fresh (); kind; box; sval;
+                name = Dom.attr_default "name" ~default:"" node;
+                options;
+                value = Dom.attr_default "value" ~default:"" node;
+                checked = Dom.has_attr "checked" node;
+                multiple = Dom.has_attr "multiple" node }))
+    atoms
+
+let of_html ?width markup = of_document ?width (Wqi_html.Parser.parse markup)

@@ -1,0 +1,13 @@
+(** Front-end of the form extractor: HTML to token set.
+
+    Combines the HTML parser and layout engine and classifies every
+    rendered atom into a terminal token.  Ids are assigned densely in
+    reading order, so token id [k] corresponds to bit [k] in the parser's
+    coverage bitsets. *)
+
+val of_document : ?width:int -> Wqi_html.Dom.t -> Token.t list
+(** [of_document doc] renders [doc] and classifies its atoms.  [width]
+    is the page width handed to the layout engine. *)
+
+val of_html : ?width:int -> string -> Token.t list
+(** [of_html markup] is [of_document (Wqi_html.Parser.parse markup)]. *)

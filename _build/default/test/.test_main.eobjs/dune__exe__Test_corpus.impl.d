@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Array Filename List String Sys Wqi_corpus Wqi_html Wqi_token

@@ -1,0 +1,1 @@
+test/test_derive.ml: Alcotest List String Wqi_core Wqi_corpus Wqi_eval Wqi_grammar Wqi_stdgrammar

@@ -1,0 +1,1 @@
+test/test_extractor.ml: Alcotest List Wqi_baseline Wqi_core Wqi_corpus Wqi_eval Wqi_grammar Wqi_metrics Wqi_model Wqi_stdgrammar Wqi_survey

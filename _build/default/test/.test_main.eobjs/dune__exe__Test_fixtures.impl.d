@@ -1,0 +1,1 @@
+test/test_fixtures.ml: Alcotest Fixtures List String Wqi_core Wqi_metrics Wqi_model

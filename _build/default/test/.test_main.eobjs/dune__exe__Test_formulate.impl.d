@@ -1,0 +1,1 @@
+test/test_formulate.ml: Alcotest List Result Wqi_core Wqi_model

@@ -1,0 +1,1 @@
+test/test_grammar.ml: Alcotest List Printf String Wqi_grammar Wqi_layout Wqi_model Wqi_token

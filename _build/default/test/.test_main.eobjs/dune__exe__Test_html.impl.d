@@ -1,0 +1,1 @@
+test/test_html.ml: Alcotest Fmt List Option Wqi_html

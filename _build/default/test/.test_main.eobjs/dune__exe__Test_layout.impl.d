@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest List Option Printf String Wqi_html Wqi_layout

@@ -1,0 +1,1 @@
+test/test_match.ml: Alcotest List String Wqi_core Wqi_corpus Wqi_match Wqi_model

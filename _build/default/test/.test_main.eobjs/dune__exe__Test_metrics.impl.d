@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Wqi_metrics Wqi_model

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Fmt List Printf Wqi_model

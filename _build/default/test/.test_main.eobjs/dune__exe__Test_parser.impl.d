@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Array List Option Printf Wqi_grammar Wqi_layout Wqi_model Wqi_parser Wqi_stdgrammar Wqi_token

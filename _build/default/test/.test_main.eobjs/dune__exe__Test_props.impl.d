@@ -1,0 +1,1 @@
+test/test_props.ml: Fmt Fun Int64 List Printf QCheck QCheck_alcotest String Wqi_core Wqi_corpus Wqi_grammar Wqi_html Wqi_layout Wqi_model Wqi_parser Wqi_stdgrammar Wqi_token

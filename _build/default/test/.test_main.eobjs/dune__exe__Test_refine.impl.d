@@ -1,0 +1,1 @@
+test/test_refine.ml: Alcotest List Wqi_core Wqi_model Wqi_refine

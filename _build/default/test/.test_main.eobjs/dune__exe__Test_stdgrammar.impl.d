@@ -1,0 +1,1 @@
+test/test_stdgrammar.ml: Alcotest List Printf String Wqi_core Wqi_corpus Wqi_grammar Wqi_html Wqi_metrics Wqi_model Wqi_stdgrammar

@@ -1,0 +1,1 @@
+test/test_token.ml: Alcotest Fmt List Wqi_layout Wqi_token

@@ -1,0 +1,240 @@
+(* Tests for the synthetic corpus: PRNG, vocabularies, pattern templates,
+   generator and datasets. *)
+
+module Prng = Wqi_corpus.Prng
+module Vocabulary = Wqi_corpus.Vocabulary
+module Pattern = Wqi_corpus.Pattern
+module Generator = Wqi_corpus.Generator
+module Dataset = Wqi_corpus.Dataset
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- prng --- *)
+
+let test_prng_determinism () =
+  let a = Prng.create 42L and b = Prng.create 42L in
+  let seq g = List.init 20 (fun _ -> Prng.int g 1000) in
+  Alcotest.(check (list int)) "same stream" (seq a) (seq b)
+
+let test_prng_bounds () =
+  let g = Prng.create 1L in
+  for _ = 1 to 1000 do
+    let v = Prng.int g 7 in
+    check_bool "in range" true (v >= 0 && v < 7)
+  done;
+  Alcotest.check_raises "zero bound"
+    (Invalid_argument "Prng.int: bound must be positive") (fun () ->
+        ignore (Prng.int g 0))
+
+let test_prng_float () =
+  let g = Prng.create 2L in
+  for _ = 1 to 1000 do
+    let v = Prng.float g 1.0 in
+    check_bool "in [0,1)" true (v >= 0. && v < 1.)
+  done
+
+let test_prng_pick_weighted () =
+  let g = Prng.create 3L in
+  for _ = 1 to 100 do
+    let v = Prng.weighted_pick g [ ("a", 0.0); ("b", 5.0) ] in
+    Alcotest.(check string) "zero weight never picked" "b" v
+  done
+
+let test_prng_sample () =
+  let g = Prng.create 4L in
+  let items = [ 1; 2; 3; 4; 5 ] in
+  let s = Prng.sample g 3 items in
+  check_int "size" 3 (List.length s);
+  check_int "distinct" 3 (List.length (List.sort_uniq compare s));
+  check_bool "subset" true (List.for_all (fun x -> List.mem x items) s);
+  (* Order preserved relative to the source list. *)
+  check_bool "order preserved" true (List.sort compare s = s);
+  Alcotest.(check (list int)) "oversample returns all" items
+    (Prng.sample g 99 items)
+
+let test_prng_split_independent () =
+  let g = Prng.create 5L in
+  let child = Prng.split g in
+  check_bool "different streams" true (Prng.int g 1000000 <> Prng.int child 1000000 || Prng.int g 1000000 <> Prng.int child 1000000)
+
+(* --- vocabulary --- *)
+
+let test_vocabulary_well_formed () =
+  check_int "three core domains" 3 (List.length Vocabulary.core_three);
+  check_int "six new domains" 6 (List.length Vocabulary.new_six);
+  check_bool "extended present" true (List.length Vocabulary.extended >= 6);
+  List.iter
+    (fun (d : Vocabulary.domain) ->
+       check_bool (d.name ^ " has attributes") true
+         (List.length d.attributes >= 5);
+       List.iter
+         (fun (a : Vocabulary.attribute) ->
+            check_bool (d.name ^ "/" ^ a.label ^ " nonempty") true
+              (String.length a.label > 0);
+            match a.kind with
+            | Vocabulary.Enum values | Vocabulary.Numeric values ->
+              check_bool "enum values nonempty" true (List.length values >= 2)
+            | Vocabulary.Free_text | Vocabulary.Money | Vocabulary.Date
+            | Vocabulary.Time ->
+              ())
+         d.attributes)
+    Vocabulary.all
+
+let test_vocabulary_find () =
+  Alcotest.(check string) "find books" "Books" (Vocabulary.find "Books").name;
+  Alcotest.check_raises "missing" Not_found (fun () ->
+      ignore (Vocabulary.find "Nope"))
+
+(* --- patterns --- *)
+
+let test_pattern_ranks () =
+  check_int "25 in-vocabulary patterns" 25 (List.length Pattern.in_vocabulary);
+  check_int "top rank" 1 (Pattern.rank Pattern.Attr_left_text);
+  check_int "oog rank" 0 (Pattern.rank Pattern.Oog_double_box);
+  check_bool "zipf monotone" true
+    (Pattern.zipf_weight Pattern.Attr_left_text
+     > Pattern.zipf_weight Pattern.Text_op_radio_right);
+  check_bool "oog weight zero" true
+    (Pattern.zipf_weight Pattern.Oog_image_label = 0.)
+
+let test_pattern_render_all_applicable () =
+  (* Every applicable (attribute, pattern) combination renders without
+     raising and its truth carries the attribute's label or "". *)
+  let g = Prng.create 11L in
+  List.iter
+    (fun (d : Vocabulary.domain) ->
+       List.iter
+         (fun (a : Vocabulary.attribute) ->
+            List.iter
+              (fun p ->
+                 let field_seq = ref 0 in
+                 let r = Pattern.render g ~field_seq a p in
+                 check_bool "nodes nonempty" true (r.nodes <> []);
+                 check_bool "pattern recorded" true (r.pattern = p))
+              (Pattern.applicable a @ Pattern.applicable_oog a))
+         d.attributes)
+    Vocabulary.all
+
+let test_pattern_not_applicable_raises () =
+  let g = Prng.create 12L in
+  let field_seq = ref 0 in
+  let money_attr =
+    List.find
+      (fun (a : Vocabulary.attribute) -> a.kind = Vocabulary.Money)
+      (Vocabulary.find "Books").attributes
+  in
+  check_bool "raises" true
+    (try
+       ignore (Pattern.render g ~field_seq money_attr Pattern.Date_mdy);
+       false
+     with Invalid_argument _ -> true)
+
+let test_pattern_unique_field_names () =
+  let g = Prng.create 13L in
+  let field_seq = ref 0 in
+  let attr =
+    List.hd (Vocabulary.find "Books").attributes
+  in
+  let r1 = Pattern.render g ~field_seq attr Pattern.Attr_left_text in
+  let r2 = Pattern.render g ~field_seq attr Pattern.Attr_left_text in
+  let name nodes =
+    let html = Wqi_html.Printer.fragment_to_string nodes in
+    html
+  in
+  check_bool "distinct field names" true (name r1.nodes <> name r2.nodes)
+
+(* --- generator --- *)
+
+let books () = Vocabulary.find "Books"
+
+let test_generator_deterministic () =
+  let gen seed =
+    Generator.generate (Prng.create seed) ~id:"x" ~domain:(books ())
+      ~complexity:`Rich ~oog_prob:0.1 ()
+  in
+  let a = gen 99L and b = gen 99L in
+  Alcotest.(check string) "same html" a.html b.html;
+  check_int "same truth size" (List.length a.truth) (List.length b.truth)
+
+let test_generator_truth_matches_conditions () =
+  let s =
+    Generator.generate (Prng.create 7L) ~id:"x" ~domain:(books ())
+      ~complexity:`Rich ~oog_prob:0. ()
+  in
+  check_bool "2..8 conditions" true
+    (List.length s.truth >= 2 && List.length s.truth <= 8);
+  check_int "patterns recorded for each in-vocab condition"
+    (List.length s.truth) (List.length s.patterns)
+
+let test_generator_html_parses () =
+  let s =
+    Generator.generate (Prng.create 8L) ~id:"x" ~domain:(books ())
+      ~complexity:`Rich ~oog_prob:0.2 ()
+  in
+  let tokens = Wqi_token.Tokenize.of_html s.html in
+  check_bool "form produces tokens" true
+    (List.length tokens >= 2 * List.length s.truth)
+
+(* --- datasets --- *)
+
+let test_dataset_sizes () =
+  check_int "basic" 150 (List.length (Dataset.basic ()).sources);
+  check_int "new source" 30 (List.length (Dataset.new_source ()).sources);
+  check_int "new domain" 42 (List.length (Dataset.new_domain ()).sources);
+  check_int "random" 30 (List.length (Dataset.random ()).sources)
+
+let test_dataset_domains () =
+  let domains_of (d : Dataset.t) =
+    List.sort_uniq compare
+      (List.map (fun (s : Generator.source) -> s.domain) d.sources)
+  in
+  Alcotest.(check (list string)) "basic domains"
+    [ "Airfares"; "Automobiles"; "Books" ]
+    (domains_of (Dataset.basic ()));
+  check_int "new domains" 6 (List.length (domains_of (Dataset.new_domain ())));
+  check_bool "random spans many domains" true
+    (List.length (domains_of (Dataset.random ())) >= 8)
+
+let test_dataset_reproducible () =
+  let a = Dataset.random () and b = Dataset.random () in
+  List.iter2
+    (fun (x : Generator.source) (y : Generator.source) ->
+       Alcotest.(check string) "same id" x.id y.id;
+       Alcotest.(check string) "same html" x.html y.html)
+    a.sources b.sources
+
+let test_dataset_save () =
+  let dir = Filename.temp_file "wqi" "" in
+  Sys.remove dir;
+  let ds = Dataset.new_source () in
+  Dataset.save ~dir ds;
+  check_bool "manifest written" true
+    (Sys.file_exists (Filename.concat dir "NewSource/MANIFEST"));
+  let html_files =
+    Sys.readdir (Filename.concat dir "NewSource")
+    |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".html")
+  in
+  check_int "one file per source" 30 (List.length html_files)
+
+let suite =
+  [ ("prng: determinism", `Quick, test_prng_determinism);
+    ("prng: bounds", `Quick, test_prng_bounds);
+    ("prng: float", `Quick, test_prng_float);
+    ("prng: weighted pick", `Quick, test_prng_pick_weighted);
+    ("prng: sample", `Quick, test_prng_sample);
+    ("prng: split", `Quick, test_prng_split_independent);
+    ("vocabulary: well formed", `Quick, test_vocabulary_well_formed);
+    ("vocabulary: find", `Quick, test_vocabulary_find);
+    ("pattern: ranks", `Quick, test_pattern_ranks);
+    ("pattern: render all applicable", `Quick, test_pattern_render_all_applicable);
+    ("pattern: inapplicable raises", `Quick, test_pattern_not_applicable_raises);
+    ("pattern: unique field names", `Quick, test_pattern_unique_field_names);
+    ("generator: deterministic", `Quick, test_generator_deterministic);
+    ("generator: truth bookkeeping", `Quick, test_generator_truth_matches_conditions);
+    ("generator: html parses", `Quick, test_generator_html_parses);
+    ("dataset: sizes", `Quick, test_dataset_sizes);
+    ("dataset: domains", `Quick, test_dataset_domains);
+    ("dataset: reproducible", `Quick, test_dataset_reproducible);
+    ("dataset: save", `Quick, test_dataset_save) ]

@@ -1,0 +1,242 @@
+(* Unit tests for the HTML substrate: entities, lexer, tree builder,
+   serializer. *)
+
+module Entity = Wqi_html.Entity
+module Lexer = Wqi_html.Lexer
+module Dom = Wqi_html.Dom
+module Parser = Wqi_html.Parser
+module Printer = Wqi_html.Printer
+
+let check = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- entities --- *)
+
+let test_named_entities () =
+  check "amp" "&" (Entity.decode "&amp;");
+  check "lt-gt" "<tag>" (Entity.decode "&lt;tag&gt;");
+  check "quote" "\"q\"" (Entity.decode "&quot;q&quot;");
+  check "nbsp is utf8" "\xc2\xa0" (Entity.decode "&nbsp;")
+
+let test_numeric_entities () =
+  check "decimal" "A" (Entity.decode "&#65;");
+  check "hex" "A" (Entity.decode "&#x41;");
+  check "hex uppercase X" "A" (Entity.decode "&#X41;");
+  check "two-byte" "\xc2\xa9" (Entity.decode "&#169;");
+  check "three-byte" "\xe2\x82\xac" (Entity.decode "&#8364;");
+  check "replacement for surrogate" "\xef\xbf\xbd" (Entity.decode "&#xD800;");
+  check "replacement for out of range" "\xef\xbf\xbd"
+    (Entity.decode "&#1114112;")
+
+let test_entity_recovery () =
+  check "bare ampersand kept" "a & b" (Entity.decode "a & b");
+  check "unknown entity kept" "&bogus;" (Entity.decode "&bogus;");
+  check "missing semicolon still decodes" "a<b" (Entity.decode "a&ltb");
+  check "single pass" "&amp;" (Entity.decode "&amp;amp;");
+  check "uppercase legacy name" "<" (Entity.decode "&LT;")
+
+let test_entity_encode () =
+  check "text escape" "a &amp; &lt;b&gt;" (Entity.encode_text "a & <b>");
+  check "attribute escape" "say &quot;hi&quot;"
+    (Entity.encode_attribute "say \"hi\"");
+  check "text keeps quotes" "\"q\"" (Entity.encode_text "\"q\"");
+  check "roundtrip" "a & <b>" (Entity.decode (Entity.encode_text "a & <b>"))
+
+(* --- lexer --- *)
+
+let tokens_of = Lexer.tokenize
+
+let test_lexer_basic () =
+  match tokens_of "<p>hi</p>" with
+  | [ Lexer.Open ("p", [], false); Lexer.Text "hi"; Lexer.Close "p" ] -> ()
+  | toks ->
+    Alcotest.failf "unexpected tokens: %a"
+      Fmt.(list ~sep:comma Lexer.pp_token)
+      toks
+
+let test_lexer_attributes () =
+  match tokens_of {|<input type="text" NAME='q' checked size=20>|} with
+  | [ Lexer.Open ("input", attrs, false) ] ->
+    check "type" "text" (List.assoc "type" attrs);
+    check "lowercased name" "q" (List.assoc "name" attrs);
+    check "valueless" "" (List.assoc "checked" attrs);
+    check "unquoted" "20" (List.assoc "size" attrs)
+  | _ -> Alcotest.fail "expected one open tag"
+
+let test_lexer_attribute_entities () =
+  match tokens_of {|<a title="a&amp;b">|} with
+  | [ Lexer.Open ("a", [ ("title", v) ], false) ] -> check "decoded" "a&b" v
+  | _ -> Alcotest.fail "expected one open tag"
+
+let test_lexer_self_closing () =
+  match tokens_of "<br/>" with
+  | [ Lexer.Open ("br", [], true) ] -> ()
+  | _ -> Alcotest.fail "expected self-closing br"
+
+let test_lexer_comment_doctype () =
+  match tokens_of "<!DOCTYPE html><!-- note --><b>x</b>" with
+  | [ Lexer.Doctype _; Lexer.Comment " note "; Lexer.Open ("b", [], false);
+      Lexer.Text "x"; Lexer.Close "b" ] ->
+    ()
+  | toks ->
+    Alcotest.failf "unexpected tokens: %a"
+      Fmt.(list ~sep:comma Lexer.pp_token)
+      toks
+
+let test_lexer_raw_text () =
+  (match tokens_of "<script>if (a < b) x();</script>" with
+   | [ Lexer.Open ("script", [], false); Lexer.Text body; Lexer.Close "script" ]
+     ->
+     check "verbatim" "if (a < b) x();" body
+   | _ -> Alcotest.fail "script content must be raw");
+  match tokens_of "<textarea>a &amp; b</textarea>" with
+  | [ Lexer.Open ("textarea", [], false); Lexer.Text body;
+      Lexer.Close "textarea" ] ->
+    check "decoded" "a & b" body
+  | _ -> Alcotest.fail "textarea content must be text"
+
+let test_lexer_recovery () =
+  (match tokens_of "a < b" with
+   | [ Lexer.Text t ] -> check "lone < is text" "a < b" t
+   | _ -> Alcotest.fail "expected one text run");
+  (match tokens_of "<p" with
+   | [ Lexer.Open ("p", [], false) ] -> ()
+   | _ -> Alcotest.fail "unterminated tag extends to eof");
+  match tokens_of "<!-- unterminated" with
+  | [ Lexer.Comment " unterminated" ] -> ()
+  | _ -> Alcotest.fail "unterminated comment extends to eof"
+
+let test_lexer_processing_instruction () =
+  match tokens_of "<?xml version=\"1.0\"?>x" with
+  | [ Lexer.Text "x" ] -> ()
+  | _ -> Alcotest.fail "processing instructions are dropped"
+
+(* --- tree builder --- *)
+
+let body_of html =
+  match Wqi_html.Parser.parse html with
+  | Dom.Element ("html", _, [ (Dom.Element ("body", _, _) as body) ]) -> body
+  | _ -> Alcotest.fail "expected html > body skeleton"
+
+let test_parser_skeleton () =
+  let body = body_of "hello" in
+  check "text content" "hello" (Dom.text_content body)
+
+let test_parser_nesting () =
+  match Parser.parse_fragment "<div><b>x</b><i>y</i></div>" with
+  | [ Dom.Element ("div", [], [ Dom.Element ("b", _, _); Dom.Element ("i", _, _) ]) ]
+    ->
+    ()
+  | _ -> Alcotest.fail "bad nesting"
+
+let test_parser_void_elements () =
+  match Parser.parse_fragment "<p>a<br>b</p>" with
+  | [ Dom.Element ("p", _, [ Dom.Text "a"; Dom.Element ("br", _, []); Dom.Text "b" ]) ]
+    ->
+    ()
+  | _ -> Alcotest.fail "br must be void and stay inside p"
+
+let test_parser_implicit_li () =
+  match Parser.parse_fragment "<ul><li>a<li>b</ul>" with
+  | [ Dom.Element ("ul", _, [ Dom.Element ("li", _, _); Dom.Element ("li", _, _) ]) ]
+    ->
+    ()
+  | _ -> Alcotest.fail "li must close previous li"
+
+let test_parser_implicit_cells () =
+  match Parser.parse_fragment "<table><tr><td>a<td>b<tr><td>c</table>" with
+  | [ Dom.Element
+        ( "table", _,
+          [ Dom.Element ("tr", _, [ Dom.Element ("td", _, _); Dom.Element ("td", _, _) ]);
+            Dom.Element ("tr", _, [ Dom.Element ("td", _, _) ]) ] ) ] ->
+    ()
+  | frag ->
+    Alcotest.failf "bad table recovery: %a" Fmt.(list ~sep:comma Dom.pp) frag
+
+let test_parser_implicit_option () =
+  match Parser.parse_fragment "<select><option>a<option>b</select>" with
+  | [ Dom.Element ("select", _, opts) ] -> check_int "options" 2 (List.length opts)
+  | _ -> Alcotest.fail "bad select recovery"
+
+let test_parser_p_closed_by_block () =
+  match Parser.parse_fragment "<p>a<div>b</div>" with
+  | [ Dom.Element ("p", _, [ Dom.Text "a" ]); Dom.Element ("div", _, _) ] -> ()
+  | frag ->
+    Alcotest.failf "p must close before div: %a"
+      Fmt.(list ~sep:comma Dom.pp)
+      frag
+
+let test_parser_mismatched_close () =
+  match Parser.parse_fragment "<b>x</i>y</b>" with
+  | [ Dom.Element ("b", _, [ Dom.Text "x"; Dom.Text "y" ]) ] -> ()
+  | _ -> Alcotest.fail "stray close tags are ignored"
+
+let test_parser_close_scope_boundary () =
+  (* A </div> inside a table cell must not close a div outside it. *)
+  match
+    Parser.parse_fragment "<div><table><tr><td>x</div>y</td></tr></table></div>"
+  with
+  | [ Dom.Element ("div", _, _) ] -> ()
+  | frag ->
+    Alcotest.failf "close must stop at cell boundary: %a"
+      Fmt.(list ~sep:comma Dom.pp)
+      frag
+
+let test_parser_close_br () =
+  match Parser.parse_fragment "a</br>b" with
+  | [ Dom.Text "a"; Dom.Element ("br", _, _); Dom.Text "b" ] -> ()
+  | _ -> Alcotest.fail "</br> behaves like <br>"
+
+let test_dom_helpers () =
+  let doc = Wqi_html.Parser.parse {|<div id="d"><span>one</span> two</div>|} in
+  let div = Option.get (Dom.find_first (Dom.is_element ~named:"div") doc) in
+  check "attr" "d" (Dom.attr_default "id" ~default:"?" div);
+  check_bool "has_attr" true (Dom.has_attr "id" div);
+  check "text content" "one two" (Dom.text_content div);
+  check_int "find_all spans" 1
+    (List.length (Dom.find_all (Dom.is_element ~named:"span") doc));
+  check_int "fold counts nodes" 6 (Dom.fold (fun n _ -> n + 1) 0 doc)
+
+(* --- printer --- *)
+
+let test_printer_roundtrip () =
+  let fragment = "<div class=\"x\"><p>a &amp; b</p><br><input type=\"text\"></div>" in
+  let parsed = Parser.parse_fragment fragment in
+  check "serialize" fragment (Printer.fragment_to_string parsed)
+
+let test_printer_escapes () =
+  let node = Dom.element "p" ~attrs:[ ("title", "a\"b") ] [ Dom.text "x<y" ] in
+  check "escaped" "<p title=\"a&quot;b\">x&lt;y</p>" (Printer.to_string node)
+
+let test_printer_void_no_close () =
+  let node = Dom.element "img" ~attrs:[ ("src", "a.gif") ] [] in
+  check "void" "<img src=\"a.gif\">" (Printer.to_string node)
+
+let suite =
+  [ ("entities: named", `Quick, test_named_entities);
+    ("entities: numeric", `Quick, test_numeric_entities);
+    ("entities: recovery", `Quick, test_entity_recovery);
+    ("entities: encoding", `Quick, test_entity_encode);
+    ("lexer: basic", `Quick, test_lexer_basic);
+    ("lexer: attributes", `Quick, test_lexer_attributes);
+    ("lexer: attribute entities", `Quick, test_lexer_attribute_entities);
+    ("lexer: self-closing", `Quick, test_lexer_self_closing);
+    ("lexer: comment and doctype", `Quick, test_lexer_comment_doctype);
+    ("lexer: raw text elements", `Quick, test_lexer_raw_text);
+    ("lexer: recovery", `Quick, test_lexer_recovery);
+    ("lexer: processing instruction", `Quick, test_lexer_processing_instruction);
+    ("parser: skeleton", `Quick, test_parser_skeleton);
+    ("parser: nesting", `Quick, test_parser_nesting);
+    ("parser: void elements", `Quick, test_parser_void_elements);
+    ("parser: implicit li", `Quick, test_parser_implicit_li);
+    ("parser: implicit cells", `Quick, test_parser_implicit_cells);
+    ("parser: implicit option", `Quick, test_parser_implicit_option);
+    ("parser: p closed by block", `Quick, test_parser_p_closed_by_block);
+    ("parser: mismatched close", `Quick, test_parser_mismatched_close);
+    ("parser: close scope boundary", `Quick, test_parser_close_scope_boundary);
+    ("parser: close br", `Quick, test_parser_close_br);
+    ("dom: helpers", `Quick, test_dom_helpers);
+    ("printer: roundtrip", `Quick, test_printer_roundtrip);
+    ("printer: escapes", `Quick, test_printer_escapes);
+    ("printer: void", `Quick, test_printer_void_no_close) ]

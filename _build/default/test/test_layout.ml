@@ -1,0 +1,355 @@
+(* Tests for geometry, style metrics, and the layout engine. *)
+
+module Geometry = Wqi_layout.Geometry
+module Style = Wqi_layout.Style
+module Engine = Wqi_layout.Engine
+module Dom = Wqi_html.Dom
+
+let box = Geometry.make
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- geometry --- *)
+
+let test_box_normalization () =
+  let b = box ~x1:10 ~y1:20 ~x2:4 ~y2:6 in
+  check_int "x1" 4 b.Geometry.x1;
+  check_int "y2" 20 b.Geometry.y2;
+  check_int "width" 6 (Geometry.width b);
+  check_int "height" 14 (Geometry.height b)
+
+let test_union_contains () =
+  let a = box ~x1:0 ~y1:0 ~x2:10 ~y2:10 in
+  let b = box ~x1:20 ~y1:5 ~x2:30 ~y2:15 in
+  let u = Geometry.union a b in
+  check_bool "contains a" true (Geometry.contains u a);
+  check_bool "contains b" true (Geometry.contains u b);
+  check_int "union width" 30 (Geometry.width u);
+  check_bool "union_all empty is origin" true
+    (Geometry.equal (Geometry.union_all []) Geometry.origin)
+
+let test_overlaps_and_gaps () =
+  let a = box ~x1:0 ~y1:0 ~x2:10 ~y2:10 in
+  let b = box ~x1:5 ~y1:8 ~x2:15 ~y2:20 in
+  check_int "h_overlap" 5 (Geometry.h_overlap a b);
+  check_int "v_overlap" 2 (Geometry.v_overlap a b);
+  check_int "h_gap overlapping" 0 (Geometry.h_gap a b);
+  let c = box ~x1:20 ~y1:0 ~x2:25 ~y2:10 in
+  check_int "h_gap disjoint" 10 (Geometry.h_gap a c);
+  check_int "v_gap overlapping" 0 (Geometry.v_gap a c)
+
+let test_left_of () =
+  let label = box ~x1:0 ~y1:0 ~x2:40 ~y2:15 in
+  let field = box ~x1:45 ~y1:2 ~x2:150 ~y2:20 in
+  check_bool "label left of field" true (Geometry.left_of label field);
+  check_bool "field not left of label" false (Geometry.left_of field label);
+  let far = box ~x1:200 ~y1:0 ~x2:250 ~y2:15 in
+  check_bool "gap bound respected" false (Geometry.left_of label far);
+  check_bool "gap bound adjustable" true
+    (Geometry.left_of ~max_gap:200 label far);
+  let below = box ~x1:45 ~y1:30 ~x2:150 ~y2:45 in
+  check_bool "no vertical overlap, not left" false
+    (Geometry.left_of label below)
+
+let test_above_below () =
+  let label = box ~x1:0 ~y1:0 ~x2:40 ~y2:15 in
+  let field = box ~x1:0 ~y1:20 ~x2:150 ~y2:40 in
+  check_bool "label above field" true (Geometry.above label field);
+  check_bool "field below label" true (Geometry.below field label);
+  check_bool "not above itself" false (Geometry.above label label);
+  let shifted = box ~x1:300 ~y1:20 ~x2:400 ~y2:40 in
+  check_bool "no horizontal overlap" false (Geometry.above label shifted)
+
+let test_alignment () =
+  let a = box ~x1:10 ~y1:10 ~x2:50 ~y2:20 in
+  let b = box ~x1:13 ~y1:40 ~x2:90 ~y2:52 in
+  check_bool "left aligned with tolerance" true (Geometry.left_aligned a b);
+  check_bool "strict tolerance" false (Geometry.left_aligned ~tolerance:2 a b);
+  check_bool "top aligned" false (Geometry.top_aligned a b);
+  check_bool "bottom aligned tolerance 32" true
+    (Geometry.bottom_aligned ~tolerance:32 a b)
+
+let test_same_row_column () =
+  let a = box ~x1:0 ~y1:0 ~x2:40 ~y2:16 in
+  let b = box ~x1:50 ~y1:2 ~x2:120 ~y2:18 in
+  check_bool "same row" true (Geometry.same_row a b);
+  check_bool "not same column" false (Geometry.same_column a b);
+  let below_a = box ~x1:0 ~y1:30 ~x2:45 ~y2:46 in
+  check_bool "same column" true (Geometry.same_column a below_a)
+
+let test_reading_order () =
+  let first = box ~x1:0 ~y1:0 ~x2:40 ~y2:16 in
+  let second = box ~x1:60 ~y1:2 ~x2:100 ~y2:18 in
+  let third = box ~x1:0 ~y1:30 ~x2:40 ~y2:46 in
+  check_bool "same line by x" true
+    (Geometry.compare_reading_order first second < 0);
+  check_bool "next line after" true
+    (Geometry.compare_reading_order second third < 0)
+
+let test_distance () =
+  let a = box ~x1:0 ~y1:0 ~x2:10 ~y2:10 in
+  let b = box ~x1:30 ~y1:40 ~x2:40 ~y2:50 in
+  Alcotest.(check (float 0.001)) "euclidean" 50.0 (Geometry.distance a b)
+
+(* --- style --- *)
+
+let widget html =
+  let doc = Wqi_html.Parser.parse html in
+  Option.get
+    (Dom.find_first
+       (fun n -> Dom.is_element n && Dom.name n <> "html" && Dom.name n <> "body")
+       doc)
+
+let test_widget_sizes () =
+  (match Style.widget_size (widget {|<input type="text" size="10">|}) with
+   | Some (w, h) ->
+     check_int "textbox width scales with size" (8 * 10 + 6) w;
+     check_int "textbox height" 22 h
+   | None -> Alcotest.fail "textbox must be visible");
+  (match Style.widget_size (widget {|<input type="radio">|}) with
+   | Some (w, h) ->
+     check_int "radio square w" 13 w;
+     check_int "radio square h" 13 h
+   | None -> Alcotest.fail "radio must be visible");
+  check_bool "hidden invisible" true
+    (Style.widget_size (widget {|<input type="hidden" value="x">|}) = None);
+  (match
+     Style.widget_size
+       (widget {|<select><option>aa</option><option>abcd</option></select>|})
+   with
+   | Some (w, _) ->
+     check_int "select width follows longest option" (4 * 7 + 24) w
+   | None -> Alcotest.fail "select must be visible");
+  match Style.widget_size (widget {|<textarea cols="10" rows="2"></textarea>|}) with
+  | Some (w, h) ->
+    check_int "textarea width" (7 * 10 + 6) w;
+    check_int "textarea height" (18 * 2 + 6) h
+  | None -> Alcotest.fail "textarea must be visible"
+
+let test_text_width_utf8 () =
+  check_int "ascii" (5 * Style.char_width) (Style.text_width "abcde");
+  (* One multi-byte character counts one cell. *)
+  check_int "utf8" (1 * Style.char_width) (Style.text_width "\xc3\xa9")
+
+(* --- layout engine --- *)
+
+let render html = Engine.render (Wqi_html.Parser.parse html)
+
+let texts items =
+  List.filter_map
+    (fun { Engine.item; box } ->
+       match item with Engine.Text_run s -> Some (s, box) | _ -> None)
+    items
+
+let widgets items =
+  List.filter_map
+    (fun { Engine.item; box } ->
+       match item with Engine.Widget n -> Some (n, box) | _ -> None)
+    items
+
+let test_flow_single_line () =
+  let items = render "<p>Author <input type=\"text\"></p>" in
+  match (texts items, widgets items) with
+  | [ (label, lbox) ], [ (_, wbox) ] ->
+    Alcotest.(check string) "label merged" "Author" (String.trim label);
+    check_bool "label left of widget" true (Geometry.left_of lbox wbox)
+  | _ -> Alcotest.fail "expected one text and one widget"
+
+let test_text_runs_merge_across_inline () =
+  let items = render "<p>Book <b>title</b> here</p>" in
+  match texts items with
+  | [ (s, _) ] -> Alcotest.(check string) "merged" "Book title here" s
+  | ts -> Alcotest.failf "expected one run, got %d" (List.length ts)
+
+let test_br_breaks_line () =
+  let items = render "<p>one<br>two</p>" in
+  match texts items with
+  | [ (_, b1); (_, b2) ] ->
+    check_bool "second line below" true (b2.Geometry.y1 > b1.Geometry.y1);
+    check_bool "left aligned" true (Geometry.left_aligned b1 b2)
+  | _ -> Alcotest.fail "expected two runs"
+
+let test_whitespace_collapse () =
+  let items = render "<p>a\n   b\t c</p>" in
+  match texts items with
+  | [ (s, _) ] -> Alcotest.(check string) "collapsed" "a b c" s
+  | _ -> Alcotest.fail "expected one run"
+
+let test_word_wrap () =
+  let words = String.concat " " (List.init 40 (fun i -> Printf.sprintf "w%02d" i)) in
+  let items = Engine.render ~width:200 (Wqi_html.Parser.parse ("<p>" ^ words ^ "</p>")) in
+  check_bool "wrapped into several lines" true (List.length (texts items) > 1);
+  List.iter
+    (fun (_, b) ->
+       check_bool "within width" true (b.Geometry.x2 <= 200))
+    (texts items)
+
+let test_blocks_stack () =
+  let items = render "<div>a</div><div>b</div>" in
+  match texts items with
+  | [ (_, b1); (_, b2) ] ->
+    check_bool "stacked" true (b2.Geometry.y1 >= b1.Geometry.y2)
+  | _ -> Alcotest.fail "expected two runs"
+
+let test_table_columns_align () =
+  let items =
+    render
+      {|<table><tr><td>a</td><td>bbbb</td></tr><tr><td>c</td><td>d</td></tr></table>|}
+  in
+  match texts items with
+  | [ (_, a); (_, b); (_, c); (_, d) ] ->
+    check_bool "column 0 aligned" true (Geometry.left_aligned ~tolerance:0 a c);
+    check_bool "column 1 aligned" true (Geometry.left_aligned ~tolerance:0 b d);
+    check_bool "row order" true (a.Geometry.y1 < c.Geometry.y1);
+    check_bool "b right of a" true (b.Geometry.x1 > a.Geometry.x2)
+  | ts -> Alcotest.failf "expected four runs, got %d" (List.length ts)
+
+let test_table_colspan () =
+  let items =
+    render
+      {|<table><tr><td>aaaaaaaaaa</td><td>b</td></tr><tr><td colspan="2">c</td></tr></table>|}
+  in
+  check_int "three runs" 3 (List.length (texts items))
+
+let test_nested_table () =
+  let items =
+    render
+      {|<table><tr><td><table><tr><td>inner</td></tr></table></td><td>right</td></tr></table>|}
+  in
+  match List.sort compare (List.map fst (texts items)) with
+  | [ "inner"; "right" ] ->
+    let find s = List.assoc s (texts items) in
+    check_bool "right cell to the right" true
+      ((find "right").Geometry.x1 > (find "inner").Geometry.x1)
+  | _ -> Alcotest.fail "expected the two runs"
+
+let test_invisible_skipped () =
+  let items =
+    render
+      {|<head><style>p{}</style></head><p>x<input type="hidden"><script>var a;</script></p>|}
+  in
+  check_int "only the visible text" 1 (List.length items)
+
+let test_select_options_not_text () =
+  let items = render {|<select><option>one</option><option>two</option></select>|} in
+  check_int "no text items" 0 (List.length (texts items));
+  check_int "one widget" 1 (List.length (widgets items))
+
+let test_vertical_centering () =
+  (* A 13px radio on an 18px text line sits vertically within the text. *)
+  let items = render {|<p><input type="radio"> option label</p>|} in
+  match (widgets items, texts items) with
+  | [ (_, wb) ], [ (_, tb) ] ->
+    check_bool "vertical overlap" true (Geometry.v_overlap wb tb >= 10)
+  | _ -> Alcotest.fail "expected a radio and a text"
+
+let test_reading_order_output () =
+  let items = render {|<table><tr><td>a</td><td>b</td></tr></table><p>c</p>|} in
+  let names = List.map fst (texts items) in
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] names
+
+let test_list_indent () =
+  let items = render {|<ul><li>item</li></ul><p>after</p>|} in
+  match texts items with
+  | [ (_, li); (_, after) ] ->
+    check_bool "indented" true (li.Geometry.x1 > after.Geometry.x1)
+  | _ -> Alcotest.fail "expected two runs"
+
+let test_center_alignment () =
+  let items =
+    Engine.render ~width:400
+      (Wqi_html.Parser.parse {|<center><p>mid</p></center><p>left</p>|})
+  in
+  match texts items with
+  | [ ("mid", mid); ("left", left) ] ->
+    check_bool "centered line starts later" true
+      (mid.Geometry.x1 > left.Geometry.x1 + 100);
+    check_bool "roughly centered" true
+      (abs (Geometry.center_x mid - 200) < 30)
+  | _ -> Alcotest.fail "expected two runs"
+
+let test_right_alignment () =
+  let items =
+    Engine.render ~width:400
+      (Wqi_html.Parser.parse {|<p align="right">end</p>|})
+  in
+  match texts items with
+  | [ (_, b) ] -> check_bool "flush right" true (b.Geometry.x2 > 360)
+  | _ -> Alcotest.fail "expected one run"
+
+let test_cell_alignment () =
+  let items =
+    render
+      {|<table><tr><td align="center">aaaaaaaaaa</td></tr><tr><td align="center">bb</td></tr></table>|}
+  in
+  match texts items with
+  | [ (_, long); (_, short) ] ->
+    check_bool "short cell content centered under long" true
+      (abs (Geometry.center_x short - Geometry.center_x long) < 14)
+  | _ -> Alcotest.fail "expected two runs"
+
+(* --- ascii debug rendering --- *)
+
+let test_ascii_rendering () =
+  let art =
+    Wqi_layout.Debug.ascii_of_html
+      {|<form>Author: <input type="text" size="6"><br><input type="radio"> exact</form>|}
+  in
+  let lines =
+    List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' art)
+  in
+  (match lines with
+   | [ first; second ] ->
+     check_bool "label drawn" true
+       (String.length first >= 7 && String.sub (String.trim first) 0 7 = "Author:");
+     check_bool "textbox drawn" true (String.contains first '[');
+     check_bool "radio drawn" true (String.contains second '(')
+   | _ -> Alcotest.failf "expected two lines, got %d" (List.length lines));
+  Alcotest.(check string) "empty input" ""
+    (Wqi_layout.Debug.ascii_of_html "")
+
+let test_ascii_widget_sketches () =
+  let art =
+    Wqi_layout.Debug.ascii_of_html
+      {|<form><select><option>Hardcover</option></select> <input type="checkbox"> <input type="submit" value="Go"></form>|}
+  in
+  check_bool "select sketch" true
+    (String.length art > 0 &&
+     (let contains needle =
+        let n = String.length needle and h = String.length art in
+        let rec at i = i + n <= h && (String.sub art i n = needle || at (i+1)) in
+        at 0
+      in
+      contains "[v Hardcover]" && contains "[_]" && contains "<Go"))
+
+let suite =
+  [ ("geometry: normalization", `Quick, test_box_normalization);
+    ("geometry: union/contains", `Quick, test_union_contains);
+    ("geometry: overlaps and gaps", `Quick, test_overlaps_and_gaps);
+    ("geometry: left_of", `Quick, test_left_of);
+    ("geometry: above/below", `Quick, test_above_below);
+    ("geometry: alignment", `Quick, test_alignment);
+    ("geometry: same row/column", `Quick, test_same_row_column);
+    ("geometry: reading order", `Quick, test_reading_order);
+    ("geometry: distance", `Quick, test_distance);
+    ("style: widget sizes", `Quick, test_widget_sizes);
+    ("style: utf8 width", `Quick, test_text_width_utf8);
+    ("engine: single line flow", `Quick, test_flow_single_line);
+    ("engine: runs merge across inline", `Quick, test_text_runs_merge_across_inline);
+    ("engine: br breaks line", `Quick, test_br_breaks_line);
+    ("engine: whitespace collapse", `Quick, test_whitespace_collapse);
+    ("engine: word wrap", `Quick, test_word_wrap);
+    ("engine: blocks stack", `Quick, test_blocks_stack);
+    ("engine: table columns align", `Quick, test_table_columns_align);
+    ("engine: table colspan", `Quick, test_table_colspan);
+    ("engine: nested table", `Quick, test_nested_table);
+    ("engine: invisible skipped", `Quick, test_invisible_skipped);
+    ("engine: select options not text", `Quick, test_select_options_not_text);
+    ("engine: vertical centering", `Quick, test_vertical_centering);
+    ("engine: reading order", `Quick, test_reading_order_output);
+    ("engine: list indent", `Quick, test_list_indent);
+    ("engine: center alignment", `Quick, test_center_alignment);
+    ("engine: right alignment", `Quick, test_right_alignment);
+    ("engine: cell alignment", `Quick, test_cell_alignment);
+    ("debug: ascii rendering", `Quick, test_ascii_rendering);
+    ("debug: widget sketches", `Quick, test_ascii_widget_sketches) ]

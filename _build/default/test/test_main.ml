@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "wqi"
+    [ ("html", Test_html.suite);
+      ("layout", Test_layout.suite);
+      ("token", Test_token.suite);
+      ("grammar", Test_grammar.suite);
+      ("parser", Test_parser.suite);
+      ("model", Test_model.suite);
+      ("stdgrammar", Test_stdgrammar.suite);
+      ("corpus", Test_corpus.suite);
+      ("metrics", Test_metrics.suite);
+      ("extractor", Test_extractor.suite);
+      ("refine", Test_refine.suite);
+      ("match", Test_match.suite);
+      ("derive", Test_derive.suite);
+      ("formulate", Test_formulate.suite);
+      ("fixtures", Test_fixtures.suite);
+      ("properties", Test_props.suite) ]

@@ -1,0 +1,82 @@
+(* Tests for the precision/recall metrics. *)
+
+module Metrics = Wqi_metrics.Metrics
+module Condition = Wqi_model.Condition
+
+let cond ?operators name = Condition.make ?operators ~attribute:name Condition.Text
+
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 0.0001))
+
+let test_count_exact () =
+  let truth = [ cond "a"; cond "b" ] in
+  let extracted = [ cond "b"; cond "a" ] in
+  let c = Metrics.count ~truth ~extracted in
+  check_int "correct" 2 c.correct;
+  check_float "precision" 1.0 (Metrics.precision c);
+  check_float "recall" 1.0 (Metrics.recall c)
+
+let test_count_one_to_one () =
+  (* Two identical extracted conditions may match only one truth. *)
+  let c = Metrics.count ~truth:[ cond "a" ] ~extracted:[ cond "a"; cond "a" ] in
+  check_int "matched once" 1 c.correct;
+  check_int "extracted" 2 c.extracted;
+  check_float "precision" 0.5 (Metrics.precision c)
+
+let test_count_partial () =
+  let truth = [ cond "a"; cond "b"; cond "c" ] in
+  let extracted = [ cond "a"; cond "x" ] in
+  let c = Metrics.count ~truth ~extracted in
+  check_int "one correct" 1 c.correct;
+  check_float "precision" 0.5 (Metrics.precision c);
+  check_float "recall" (1. /. 3.) (Metrics.recall c)
+
+let test_empty_edges () =
+  let c = Metrics.count ~truth:[] ~extracted:[] in
+  check_float "empty precision" 1.0 (Metrics.precision c);
+  check_float "empty recall" 1.0 (Metrics.recall c);
+  let c2 = Metrics.count ~truth:[ cond "a" ] ~extracted:[] in
+  check_float "nothing extracted precision" 1.0 (Metrics.precision c2);
+  check_float "nothing extracted recall" 0.0 (Metrics.recall c2)
+
+let test_operator_sensitivity () =
+  let truth = [ cond ~operators:[ "contains"; "exact" ] "a" ] in
+  let c =
+    Metrics.count ~truth ~extracted:[ cond ~operators:[ "contains" ] "a" ]
+  in
+  check_int "operators must match" 0 c.correct
+
+let test_accuracy_and_add () =
+  check_float "accuracy" 0.85 (Metrics.accuracy ~precision:0.8 ~recall:0.9);
+  let a = { Metrics.truth = 2; extracted = 3; correct = 1 } in
+  let b = { Metrics.truth = 4; extracted = 1; correct = 1 } in
+  let s = Metrics.add a b in
+  check_int "sum truth" 6 s.truth;
+  check_int "sum extracted" 4 s.extracted;
+  check_int "sum correct" 2 s.correct;
+  Alcotest.(check bool) "zero neutral" true (Metrics.add Metrics.zero a = a)
+
+let test_distribution () =
+  let values = [ 1.0; 0.9; 0.5; 0.0 ] in
+  let d = Metrics.distribution ~thresholds:[ 1.0; 0.9; 0.5; 0.0 ] values in
+  Alcotest.(check (list (pair (float 0.001) (float 0.001))))
+    "distribution"
+    [ (1.0, 25.); (0.9, 50.); (0.5, 75.); (0.0, 100.) ]
+    d;
+  Alcotest.(check (list (pair (float 0.001) (float 0.001))))
+    "empty" [ (1.0, 0.) ]
+    (Metrics.distribution ~thresholds:[ 1.0 ] [])
+
+let test_mean () =
+  check_float "mean" 0.5 (Metrics.mean [ 0.; 1. ]);
+  check_float "empty mean" 0.0 (Metrics.mean [])
+
+let suite =
+  [ ("exact match", `Quick, test_count_exact);
+    ("one-to-one matching", `Quick, test_count_one_to_one);
+    ("partial match", `Quick, test_count_partial);
+    ("empty edge cases", `Quick, test_empty_edges);
+    ("operator sensitivity", `Quick, test_operator_sensitivity);
+    ("accuracy and aggregation", `Quick, test_accuracy_and_add);
+    ("distribution", `Quick, test_distribution);
+    ("mean", `Quick, test_mean) ]

@@ -1,0 +1,94 @@
+(* Tests for the tokenizer front-end. *)
+
+module Token = Wqi_token.Token
+module Tokenize = Wqi_token.Tokenize
+
+let kinds tokens = List.map (fun (t : Token.t) -> t.kind) tokens
+
+let kind = Alcotest.testable (Fmt.of_to_string Token.kind_name) ( = )
+
+let test_classification () =
+  let tokens =
+    Tokenize.of_html
+      {|<form>Find <input type="text" name="q"> <select name="s"><option>a</option></select>
+        <input type="radio" name="r"> <input type="checkbox" name="c">
+        <input type="submit" value="Go"> <img src="x.gif" alt="logo"> <textarea name="t"></textarea></form>|}
+  in
+  Alcotest.(check (list kind))
+    "kinds in reading order"
+    [ Token.Text; Token.Textbox; Token.Selection; Token.Radio; Token.Checkbox;
+      Token.Button; Token.Image; Token.Textbox ]
+    (kinds tokens)
+
+let test_ids_dense () =
+  let tokens = Tokenize.of_html "<p>a <input type=\"text\"> b</p>" in
+  List.iteri
+    (fun i (t : Token.t) -> Alcotest.(check int) "dense id" i t.id)
+    tokens
+
+let test_select_options () =
+  match Tokenize.of_html {|<select name="p"><option>under $5</option><option> $5 to $20 </option><option></option></select>|} with
+  | [ t ] ->
+    Alcotest.(check (list string))
+      "trimmed, empties dropped"
+      [ "under $5"; "$5 to $20" ]
+      t.options;
+    Alcotest.(check string) "name" "p" t.name
+  | _ -> Alcotest.fail "expected one token"
+
+let test_checked_and_multiple () =
+  (match Tokenize.of_html {|<input type="checkbox" checked>|} with
+   | [ t ] -> Alcotest.(check bool) "checked" true t.checked
+   | _ -> Alcotest.fail "one token");
+  match Tokenize.of_html {|<select multiple><option>a</option></select>|} with
+  | [ t ] -> Alcotest.(check bool) "multiple" true t.multiple
+  | _ -> Alcotest.fail "one token"
+
+let test_hidden_skipped () =
+  Alcotest.(check int)
+    "hidden produces nothing" 0
+    (List.length (Tokenize.of_html {|<input type="hidden" name="sid" value="1">|}))
+
+let test_button_svals () =
+  let tokens =
+    Tokenize.of_html
+      {|<input type="submit" value="Search Now"><button> Press me </button><input type="image" alt="go" src="b.gif">|}
+  in
+  Alcotest.(check (list string))
+    "labels" [ "Search Now"; "Press me"; "go" ]
+    (List.map (fun (t : Token.t) -> t.sval) tokens)
+
+let test_is_field () =
+  let t kind =
+    { Token.id = 0; kind; box = Wqi_layout.Geometry.origin; sval = "";
+      name = ""; options = []; value = ""; checked = false; multiple = false }
+  in
+  Alcotest.(check bool) "textbox" true (Token.is_field (t Token.Textbox));
+  Alcotest.(check bool) "radio" true (Token.is_field (t Token.Radio));
+  Alcotest.(check bool) "text" false (Token.is_field (t Token.Text));
+  Alcotest.(check bool) "button" false (Token.is_field (t Token.Button))
+
+let test_describe () =
+  match Tokenize.of_html {|Author: <select name="fmt"><option>a</option></select>|} with
+  | [ text; select ] ->
+    Alcotest.(check string) "text" {|text "Author:"|} (Token.describe text);
+    Alcotest.(check string) "select" {|selection list "fmt"|}
+      (Token.describe select)
+  | _ -> Alcotest.fail "two tokens"
+
+let test_text_trimmed_nonempty () =
+  let tokens = Tokenize.of_html "<p> \n </p><p> x </p>" in
+  match tokens with
+  | [ t ] -> Alcotest.(check string) "trimmed" "x" t.sval
+  | _ -> Alcotest.fail "whitespace-only runs are dropped"
+
+let suite =
+  [ ("classification", `Quick, test_classification);
+    ("dense ids", `Quick, test_ids_dense);
+    ("select options", `Quick, test_select_options);
+    ("checked and multiple", `Quick, test_checked_and_multiple);
+    ("hidden skipped", `Quick, test_hidden_skipped);
+    ("button labels", `Quick, test_button_svals);
+    ("is_field", `Quick, test_is_field);
+    ("describe", `Quick, test_describe);
+    ("whitespace-only dropped", `Quick, test_text_trimmed_nonempty) ]
