@@ -2,9 +2,15 @@
    evaluation (Sections 3.1, 4.2.1, 5.1 and 6), plus the extension
    experiments listed in DESIGN.md.
 
-   Usage: main.exe [section ...]
+   Usage: main.exe [--json FILE] [--smoke] [section ...]
    Sections: fig4a fig4b fig15 perf batch120 ablation-ambiguity
-             ablation-components baseline.  No arguments = all.  *)
+             ablation-components baseline.  No arguments = all.
+
+   --json FILE writes the measurements of the perf and batch120 sections
+   (Bechamel OLS ns/run per size, batch wall-clock at jobs=1 and jobs=N,
+   instance counters) as a machine-readable regression record; --smoke
+   shrinks the Bechamel quota so the harness itself can be exercised
+   from the test suite (see bench/validate_bench_json.ml). *)
 
 module Dataset = Wqi_corpus.Dataset
 module Generator = Wqi_corpus.Generator
@@ -14,6 +20,7 @@ module Eval = Wqi_eval.Eval
 module Metrics = Wqi_metrics.Metrics
 module Engine = Wqi_parser.Engine
 module Tokenize = Wqi_token.Tokenize
+module Pool = Wqi_parallel.Pool
 
 let header title =
   Format.printf "@.============================================================@.";
@@ -21,6 +28,30 @@ let header title =
   Format.printf "============================================================@."
 
 let note fmt = Format.printf ("  " ^^ fmt ^^ "@.")
+
+(* Measurements collected for --json; filled in by the perf and
+   batch120 sections when they run. *)
+type perf_row = {
+  row_name : string;
+  row_tokens : int;
+  row_ns_per_run : float;
+  row_r_square : float;
+  row_created : int;
+  row_live : int;
+}
+
+type batch_result = {
+  b_interfaces : int;
+  b_avg_tokens : float;
+  b_jobs : int;
+  b_seconds_jobs1 : float;
+  b_seconds_jobsn : float;
+  b_instances_created : int;
+}
+
+let smoke = ref false
+let json_perf : perf_row list option ref = ref None
+let json_batch : batch_result option ref = ref None
 
 (* ------------------------------------------------------------------ *)
 (* Figure 4(a): vocabulary growth over sources                         *)
@@ -162,8 +193,9 @@ let perf () =
   in
   let test = Test.make_grouped ~name:"parse" ~fmt:"%s %s" tests in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let quota = if !smoke then 0.05 else 0.5 in
   let cfg =
-    Benchmark.cfg ~limit:100 ~stabilize:true ~quota:(Time.second 0.5) ()
+    Benchmark.cfg ~limit:100 ~stabilize:true ~quota:(Time.second quota) ()
   in
   let raw = Benchmark.all cfg instances test in
   let ols =
@@ -176,17 +208,40 @@ let perf () =
       results []
     |> List.sort compare
   in
+  (* One plain run per size for the instance counters the OLS fit
+     cannot see. *)
+  let stats_by_name =
+    List.map
+      (fun (tokens, _s) ->
+         let r = Engine.parse Wqi_stdgrammar.Std.grammar tokens in
+         ( Printf.sprintf "parse parse/%02d-tokens" (List.length tokens),
+           (List.length tokens, r.Engine.stats) ))
+      interfaces
+  in
   Format.printf "  %-22s %12s %8s@." "test" "time/run" "r^2";
-  List.iter
-    (fun (name, result) ->
-       let estimate =
-         match Analyze.OLS.estimates result with
-         | Some (e :: _) -> e
-         | _ -> nan
-       in
-       let r2 = Option.value ~default:nan (Analyze.OLS.r_square result) in
-       Format.printf "  %-22s %9.3f ms %8.4f@." name (estimate /. 1e6) r2)
-    rows
+  let collected =
+    List.filter_map
+      (fun (name, result) ->
+         let estimate =
+           match Analyze.OLS.estimates result with
+           | Some (e :: _) -> e
+           | _ -> nan
+         in
+         let r2 = Option.value ~default:nan (Analyze.OLS.r_square result) in
+         Format.printf "  %-22s %9.3f ms %8.4f@." name (estimate /. 1e6) r2;
+         match List.assoc_opt name stats_by_name with
+         | None -> None
+         | Some (tokens, stats) ->
+           Some
+             { row_name = name;
+               row_tokens = tokens;
+               row_ns_per_run = estimate;
+               row_r_square = r2;
+               row_created = stats.Engine.created;
+               row_live = stats.Engine.live })
+      rows
+  in
+  json_perf := Some collected
 
 let batch120 () =
   header
@@ -203,19 +258,50 @@ let batch120 () =
   in
   let tokenized =
     List.map (fun (s : Generator.source) -> Tokenize.of_html s.html) sources
+    |> Array.of_list
   in
-  let sizes = List.map List.length tokenized in
+  let sizes = Array.map List.length tokenized in
   let avg =
-    float_of_int (List.fold_left ( + ) 0 sizes) /. float_of_int (List.length sizes)
+    float_of_int (Array.fold_left ( + ) 0 sizes)
+    /. float_of_int (Array.length sizes)
   in
-  let t0 = Unix.gettimeofday () in
-  List.iter
-    (fun tokens -> ignore (Engine.parse Wqi_stdgrammar.Std.grammar tokens))
-    tokenized;
-  let elapsed = Unix.gettimeofday () -. t0 in
-  note "interfaces: %d, average size: %.1f tokens" (List.length sources) avg;
-  note "total parsing time: %.3f s (%.1f ms/interface)" elapsed
-    (1000. *. elapsed /. 120.)
+  let run_with ~jobs =
+    let t0 = Unix.gettimeofday () in
+    let results =
+      Pool.run ~jobs (fun pool ->
+          Pool.map_array pool
+            (fun tokens -> Engine.parse Wqi_stdgrammar.Std.grammar tokens)
+            tokenized)
+    in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let created =
+      Array.fold_left
+        (fun acc (r : Engine.result) -> acc + r.Engine.stats.created)
+        0 results
+    in
+    (elapsed, created)
+  in
+  let jobs_n = Domain.recommended_domain_count () in
+  let seconds_jobs1, created = run_with ~jobs:1 in
+  let seconds_jobsn, _ =
+    if jobs_n = 1 then (seconds_jobs1, created) else run_with ~jobs:jobs_n
+  in
+  note "interfaces: %d, average size: %.1f tokens" (Array.length tokenized) avg;
+  note "total parsing time: %.3f s (%.1f ms/interface) at jobs=1"
+    seconds_jobs1
+    (1000. *. seconds_jobs1 /. float_of_int (Array.length tokenized));
+  note "total parsing time: %.3f s (speedup %.2fx) at jobs=%d" seconds_jobsn
+    (seconds_jobs1 /. seconds_jobsn)
+    jobs_n;
+  note "instances created: %d" created;
+  json_batch :=
+    Some
+      { b_interfaces = Array.length tokenized;
+        b_avg_tokens = avg;
+        b_jobs = jobs_n;
+        b_seconds_jobs1 = seconds_jobs1;
+        b_seconds_jobsn = seconds_jobsn;
+        b_instances_created = created }
 
 (* ------------------------------------------------------------------ *)
 (* Section 4.2.1: inherent ambiguities                                 *)
@@ -442,11 +528,82 @@ let sections =
     ("refinement", refinement); ("derivation", derivation);
     ("clustering", clustering) ]
 
+(* ------------------------------------------------------------------ *)
+(* JSON regression record (--json)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float f = if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+
+let write_json file =
+  let oc = open_out file in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema_version\": 1,\n";
+  p "  \"smoke\": %b" !smoke;
+  (match !json_perf with
+   | None -> ()
+   | Some rows ->
+     p ",\n  \"perf\": [\n";
+     List.iteri
+       (fun i r ->
+          p
+            "    {\"name\": \"%s\", \"tokens\": %d, \"ns_per_run\": %s, \
+             \"r_square\": %s, \"created\": %d, \"live\": %d}%s\n"
+            (json_escape r.row_name) r.row_tokens
+            (json_float r.row_ns_per_run)
+            (json_float r.row_r_square)
+            r.row_created r.row_live
+            (if i = List.length rows - 1 then "" else ","))
+       rows;
+     p "  ]");
+  (match !json_batch with
+   | None -> ()
+   | Some b ->
+     p ",\n  \"batch120\": {\n";
+     p "    \"interfaces\": %d,\n" b.b_interfaces;
+     p "    \"avg_tokens\": %s,\n" (json_float b.b_avg_tokens);
+     p "    \"jobs\": %d,\n" b.b_jobs;
+     p "    \"seconds_jobs1\": %s,\n" (json_float b.b_seconds_jobs1);
+     p "    \"seconds_jobsN\": %s,\n" (json_float b.b_seconds_jobsn);
+     p "    \"speedup\": %s,\n"
+       (json_float (b.b_seconds_jobs1 /. b.b_seconds_jobsn));
+     p "    \"instances_created\": %d\n" b.b_instances_created;
+     p "  }");
+  p "\n}\n";
+  close_out oc;
+  Format.eprintf "wrote %s@." file
+
 let () =
+  let rec parse_args json acc = function
+    | [] -> (json, List.rev acc)
+    | "--json" :: file :: rest -> parse_args (Some file) acc rest
+    | [ "--json" ] ->
+      Format.eprintf "--json requires a file argument@.";
+      exit 1
+    | "--smoke" :: rest ->
+      smoke := true;
+      parse_args json acc rest
+    | s :: rest -> parse_args json (s :: acc) rest
+  in
+  let json, requested =
+    parse_args None [] (List.tl (Array.to_list Sys.argv))
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as args) -> args
-    | _ -> List.map fst sections
+    if requested = [] then List.map fst sections else requested
   in
   List.iter
     (fun name ->
@@ -456,4 +613,5 @@ let () =
          Format.eprintf "unknown section %s; available: %s@." name
            (String.concat ", " (List.map fst sections));
          exit 1)
-    requested
+    requested;
+  match json with None -> () | Some file -> write_json file

@@ -1,0 +1,233 @@
+(* Schema validator for the BENCH_parse.json regression record emitted
+   by main.exe --json.  Wired into the test alias so a change that
+   breaks the emitter (or the schema) fails `dune runtest` instead of
+   silently rotting the perf trajectory.
+
+   The build environment has no JSON library, so this carries a minimal
+   recursive-descent parser for the subset JSON we emit. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+module Parser = struct
+  type st = { s : string; mutable pos : int }
+
+  let peek st = if st.pos < String.length st.s then Some st.s.[st.pos] else None
+
+  let advance st = st.pos <- st.pos + 1
+
+  let rec skip_ws st =
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      skip_ws st
+    | _ -> ()
+
+  let expect st c =
+    skip_ws st;
+    match peek st with
+    | Some c' when c' = c -> advance st
+    | _ -> bad "expected %c at offset %d" c st.pos
+
+  let literal st word value =
+    if
+      st.pos + String.length word <= String.length st.s
+      && String.sub st.s st.pos (String.length word) = word
+    then begin
+      st.pos <- st.pos + String.length word;
+      value
+    end
+    else bad "bad literal at offset %d" st.pos
+
+  let string st =
+    expect st '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek st with
+      | None -> bad "unterminated string"
+      | Some '"' -> advance st
+      | Some '\\' ->
+        advance st;
+        (match peek st with
+         | Some 'n' -> Buffer.add_char b '\n'
+         | Some 't' -> Buffer.add_char b '\t'
+         | Some 'u' ->
+           (* \uXXXX: we only emit ASCII escapes; decode as a byte. *)
+           let hex = String.sub st.s (st.pos + 1) 4 in
+           Buffer.add_char b (Char.chr (int_of_string ("0x" ^ hex) land 0xff));
+           st.pos <- st.pos + 4
+         | Some c -> Buffer.add_char b c
+         | None -> bad "unterminated escape");
+        advance st;
+        go ()
+      | Some c ->
+        Buffer.add_char b c;
+        advance st;
+        go ()
+    in
+    go ();
+    Buffer.contents b
+
+  let number st =
+    let start = st.pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek st with Some c -> is_num_char c | None -> false) do
+      advance st
+    done;
+    if st.pos = start then bad "expected number at offset %d" start;
+    float_of_string (String.sub st.s start (st.pos - start))
+
+  let rec value st =
+    skip_ws st;
+    match peek st with
+    | Some '{' -> obj st
+    | Some '[' -> arr st
+    | Some '"' -> Str (string st)
+    | Some 't' -> literal st "true" (Bool true)
+    | Some 'f' -> literal st "false" (Bool false)
+    | Some 'n' -> literal st "null" Null
+    | Some _ -> Num (number st)
+    | None -> bad "unexpected end of input"
+
+  and obj st =
+    expect st '{';
+    skip_ws st;
+    if peek st = Some '}' then begin
+      advance st;
+      Obj []
+    end
+    else begin
+      let rec fields acc =
+        skip_ws st;
+        let key = string st in
+        expect st ':';
+        let v = value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          advance st;
+          fields ((key, v) :: acc)
+        | Some '}' ->
+          advance st;
+          Obj (List.rev ((key, v) :: acc))
+        | _ -> bad "expected , or } at offset %d" st.pos
+      in
+      fields []
+    end
+
+  and arr st =
+    expect st '[';
+    skip_ws st;
+    if peek st = Some ']' then begin
+      advance st;
+      Arr []
+    end
+    else begin
+      let rec items acc =
+        let v = value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          advance st;
+          items (v :: acc)
+        | Some ']' ->
+          advance st;
+          Arr (List.rev (v :: acc))
+        | _ -> bad "expected , or ] at offset %d" st.pos
+      in
+      items []
+    end
+
+  let parse s =
+    let st = { s; pos = 0 } in
+    let v = value st in
+    skip_ws st;
+    if st.pos <> String.length s then bad "trailing garbage at %d" st.pos;
+    v
+end
+
+(* --- schema checks --- *)
+
+let field obj name =
+  match obj with
+  | Obj fields ->
+    (match List.assoc_opt name fields with
+     | Some v -> v
+     | None -> bad "missing field %S" name)
+  | _ -> bad "expected object while looking for %S" name
+
+let num ctx = function Num f -> f | _ -> bad "%s: expected number" ctx
+let str ctx = function Str s -> s | _ -> bad "%s: expected string" ctx
+
+let positive ctx v =
+  let f = num ctx v in
+  if not (f > 0.) then bad "%s: expected > 0, got %g" ctx f;
+  f
+
+let non_negative ctx v =
+  let f = num ctx v in
+  if not (f >= 0.) then bad "%s: expected >= 0, got %g" ctx f;
+  f
+
+let check_perf = function
+  | Arr rows ->
+    if rows = [] then bad "perf: empty";
+    List.iteri
+      (fun i row ->
+         let ctx = Printf.sprintf "perf[%d]" i in
+         let name = str (ctx ^ ".name") (field row "name") in
+         if name = "" then bad "%s.name: empty" ctx;
+         ignore (positive (ctx ^ ".tokens") (field row "tokens"));
+         ignore (positive (ctx ^ ".ns_per_run") (field row "ns_per_run"));
+         ignore (num (ctx ^ ".r_square") (field row "r_square"));
+         ignore (positive (ctx ^ ".created") (field row "created"));
+         ignore (non_negative (ctx ^ ".live") (field row "live")))
+      rows
+  | _ -> bad "perf: expected array"
+
+let check_batch b =
+  ignore (positive "batch120.interfaces" (field b "interfaces"));
+  ignore (positive "batch120.avg_tokens" (field b "avg_tokens"));
+  ignore (positive "batch120.jobs" (field b "jobs"));
+  ignore (positive "batch120.seconds_jobs1" (field b "seconds_jobs1"));
+  ignore (positive "batch120.seconds_jobsN" (field b "seconds_jobsN"));
+  ignore (positive "batch120.speedup" (field b "speedup"));
+  ignore (positive "batch120.instances_created" (field b "instances_created"))
+
+let () =
+  let file =
+    match Sys.argv with
+    | [| _; file |] -> file
+    | _ ->
+      prerr_endline "usage: validate_bench_json FILE";
+      exit 2
+  in
+  let ic = open_in_bin file in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match
+    let j = Parser.parse s in
+    let version = num "schema_version" (field j "schema_version") in
+    if version <> 1. then bad "schema_version: expected 1, got %g" version;
+    (match field j "smoke" with
+     | Bool _ -> ()
+     | _ -> bad "smoke: expected bool");
+    check_perf (field j "perf");
+    check_batch (field j "batch120")
+  with
+  | () -> Printf.printf "%s: schema ok\n" file
+  | exception Bad msg ->
+    Printf.eprintf "%s: INVALID — %s\n" file msg;
+    exit 1

@@ -1,8 +1,11 @@
 (** Fixed-universe bitsets over token ids.
 
     Instance coverage, conflict detection and subsumption checks are the
-    innermost operations of the parser, so they are implemented over
-    immutable [int array] words. *)
+    innermost operations of the parser.  Universes of at most
+    [Sys.int_size] tokens (every interface in the paper's corpus) are a
+    single unboxed word; larger universes fall back to [int array]
+    words.  The interface is immutable-by-default; the only mutation is
+    the accumulator-owned {!union_into}. *)
 
 type t
 
@@ -33,5 +36,17 @@ val equal : t -> t -> bool
 val elements : t -> int list
 val of_list : int -> int list -> t
 val union_all : int -> t list -> t
+
+val copy : t -> t
+(** A set observably equal to the input that is safe to pass as the
+    initial accumulator of {!union_into} (single-word sets are immutable
+    and shared; multi-word sets get fresh words). *)
+
+val union_into : into:t -> t -> t
+(** [union_into ~into x] is {!union}[ into x], but mutates and returns
+    [into] in place when the representation permits.  [into] must be an
+    accumulator owned exclusively by the caller — start a fold from
+    {!copy} or {!empty}, never from a set someone else can observe. *)
+
 val hash : t -> int
 val pp : Format.formatter -> t -> unit

@@ -38,8 +38,13 @@ let make ~id ~sym ~prod ~children ~sem =
   let cover =
     match children with
     | [] -> invalid_arg "Instance.make: no children"
+    | [ c ] -> c.cover
     | first :: rest ->
-      List.fold_left (fun acc c -> Bitset.union acc c.cover) first.cover rest
+      (* Accumulate in place over a private copy: one allocation for the
+         whole union instead of one per child. *)
+      List.fold_left
+        (fun acc c -> Bitset.union_into ~into:acc c.cover)
+        (Bitset.copy first.cover) rest
   in
   let box = Geometry.union_all (List.map (fun c -> c.box) children) in
   let inst =

@@ -1,0 +1,135 @@
+type task = unit -> unit
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable task : task option;
+  mutable generation : int;
+  mutable active : int;
+  mutable stopped : bool;
+  mutable domains : unit Domain.t list;
+}
+
+(* Each worker parks on [work_ready] until the generation counter moves,
+   runs the shared task closure to exhaustion (the closure drains the
+   chunk queue internally), then reports back through [active] /
+   [work_done].  The task slot is cleared only after every worker has
+   reported, so a late-waking worker always finds the closure it was
+   woken for. *)
+let rec worker_loop pool last_gen =
+  Mutex.lock pool.mutex;
+  while pool.generation = last_gen && not pool.stopped do
+    Condition.wait pool.work_ready pool.mutex
+  done;
+  if pool.stopped then Mutex.unlock pool.mutex
+  else begin
+    let gen = pool.generation in
+    let task = pool.task in
+    Mutex.unlock pool.mutex;
+    (match task with Some f -> f () | None -> ());
+    Mutex.lock pool.mutex;
+    pool.active <- pool.active - 1;
+    if pool.active = 0 then Condition.broadcast pool.work_done;
+    Mutex.unlock pool.mutex;
+    worker_loop pool gen
+  end
+
+let create ?jobs () =
+  let jobs =
+    match jobs with
+    | None -> Domain.recommended_domain_count ()
+    | Some j when j >= 1 -> j
+    | Some j -> invalid_arg (Printf.sprintf "Pool.create: jobs %d < 1" j)
+  in
+  let pool =
+    { jobs;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      task = None;
+      generation = 0;
+      active = 0;
+      stopped = false;
+      domains = [] }
+  in
+  pool.domains <-
+    List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool 0));
+  pool
+
+let jobs pool = pool.jobs
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  if not pool.stopped then begin
+    pool.stopped <- true;
+    Condition.broadcast pool.work_ready
+  end;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join pool.domains;
+  pool.domains <- []
+
+(* Run [f] on every worker (the calling domain participates) and wait
+   until all have returned. *)
+let run_task pool f =
+  if pool.stopped then invalid_arg "Pool: used after shutdown";
+  if pool.jobs = 1 then f ()
+  else begin
+    Mutex.lock pool.mutex;
+    pool.task <- Some f;
+    pool.generation <- pool.generation + 1;
+    pool.active <- pool.jobs - 1;
+    Condition.broadcast pool.work_ready;
+    Mutex.unlock pool.mutex;
+    f ();
+    Mutex.lock pool.mutex;
+    while pool.active > 0 do
+      Condition.wait pool.work_done pool.mutex
+    done;
+    pool.task <- None;
+    Mutex.unlock pool.mutex
+  end
+
+let map_array pool f input =
+  let n = Array.length input in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    let next = Atomic.make 0 in
+    let error = Atomic.make None in
+    (* Chunked queue, no stealing: workers claim fixed-size index ranges
+       off a single atomic cursor.  Results land at their input index,
+       so the output order is deterministic regardless of completion
+       order. *)
+    let chunk = max 1 (n / (pool.jobs * 8)) in
+    let work () =
+      let rec drain () =
+        let start = Atomic.fetch_and_add next chunk in
+        if start < n && Atomic.get error = None then begin
+          let stop = min n (start + chunk) in
+          (try
+             for i = start to stop - 1 do
+               out.(i) <- Some (f input.(i))
+             done
+           with e ->
+             let bt = Printexc.get_raw_backtrace () in
+             ignore (Atomic.compare_and_set error None (Some (e, bt))));
+          drain ()
+        end
+      in
+      drain ()
+    in
+    run_task pool work;
+    (match Atomic.get error with
+     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+     | None -> ());
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+let map_list pool f input =
+  Array.to_list (map_array pool f (Array.of_list input))
+
+let run ?jobs f =
+  let pool = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

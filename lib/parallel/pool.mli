@@ -1,0 +1,41 @@
+(** A fixed pool of OCaml 5 domains for data-parallel batch work.
+
+    The pool is created once and reused across calls: spawning a domain
+    costs milliseconds, so per-call spawning would dominate the
+    per-interface parse times the batch extractor actually sees.  Work
+    is distributed as fixed-size index chunks claimed from a single
+    atomic cursor — no per-item locking, no stealing — which fits the
+    batch workload: many independent items of broadly similar cost.
+
+    The mapped function runs concurrently on several domains; it must
+    not touch shared mutable state.  (The parser engine allocates all
+    of its state per [parse] call, so parsing and extraction qualify.) *)
+
+type t
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs - 1] worker domains; the domain
+    calling {!map_array} participates as the [jobs]-th worker.  [jobs]
+    defaults to [Domain.recommended_domain_count ()].  Raises
+    [Invalid_argument] when [jobs < 1]. *)
+
+val jobs : t -> int
+(** Parallelism degree, including the calling domain. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array pool f input] applies [f] to every element on the pool
+    and returns the results in input order (gathered by index, not by
+    completion).  If some application raises, the first exception
+    observed is re-raised in the caller after all workers have
+    drained. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map_array} over lists. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  Idempotent; the pool must not be
+    used afterwards. *)
+
+val run : ?jobs:int -> (t -> 'a) -> 'a
+(** [run f] = create a pool, apply [f], and shut the pool down even on
+    exceptions. *)

@@ -12,10 +12,12 @@ type options = {
   use_preferences : bool;
   use_scheduling : bool;
   max_instances : int;
+  semi_naive : bool;
 }
 
 let default_options =
-  { use_preferences = true; use_scheduling = true; max_instances = 200_000 }
+  { use_preferences = true; use_scheduling = true; max_instances = 200_000;
+    semi_naive = true }
 
 type stats = {
   created : int;
@@ -37,10 +39,32 @@ type result = {
 
 exception Truncated
 
+(* Per-symbol instance store: a growable vector in creation order.  The
+   creation index doubles as the semi-naive watermark coordinate — the
+   instances of a symbol created since a production last ran are exactly
+   the suffix starting at that production's recorded length. *)
+type vec = { mutable arr : Instance.t array; mutable len : int }
+
+let vec_make () = { arr = [||]; len = 0 }
+
+let vec_push v inst =
+  let cap = Array.length v.arr in
+  if v.len = cap then begin
+    let arr = Array.make (max 8 (2 * cap)) inst in
+    Array.blit v.arr 0 arr 0 v.len;
+    v.arr <- arr
+  end;
+  Array.unsafe_set v.arr v.len inst;
+  v.len <- v.len + 1
+
 type state = {
   grammar : G.Grammar.t;
-  store : (Symbol.t, Instance.t list ref) Hashtbl.t;
-  dedup : (string, unit) Hashtbl.t;
+  store : (Symbol.t, vec) Hashtbl.t;
+  dedup : (string * int array, unit) Hashtbl.t;
+      (* naive oracle only; the delta discipline needs no dedup table *)
+  marks : (string, int array) Hashtbl.t;
+      (* per-production store-length snapshots from its last application *)
+  universe : int;
   mutable next_id : int;
   mutable created : int;
   mutable pruned : int;
@@ -48,45 +72,133 @@ type state = {
   options : options;
 }
 
+let find_vec st sym = Hashtbl.find_opt st.store sym
+
+let get_vec st sym =
+  match Hashtbl.find_opt st.store sym with
+  | Some v -> v
+  | None ->
+    let v = vec_make () in
+    Hashtbl.replace st.store sym v;
+    v
+
 (* Live instances in creation order (oldest first): downstream
    derivations then inherit the priority that production order
    established (earlier productions yield smaller ids, and maximal-tree
    selection prefers smaller ids on ties). *)
 let live_instances st sym =
-  match Hashtbl.find_opt st.store sym with
+  match find_vec st sym with
   | None -> []
-  | Some cell ->
-    List.rev (List.filter (fun (i : Instance.t) -> i.alive) !cell)
+  | Some v ->
+    let out = ref [] in
+    for i = v.len - 1 downto 0 do
+      let inst = Array.unsafe_get v.arr i in
+      if inst.Instance.alive then out := inst :: !out
+    done;
+    !out
 
-let add_instance st inst =
-  let cell =
-    match Hashtbl.find_opt st.store inst.Instance.sym with
-    | Some cell -> cell
-    | None ->
-      let cell = ref [] in
-      Hashtbl.replace st.store inst.Instance.sym cell;
-      cell
-  in
-  cell := inst :: !cell
+let add_instance st inst = vec_push (get_vec st inst.Instance.sym) inst
 
 let fresh_id st =
   let id = st.next_id in
   st.next_id <- id + 1;
   id
 
-let dedup_key (p : G.Production.t) children =
-  let b = Buffer.create 32 in
-  Buffer.add_string b p.name;
-  List.iter
-    (fun (c : Instance.t) ->
-       Buffer.add_char b '|';
-       Buffer.add_string b (string_of_int c.id))
-    children;
-  Buffer.contents b
+let create_instance st (p : G.Production.t) arr =
+  if st.created >= st.options.max_instances then raise Truncated;
+  let children = Array.to_list arr in
+  let sem = p.build arr in
+  let inst =
+    Instance.make ~id:(fresh_id st) ~sym:p.head ~prod:p.name ~children ~sem
+  in
+  st.created <- st.created + 1;
+  add_instance st inst;
+  Log.debug (fun m ->
+      m "new %a by %s from [%a]" Instance.pp inst p.name
+        Fmt.(list ~sep:comma Instance.pp)
+        children)
 
-(* Apply one production over the current live instances.  Returns true when
-   at least one new instance was created. *)
-let apply_production st (p : G.Production.t) =
+let marks_for st (p : G.Production.t) arity =
+  match Hashtbl.find_opt st.marks p.name with
+  | Some m -> m
+  | None ->
+    let m = Array.make arity 0 in
+    Hashtbl.replace st.marks p.name m;
+    m
+
+(* Semi-naive application of one production (the Datalog delta trick).
+   Each component slot records the store length seen at the previous
+   application; a candidate at an index past that watermark is "delta".
+   Only combinations binding at least one delta child are enumerated —
+   every older combination was enumerated by an earlier round, so no
+   dedup table is needed.  The enumeration order is the same
+   lexicographic nested-loop order as the naive reference (the delta
+   requirement only skips subtrees the reference would have discarded
+   against its dedup table), so instance ids — and therefore every
+   downstream tie-break — come out identical.  Returns true when at
+   least one new instance was created. *)
+let apply_production_delta st (p : G.Production.t) =
+  let comps = Array.of_list p.components in
+  let arity = Array.length comps in
+  let marks = marks_for st p arity in
+  let vecs = Array.map (fun sym -> get_vec st sym) comps in
+  (* Snapshot lengths: instances created by this very application only
+     become candidates in the next round, as in the reference. *)
+  let lens = Array.map (fun v -> v.len) vecs in
+  (* delta_from.(i): some slot >= i has delta candidates. *)
+  let delta_from = Array.make (arity + 1) false in
+  for i = arity - 1 downto 0 do
+    delta_from.(i) <- delta_from.(i + 1) || lens.(i) > marks.(i)
+  done;
+  let nothing_new = not delta_from.(0) in
+  if nothing_new then false
+  else if Array.exists (fun l -> l = 0) lens then begin
+    (* A component has no instances at all: the production cannot fire,
+       but the watermarks still advance past whatever the other slots
+       gained. *)
+    Array.blit lens 0 marks 0 arity;
+    false
+  end
+  else begin
+    let chosen = Array.make arity (Array.unsafe_get vecs.(0).arr 0) in
+    let added = ref false in
+    let rec assign i cover have_delta =
+      if i = arity then begin
+        if p.guard chosen then begin
+          create_instance st p (Array.copy chosen);
+          added := true
+        end
+      end
+      else begin
+        let v = vecs.(i) in
+        (* If no delta child is bound yet and no later slot can supply
+           one, this slot must: start at its watermark. *)
+        let start =
+          if have_delta || delta_from.(i + 1) then 0 else marks.(i)
+        in
+        for idx = start to lens.(i) - 1 do
+          let cand = Array.unsafe_get v.arr idx in
+          if cand.Instance.alive && Bitset.disjoint cover cand.cover then begin
+            Array.unsafe_set chosen i cand;
+            assign (i + 1)
+              (Bitset.union cover cand.cover)
+              (have_delta || idx >= marks.(i))
+          end
+        done
+      end
+    in
+    (try assign 0 (Bitset.empty st.universe) false
+     with Truncated ->
+       Array.blit lens 0 marks 0 arity;
+       raise Truncated);
+    Array.blit lens 0 marks 0 arity;
+    !added
+  end
+
+(* Naive reference application: re-enumerate the full cross product of
+   live instances and discard repeats against a dedup table.  Kept as
+   the oracle for the equivalence suite ([options.semi_naive = false]). *)
+let apply_production_naive st (p : G.Production.t) =
   let candidates =
     List.map (fun sym -> Array.of_list (live_instances st sym)) p.components
   in
@@ -96,26 +208,12 @@ let apply_production st (p : G.Production.t) =
   let added = ref false in
   let rec assign i cover =
     if i = arity then begin
-      let children =
-        Array.to_list (Array.map (fun c -> Option.get c) chosen)
-      in
-      let arr = Array.of_list children in
+      let arr = Array.map (fun c -> Option.get c) chosen in
       if p.guard arr then begin
-        let key = dedup_key p children in
+        let key = (p.name, Array.map (fun (c : Instance.t) -> c.id) arr) in
         if not (Hashtbl.mem st.dedup key) then begin
           Hashtbl.replace st.dedup key ();
-          if st.created >= st.options.max_instances then raise Truncated;
-          let sem = p.build arr in
-          let inst =
-            Instance.make ~id:(fresh_id st) ~sym:p.head ~prod:p.name
-              ~children ~sem
-          in
-          st.created <- st.created + 1;
-          add_instance st inst;
-          Log.debug (fun m ->
-              m "new %a by %s from [%a]" Instance.pp inst p.name
-                Fmt.(list ~sep:comma Instance.pp)
-                children);
+          create_instance st p arr;
           added := true
         end
       end
@@ -130,37 +228,33 @@ let apply_production st (p : G.Production.t) =
            end)
         candidates.(i)
   in
-  (match candidates with
-   | [||] -> ()
-   | _ ->
-     let universe =
-       (* Any instance knows the universe size; if a component has no
-          candidates the production cannot fire. *)
-       if Array.exists (fun c -> Array.length c = 0) candidates then None
-       else Some (Bitset.universe_size candidates.(0).(0).Instance.cover)
-     in
-     match universe with
-     | None -> ()
-     | Some n -> assign 0 (Bitset.empty n));
+  if Array.exists (fun c -> Array.length c = 0) candidates then ()
+  else assign 0 (Bitset.empty st.universe);
   !added
 
 (* Fix-point instantiation of one symbol (procedure [instantiate] of
    Figure 11). *)
 let instantiate st sym =
   let productions = G.Grammar.productions_with_head st.grammar sym in
+  let apply =
+    if st.options.semi_naive then apply_production_delta
+    else apply_production_naive
+  in
   let rec loop () =
     let progressed =
-      List.fold_left (fun acc p -> apply_production st p || acc) false
-        productions
+      List.fold_left (fun acc p -> apply st p || acc) false productions
     in
     if progressed then loop ()
   in
   loop ()
 
 (* Enforce one preference over the current instances (procedure [enforce]).
-   Returns unit; updates pruning counters via rollback. *)
+   Both sides are snapshotted once: enforcement only ever kills
+   instances, so the snapshots plus the per-element [alive] re-checks
+   are equivalent to re-filtering the store after every rollback — a
+   rollback can invalidate entries but never add new ones. *)
 let enforce st (r : G.Preference.t) =
-  let winners () = live_instances st r.winner in
+  let winners = live_instances st r.winner in
   let losers = live_instances st r.loser in
   List.iter
     (fun (v2 : Instance.t) ->
@@ -180,7 +274,7 @@ let enforce st (r : G.Preference.t) =
                       r.G.Preference.name Instance.pp v1 Instance.pp v2
                       (killed - 1))
               end)
-           (winners ()))
+           winners)
     losers
 
 let preferences_involving (g : G.Grammar.t) sym =
@@ -199,10 +293,15 @@ let d_only_order (g : G.Grammar.t) =
 
 let all_live_list st =
   Hashtbl.fold
-    (fun _sym cell acc ->
-       List.rev_append (List.filter (fun (i : Instance.t) -> i.alive) !cell) acc)
+    (fun _sym v acc ->
+       let out = ref acc in
+       for i = 0 to v.len - 1 do
+         let inst = Array.unsafe_get v.arr i in
+         if inst.Instance.alive then out := inst :: !out
+       done;
+       !out)
     st.store []
-  |> List.sort (fun (a : Instance.t) b -> compare a.id b.id)
+  |> List.sort (fun (a : Instance.t) b -> Int.compare a.id b.id)
 
 let reachable_ids roots =
   let seen = Hashtbl.create 256 in
@@ -252,17 +351,19 @@ let maximal_trees st =
        [] sorted)
 
 let parse ?(options = default_options) grammar tokens =
+  let universe = List.length tokens in
   let st =
     { grammar;
       store = Hashtbl.create 64;
-      dedup = Hashtbl.create 1024;
+      dedup = Hashtbl.create (if options.semi_naive then 1 else 1024);
+      marks = Hashtbl.create 64;
+      universe;
       next_id = 0;
       created = 0;
       pruned = 0;
       rolled_back = 0;
       options }
   in
-  let universe = List.length tokens in
   let token_instances =
     List.map
       (fun tok ->

@@ -23,10 +23,20 @@ type options = {
           [stats.truncated]) once this many instances exist.  Visual
           language membership is NP-complete (Section 5.1), so the
           exhaustive mode needs a bound. *)
+  semi_naive : bool;
+      (** [true] (the default) drives each fix-point round from the
+          per-symbol delta sets — only production applications binding
+          at least one instance created since the production's previous
+          application are enumerated.  [false] selects the naive
+          reference: re-enumerate the full cross product every round and
+          discard repeats against a dedup table.  Both produce identical
+          results (instance ids included); the naive engine is retained
+          as the oracle for the equivalence test suite. *)
 }
 
 val default_options : options
-(** Preferences on, scheduling on, [max_instances = 200_000]. *)
+(** Preferences on, scheduling on, [max_instances = 200_000],
+    semi-naive instantiation. *)
 
 type stats = {
   created : int;       (** instances ever created, tokens included *)

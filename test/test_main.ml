@@ -5,6 +5,7 @@ let () =
       ("token", Test_token.suite);
       ("grammar", Test_grammar.suite);
       ("parser", Test_parser.suite);
+      ("parser-equiv", Test_parser_equiv.suite);
       ("model", Test_model.suite);
       ("stdgrammar", Test_stdgrammar.suite);
       ("corpus", Test_corpus.suite);

@@ -1,0 +1,232 @@
+(* Equivalence suite: the delta-driven (semi-naive) engine must be
+   observationally identical to the naive reference oracle — not just
+   "equivalent trees" but the same instance ids, because ids are the
+   tie-breaker for maximal-tree selection and preference enforcement
+   order.  The suite sweeps generated corpus sources across grammar
+   complexities and parser configurations, plus the single-word bitset
+   specialization boundary the fast path relies on. *)
+
+module G = Wqi_grammar
+module Symbol = G.Symbol
+module Instance = G.Instance
+module Bitset = G.Bitset
+module Engine = Wqi_parser.Engine
+module Generator = Wqi_corpus.Generator
+module Tokenize = Wqi_token.Tokenize
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let naive options = { options with Engine.semi_naive = false }
+
+let ids instances = List.map (fun (i : Instance.t) -> i.Instance.id) instances
+
+let tree_strings instances =
+  List.map (Fmt.str "%a" Instance.pp_tree) instances
+
+let model_strings (result : Engine.result) =
+  List.concat_map
+    (fun tree ->
+       List.map
+         (fun (c, toks) ->
+            Fmt.str "%a@%a" Wqi_model.Condition.pp c
+              Fmt.(list ~sep:(any ",") int)
+              toks)
+         (Instance.collect_conditions tree))
+    result.Engine.maximal
+
+let check_equivalent ctx (fast : Engine.result) (slow : Engine.result) =
+  let check_list what = Alcotest.(check (list string)) (ctx ^ ": " ^ what) in
+  check_int (ctx ^ ": created") slow.Engine.stats.created
+    fast.Engine.stats.created;
+  check_int (ctx ^ ": live") slow.Engine.stats.live fast.Engine.stats.live;
+  check_int (ctx ^ ": pruned") slow.Engine.stats.pruned
+    fast.Engine.stats.pruned;
+  check_int (ctx ^ ": rolled back") slow.Engine.stats.rolled_back
+    fast.Engine.stats.rolled_back;
+  check_bool (ctx ^ ": truncated") slow.Engine.stats.truncated
+    fast.Engine.stats.truncated;
+  check_bool (ctx ^ ": complete") (slow.Engine.complete <> None)
+    (fast.Engine.complete <> None);
+  Alcotest.(check (list int))
+    (ctx ^ ": live ids")
+    (ids slow.Engine.all_live) (ids fast.Engine.all_live);
+  Alcotest.(check (list int))
+    (ctx ^ ": maximal ids")
+    (ids slow.Engine.maximal) (ids fast.Engine.maximal);
+  check_list "maximal trees" (tree_strings slow.Engine.maximal)
+    (tree_strings fast.Engine.maximal);
+  check_list "semantic model" (model_strings slow) (model_strings fast)
+
+let parse_both ?(options = Engine.default_options) grammar tokens =
+  let fast = Engine.parse ~options grammar tokens in
+  let slow = Engine.parse ~options:(naive options) grammar tokens in
+  (fast, slow)
+
+(* 60 generated sources across the three domains, both complexity
+   levels, with a sprinkle of out-of-grammar noise. *)
+let corpus_sources () =
+  let g = Wqi_corpus.Prng.create 0xE9015L in
+  let domains = Wqi_corpus.Vocabulary.core_three in
+  List.init 60 (fun i ->
+      Generator.generate g
+        ~id:(Printf.sprintf "equiv-%02d" i)
+        ~domain:(List.nth domains (i mod 3))
+        ~complexity:(if i mod 2 = 0 then `Simple else `Rich)
+        ~oog_prob:(if i mod 5 = 0 then 0.1 else 0.)
+        ())
+
+let test_corpus_equivalence () =
+  let grammar = Wqi_stdgrammar.Std.grammar in
+  List.iter
+    (fun (s : Generator.source) ->
+       let tokens = Tokenize.of_html s.html in
+       let fast, slow = parse_both grammar tokens in
+       check_equivalent s.id fast slow)
+    (corpus_sources ())
+
+(* The ablation configurations let instances breed before pruning, and
+   the naive oracle's cost explodes with the instance count (that is the
+   point of the delta engine) — so these stick to Simple sources and a
+   tight budget to keep the oracle side affordable. *)
+let simple_sources n =
+  corpus_sources ()
+  |> List.filteri (fun i _ -> i mod 2 = 0)
+  |> List.filteri (fun i _ -> i < n)
+
+let test_corpus_equivalence_unscheduled () =
+  let grammar = Wqi_stdgrammar.Std.grammar in
+  let options =
+    { Engine.default_options with use_scheduling = false;
+      max_instances = 2_000 }
+  in
+  List.iter
+    (fun (s : Generator.source) ->
+       let tokens = Tokenize.of_html s.html in
+       let fast, slow = parse_both ~options grammar tokens in
+       check_equivalent (s.id ^ "/late-pruning") fast slow)
+    (simple_sources 8)
+
+let test_corpus_equivalence_exhaustive () =
+  let grammar = Wqi_stdgrammar.Std.grammar in
+  let options =
+    { Engine.default_options with use_preferences = false;
+      max_instances = 2_000 }
+  in
+  List.iter
+    (fun (s : Generator.source) ->
+       let tokens = Tokenize.of_html s.html in
+       let fast, slow = parse_both ~options grammar tokens in
+       check_equivalent (s.id ^ "/exhaustive") fast slow)
+    (simple_sources 6)
+
+let test_truncation_equivalence () =
+  (* The instance budget must bite at the identical creation step. *)
+  let grammar = Wqi_stdgrammar.Std.grammar in
+  let s = List.nth (corpus_sources ()) 1 in
+  let tokens = Tokenize.of_html s.Generator.html in
+  let options =
+    { Engine.default_options with use_preferences = false; max_instances = 60 }
+  in
+  let fast, slow = parse_both ~options grammar tokens in
+  check_bool "truncated" true fast.Engine.stats.truncated;
+  check_equivalent "truncation" fast slow
+
+(* --- single-word bitset specialization boundary --- *)
+
+let boundary_universes = [ 62; 63; 64; 65; 126; 127 ]
+
+let test_bitset_boundary_membership () =
+  List.iter
+    (fun n ->
+       let ctx i = Printf.sprintf "n=%d bit=%d" n i in
+       let all = Bitset.of_list n (List.init n Fun.id) in
+       check_int (Printf.sprintf "n=%d full cardinal" n) n
+         (Bitset.cardinal all);
+       List.iter
+         (fun i ->
+            let s = Bitset.singleton n i in
+            check_bool (ctx i ^ " mem") true (Bitset.mem s i);
+            check_int (ctx i ^ " cardinal") 1 (Bitset.cardinal s);
+            Alcotest.(check (list int)) (ctx i ^ " elements") [ i ]
+              (Bitset.elements s);
+            check_bool (ctx i ^ " subset of all") true (Bitset.subset s all);
+            check_bool (ctx i ^ " all not subset") false
+              (Bitset.subset all s);
+            check_bool (ctx i ^ " disjoint empty") true
+              (Bitset.disjoint s (Bitset.empty n)))
+         [ 0; n - 2; n - 1 ])
+    boundary_universes
+
+let test_bitset_boundary_algebra () =
+  List.iter
+    (fun n ->
+       let ctx = Printf.sprintf "n=%d" n in
+       let evens = Bitset.of_list n (List.filter (fun i -> i mod 2 = 0) (List.init n Fun.id)) in
+       let odds = Bitset.of_list n (List.filter (fun i -> i mod 2 = 1) (List.init n Fun.id)) in
+       check_bool (ctx ^ " evens/odds disjoint") true
+         (Bitset.disjoint evens odds);
+       check_int (ctx ^ " split cardinals") n
+         (Bitset.cardinal evens + Bitset.cardinal odds);
+       let union = Bitset.union evens odds in
+       check_int (ctx ^ " union cardinal") n (Bitset.cardinal union);
+       check_bool (ctx ^ " union equal of_list") true
+         (Bitset.equal union (Bitset.of_list n (List.init n Fun.id)));
+       check_bool (ctx ^ " inter empty") true
+         (Bitset.is_empty (Bitset.inter evens odds));
+       (* union_into over a private copy must match union and leave the
+          source untouched. *)
+       let acc = Bitset.union_into ~into:(Bitset.copy evens) odds in
+       check_bool (ctx ^ " union_into equals union") true
+         (Bitset.equal acc union);
+       check_int (ctx ^ " source unchanged") ((n + 1) / 2)
+         (Bitset.cardinal evens))
+    boundary_universes
+
+let test_bitset_universe_mismatch () =
+  (* 63 is single-word, 64 multi-word: mixed-representation operations
+     must fail loudly, exactly like same-representation size mismatches. *)
+  let a = Bitset.of_list 63 [ 0; 62 ] in
+  let b = Bitset.of_list 64 [ 0; 63 ] in
+  Alcotest.check_raises "union across boundary"
+    (Invalid_argument "Bitset: universe mismatch") (fun () ->
+        ignore (Bitset.union a b));
+  Alcotest.check_raises "disjoint across boundary"
+    (Invalid_argument "Bitset: universe mismatch") (fun () ->
+        ignore (Bitset.disjoint a b));
+  check_bool "equal across boundary is false" false (Bitset.equal a b)
+
+let test_parse_across_boundary () =
+  (* A token row wider than one word exercises the Big representation
+     through the whole engine; the two engines must still agree. *)
+  let grammar = Wqi_stdgrammar.Std.grammar in
+  let html =
+    let row i =
+      Printf.sprintf
+        "<tr><td>Field%02d:</td><td><input type=\"text\" name=\"f%d\"></td></tr>"
+        i i
+    in
+    "<form><table>"
+    ^ String.concat "" (List.init 32 row)
+    ^ "</table></form>"
+  in
+  let tokens = Tokenize.of_html html in
+  check_bool "crosses the word boundary" true (List.length tokens > 63);
+  (* A uniform table this wide breeds combinatorially many instances, so
+     keep a tight budget: the point is the multi-word covers, not the
+     blowup, and truncation must bite identically anyway. *)
+  let options = { Engine.default_options with max_instances = 5_000 } in
+  let fast, slow = parse_both ~options grammar tokens in
+  check_equivalent "wide interface" fast slow
+
+let suite =
+  [ ("delta = naive on 60 corpus sources", `Quick, test_corpus_equivalence);
+    ("delta = naive without scheduling", `Quick,
+     test_corpus_equivalence_unscheduled);
+    ("delta = naive exhaustive", `Quick, test_corpus_equivalence_exhaustive);
+    ("delta = naive under truncation", `Quick, test_truncation_equivalence);
+    ("bitset word-boundary membership", `Quick,
+     test_bitset_boundary_membership);
+    ("bitset word-boundary algebra", `Quick, test_bitset_boundary_algebra);
+    ("bitset universe mismatch", `Quick, test_bitset_universe_mismatch);
+    ("parse across the word boundary", `Quick, test_parse_across_boundary) ]
