@@ -40,6 +40,16 @@ type perf_row = {
   row_live : int;
 }
 
+type governed_result = {
+  g_deadline_ms : int;
+  g_max_instances : int;
+  g_seconds : float;
+  g_complete : int;
+  g_degraded : int;
+  g_failed : int;
+  g_trips : int;
+}
+
 type batch_result = {
   b_interfaces : int;
   b_avg_tokens : float;
@@ -47,6 +57,7 @@ type batch_result = {
   b_seconds_jobs1 : float;
   b_seconds_jobsn : float;
   b_instances_created : int;
+  b_governed : governed_result;
 }
 
 let smoke = ref false
@@ -294,6 +305,41 @@ let batch120 () =
     (seconds_jobs1 /. seconds_jobsn)
     jobs_n;
   note "instances created: %d" created;
+  (* Governed pass: the same 120 interfaces through the full pipeline
+     (HTML up) under an aggressive per-document budget, to measure what
+     resource governance costs and how often it trips on a realistic
+     corpus. *)
+  let deadline_ms = 100 in
+  let governed_max_instances = 300 in
+  let budget =
+    Wqi_core.Budget.make ~deadline_ms ~max_instances:governed_max_instances ()
+  in
+  let config = Wqi_core.Extractor.Config.(default |> with_budget budget) in
+  let tg0 = Unix.gettimeofday () in
+  let outcomes =
+    List.map
+      (fun (s : Generator.source) ->
+         (Wqi_core.Extractor.run config (Wqi_core.Extractor.Html s.html))
+           .Wqi_core.Extractor.outcome)
+      sources
+  in
+  let governed_seconds = Unix.gettimeofday () -. tg0 in
+  let complete_n = ref 0 and degraded_n = ref 0 and failed_n = ref 0 in
+  let trips_n = ref 0 in
+  List.iter
+    (fun (o : Wqi_core.Budget.outcome) ->
+       match o with
+       | Wqi_core.Budget.Complete -> incr complete_n
+       | Wqi_core.Budget.Degraded trips ->
+         incr degraded_n;
+         trips_n := !trips_n + List.length trips
+       | Wqi_core.Budget.Failed _ -> incr failed_n)
+    outcomes;
+  note
+    "governed (deadline %d ms, max %d instances): %.3f s, %d complete, \
+     %d degraded (%d trips), %d failed"
+    deadline_ms governed_max_instances governed_seconds !complete_n
+    !degraded_n !trips_n !failed_n;
   json_batch :=
     Some
       { b_interfaces = Array.length tokenized;
@@ -301,7 +347,15 @@ let batch120 () =
         b_jobs = jobs_n;
         b_seconds_jobs1 = seconds_jobs1;
         b_seconds_jobsn = seconds_jobsn;
-        b_instances_created = created }
+        b_instances_created = created;
+        b_governed =
+          { g_deadline_ms = deadline_ms;
+            g_max_instances = governed_max_instances;
+            g_seconds = governed_seconds;
+            g_complete = !complete_n;
+            g_degraded = !degraded_n;
+            g_failed = !failed_n;
+            g_trips = !trips_n } }
 
 (* ------------------------------------------------------------------ *)
 (* Section 4.2.1: inherent ambiguities                                 *)
@@ -552,7 +606,7 @@ let write_json file =
   let oc = open_out file in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema_version\": 1,\n";
+  p "  \"schema_version\": 2,\n";
   p "  \"smoke\": %b" !smoke;
   (match !json_perf with
    | None -> ()
@@ -581,7 +635,17 @@ let write_json file =
      p "    \"seconds_jobsN\": %s,\n" (json_float b.b_seconds_jobsn);
      p "    \"speedup\": %s,\n"
        (json_float (b.b_seconds_jobs1 /. b.b_seconds_jobsn));
-     p "    \"instances_created\": %d\n" b.b_instances_created;
+     p "    \"instances_created\": %d,\n" b.b_instances_created;
+     let g = b.b_governed in
+     p "    \"governed\": {\n";
+     p "      \"deadline_ms\": %d,\n" g.g_deadline_ms;
+     p "      \"max_instances\": %d,\n" g.g_max_instances;
+     p "      \"seconds\": %s,\n" (json_float g.g_seconds);
+     p "      \"complete\": %d,\n" g.g_complete;
+     p "      \"degraded\": %d,\n" g.g_degraded;
+     p "      \"failed\": %d,\n" g.g_failed;
+     p "      \"trips\": %d\n" g.g_trips;
+     p "    }\n";
      p "  }");
   p "\n}\n";
   close_out oc;

@@ -197,6 +197,23 @@ let check_perf = function
       rows
   | _ -> bad "perf: expected array"
 
+let check_governed g =
+  let interfaces governed =
+    non_negative "batch120.governed.complete" (field governed "complete")
+    +. non_negative "batch120.governed.degraded" (field governed "degraded")
+    +. non_negative "batch120.governed.failed" (field governed "failed")
+  in
+  ignore (positive "batch120.governed.deadline_ms" (field g "deadline_ms"));
+  ignore
+    (positive "batch120.governed.max_instances" (field g "max_instances"));
+  ignore (positive "batch120.governed.seconds" (field g "seconds"));
+  ignore (non_negative "batch120.governed.trips" (field g "trips"));
+  if interfaces g <= 0. then bad "batch120.governed: no interfaces counted";
+  (* Governance must degrade, never fail: a Failed outcome here means an
+     exception leaked out of the governed pipeline. *)
+  let failed = num "batch120.governed.failed" (field g "failed") in
+  if failed <> 0. then bad "batch120.governed.failed: expected 0, got %g" failed
+
 let check_batch b =
   ignore (positive "batch120.interfaces" (field b "interfaces"));
   ignore (positive "batch120.avg_tokens" (field b "avg_tokens"));
@@ -204,7 +221,8 @@ let check_batch b =
   ignore (positive "batch120.seconds_jobs1" (field b "seconds_jobs1"));
   ignore (positive "batch120.seconds_jobsN" (field b "seconds_jobsN"));
   ignore (positive "batch120.speedup" (field b "speedup"));
-  ignore (positive "batch120.instances_created" (field b "instances_created"))
+  ignore (positive "batch120.instances_created" (field b "instances_created"));
+  check_governed (field b "governed")
 
 let () =
   let file =
@@ -220,7 +238,7 @@ let () =
   match
     let j = Parser.parse s in
     let version = num "schema_version" (field j "schema_version") in
-    if version <> 1. then bad "schema_version: expected 1, got %g" version;
+    if version <> 2. then bad "schema_version: expected 2, got %g" version;
     (match field j "smoke" with
      | Bool _ -> ()
      | _ -> bad "smoke: expected bool");

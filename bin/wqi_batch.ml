@@ -6,18 +6,52 @@
    directory of query interfaces, get machine-readable capability
    descriptions out.  Extraction fans out over a fixed pool of domains
    (--jobs); output is gathered by file index, so the emitted JSONL is
-   byte-identical whatever the parallelism. *)
+   byte-identical whatever the parallelism.
+
+   Per-document failures are isolated: a document whose read or
+   extraction fails is reported on stderr (as a version-2 failed-source
+   JSON line) and counted in the summary, and stdout carries exactly the
+   lines of the documents that succeeded — adding a broken document to a
+   directory does not perturb the output for the others. *)
 
 module Pool = Wqi_parallel.Pool
+module Extractor = Wqi_core.Extractor
+module Budget = Wqi_core.Budget
 
 let read_file path =
   let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+       let n = in_channel_length ic in
+       really_input_string ic n)
 
-let run dir output jobs =
+type doc = {
+  d_file : string;
+  d_outcome : Budget.outcome;
+  d_model : Wqi_model.Semantic_model.t;
+  d_seconds : float;
+}
+
+let process config dir file =
+  let t0 = Budget.now_s () in
+  let outcome, model =
+    match read_file (Filename.concat dir file) with
+    | exception e ->
+      ( Budget.Failed { Budget.error_stage = None; message = Printexc.to_string e },
+        Wqi_model.Semantic_model.empty )
+    | html ->
+      (* [run] itself never raises — in-pipeline errors come back as a
+         [Failed] outcome — so only the file read needs the handler. *)
+      let e = Extractor.run config (Extractor.Html html) in
+      (e.Extractor.outcome, e.Extractor.model)
+  in
+  { d_file = file;
+    d_outcome = outcome;
+    d_model = model;
+    d_seconds = Budget.now_s () -. t0 }
+
+let run dir output jobs deadline_ms max_instances =
   if not (Sys.file_exists dir && Sys.is_directory dir) then begin
     Format.eprintf "%s is not a directory@." dir;
     1
@@ -37,17 +71,16 @@ let run dir output jobs =
         exit 2
       | None -> Domain.recommended_domain_count ()
     in
+    let budget =
+      match (deadline_ms, max_instances) with
+      | None, None -> Budget.unlimited
+      | _ -> Budget.make ?deadline_ms ?max_instances ()
+    in
+    let config = Extractor.Config.(default |> with_budget budget) in
     let t0 = Unix.gettimeofday () in
     let results =
       Pool.run ~jobs (fun pool ->
-          Pool.map_array pool
-            (fun file ->
-               let html = read_file (Filename.concat dir file) in
-               let t0 = Unix.gettimeofday () in
-               let e = Wqi_core.Extractor.extract html in
-               let seconds = Unix.gettimeofday () -. t0 in
-               (file, e.Wqi_core.Extractor.model, seconds))
-            files)
+          Pool.map_array pool (process config dir) files)
     in
     let wall = Unix.gettimeofday () -. t0 in
     let oc =
@@ -56,25 +89,39 @@ let run dir output jobs =
     let total_conditions = ref 0 in
     let total_seconds = ref 0. in
     let with_errors = ref 0 in
+    let degraded = ref 0 in
+    let failed = ref 0 in
     Array.iter
-      (fun (file, model, seconds) ->
-         total_seconds := !total_seconds +. seconds;
-         total_conditions :=
-           !total_conditions
-           + List.length model.Wqi_model.Semantic_model.conditions;
-         if model.Wqi_model.Semantic_model.errors <> [] then incr with_errors;
-         output_string oc
-           (Wqi_model.Export.source_description
-              ~name:(Filename.remove_extension file)
-              model);
-         output_char oc '\n')
+      (fun d ->
+         total_seconds := !total_seconds +. d.d_seconds;
+         match d.d_outcome with
+         | Budget.Failed e ->
+           incr failed;
+           Format.eprintf "%s@."
+             (Wqi_model.Export.failed_source
+                ~name:(Filename.remove_extension d.d_file)
+                e)
+         | (Budget.Complete | Budget.Degraded _) as outcome ->
+           (match outcome with
+            | Budget.Degraded _ -> incr degraded
+            | _ -> ());
+           total_conditions :=
+             !total_conditions
+             + List.length d.d_model.Wqi_model.Semantic_model.conditions;
+           if d.d_model.Wqi_model.Semantic_model.errors <> [] then
+             incr with_errors;
+           output_string oc
+             (Wqi_model.Export.source_description
+                ~name:(Filename.remove_extension d.d_file)
+                d.d_model);
+           output_char oc '\n')
       results;
     if output <> None then close_out oc;
     Format.eprintf
       "%d interfaces, %d conditions extracted, %d with error reports, \
-       %.2f s extraction (%.2f s wall, %d jobs)@."
-      (Array.length files) !total_conditions !with_errors !total_seconds wall
-      jobs;
+       %d degraded, %d failed, %.2f s extraction (%.2f s wall, %d jobs)@."
+      (Array.length files) !total_conditions !with_errors !degraded !failed
+      !total_seconds wall jobs;
     if files = [||] then 1 else 0
   end
 
@@ -95,9 +142,23 @@ let jobs =
   in
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+let deadline_ms =
+  let doc =
+    "Per-document wall-clock budget in milliseconds; documents that \
+     exceed it return degraded (partial) models instead of stalling the \
+     batch."
+  in
+  Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+
+let max_instances =
+  let doc = "Per-document cap on parser instances." in
+  Arg.(value & opt (some int) None & info [ "max-instances" ] ~docv:"N" ~doc)
+
 let cmd =
   let doc = "extract capabilities from a directory of query interfaces" in
-  let term = Term.(const run $ dir $ output $ jobs) in
+  let term =
+    Term.(const run $ dir $ output $ jobs $ deadline_ms $ max_instances)
+  in
   Cmd.v (Cmd.info "wqi_batch" ~version:"1.0.0" ~doc) term
 
 let () = exit (Cmd.eval' cmd)

@@ -2,6 +2,9 @@
    its semantic model (query capabilities), optionally with the token
    set, the parse trees, and parsing diagnostics. *)
 
+module Extractor = Wqi_core.Extractor
+module Budget = Wqi_core.Budget
+
 let read_file path =
   let ic = open_in_bin path in
   let n = in_channel_length ic in
@@ -23,17 +26,31 @@ let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   if verbose then Logs.set_level (Some Logs.Debug)
 
-let run input show_tokens show_trees show_stats show_ascii as_json verbose width =
+let config_of width deadline_ms max_instances =
+  let budget =
+    match (deadline_ms, max_instances) with
+    | None, None -> Budget.unlimited
+    | _ -> Budget.make ?deadline_ms ?max_instances ()
+  in
+  let c = Extractor.Config.(default |> with_budget budget) in
+  match width with
+  | Some w -> Extractor.Config.with_width w c
+  | None -> c
+
+let run input show_tokens show_trees show_stats show_ascii as_json verbose
+    width deadline_ms max_instances =
   setup_logs verbose;
-  let html = match input with Some path -> read_file path | None -> read_stdin () in
-  let e = Wqi_core.Extractor.extract ?width html in
+  let html =
+    match input with Some path -> read_file path | None -> read_stdin ()
+  in
+  let config = config_of width deadline_ms max_instances in
+  let e = Extractor.run config (Extractor.Html html) in
   if as_json then begin
     let name =
       match input with Some path -> Filename.basename path | None -> "stdin"
     in
-    print_endline
-      (Wqi_model.Export.source_description ~name e.model);
-    exit (if Wqi_core.Extractor.conditions e = [] then 1 else 0)
+    print_endline (Extractor.export ~name e);
+    exit (if Extractor.conditions e = [] then 1 else 0)
   end;
   if show_ascii then begin
     Format.printf "--- layout@.";
@@ -50,6 +67,9 @@ let run input show_tokens show_trees show_stats show_ascii as_json verbose width
       e.trees;
   Format.printf "--- query capabilities@.%a@." Wqi_model.Semantic_model.pp
     e.model;
+  (match e.outcome with
+   | Budget.Complete -> ()
+   | outcome -> Format.printf "--- outcome@.%a@." Budget.pp_outcome outcome);
   if show_stats then begin
     let d = e.diagnostics in
     Format.printf "--- diagnostics@.";
@@ -57,9 +77,13 @@ let run input show_tokens show_trees show_stats show_ascii as_json verbose width
       "tokens=%d instances=%d live=%d pruned=%d trees=%d complete=%b@."
       d.token_count d.parse_stats.created d.parse_stats.live
       d.parse_stats.pruned d.tree_count d.complete;
-    Format.printf "tokenize=%.1f ms parse=%.1f ms@."
-      (1000. *. d.tokenize_seconds)
+    Format.printf "html=%.1f ms layout=%.1f ms classify=%.1f ms parse=%.1f ms \
+                   merge=%.1f ms total=%.1f ms@."
+      (1000. *. d.html_seconds) (1000. *. d.layout_seconds)
+      (1000. *. d.classify_seconds)
       (1000. *. d.parse_seconds)
+      (1000. *. d.merge_seconds)
+      (1000. *. d.total_seconds)
   end;
   if e.model.conditions = [] then 1 else 0
 
@@ -85,7 +109,8 @@ let show_ascii =
 let as_json =
   Arg.(value & flag
        & info [ "json" ]
-           ~doc:"Emit a JSON source description instead of text output.")
+           ~doc:"Emit a versioned JSON source description (outcome, \
+                 capabilities, diagnostics) instead of text output.")
 
 let verbose =
   Arg.(value & flag
@@ -96,6 +121,21 @@ let width =
   let doc = "Page width in pixels handed to the layout engine." in
   Arg.(value & opt (some int) None & info [ "width" ] ~docv:"PX" ~doc)
 
+let deadline_ms =
+  let doc =
+    "Wall-clock budget in milliseconds.  When it expires the pipeline \
+     degrades gracefully: stages stop growing their output and the model \
+     is merged from the partial parse trees built so far."
+  in
+  Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+
+let max_instances =
+  let doc =
+    "Cap on parser instances (token instances included).  Tripping the \
+     cap degrades the extraction instead of failing it."
+  in
+  Arg.(value & opt (some int) None & info [ "max-instances" ] ~docv:"N" ~doc)
+
 let cmd =
   let doc = "extract query capabilities from a Web query interface" in
   let man =
@@ -105,12 +145,17 @@ let cmd =
          and prints the extracted conditions [attribute; operators; \
          domain], one per line, followed by any conflict or \
          missing-element reports.";
+      `P
+        "Extraction can be resource-governed with $(b,--deadline-ms) and \
+         $(b,--max-instances); a tripped budget yields a degraded (but \
+         non-empty whenever anything parsed) result, reported in the \
+         outcome section and in the JSON export.";
       `P "Exits with status 1 when no condition was extracted." ]
   in
   let term =
     Term.(
       const run $ input $ show_tokens $ show_trees $ show_stats $ show_ascii
-      $ as_json $ verbose $ width)
+      $ as_json $ verbose $ width $ deadline_ms $ max_instances)
   in
   Cmd.v (Cmd.info "wqi_extract" ~version:"1.0.0" ~doc ~man) term
 

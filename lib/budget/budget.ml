@@ -1,0 +1,204 @@
+external monotonic_ns : unit -> int64 = "wqi_monotonic_ns"
+
+let now_s () = Int64.to_float (monotonic_ns ()) *. 1e-9
+
+type stage = Html | Layout | Tokenize | Parse | Merge
+
+let stage_name = function
+  | Html -> "html"
+  | Layout -> "layout"
+  | Tokenize -> "tokenize"
+  | Parse -> "parse"
+  | Merge -> "merge"
+
+type reason = Deadline | Html_nodes | Boxes | Tokens | Instances | Rounds
+
+let reason_name = function
+  | Deadline -> "deadline"
+  | Html_nodes -> "html_nodes"
+  | Boxes -> "boxes"
+  | Tokens -> "tokens"
+  | Instances -> "instances"
+  | Rounds -> "rounds"
+
+type trip = { stage : stage; reason : reason; limit : int; consumed : int }
+
+let pp_trip ppf t =
+  Format.fprintf ppf "%s: %s (%d/%d%s)" (stage_name t.stage)
+    (reason_name t.reason) t.consumed t.limit
+    (if t.reason = Deadline then " ms" else "")
+
+type t = {
+  deadline_ms : int option;
+  max_html_nodes : int option;
+  max_boxes : int option;
+  max_tokens : int option;
+  max_instances : int option;
+  max_rounds : int option;
+}
+
+let unlimited =
+  { deadline_ms = None; max_html_nodes = None; max_boxes = None;
+    max_tokens = None; max_instances = None; max_rounds = None }
+
+let make ?deadline_ms ?max_html_nodes ?max_boxes ?max_tokens ?max_instances
+    ?max_rounds () =
+  let clamp = Option.map (max 0) in
+  { deadline_ms = clamp deadline_ms;
+    max_html_nodes = clamp max_html_nodes;
+    max_boxes = clamp max_boxes;
+    max_tokens = clamp max_tokens;
+    max_instances = clamp max_instances;
+    max_rounds = clamp max_rounds }
+
+let is_unlimited b = b = unlimited
+
+type gauge = {
+  spec : t;
+  t0 : float;
+  deadline_at : float option;
+  mutable n_html_nodes : int;
+  mutable n_boxes : int;
+  mutable n_tokens : int;
+  mutable n_instances : int;
+  mutable n_rounds : int;
+  mutable html_dead : bool;
+  mutable boxes_dead : bool;
+  mutable tokens_dead : bool;
+  mutable instances_dead : bool;
+  mutable rounds_dead : bool;
+  mutable deadline_dead : bool;
+  mutable ticks : int;
+  mutable trips_rev : trip list;
+}
+
+let start spec =
+  let t0 = now_s () in
+  { spec;
+    t0;
+    deadline_at =
+      Option.map (fun ms -> t0 +. (float_of_int ms /. 1000.)) spec.deadline_ms;
+    n_html_nodes = 0;
+    n_boxes = 0;
+    n_tokens = 0;
+    n_instances = 0;
+    n_rounds = 0;
+    html_dead = false;
+    boxes_dead = false;
+    tokens_dead = false;
+    instances_dead = false;
+    rounds_dead = false;
+    deadline_dead = false;
+    ticks = 0;
+    trips_rev = [] }
+
+let spec g = g.spec
+
+let elapsed_ms g = (now_s () -. g.t0) *. 1000.
+
+let record g trip = g.trips_rev <- trip :: g.trips_rev
+
+(* Deadline check; records the trip against [stage] on first expiry. *)
+let deadline_ok g stage =
+  match g.deadline_at with
+  | None -> true
+  | Some _ when g.deadline_dead -> false
+  | Some at ->
+    if now_s () <= at then true
+    else begin
+      g.deadline_dead <- true;
+      record g
+        { stage;
+          reason = Deadline;
+          limit = Option.value ~default:0 g.spec.deadline_ms;
+          consumed = int_of_float (elapsed_ms g) };
+      false
+    end
+
+(* One counter spend: charge, check the cap, then the deadline. *)
+let charge g stage reason ~count ~dead ~set_dead ~cap =
+  if g.deadline_dead || dead then false
+  else begin
+    let n = count () in
+    match cap with
+    | Some limit when n > limit ->
+      set_dead ();
+      record g { stage; reason; limit; consumed = n };
+      false
+    | _ -> deadline_ok g stage
+  end
+
+let html_node g =
+  charge g Html Html_nodes
+    ~count:(fun () -> g.n_html_nodes <- g.n_html_nodes + 1; g.n_html_nodes)
+    ~dead:g.html_dead
+    ~set_dead:(fun () -> g.html_dead <- true)
+    ~cap:g.spec.max_html_nodes
+
+let box g =
+  charge g Layout Boxes
+    ~count:(fun () -> g.n_boxes <- g.n_boxes + 1; g.n_boxes)
+    ~dead:g.boxes_dead
+    ~set_dead:(fun () -> g.boxes_dead <- true)
+    ~cap:g.spec.max_boxes
+
+let token g =
+  charge g Tokenize Tokens
+    ~count:(fun () -> g.n_tokens <- g.n_tokens + 1; g.n_tokens)
+    ~dead:g.tokens_dead
+    ~set_dead:(fun () -> g.tokens_dead <- true)
+    ~cap:g.spec.max_tokens
+
+let instance g =
+  charge g Parse Instances
+    ~count:(fun () -> g.n_instances <- g.n_instances + 1; g.n_instances)
+    ~dead:g.instances_dead
+    ~set_dead:(fun () -> g.instances_dead <- true)
+    ~cap:g.spec.max_instances
+
+let round g =
+  charge g Parse Rounds
+    ~count:(fun () -> g.n_rounds <- g.n_rounds + 1; g.n_rounds)
+    ~dead:g.rounds_dead
+    ~set_dead:(fun () -> g.rounds_dead <- true)
+    ~cap:g.spec.max_rounds
+
+let tick g stage =
+  if g.deadline_dead then false
+  else if g.deadline_at = None then true
+  else begin
+    g.ticks <- g.ticks + 1;
+    if g.ticks land 0xff <> 0 then true else deadline_ok g stage
+  end
+
+let alive g stage = deadline_ok g stage
+
+let trips g = List.rev g.trips_rev
+
+let tripped g stage =
+  List.exists (fun (t : trip) -> t.stage = stage) g.trips_rev
+
+let html_nodes g = g.n_html_nodes
+let boxes g = g.n_boxes
+let tokens g = g.n_tokens
+let instances g = g.n_instances
+let rounds g = g.n_rounds
+
+type error = { error_stage : stage option; message : string }
+
+type outcome = Complete | Degraded of trip list | Failed of error
+
+let pp_outcome ppf = function
+  | Complete -> Format.pp_print_string ppf "complete"
+  | Degraded trips ->
+    Format.fprintf ppf "degraded (%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+         pp_trip)
+      trips
+  | Failed e ->
+    Format.fprintf ppf "failed%a: %s"
+      (fun ppf -> function
+         | Some s -> Format.fprintf ppf " at %s" (stage_name s)
+         | None -> ())
+      e.error_stage e.message

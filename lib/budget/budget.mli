@@ -1,0 +1,181 @@
+(** Resource governance for the extraction pipeline.
+
+    The parser is best-effort by design — it never rejects an input,
+    returning maximal partial trees when the grammar cannot explain
+    everything (paper Section 5.3) — but best-effort *parsing* alone
+    does not make a best-effort *pipeline*: pathological HTML, huge
+    layouts, or an exhaustive-mode blow-up (visual-language membership
+    is NP-complete, Section 5.1) can still stall an extraction for
+    minutes.  A {!t} caps every stage — HTML nodes, layout boxes,
+    tokens, parser instances and fix-point rounds — and imposes one
+    wall-clock deadline measured on a monotonic clock.
+
+    A budget is an immutable spec; {!start} turns it into a mutable
+    {!gauge} that one extraction run threads through its stages.  Each
+    stage spends against the gauge ({!html_node}, {!box}, {!token},
+    {!instance}, {!round}); the first [false] answer means the stage
+    must stop growing its output and return what it has.  The gauge
+    records each {!trip} so the extractor can report exactly which
+    stage truncated, why, and how much was consumed. *)
+
+type stage = Html | Layout | Tokenize | Parse | Merge
+(** The pipeline stages a budget governs, in pipeline order. *)
+
+val stage_name : stage -> string
+(** Lowercase stable name ("html", "layout", "tokenize", "parse",
+    "merge") used in JSON output. *)
+
+type reason =
+  | Deadline    (** the wall-clock deadline expired *)
+  | Html_nodes  (** DOM node cap *)
+  | Boxes       (** layout box cap *)
+  | Tokens      (** token cap *)
+  | Instances   (** parser instance cap *)
+  | Rounds      (** parser fix-point round cap *)
+
+val reason_name : reason -> string
+(** Lowercase stable name used in JSON output. *)
+
+type trip = {
+  stage : stage;    (** stage that was truncated *)
+  reason : reason;
+  limit : int;      (** the configured cap ([ms] for {!Deadline}) *)
+  consumed : int;   (** counter value (elapsed ms for {!Deadline}) when
+                        the budget tripped *)
+}
+
+val pp_trip : Format.formatter -> trip -> unit
+
+(** {1 Budget specs} *)
+
+type t = {
+  deadline_ms : int option;
+      (** Wall-clock budget for the whole run, in milliseconds,
+          monotonic clock.  Checked on every spend, so a stage stops
+          within one unit of work of the deadline. *)
+  max_html_nodes : int option;  (** cap on DOM nodes built from markup *)
+  max_boxes : int option;       (** cap on laid-out atoms *)
+  max_tokens : int option;      (** cap on classified tokens *)
+  max_instances : int option;
+      (** cap on parser instances, token instances included; subsumes
+          the engine-level [options.max_instances] safety valve (both
+          are honoured — the smaller wins) *)
+  max_rounds : int option;      (** cap on parser fix-point rounds *)
+}
+
+val unlimited : t
+(** No deadline, no caps: every spend succeeds and {!start} never
+    records a trip.  The default of the extractor's [Config]. *)
+
+val make :
+  ?deadline_ms:int ->
+  ?max_html_nodes:int ->
+  ?max_boxes:int ->
+  ?max_tokens:int ->
+  ?max_instances:int ->
+  ?max_rounds:int ->
+  unit ->
+  t
+(** Omitted caps are unlimited.  Negative values are clamped to 0 (a
+    zero cap trips on the first spend). *)
+
+val is_unlimited : t -> bool
+
+(** {1 Gauges} *)
+
+type gauge
+(** Mutable per-run state: the start time, the counters, and the trips
+    recorded so far.  A gauge belongs to one extraction run; it is not
+    thread-safe and must not be shared across domains. *)
+
+val start : t -> gauge
+(** Start the clock and zero the counters. *)
+
+val spec : gauge -> t
+
+(** {2 Spending}
+
+    Each call charges one unit to the corresponding counter and answers
+    whether the run is still within budget.  The first exceeded cap (or
+    the deadline) records a {!trip} and pins the answer to [false] —
+    for that counter on cap trips, for every call on deadline trips.
+    Stages must treat [false] as "stop growing output, return what you
+    have". *)
+
+val html_node : gauge -> bool
+(** Charge one DOM node ({!Html}). *)
+
+val box : gauge -> bool
+(** Charge one layout box ({!Layout}). *)
+
+val token : gauge -> bool
+(** Charge one token ({!Tokenize}). *)
+
+val instance : gauge -> bool
+(** Charge one parser instance ({!Parse}). *)
+
+val round : gauge -> bool
+(** Charge one fix-point round ({!Parse}). *)
+
+val tick : gauge -> stage -> bool
+(** Deadline-only probe for hot loops that do not create anything
+    countable (e.g. the parser's combination enumeration): charges
+    nothing, checks the clock every few hundred calls.  [false] means
+    the deadline tripped. *)
+
+val alive : gauge -> stage -> bool
+(** Unthrottled deadline check, for stage entry points.  [false] means
+    the deadline has expired (recording the trip against [stage] if it
+    was not already recorded). *)
+
+(** {2 Read-back} *)
+
+val trips : gauge -> trip list
+(** Trips in the order they occurred; empty iff the run stayed within
+    budget. *)
+
+val tripped : gauge -> stage -> bool
+(** Whether any trip was recorded against [stage]. *)
+
+val elapsed_ms : gauge -> float
+
+val html_nodes : gauge -> int
+val boxes : gauge -> int
+val tokens : gauge -> int
+val instances : gauge -> int
+val rounds : gauge -> int
+
+(** {1 Outcomes}
+
+    The result classification of a governed extraction, recorded in the
+    extractor's [extraction.outcome] and rendered by
+    [Wqi_model.Export].  Defined here (rather than in the extractor) so
+    that layers below the extractor can render it without a dependency
+    cycle. *)
+
+type error = {
+  error_stage : stage option;
+      (** stage that was executing when the failure surfaced, if known *)
+  message : string;
+}
+
+type outcome =
+  | Complete
+      (** Every stage ran to its natural end.  (The *parse* may still
+          be partial — best-effort parsing never fails — see
+          [diagnostics.complete] for full-cover parses.) *)
+  | Degraded of trip list
+      (** At least one stage was truncated by the budget; the model was
+          merged from whatever maximal partial trees existed at that
+          point.  The trips say which stage, why and how much. *)
+  | Failed of error
+      (** An unexpected error; the extraction carries an empty model.
+          Never caused by budget exhaustion. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+(** {1 Clock} *)
+
+val now_s : unit -> float
+(** Monotonic time in seconds from an arbitrary origin
+    ([CLOCK_MONOTONIC]); only differences are meaningful. *)

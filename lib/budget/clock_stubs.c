@@ -1,0 +1,18 @@
+/* Monotonic clock for budget deadlines.
+ *
+ * Wall-clock time (gettimeofday) can jump under NTP adjustment, which
+ * would make deadlines fire early or never; CLOCK_MONOTONIC only moves
+ * forward.  One stub, no dependency. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value wqi_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  (void) unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t) ts.tv_sec * 1000000000LL
+                         + (int64_t) ts.tv_nsec);
+}

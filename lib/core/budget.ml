@@ -1,0 +1,3 @@
+(* Re-export so extractor users can say [Wqi_core.Budget] without
+   depending on the leaf library directly. *)
+include Wqi_budget.Budget

@@ -3,6 +3,40 @@ module Instance = Wqi_grammar.Instance
 module Token = Wqi_token.Token
 module Semantic_model = Wqi_model.Semantic_model
 module Merger = Wqi_model.Merger
+module Budget = Wqi_budget.Budget
+
+module Config = struct
+  type t = {
+    grammar : Wqi_grammar.Grammar.t;
+    options : Engine.options;
+    width : int;
+    budget : Budget.t;
+  }
+
+  let default =
+    { grammar = Wqi_stdgrammar.Std.grammar;
+      options = Engine.default_options;
+      width = Wqi_layout.Style.page_width;
+      budget = Budget.unlimited }
+
+  let with_grammar grammar t = { t with grammar }
+  let with_options options t = { t with options }
+  let with_width width t = { t with width }
+  let with_budget budget t = { t with budget }
+end
+
+type input =
+  | Html of string
+  | Document of Wqi_html.Dom.t
+  | Tokens of Token.t list
+
+type consumption = {
+  html_nodes : int;
+  boxes : int;
+  charged_tokens : int;
+  charged_instances : int;
+  rounds : int;
+}
 
 type diagnostics = {
   token_count : int;
@@ -11,27 +45,69 @@ type diagnostics = {
   complete : bool;
   tokenize_seconds : float;
   parse_seconds : float;
+  html_seconds : float;
+  layout_seconds : float;
+  classify_seconds : float;
+  merge_seconds : float;
+  total_seconds : float;
+  budget : Budget.t;
+  consumption : consumption;
 }
 
 type extraction = {
   model : Semantic_model.t;
   tokens : Token.t list;
   trees : Instance.t list;
+  outcome : Budget.outcome;
   diagnostics : diagnostics;
 }
 
 let time f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Budget.now_s () in
   let v = f () in
-  (v, Unix.gettimeofday () -. t0)
+  (v, Budget.now_s () -. t0)
 
-let extract_tokens ?(grammar = Wqi_stdgrammar.Std.grammar) ?options tokens =
-  let result, parse_seconds =
-    time (fun () -> Engine.parse ?options grammar tokens)
-  in
-  (* Only trees that explain at least one condition count as parses of
-     the query interface; a bare atom wrapper covers nothing semantic,
-     so its tokens must still be reported as missing. *)
+let zero_stats =
+  { Engine.created = 0; live = 0; pruned = 0; rolled_back = 0; temporary = 0;
+    truncated = false }
+
+let zero_consumption =
+  { html_nodes = 0; boxes = 0; charged_tokens = 0; charged_instances = 0;
+    rounds = 0 }
+
+let consumption_of g =
+  { html_nodes = Budget.html_nodes g;
+    boxes = Budget.boxes g;
+    charged_tokens = Budget.tokens g;
+    charged_instances = Budget.instances g;
+    rounds = Budget.rounds g }
+
+let empty_diagnostics budget =
+  { token_count = 0;
+    parse_stats = zero_stats;
+    tree_count = 0;
+    complete = false;
+    tokenize_seconds = 0.;
+    parse_seconds = 0.;
+    html_seconds = 0.;
+    layout_seconds = 0.;
+    classify_seconds = 0.;
+    merge_seconds = 0.;
+    total_seconds = 0.;
+    budget;
+    consumption = zero_consumption }
+
+let failed ?stage message =
+  { model = Semantic_model.empty;
+    tokens = [];
+    trees = [];
+    outcome = Budget.Failed { Budget.error_stage = stage; message };
+    diagnostics = empty_diagnostics Budget.unlimited }
+
+(* Only trees that explain at least one condition count as parses of
+   the query interface; a bare atom wrapper covers nothing semantic,
+   so its tokens must still be reported as missing. *)
+let merge_trees tokens (result : Engine.result) =
   let trees =
     List.filter
       (fun tree -> Instance.collect_conditions tree <> [])
@@ -58,40 +134,168 @@ let extract_tokens ?(grammar = Wqi_stdgrammar.Std.grammar) ?options tokens =
       false
   in
   let model = Merger.merge ~all_tokens ~ignorable parses in
-  { model;
-    tokens;
-    trees;
-    diagnostics =
-      { token_count = List.length tokens;
-        parse_stats = result.Engine.stats;
-        tree_count = List.length trees;
-        complete = result.Engine.complete <> None;
-        tokenize_seconds = 0.;
-        parse_seconds } }
+  (model, trees)
 
-let extract_document ?grammar ?options ?width doc =
-  let tokens, tokenize_seconds =
-    time (fun () -> Wqi_token.Tokenize.of_document ?width doc)
-  in
-  let extraction = extract_tokens ?grammar ?options tokens in
-  { extraction with
-    diagnostics = { extraction.diagnostics with tokenize_seconds } }
+let run (config : Config.t) input =
+  let g = Budget.start config.budget in
+  (* An unlimited budget stays entirely off the stage hot paths: every
+     gauge check in the pipeline is a [None] no-op, so ungoverned runs
+     behave — instance ids included — exactly as before governance
+     existed. *)
+  let gauge = if Budget.is_unlimited config.budget then None else Some g in
+  let stage = ref Budget.Html in
+  try
+    let doc, html_seconds =
+      match input with
+      | Html markup ->
+        let d, s = time (fun () -> Wqi_html.Parser.parse ?gauge markup) in
+        (Some d, s)
+      | Document d -> (Some d, 0.)
+      | Tokens _ -> (None, 0.)
+    in
+    stage := Budget.Layout;
+    let atoms, layout_seconds =
+      match doc with
+      | Some d ->
+        time (fun () -> Wqi_layout.Engine.render ?gauge ~width:config.width d)
+      | None -> ([], 0.)
+    in
+    stage := Budget.Tokenize;
+    let tokens, classify_seconds =
+      match input with
+      | Tokens tokens -> (tokens, 0.)
+      | Html _ | Document _ ->
+        time (fun () -> Wqi_token.Tokenize.of_atoms ?gauge atoms)
+    in
+    stage := Budget.Parse;
+    let result, parse_seconds =
+      time (fun () ->
+          Engine.parse ?gauge ~options:config.options config.grammar tokens)
+    in
+    stage := Budget.Merge;
+    let (model, trees), merge_seconds =
+      time (fun () -> merge_trees tokens result)
+    in
+    let outcome =
+      match Budget.trips g with
+      | _ :: _ as trips -> Budget.Degraded trips
+      | [] ->
+        if result.Engine.stats.truncated then
+          (* Truncated by the engine-level [max_instances] safety valve
+             rather than by the gauge: surface it the same way. *)
+          Budget.Degraded
+            [ { Budget.stage = Budget.Parse;
+                reason = Budget.Instances;
+                limit = config.options.max_instances;
+                consumed = result.Engine.stats.created } ]
+        else Budget.Complete
+    in
+    { model;
+      tokens;
+      trees;
+      outcome;
+      diagnostics =
+        { token_count = List.length tokens;
+          parse_stats = result.Engine.stats;
+          tree_count = List.length trees;
+          complete = result.Engine.complete <> None;
+          tokenize_seconds = layout_seconds +. classify_seconds;
+          parse_seconds;
+          html_seconds;
+          layout_seconds;
+          classify_seconds;
+          merge_seconds;
+          total_seconds = Budget.elapsed_ms g /. 1000.;
+          budget = config.budget;
+          consumption = consumption_of g } }
+  with e ->
+    { model = Semantic_model.empty;
+      tokens = [];
+      trees = [];
+      outcome =
+        Budget.Failed
+          { Budget.error_stage = Some !stage; message = Printexc.to_string e };
+      diagnostics =
+        { (empty_diagnostics config.budget) with
+          total_seconds = Budget.elapsed_ms g /. 1000.;
+          consumption = consumption_of g } }
 
-let extract ?grammar ?options ?width html =
-  extract_document ?grammar ?options ?width (Wqi_html.Parser.parse html)
-
-let extract_forms ?grammar ?options ?width html =
+let run_forms (config : Config.t) html =
   let module Dom = Wqi_html.Dom in
-  let doc = Wqi_html.Parser.parse html in
+  let g = Budget.start config.budget in
+  let gauge = if Budget.is_unlimited config.budget then None else Some g in
+  let doc = Wqi_html.Parser.parse ?gauge html in
+  (* The page-level parse has its own gauge; if it tripped, every form
+     extraction below worked on a truncated page and must say so. *)
+  let page_trips = Budget.trips g in
+  let degrade e =
+    match (page_trips, e.outcome) with
+    | [], _ | _, Budget.Failed _ -> e
+    | _, Budget.Complete -> { e with outcome = Budget.Degraded page_trips }
+    | _, Budget.Degraded trips ->
+      { e with outcome = Budget.Degraded (page_trips @ trips) }
+  in
   match Dom.find_all (Dom.is_element ~named:"form") doc with
-  | [] -> [ extract_document ?grammar ?options ?width doc ]
+  | [] -> [ degrade (run config (Document doc)) ]
   | forms ->
     List.map
       (fun form ->
          (* Lay out each form as its own page so that unrelated page
             furniture cannot interfere with its spatial structure. *)
          let isolated = Dom.element "html" [ Dom.element "body" [ form ] ] in
-         extract_document ?grammar ?options ?width isolated)
+         degrade (run config (Document isolated)))
       forms
 
+let config_of ?grammar ?options ?width () =
+  let c = Config.default in
+  let c = match grammar with Some grammar -> { c with Config.grammar } | None -> c in
+  let c = match options with Some options -> { c with Config.options } | None -> c in
+  match width with Some width -> { c with Config.width } | None -> c
+
+let extract_tokens ?grammar ?options tokens =
+  run (config_of ?grammar ?options ()) (Tokens tokens)
+
+let extract_document ?grammar ?options ?width doc =
+  run (config_of ?grammar ?options ?width ()) (Document doc)
+
+let extract ?grammar ?options ?width html =
+  run (config_of ?grammar ?options ?width ()) (Html html)
+
+let extract_forms ?grammar ?options ?width html =
+  run_forms (config_of ?grammar ?options ?width ()) html
+
 let conditions e = e.model.Semantic_model.conditions
+
+let export ~name ?url e =
+  let module E = Wqi_model.Export in
+  let d = e.diagnostics in
+  let seconds s = Printf.sprintf "%.6f" s in
+  let consumed =
+    E.obj
+      [ ("html_nodes", string_of_int d.consumption.html_nodes);
+        ("boxes", string_of_int d.consumption.boxes);
+        ("tokens", string_of_int d.consumption.charged_tokens);
+        ("instances", string_of_int d.consumption.charged_instances);
+        ("rounds", string_of_int d.consumption.rounds) ]
+  in
+  let diagnostics =
+    [ ("tokens", string_of_int d.token_count);
+      ("instances_created", string_of_int d.parse_stats.Engine.created);
+      ("instances_live", string_of_int d.parse_stats.Engine.live);
+      ("pruned", string_of_int d.parse_stats.Engine.pruned);
+      ("rolled_back", string_of_int d.parse_stats.Engine.rolled_back);
+      ("trees", string_of_int d.tree_count);
+      ("complete", string_of_bool d.complete);
+      ("truncated", string_of_bool d.parse_stats.Engine.truncated);
+      ("seconds",
+       E.obj
+         [ ("html", seconds d.html_seconds);
+           ("layout", seconds d.layout_seconds);
+           ("classify", seconds d.classify_seconds);
+           ("parse", seconds d.parse_seconds);
+           ("merge", seconds d.merge_seconds);
+           ("total", seconds d.total_seconds) ]);
+      ("budget", E.budget d.budget);
+      ("consumed", consumed) ]
+  in
+  E.extraction ~name ?url ~diagnostics ~outcome:e.outcome e.model

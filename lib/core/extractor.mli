@@ -2,7 +2,62 @@
 
     Pipeline: HTML → DOM → layout → tokens → best-effort parse with the
     2P grammar → merge partial parses → semantic model (query
-    capabilities) plus error reports and diagnostics. *)
+    capabilities) plus error reports and diagnostics.
+
+    The extractor is resource-governed: a {!Config.t} carries a
+    {!Wqi_budget.Budget.t} (wall-clock deadline plus per-stage caps),
+    and every extraction reports an {!Wqi_budget.Budget.outcome} saying
+    whether it ran to completion, was degraded by the budget (which
+    stage tripped, why, and how much was consumed), or failed outright.
+    Degradation is graceful: a tripped stage stops growing its output
+    and the pipeline continues, so the merger still produces a semantic
+    model from whatever maximal partial trees exist. *)
+
+(** Extraction configuration: grammar, parser options, page width and
+    resource budget, with functional [with_*] updates:
+
+    {[
+      let config =
+        Extractor.Config.(
+          default |> with_budget (Budget.make ~deadline_ms:200 ()))
+      in
+      Extractor.run config (Extractor.Html markup)
+    ]} *)
+module Config : sig
+  type t = {
+    grammar : Wqi_grammar.Grammar.t;
+    options : Wqi_parser.Engine.options;
+    width : int;
+    budget : Wqi_budget.Budget.t;
+  }
+
+  val default : t
+  (** The derived global grammar [Wqi_stdgrammar.Std.grammar], default
+      parser options, default page width, unlimited budget. *)
+
+  val with_grammar : Wqi_grammar.Grammar.t -> t -> t
+  val with_options : Wqi_parser.Engine.options -> t -> t
+  val with_width : int -> t -> t
+  val with_budget : Wqi_budget.Budget.t -> t -> t
+end
+
+(** What to extract from. *)
+type input =
+  | Html of string  (** raw markup; runs the full pipeline *)
+  | Document of Wqi_html.Dom.t  (** an already-parsed DOM *)
+  | Tokens of Wqi_token.Token.t list
+      (** an already-tokenized interface; skips the front-end *)
+
+type consumption = {
+  html_nodes : int;
+  boxes : int;
+  charged_tokens : int;
+  charged_instances : int;
+  rounds : int;
+}
+(** Gauge counter read-back.  Counters are charged only on governed runs
+    (a limited budget); with an unlimited budget the stages skip the
+    gauge entirely and all counters read 0. *)
 
 type diagnostics = {
   token_count : int;
@@ -10,7 +65,16 @@ type diagnostics = {
   tree_count : int;      (** maximal partial trees selected by the parser *)
   complete : bool;       (** a single parse covered every token *)
   tokenize_seconds : float;
+      (** front-end time (layout + classification), kept for
+          compatibility; equals [layout_seconds +. classify_seconds] *)
   parse_seconds : float;
+  html_seconds : float;     (** HTML tree construction *)
+  layout_seconds : float;   (** box layout *)
+  classify_seconds : float; (** atom classification into tokens *)
+  merge_seconds : float;    (** partial-parse merging *)
+  total_seconds : float;    (** whole run, monotonic clock *)
+  budget : Wqi_budget.Budget.t;  (** the budget the run was governed by *)
+  consumption : consumption;
 }
 
 type extraction = {
@@ -18,8 +82,36 @@ type extraction = {
   tokens : Wqi_token.Token.t list;
   trees : Wqi_grammar.Instance.t list;
       (** the maximal partial parse trees the model was merged from *)
+  outcome : Wqi_budget.Budget.outcome;
+      (** [Complete], [Degraded trips], or [Failed error] *)
   diagnostics : diagnostics;
 }
+
+val run : Config.t -> input -> extraction
+(** [run config input] extracts under [config]'s budget.  Never raises:
+    budget trips degrade the extraction ([outcome = Degraded _], with
+    the model merged from the partial pipeline output), and any
+    unexpected exception is caught and reported as [outcome = Failed _]
+    with an empty model. *)
+
+val run_forms : Config.t -> string -> extraction list
+(** [run_forms config html] extracts each [<form>] element of the page
+    separately, each laid out in isolation and each governed by a fresh
+    instance of [config.budget] (the budget is per form, not shared
+    across the page).  The page-level HTML parse is governed too; if it
+    trips, the trip is prepended to every form's outcome.  Pages with no
+    [<form>] element yield a single whole-page extraction. *)
+
+val failed : ?stage:Wqi_budget.Budget.stage -> string -> extraction
+(** [failed msg] is an empty extraction with [outcome = Failed _]; for
+    drivers that must represent errors arising outside [run] (e.g. a
+    batch worker whose file read failed). *)
+
+(** {1 Legacy entry points}
+
+    Thin wrappers over {!run} with [Config.default] and an unlimited
+    budget, kept so existing call sites compile unchanged.  New code
+    should prefer {!Config} + {!run}, which expose the budget. *)
 
 val extract :
   ?grammar:Wqi_grammar.Grammar.t ->
@@ -27,10 +119,12 @@ val extract :
   ?width:int ->
   string ->
   extraction
-(** [extract html] runs the full pipeline on raw markup.  [grammar]
-    defaults to the derived global grammar [Wqi_stdgrammar.Std.grammar];
-    [options] to [Wqi_parser.Engine.default_options]; [width] to the
-    default page width. *)
+(** [extract html] is [run config (Html html)] with an unlimited budget.
+    [grammar] defaults to the derived global grammar
+    [Wqi_stdgrammar.Std.grammar]; [options] to
+    [Wqi_parser.Engine.default_options]; [width] to the default page
+    width.
+    @deprecated Prefer {!Config} + {!run}. *)
 
 val extract_document :
   ?grammar:Wqi_grammar.Grammar.t ->
@@ -38,6 +132,7 @@ val extract_document :
   ?width:int ->
   Wqi_html.Dom.t ->
   extraction
+(** @deprecated Prefer {!Config} + {!run} with {!Document}. *)
 
 val extract_forms :
   ?grammar:Wqi_grammar.Grammar.t ->
@@ -51,14 +146,22 @@ val extract_forms :
     is laid out in isolation, so a page returns one extraction per form,
     in document order.  Pages with no [<form>] element yield a single
     whole-page extraction (some interfaces are built without form
-    tags). *)
+    tags).
+    @deprecated Prefer {!run_forms}. *)
 
 val extract_tokens :
   ?grammar:Wqi_grammar.Grammar.t ->
   ?options:Wqi_parser.Engine.options ->
   Wqi_token.Token.t list ->
   extraction
-(** Skip the front-end: parse an already-tokenized interface. *)
+(** Skip the front-end: parse an already-tokenized interface.
+    @deprecated Prefer {!Config} + {!run} with {!Tokens}. *)
 
 val conditions : extraction -> Wqi_model.Condition.t list
 (** Shorthand for [extraction.model.conditions]. *)
+
+val export : name:string -> ?url:string -> extraction -> string
+(** The version-2 JSON source description
+    ([{"wqi_extraction_version": 2, ...}]): outcome, capabilities, and a
+    diagnostics object with counters, per-stage wall times, the budget
+    in force and the gauge consumption.  See {!Wqi_model.Export}. *)

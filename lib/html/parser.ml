@@ -96,25 +96,43 @@ let handle_close b name =
    in place (the layout engine ignores inter-cell text anyway). *)
 let handle_text b s = add_child b (Dom.Text s)
 
-let build tokens =
+exception Out_of_budget
+
+let build ?gauge tokens =
   let root = new_frame "#root" [] in
   let b = { stack = [ root ] } in
-  List.iter
-    (fun tok ->
-       match tok with
-       | Lexer.Text s -> handle_text b s
-       | Lexer.Open (name, attrs, self) -> handle_open b name attrs self
-       | Lexer.Close name -> handle_close b name
-       | Lexer.Comment c -> add_child b (Dom.Comment c)
-       | Lexer.Doctype _ -> ())
-    tokens;
+  (* Charge one budget unit per node-creating markup token.  A trip
+     stops consuming input; whatever was built so far is closed up and
+     returned — tree construction degrades, it never fails. *)
+  let spend () =
+    match gauge with
+    | None -> ()
+    | Some g -> if not (Wqi_budget.Budget.html_node g) then raise Out_of_budget
+  in
+  (try
+     List.iter
+       (fun tok ->
+          match tok with
+          | Lexer.Text s ->
+            spend ();
+            handle_text b s
+          | Lexer.Open (name, attrs, self) ->
+            spend ();
+            handle_open b name attrs self
+          | Lexer.Close name -> handle_close b name
+          | Lexer.Comment c ->
+            spend ();
+            add_child b (Dom.Comment c)
+          | Lexer.Doctype _ -> ())
+       tokens
+   with Out_of_budget -> ());
   while List.length b.stack > 1 do
     pop b
   done;
   List.rev root.f_children
 
-let parse html =
-  let body_children = build (Lexer.tokenize html) in
+let parse ?gauge html =
+  let body_children = build ?gauge (Lexer.tokenize html) in
   Dom.element "html" [ Dom.element "body" body_children ]
 
-let parse_fragment html = build (Lexer.tokenize html)
+let parse_fragment ?gauge html = build ?gauge (Lexer.tokenize html)

@@ -1,10 +1,34 @@
 module Dom = Wqi_html.Dom
+module Budget = Wqi_budget.Budget
 
 type item =
   | Text_run of string
   | Widget of Dom.t
 
 type laid = { item : item; box : Geometry.box }
+
+(* Layout governance: one context per render.  [live] flips to false
+   when the box cap or the deadline trips; every layout loop checks it
+   and stops emitting, so a render degrades to a prefix of the page in
+   reading order instead of stalling.  [measuring] marks the table
+   measuring pass, whose scratch boxes are re-laid at placement time
+   and must not be charged twice — it only probes the deadline. *)
+type ctx = {
+  gauge : Budget.gauge option;
+  mutable live : bool;
+  measuring : bool;
+}
+
+let ctx_spend_box ctx =
+  ctx.live
+  && (match ctx.gauge with
+      | None -> true
+      | Some g ->
+        let ok =
+          if ctx.measuring then Budget.tick g Budget.Layout else Budget.box g
+        in
+        if not ok then ctx.live <- false;
+        ok)
 
 (* ------------------------------------------------------------------ *)
 (* Element classification                                              *)
@@ -90,6 +114,7 @@ type entry = {
 type alignment = [ `Left | `Center | `Right ]
 
 type flow_state = {
+  f_ctx : ctx;
   f_width : int;
   f_align : alignment;
   f_out : laid list ref;
@@ -134,13 +159,14 @@ let finish_line fs ~force =
     in
     List.iter
       (fun e ->
-         let x1 = fs.f_x0 + shift + e.e_x in
-         let y1 = fs.f_y0 + fs.line_y + ((line_height - e.e_h) / 2) in
-         fs.f_out :=
-           { item = e.e_item;
-             box = Geometry.make ~x1 ~y1 ~x2:(x1 + e.e_w) ~y2:(y1 + e.e_h) }
-           :: !(fs.f_out)
-      )
+         if ctx_spend_box fs.f_ctx then begin
+           let x1 = fs.f_x0 + shift + e.e_x in
+           let y1 = fs.f_y0 + fs.line_y + ((line_height - e.e_h) / 2) in
+           fs.f_out :=
+             { item = e.e_item;
+               box = Geometry.make ~x1 ~y1 ~x2:(x1 + e.e_w) ~y2:(y1 + e.e_h) }
+             :: !(fs.f_out)
+         end)
       fs.line;
     fs.line <- [];
     fs.line_y <- fs.line_y + line_height + leading
@@ -186,19 +212,20 @@ let add_widget fs node w h =
   fs.pending_space <- false
 
 (* Lay out a list of inline atoms; returns the height consumed. *)
-let flow out atoms ~x ~y ~width ~align =
+let flow ctx out atoms ~x ~y ~width ~align =
   let fs =
-    { f_width = max 40 width; f_align = align; f_out = out; f_x0 = x;
-      f_y0 = y; cx = 0; line_y = 0; line = []; pending_space = false;
-      run = None }
+    { f_ctx = ctx; f_width = max 40 width; f_align = align; f_out = out;
+      f_x0 = x; f_y0 = y; cx = 0; line_y = 0; line = [];
+      pending_space = false; run = None }
   in
   List.iter
     (fun atom ->
-       match atom with
-       | Space -> if not (line_is_empty fs) then fs.pending_space <- true
-       | Word w -> add_word fs w
-       | Widget_atom (node, w, h) -> add_widget fs node w h
-       | Break -> finish_line fs ~force:true)
+       if ctx.live then
+         match atom with
+         | Space -> if not (line_is_empty fs) then fs.pending_space <- true
+         | Word w -> add_word fs w
+         | Widget_atom (node, w, h) -> add_widget fs node w h
+         | Break -> finish_line fs ~force:true)
     atoms;
   finish_line fs ~force:false;
   (* Remove the trailing leading so adjacent blocks do not drift apart. *)
@@ -222,7 +249,7 @@ let alignment_of node ~inherited : alignment =
   | "left" -> `Left
   | _ -> if Dom.name node = "center" then `Center else inherited
 
-let rec layout_children out children ~x ~y ~width ~align =
+let rec layout_children ctx out children ~x ~y ~width ~align =
   let total = ref 0 in
   let inline_buffer = ref [] in
   let flush () =
@@ -234,43 +261,44 @@ let rec layout_children out children ~x ~y ~width ~align =
         (function Word _ | Widget_atom _ | Break -> true | Space -> false)
         atoms
     in
-    if has_content then
-      total := !total + flow out atoms ~x ~y:(y + !total) ~width ~align
+    if has_content && ctx.live then
+      total := !total + flow ctx out atoms ~x ~y:(y + !total) ~width ~align
   in
   List.iter
     (fun child ->
-       match child with
-       | Dom.Comment _ -> ()
-       | Dom.Element (name, _, _) when List.mem name skipped_elements -> ()
-       | Dom.Element (name, _, _) when is_block name ->
-         flush ();
-         let margin = block_margin name in
-         total := !total + margin;
-         total :=
-           !total
-           + layout_block out child ~x ~y:(y + !total) ~width
-               ~align:(alignment_of child ~inherited:align);
-         total := !total + margin
-       | _ -> inline_buffer := atoms_of_inline child !inline_buffer)
+       if ctx.live then
+         match child with
+         | Dom.Comment _ -> ()
+         | Dom.Element (name, _, _) when List.mem name skipped_elements -> ()
+         | Dom.Element (name, _, _) when is_block name ->
+           flush ();
+           let margin = block_margin name in
+           total := !total + margin;
+           total :=
+             !total
+             + layout_block ctx out child ~x ~y:(y + !total) ~width
+                 ~align:(alignment_of child ~inherited:align);
+           total := !total + margin
+         | _ -> inline_buffer := atoms_of_inline child !inline_buffer)
     children;
   flush ();
   !total
 
-and layout_block out node ~x ~y ~width ~align =
+and layout_block ctx out node ~x ~y ~width ~align =
   match Dom.name node with
-  | "table" -> layout_table out node ~x ~y ~width ~align
+  | "table" -> layout_table ctx out node ~x ~y ~width ~align
   | "ul" | "ol" | "dl" ->
     let indent = 30 in
-    layout_children out (Dom.children node) ~x:(x + indent) ~y
+    layout_children ctx out (Dom.children node) ~x:(x + indent) ~y
       ~width:(max 40 (width - indent)) ~align
   | "hr" -> 10
-  | _ -> layout_children out (Dom.children node) ~x ~y ~width ~align
+  | _ -> layout_children ctx out (Dom.children node) ~x ~y ~width ~align
 
 (* ------------------------------------------------------------------ *)
 (* Table layout                                                        *)
 (* ------------------------------------------------------------------ *)
 
-and layout_table out node ~x ~y ~width ~align =
+and layout_table ctx out node ~x ~y ~width ~align =
   let rows =
     (* Direct tr children plus tr under thead/tbody/tfoot, document order. *)
     List.concat_map
@@ -299,13 +327,18 @@ and layout_table out node ~x ~y ~width ~align =
              (List.fold_left (fun n c -> n + colspan c) 0 (cells_of_row row)))
         1 rows
     in
-    (* Measuring pass: natural width of each cell's content. *)
+    (* Measuring pass: natural width of each cell's content.  Scratch
+       boxes are re-laid at placement time, so measurement runs in a
+       deadline-probe-only context and does not charge the box cap
+       twice; a deadline trip during measurement still kills [ctx]. *)
     let natural_width cell =
       let scratch = ref [] in
+      let mctx = { gauge = ctx.gauge; live = ctx.live; measuring = true } in
       let _h =
-        layout_children scratch (Dom.children cell) ~x:0 ~y:0 ~width:3000
+        layout_children mctx scratch (Dom.children cell) ~x:0 ~y:0 ~width:3000
           ~align:`Left
       in
+      if not mctx.live then ctx.live <- false;
       List.fold_left (fun acc l -> max acc l.box.Geometry.x2) 0 !scratch
     in
     let col_widths = Array.make ncols (2 * padding) in
@@ -316,7 +349,7 @@ and layout_table out node ~x ~y ~width ~align =
          List.iter
            (fun cell ->
               let span = colspan cell in
-              if span = 1 && !col < ncols then
+              if span = 1 && !col < ncols && ctx.live then
                 col_widths.(!col) <-
                   max col_widths.(!col) (natural_width cell + (2 * padding));
               col := !col + span)
@@ -328,7 +361,7 @@ and layout_table out node ~x ~y ~width ~align =
          List.iter
            (fun cell ->
               let span = colspan cell in
-              if span > 1 && !col + span <= ncols then begin
+              if span > 1 && !col + span <= ncols && ctx.live then begin
                 let needed = natural_width cell + (2 * padding) in
                 let current = ref ((span - 1) * spacing) in
                 for j = !col to !col + span - 1 do
@@ -359,14 +392,14 @@ and layout_table out node ~x ~y ~width ~align =
          List.iter
            (fun cell ->
               let span = colspan cell in
-              if !col < ncols then begin
+              if !col < ncols && ctx.live then begin
                 let cw = ref ((span - 1) * spacing) in
                 for j = !col to min (ncols - 1) (!col + span - 1) do
                   cw := !cw + col_widths.(j)
                 done;
                 let content_width = max 20 (!cw - (2 * padding)) in
                 let h =
-                  layout_children out (Dom.children cell)
+                  layout_children ctx out (Dom.children cell)
                     ~x:(col_x.(!col) + padding)
                     ~y:(!y_cursor + padding)
                     ~width:content_width
@@ -386,11 +419,12 @@ and layout_table out node ~x ~y ~width ~align =
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let render ?(width = Style.page_width) doc =
+let render ?gauge ?(width = Style.page_width) doc =
+  let ctx = { gauge; live = true; measuring = false } in
   let out = ref [] in
   let margin = 8 in
   let _height =
-    layout_children out (Dom.children doc) ~x:margin ~y:margin
+    layout_children ctx out (Dom.children doc) ~x:margin ~y:margin
       ~width:(width - (2 * margin)) ~align:`Left
   in
   List.sort

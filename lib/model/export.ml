@@ -64,3 +64,53 @@ let source_description ~name ?url m =
     ([ ("source", string name) ]
      @ (match url with Some u -> [ ("url", string u) ] | None -> [])
      @ [ ("capabilities", model m) ])
+
+module Budget = Wqi_budget.Budget
+
+let trip (t : Budget.trip) =
+  obj
+    [ ("stage", string (Budget.stage_name t.stage));
+      ("reason", string (Budget.reason_name t.reason));
+      ("limit", string_of_int t.limit);
+      ("consumed", string_of_int t.consumed) ]
+
+let outcome (o : Budget.outcome) =
+  match o with
+  | Budget.Complete -> obj [ ("status", string "complete") ]
+  | Budget.Degraded trips ->
+    obj
+      [ ("status", string "degraded");
+        ("trips", array (List.map trip trips)) ]
+  | Budget.Failed e ->
+    obj
+      ([ ("status", string "failed") ]
+       @ (match e.Budget.error_stage with
+          | Some s -> [ ("stage", string (Budget.stage_name s)) ]
+          | None -> [])
+       @ [ ("message", string e.Budget.message) ])
+
+let budget (b : Budget.t) =
+  let cap name = function
+    | None -> []
+    | Some v -> [ (name, string_of_int v) ]
+  in
+  obj
+    (cap "deadline_ms" b.Budget.deadline_ms
+     @ cap "max_html_nodes" b.Budget.max_html_nodes
+     @ cap "max_boxes" b.Budget.max_boxes
+     @ cap "max_tokens" b.Budget.max_tokens
+     @ cap "max_instances" b.Budget.max_instances
+     @ cap "max_rounds" b.Budget.max_rounds)
+
+let extraction_version = 2
+
+let extraction ~name ?url ?(diagnostics = []) ~outcome:o m =
+  obj
+    ([ ("wqi_extraction_version", string_of_int extraction_version);
+       ("source", string name) ]
+     @ (match url with Some u -> [ ("url", string u) ] | None -> [])
+     @ [ ("outcome", outcome o); ("capabilities", model m) ]
+     @ (match diagnostics with [] -> [] | d -> [ ("diagnostics", obj d) ]))
+
+let failed_source ~name ?url e =
+  extraction ~name ?url ~outcome:(Budget.Failed e) Semantic_model.empty

@@ -20,4 +20,60 @@ val model : Semantic_model.t -> string
 val source_description :
   name:string -> ?url:string -> Semantic_model.t -> string
 (** A named source description wrapping {!model} — the integration
-    artifact the paper's mediator scenario consumes. *)
+    artifact the paper's mediator scenario consumes.  This is the
+    version-1 format; governed extractions are exported with
+    {!extraction}. *)
+
+(** {1 JSON building blocks}
+
+    Exposed so layers above (which know richer diagnostics types than
+    this module can depend on) can render extra [diagnostics] fields for
+    {!extraction}. *)
+
+val string : string -> string
+(** A JSON string literal with escaping. *)
+
+val array : string list -> string
+(** A JSON array of pre-rendered values. *)
+
+val obj : (string * string) list -> string
+(** A JSON object of pre-rendered values. *)
+
+(** {1 Versioned extraction export (version 2)}
+
+    Renders the resource-governance side of an extraction: its
+    {!Wqi_budget.Budget.outcome} and budget spec, wrapped in a versioned
+    envelope [{"wqi_extraction_version": 2, ...}] so downstream
+    consumers can dispatch on format. *)
+
+val extraction_version : int
+(** The current envelope version, [2].  (Version 1 is the bare
+    {!source_description} with neither version field nor outcome.) *)
+
+val trip : Wqi_budget.Budget.trip -> string
+(** [{"stage": ..., "reason": ..., "limit": ..., "consumed": ...}]. *)
+
+val outcome : Wqi_budget.Budget.outcome -> string
+(** [{"status": "complete"}], [{"status": "degraded", "trips": [...]}]
+    or [{"status": "failed", "stage": ..., "message": ...}]. *)
+
+val budget : Wqi_budget.Budget.t -> string
+(** The caps that are actually set; [{}] for an unlimited budget. *)
+
+val extraction :
+  name:string ->
+  ?url:string ->
+  ?diagnostics:(string * string) list ->
+  outcome:Wqi_budget.Budget.outcome ->
+  Semantic_model.t ->
+  string
+(** The version-2 source description: version, source name, outcome,
+    capabilities, and optionally a [diagnostics] object whose
+    pre-rendered fields the caller supplies (see
+    [Wqi_core.Extractor.export]). *)
+
+val failed_source :
+  name:string -> ?url:string -> Wqi_budget.Budget.error -> string
+(** A version-2 envelope for a source that could not be extracted at
+    all (e.g. its file could not be read): failed outcome, empty
+    capabilities. *)

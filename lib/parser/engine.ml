@@ -3,6 +3,7 @@ module Instance = G.Instance
 module Symbol = G.Symbol
 module Bitset = G.Bitset
 module Token = Wqi_token.Token
+module Budget = Wqi_budget.Budget
 
 let src = Logs.Src.create "wqi.parser" ~doc:"Best-effort 2P parser"
 
@@ -70,7 +71,19 @@ type state = {
   mutable pruned : int;
   mutable rolled_back : int;
   options : options;
+  gauge : Budget.gauge option;
+      (* resource gauge; [None] leaves every code path — and thus every
+         instance id — exactly as in the ungoverned parser *)
 }
+
+(* Deadline probe for hot loops: cheap when the gauge is absent, throttled
+   when present.  Raising [Truncated] reuses the parser's existing
+   best-effort abort path, so a budget trip still yields maximal partial
+   trees. *)
+let probe st =
+  match st.gauge with
+  | None -> ()
+  | Some g -> if not (Budget.tick g Budget.Parse) then raise Truncated
 
 let find_vec st sym = Hashtbl.find_opt st.store sym
 
@@ -106,6 +119,9 @@ let fresh_id st =
 
 let create_instance st (p : G.Production.t) arr =
   if st.created >= st.options.max_instances then raise Truncated;
+  (match st.gauge with
+   | None -> ()
+   | Some g -> if not (Budget.instance g) then raise Truncated);
   let children = Array.to_list arr in
   let sem = p.build arr in
   let inst =
@@ -163,6 +179,7 @@ let apply_production_delta st (p : G.Production.t) =
     let chosen = Array.make arity (Array.unsafe_get vecs.(0).arr 0) in
     let added = ref false in
     let rec assign i cover have_delta =
+      probe st;
       if i = arity then begin
         if p.guard chosen then begin
           create_instance st p (Array.copy chosen);
@@ -207,6 +224,7 @@ let apply_production_naive st (p : G.Production.t) =
   let chosen = Array.make arity None in
   let added = ref false in
   let rec assign i cover =
+    probe st;
     if i = arity then begin
       let arr = Array.map (fun c -> Option.get c) chosen in
       if p.guard arr then begin
@@ -241,6 +259,9 @@ let instantiate st sym =
     else apply_production_naive
   in
   let rec loop () =
+    (match st.gauge with
+     | None -> ()
+     | Some g -> if not (Budget.round g) then raise Truncated);
     let progressed =
       List.fold_left (fun acc p -> apply st p || acc) false productions
     in
@@ -258,6 +279,7 @@ let enforce st (r : G.Preference.t) =
   let losers = live_instances st r.loser in
   List.iter
     (fun (v2 : Instance.t) ->
+       probe st;
        if v2.alive then
          List.iter
            (fun (v1 : Instance.t) ->
@@ -314,7 +336,15 @@ let reachable_ids roots =
   List.iter go roots;
   seen
 
-let maximal_trees st =
+(* When a governed parse trips, the instance store can hold far more
+   tops than any intact interface produces (an exhaustive-mode blow-up
+   creates tens of thousands), and the quadratic subsumption pass below
+   would dwarf the deadline that stopped the parse.  Maximization is
+   then best-effort too: only this many of the best-ranked tops enter
+   subsumption.  Untripped runs are never windowed. *)
+let tripped_tops_window = 1024
+
+let maximal_trees st ~tripped =
   let tops =
     List.filter
       (fun (i : Instance.t) ->
@@ -327,20 +357,29 @@ let maximal_trees st =
      sufficient and keeps the result deterministic. *)
   (* Between equal covers, prefer the interpretation that yields query
      conditions (e.g. an EnumRB top over a bare Op top), then the earliest
-     instance for determinism. *)
-  let cond_count (i : Instance.t) =
-    List.length (Instance.collect_conditions i)
+     instance for determinism.  The keys are computed once up front:
+     [collect_conditions] walks the tree, far too costly inside a sort
+     comparator when tops number in the thousands. *)
+  let decorated =
+    List.map
+      (fun (i : Instance.t) ->
+         (Bitset.cardinal i.cover,
+          List.length (Instance.collect_conditions i),
+          i))
+      tops
   in
   let sorted =
     List.sort
-      (fun (a : Instance.t) (b : Instance.t) ->
-         match compare (Bitset.cardinal b.cover) (Bitset.cardinal a.cover) with
-         | 0 ->
-           (match compare (cond_count b) (cond_count a) with
-            | 0 -> compare a.id b.id
-            | c -> c)
+      (fun (na, ca, (a : Instance.t)) (nb, cb, (b : Instance.t)) ->
+         match compare nb na with
+         | 0 -> (match compare cb ca with 0 -> compare a.id b.id | c -> c)
          | c -> c)
-      tops
+      decorated
+    |> List.map (fun (_, _, i) -> i)
+  in
+  let sorted =
+    if tripped then List.filteri (fun i _ -> i < tripped_tops_window) sorted
+    else sorted
   in
   List.rev
     (List.fold_left
@@ -350,7 +389,7 @@ let maximal_trees st =
           else t :: kept)
        [] sorted)
 
-let parse ?(options = default_options) grammar tokens =
+let parse ?gauge ?(options = default_options) grammar tokens =
   let universe = List.length tokens in
   let st =
     { grammar;
@@ -362,41 +401,59 @@ let parse ?(options = default_options) grammar tokens =
       created = 0;
       pruned = 0;
       rolled_back = 0;
-      options }
+      options;
+      gauge }
   in
+  let truncated = ref false in
+  (* Token instances are charged against the budget too: on a trip the
+     instances built so far are kept (a prefix in reading order) and the
+     derivation phase is skipped — the merger still sees the full token
+     list and reports the remainder as unparsed. *)
   let token_instances =
-    List.map
-      (fun tok ->
-         let inst = Instance.of_token ~id:(fresh_id st) ~universe tok in
-         st.created <- st.created + 1;
-         add_instance st inst;
-         inst)
-      tokens
+    let rec go acc = function
+      | [] -> List.rev acc
+      | tok :: rest ->
+        let within =
+          match gauge with None -> true | Some g -> Budget.instance g
+        in
+        if not within then begin
+          truncated := true;
+          List.rev acc
+        end
+        else begin
+          let inst = Instance.of_token ~id:(fresh_id st) ~universe tok in
+          st.created <- st.created + 1;
+          add_instance st inst;
+          go (inst :: acc) rest
+        end
+    in
+    go [] tokens
   in
   let schedule =
     if options.use_scheduling then G.Schedule.build grammar
     else
       { G.Schedule.order = d_only_order grammar; transformed = []; relaxed = [] }
   in
-  let truncated = ref false in
   (try
-     List.iter
-       (fun sym ->
-          Log.debug (fun m -> m "instantiating %a" Symbol.pp sym);
-          instantiate st sym;
-          if options.use_preferences && options.use_scheduling then
-            List.iter (enforce st) (preferences_involving grammar sym))
-       schedule.G.Schedule.order;
-     (* Late pruning when scheduling is off; also a final sweep in the
-        scheduled mode for relaxed preferences whose loser precedes its
-        winner. *)
-     if options.use_preferences then
-       if not options.use_scheduling then
-         List.iter (enforce st) grammar.preferences
-       else List.iter (enforce st) schedule.G.Schedule.relaxed
+     if not !truncated then begin
+       List.iter
+         (fun sym ->
+            Log.debug (fun m -> m "instantiating %a" Symbol.pp sym);
+            instantiate st sym;
+            if options.use_preferences && options.use_scheduling then
+              List.iter (enforce st) (preferences_involving grammar sym))
+         schedule.G.Schedule.order;
+       (* Late pruning when scheduling is off; also a final sweep in the
+          scheduled mode for relaxed preferences whose loser precedes its
+          winner. *)
+       if options.use_preferences then
+         if not options.use_scheduling then
+           List.iter (enforce st) grammar.preferences
+         else List.iter (enforce st) schedule.G.Schedule.relaxed
+     end
    with Truncated -> truncated := true);
   let all_live = all_live_list st in
-  let maximal = maximal_trees st in
+  let maximal = maximal_trees st ~tripped:(!truncated && gauge <> None) in
   let complete =
     List.find_opt
       (fun (i : Instance.t) ->

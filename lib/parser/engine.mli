@@ -64,12 +64,22 @@ type result = {
 }
 
 val parse :
+  ?gauge:Wqi_budget.Budget.gauge ->
   ?options:options ->
   Wqi_grammar.Grammar.t ->
   Wqi_token.Token.t list ->
   result
 (** [parse g tokens] runs the 2P parser.  The grammar must pass
-    [Grammar.validate]; [Invalid_argument] is raised otherwise. *)
+    [Grammar.validate]; [Invalid_argument] is raised otherwise.
+
+    [gauge] charges one budget unit per instance created (token
+    instances included) and one per fix-point round; hot enumeration
+    loops additionally probe the deadline.  When any of these trips, the
+    parse stops growing exactly as with [max_instances] — the partial
+    instance store is still maximized, so maximal partial trees are
+    returned and [stats.truncated] is set.  With [gauge] absent the
+    engine is byte-for-byte identical to the ungoverned parser
+    (instance ids included). *)
 
 val count_trees : result -> int
 (** Number of distinct complete parse trees (live start-symbol instances

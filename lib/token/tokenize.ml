@@ -27,41 +27,59 @@ let classify_widget node =
   | "img" -> Some (Token.Image, Dom.attr_default "alt" ~default:"" node)
   | _ -> None
 
-let of_document ?width doc =
-  let atoms = Engine.render ?width doc in
+let classify_atom ~fresh { Engine.item; box } =
+  match item with
+  | Engine.Text_run s ->
+    let s = String.trim s in
+    if s = "" then None
+    else
+      Some
+        { Token.id = fresh (); kind = Token.Text; box; sval = s;
+          name = ""; options = []; value = ""; checked = false;
+          multiple = false }
+  | Engine.Widget node ->
+    (match classify_widget node with
+     | None -> None
+     | Some (kind, sval) ->
+       let options =
+         match kind with
+         | Token.Selection -> option_labels node
+         | _ -> []
+       in
+       Some
+         { Token.id = fresh (); kind; box; sval;
+           name = Dom.attr_default "name" ~default:"" node;
+           options;
+           value = Dom.attr_default "value" ~default:"" node;
+           checked = Dom.has_attr "checked" node;
+           multiple = Dom.has_attr "multiple" node })
+
+let of_atoms ?gauge atoms =
   let next_id = ref 0 in
   let fresh () =
     let id = !next_id in
     incr next_id;
     id
   in
-  List.filter_map
-    (fun { Engine.item; box } ->
-       match item with
-       | Engine.Text_run s ->
-         let s = String.trim s in
-         if s = "" then None
-         else
-           Some
-             { Token.id = fresh (); kind = Token.Text; box; sval = s;
-               name = ""; options = []; value = ""; checked = false;
-               multiple = false }
-       | Engine.Widget node ->
-         (match classify_widget node with
-          | None -> None
-          | Some (kind, sval) ->
-            let options =
-              match kind with
-              | Token.Selection -> option_labels node
-              | _ -> []
-            in
-            Some
-              { Token.id = fresh (); kind; box; sval;
-                name = Dom.attr_default "name" ~default:"" node;
-                options;
-                value = Dom.attr_default "value" ~default:"" node;
-                checked = Dom.has_attr "checked" node;
-                multiple = Dom.has_attr "multiple" node }))
-    atoms
+  (* Classification stops at the token cap (or deadline): ids stay dense
+     over the prefix kept, so coverage bitsets remain consistent. *)
+  let rec go acc = function
+    | [] -> List.rev acc
+    | atom :: rest ->
+      (match classify_atom ~fresh atom with
+       | None -> go acc rest
+       | Some tok ->
+         let within =
+           match gauge with
+           | None -> true
+           | Some g -> Wqi_budget.Budget.token g
+         in
+         if within then go (tok :: acc) rest else List.rev acc)
+  in
+  go [] atoms
 
-let of_html ?width markup = of_document ?width (Wqi_html.Parser.parse markup)
+let of_document ?gauge ?width doc =
+  of_atoms ?gauge (Engine.render ?gauge ?width doc)
+
+let of_html ?gauge ?width markup =
+  of_document ?gauge ?width (Wqi_html.Parser.parse ?gauge markup)

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Per-document failure isolation for wqi_batch: poisoning a batch
+# directory with an unreadable "document" (a directory named *.html)
+# must leave stdout byte-for-byte identical — the failure is reported
+# on stderr and counted in the summary, and every healthy document's
+# JSONL line is unchanged.
+set -euo pipefail
+
+batch=$1
+fixtures=$2
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+mkdir "$work/docs"
+cp "$fixtures"/*.html "$work/docs/"
+
+# The fixture set includes wide_form.html, whose exhaustive uniform
+# table is intractable ungoverned; the instance cap keeps the run fast
+# AND deterministic (unlike a wall-clock deadline), so stdout is
+# reproducible across the two invocations.
+run() { "$batch" --jobs 4 --max-instances 2000 "$work/docs"; }
+
+run >"$work/clean.jsonl" 2>"$work/clean.err"
+
+# The poison sorts last so healthy documents keep their gather indices,
+# but isolation must hold regardless of position: also poison the front.
+mkdir "$work/docs/aaa_poison.html" "$work/docs/zzz_poison.html"
+
+run >"$work/poisoned.jsonl" 2>"$work/poisoned.err"
+
+cmp "$work/clean.jsonl" "$work/poisoned.jsonl"
+grep -q '"status": "failed"' "$work/poisoned.err"
+grep -q '2 failed' "$work/poisoned.err"
+
+echo "batch isolation ok: stdout identical with poisoned documents"

@@ -11,6 +11,7 @@ let () =
       ("corpus", Test_corpus.suite);
       ("metrics", Test_metrics.suite);
       ("extractor", Test_extractor.suite);
+      ("budget", Test_budget.suite);
       ("refine", Test_refine.suite);
       ("match", Test_match.suite);
       ("derive", Test_derive.suite);

@@ -417,6 +417,86 @@ let prop_extractor_total =
         ignore (Wqi_core.Extractor.extract s);
         true)
 
+(* --- budget / degradation properties --- *)
+
+module Budget = Wqi_core.Budget
+module Extractor = Wqi_core.Extractor
+
+(* Markup soup: random concatenation of tag fragments, broken entities,
+   stray brackets and form markup — the adversarial end of "arbitrary
+   input" for the totality guarantee. *)
+let soup_gen =
+  let open Q.Gen in
+  let fragment =
+    oneofl
+      [ "<"; ">"; "</"; "<!"; "<!--"; "-->"; "&"; "&amp"; "&#x"; "\"";
+        "='"; "<select"; "<option selected"; "</select>"; "<input";
+        "type=checkbox"; "<table><tr><td"; "</b></i>"; "<form action=";
+        "<textarea>"; "name=\""; " "; "from"; "to"; "<script>"; "<";
+        "<div style=\"width:"; "9999px\""; "<br/>"; "\x00"; "\xff" ]
+  in
+  list_size (int_range 0 40) fragment >>= fun parts ->
+  return (String.concat "" parts)
+
+let soup = Q.make ~print:(Printf.sprintf "%S") soup_gen
+
+let prop_extract_total_on_soup =
+  Q.Test.make ~name:"extract never raises on markup soup" ~count:150 soup
+    (fun s ->
+       ignore (Extractor.extract s);
+       true)
+
+let generated_html seed =
+  let g = Prng.create (Int64.of_int seed) in
+  let domains = Wqi_corpus.Vocabulary.all in
+  let domain = List.nth domains (seed mod List.length domains) in
+  let source =
+    Wqi_corpus.Generator.generate g ~id:"prop" ~domain ~complexity:`Rich
+      ~oog_prob:0.15 ()
+  in
+  source.Wqi_corpus.Generator.html
+
+let prop_extract_total_on_truncated =
+  Q.Test.make ~name:"extract never raises on truncated documents" ~count:40
+    (Q.pair (Q.int_bound 10_000) (Q.int_bound 10_000)) (fun (seed, cut) ->
+        let html = generated_html seed in
+        let cut = cut mod max 1 (String.length html) in
+        ignore (Extractor.extract (String.sub html 0 cut));
+        true)
+
+let tiny_budget_config seed =
+  (* Vary which cap bites so every stage's degradation path gets hit. *)
+  let budget =
+    match seed mod 5 with
+    | 0 -> Budget.make ~max_html_nodes:(1 + (seed mod 37)) ()
+    | 1 -> Budget.make ~max_boxes:(1 + (seed mod 53)) ()
+    | 2 -> Budget.make ~max_tokens:(1 + (seed mod 17)) ()
+    | 3 -> Budget.make ~max_instances:(1 + (seed mod 29)) ()
+    | _ -> Budget.make ~max_rounds:(1 + (seed mod 7)) ()
+  in
+  Extractor.Config.with_budget budget Extractor.Config.default
+
+let prop_budgeted_run_total =
+  Q.Test.make ~name:"budgeted run never raises, outcome well-formed" ~count:40
+    (Q.int_bound 10_000) (fun seed ->
+        let config = tiny_budget_config seed in
+        let e = Extractor.run config (Extractor.Html (generated_html seed)) in
+        match e.Extractor.outcome with
+        | Budget.Complete -> true
+        | Budget.Degraded trips -> trips <> []
+        | Budget.Failed _ -> false)
+
+let prop_degraded_token_prefix_dense =
+  Q.Test.make ~name:"degraded token prefix keeps dense ids" ~count:40
+    (Q.pair (Q.int_bound 10_000) (Q.int_range 1 20)) (fun (seed, cap) ->
+        let gauge = Budget.start (Budget.make ~max_tokens:cap ()) in
+        let tokens = Wqi_token.Tokenize.of_html ~gauge (generated_html seed) in
+        List.length tokens <= cap
+        && List.for_all2
+             (fun (t : Wqi_token.Token.t) i -> t.id = i)
+             tokens
+             (List.init (List.length tokens) Fun.id))
+
 let suite =
   List.map to_alcotest
     [ prop_union_commutative;
@@ -447,4 +527,8 @@ let suite =
       prop_complete_covers_everything;
       prop_live_trees_consistent;
       prop_stats_bounds;
-      prop_extractor_total ]
+      prop_extractor_total;
+      prop_extract_total_on_soup;
+      prop_extract_total_on_truncated;
+      prop_budgeted_run_total;
+      prop_degraded_token_prefix_dense ]
