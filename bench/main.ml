@@ -38,6 +38,13 @@ type perf_row = {
   row_r_square : float;
   row_created : int;
   row_live : int;
+  row_guards_tried : int;
+  row_guards_admitted : int;
+  row_index_probes : int;
+  row_index_pruned : int;
+  row_guards_tried_nohints : int;
+      (* guard pressure of the same parse with spatial hints disabled:
+         the regression record for the candidate-indexing optimization *)
 }
 
 type governed_result = {
@@ -53,6 +60,7 @@ type governed_result = {
 type batch_result = {
   b_interfaces : int;
   b_avg_tokens : float;
+  b_cores : int;  (* Domain.recommended_domain_count () on this machine *)
   b_jobs : int;
   b_seconds_jobs1 : float;
   b_seconds_jobsn : float;
@@ -220,16 +228,22 @@ let perf () =
     |> List.sort compare
   in
   (* One plain run per size for the instance counters the OLS fit
-     cannot see. *)
+     cannot see, plus a hints-off run for the guard-pressure
+     comparison. *)
+  let nohints =
+    { Engine.default_options with Engine.use_hints = false }
+  in
   let stats_by_name =
     List.map
       (fun (tokens, _s) ->
          let r = Engine.parse Wqi_stdgrammar.Std.grammar tokens in
+         let r0 = Engine.parse ~options:nohints Wqi_stdgrammar.Std.grammar tokens in
          ( Printf.sprintf "parse parse/%02d-tokens" (List.length tokens),
-           (List.length tokens, r.Engine.stats) ))
+           (List.length tokens, r.Engine.stats, r0.Engine.stats) ))
       interfaces
   in
-  Format.printf "  %-22s %12s %8s@." "test" "time/run" "r^2";
+  Format.printf "  %-22s %12s %8s  %s@." "test" "time/run" "r^2"
+    "guards hinted/unhinted (admit rate)";
   let collected =
     List.filter_map
       (fun (name, result) ->
@@ -239,17 +253,28 @@ let perf () =
            | _ -> nan
          in
          let r2 = Option.value ~default:nan (Analyze.OLS.r_square result) in
-         Format.printf "  %-22s %9.3f ms %8.4f@." name (estimate /. 1e6) r2;
          match List.assoc_opt name stats_by_name with
-         | None -> None
-         | Some (tokens, stats) ->
+         | None ->
+           Format.printf "  %-22s %9.3f ms %8.4f@." name (estimate /. 1e6) r2;
+           None
+         | Some (tokens, stats, stats0) ->
+           Format.printf "  %-22s %9.3f ms %8.4f  %d/%d (%.2f)@." name
+             (estimate /. 1e6) r2 stats.Engine.guards_tried
+             stats0.Engine.guards_tried
+             (float_of_int stats.Engine.guards_admitted
+              /. float_of_int (max 1 stats.Engine.guards_tried));
            Some
              { row_name = name;
                row_tokens = tokens;
                row_ns_per_run = estimate;
                row_r_square = r2;
                row_created = stats.Engine.created;
-               row_live = stats.Engine.live })
+               row_live = stats.Engine.live;
+               row_guards_tried = stats.Engine.guards_tried;
+               row_guards_admitted = stats.Engine.guards_admitted;
+               row_index_probes = stats.Engine.index_probes;
+               row_index_pruned = stats.Engine.index_pruned;
+               row_guards_tried_nohints = stats0.Engine.guards_tried })
       rows
   in
   json_perf := Some collected
@@ -344,6 +369,7 @@ let batch120 () =
     Some
       { b_interfaces = Array.length tokenized;
         b_avg_tokens = avg;
+        b_cores = Domain.recommended_domain_count ();
         b_jobs = jobs_n;
         b_seconds_jobs1 = seconds_jobs1;
         b_seconds_jobsn = seconds_jobsn;
@@ -606,7 +632,7 @@ let write_json file =
   let oc = open_out file in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema_version\": 2,\n";
+  p "  \"schema_version\": 3,\n";
   p "  \"smoke\": %b" !smoke;
   (match !json_perf with
    | None -> ()
@@ -616,11 +642,17 @@ let write_json file =
        (fun i r ->
           p
             "    {\"name\": \"%s\", \"tokens\": %d, \"ns_per_run\": %s, \
-             \"r_square\": %s, \"created\": %d, \"live\": %d}%s\n"
+             \"r_square\": %s, \"created\": %d, \"live\": %d, \
+             \"guards_tried\": %d, \"guards_admitted\": %d, \
+             \"index_probes\": %d, \"index_pruned\": %d, \
+             \"guards_tried_nohints\": %d}%s\n"
             (json_escape r.row_name) r.row_tokens
             (json_float r.row_ns_per_run)
             (json_float r.row_r_square)
             r.row_created r.row_live
+            r.row_guards_tried r.row_guards_admitted
+            r.row_index_probes r.row_index_pruned
+            r.row_guards_tried_nohints
             (if i = List.length rows - 1 then "" else ","))
        rows;
      p "  ]");
@@ -630,6 +662,7 @@ let write_json file =
      p ",\n  \"batch120\": {\n";
      p "    \"interfaces\": %d,\n" b.b_interfaces;
      p "    \"avg_tokens\": %s,\n" (json_float b.b_avg_tokens);
+     p "    \"cores\": %d,\n" b.b_cores;
      p "    \"jobs\": %d,\n" b.b_jobs;
      p "    \"seconds_jobs1\": %s,\n" (json_float b.b_seconds_jobs1);
      p "    \"seconds_jobsN\": %s,\n" (json_float b.b_seconds_jobsn);

@@ -193,7 +193,25 @@ let check_perf = function
          ignore (positive (ctx ^ ".ns_per_run") (field row "ns_per_run"));
          ignore (num (ctx ^ ".r_square") (field row "r_square"));
          ignore (positive (ctx ^ ".created") (field row "created"));
-         ignore (non_negative (ctx ^ ".live") (field row "live")))
+         ignore (non_negative (ctx ^ ".live") (field row "live"));
+         (* Guard-pressure counters (schema 3): the hinted run must
+            actually exercise guards, admit no more than it tries, and
+            never try more than the unhinted reference — hints only ever
+            remove candidates. *)
+         let tried = positive (ctx ^ ".guards_tried") (field row "guards_tried") in
+         let admitted =
+           non_negative (ctx ^ ".guards_admitted") (field row "guards_admitted")
+         in
+         if admitted > tried then
+           bad "%s: guards_admitted %g > guards_tried %g" ctx admitted tried;
+         ignore (non_negative (ctx ^ ".index_probes") (field row "index_probes"));
+         ignore (non_negative (ctx ^ ".index_pruned") (field row "index_pruned"));
+         let tried0 =
+           positive (ctx ^ ".guards_tried_nohints")
+             (field row "guards_tried_nohints")
+         in
+         if tried > tried0 then
+           bad "%s: guards_tried %g > guards_tried_nohints %g" ctx tried tried0)
       rows
   | _ -> bad "perf: expected array"
 
@@ -217,6 +235,7 @@ let check_governed g =
 let check_batch b =
   ignore (positive "batch120.interfaces" (field b "interfaces"));
   ignore (positive "batch120.avg_tokens" (field b "avg_tokens"));
+  ignore (positive "batch120.cores" (field b "cores"));
   ignore (positive "batch120.jobs" (field b "jobs"));
   ignore (positive "batch120.seconds_jobs1" (field b "seconds_jobs1"));
   ignore (positive "batch120.seconds_jobsN" (field b "seconds_jobsN"));
@@ -238,7 +257,7 @@ let () =
   match
     let j = Parser.parse s in
     let version = num "schema_version" (field j "schema_version") in
-    if version <> 2. then bad "schema_version: expected 2, got %g" version;
+    if version <> 3. then bad "schema_version: expected 3, got %g" version;
     (match field j "smoke" with
      | Bool _ -> ()
      | _ -> bad "smoke: expected bool");

@@ -69,7 +69,8 @@ let time f =
 
 let zero_stats =
   { Engine.created = 0; live = 0; pruned = 0; rolled_back = 0; temporary = 0;
-    truncated = false }
+    truncated = false; guards_tried = 0; guards_admitted = 0; index_probes = 0;
+    index_pruned = 0 }
 
 let zero_consumption =
   { html_nodes = 0; boxes = 0; charged_tokens = 0; charged_instances = 0;
@@ -284,6 +285,10 @@ let export ~name ?url e =
       ("instances_live", string_of_int d.parse_stats.Engine.live);
       ("pruned", string_of_int d.parse_stats.Engine.pruned);
       ("rolled_back", string_of_int d.parse_stats.Engine.rolled_back);
+      ("guards_tried", string_of_int d.parse_stats.Engine.guards_tried);
+      ("guards_admitted", string_of_int d.parse_stats.Engine.guards_admitted);
+      ("index_probes", string_of_int d.parse_stats.Engine.index_probes);
+      ("index_pruned", string_of_int d.parse_stats.Engine.index_pruned);
       ("trees", string_of_int d.tree_count);
       ("complete", string_of_bool d.complete);
       ("truncated", string_of_bool d.parse_stats.Engine.truncated);

@@ -56,12 +56,13 @@ let make ~id ~sym ~prod ~children ~sem =
 
 let kill inst = inst.alive <- false
 
-let rollback inst =
+let rollback ?(on_kill = fun _ -> ()) inst =
   let killed = ref 0 in
   let rec go inst =
     if inst.alive then begin
       inst.alive <- false;
       incr killed;
+      on_kill inst;
       List.iter go inst.parents
     end
   in

@@ -46,10 +46,12 @@ val make :
 val kill : t -> unit
 (** Mark dead.  Does not touch parents; see {!rollback}. *)
 
-val rollback : t -> int
+val rollback : ?on_kill:(t -> unit) -> t -> int
 (** [rollback i] kills [i] and, transitively, every live ancestor that
     used it; returns the number of instances killed (including [i] if it
-    was alive). *)
+    was alive).  [on_kill] is invoked once per instance actually killed,
+    in kill order — the parser uses it to keep its spatial candidate
+    index in step with the store. *)
 
 val conflicts : t -> t -> bool
 (** Two instances conflict when their covers intersect. *)

@@ -19,6 +19,12 @@ type t = {
           order; covers are already known to be pairwise disjoint. *)
   build : Instance.t array -> Instance.sem;
       (** Constructor F: the head's semantic value. *)
+  hints : Hint.t list;
+      (** Declarative restatements of the guard's spatial conjuncts,
+          used for indexed candidate enumeration.  Every hint must be
+          implied by [guard] (see {!Hint}); the guard stays the final
+          authority, so hints never change results — only the number of
+          candidates the guard has to reject. *)
 }
 
 val make :
@@ -27,9 +33,12 @@ val make :
   components:Symbol.t list ->
   ?guard:(Instance.t array -> bool) ->
   ?build:(Instance.t array -> Instance.sem) ->
+  ?hints:Hint.t list ->
   unit ->
   t
-(** [guard] defaults to always true, [build] to [S_none]. *)
+(** [guard] defaults to always true, [build] to [S_none], [hints] to
+    none.  Raises [Invalid_argument] if a hint names a slot outside
+    [components] or relates a slot to itself. *)
 
 val is_recursive : t -> bool
 (** The head also appears among the components. *)

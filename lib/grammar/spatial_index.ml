@@ -1,0 +1,148 @@
+module Geometry = Wqi_layout.Geometry
+
+(* Entries carry the creation index into the per-symbol instance store
+   plus the instance's bounding box, so a probe can pre-filter without
+   touching the store at all. *)
+type entry = { idx : int; x1 : int; y1 : int; x2 : int; y2 : int }
+
+let dummy_entry = { idx = -1; x1 = 0; y1 = 0; x2 = 0; y2 = 0 }
+
+type band = { mutable arr : entry array; mutable len : int }
+
+let band_make () = { arr = [||]; len = 0 }
+
+let band_push b e =
+  let cap = Array.length b.arr in
+  if b.len = cap then begin
+    let arr = Array.make (max 8 (2 * cap)) dummy_entry in
+    Array.blit b.arr 0 arr 0 b.len;
+    b.arr <- arr
+  end;
+  Array.unsafe_set b.arr b.len e;
+  b.len <- b.len + 1
+
+(* 32-pixel horizontal bands: about one visual form row per band.  A
+   box is registered in every band its y-span touches; boxes spanning
+   more than [max_span_bands] bands (assembled rows, whole-interface
+   instances) go to a single overflow list every probe scans exactly
+   once, which bounds the per-insert cost. *)
+let band_bits = 5
+
+let band_of y = y asr band_bits
+
+let max_span_bands = 8
+
+type t = {
+  bands : (int, band) Hashtbl.t;
+  tall : band;
+  alive : int -> bool;
+  mutable added : int;  (* instances registered since the last sweep *)
+  mutable dead : int;   (* kill notifications since the last sweep *)
+}
+
+let create ~alive =
+  { bands = Hashtbl.create 16; tall = band_make (); alive; added = 0;
+    dead = 0 }
+
+let add t ~idx (box : Geometry.box) =
+  let e = { idx; x1 = box.x1; y1 = box.y1; x2 = box.x2; y2 = box.y2 } in
+  let lo = band_of box.y1 and hi = band_of box.y2 in
+  if hi - lo + 1 > max_span_bands then band_push t.tall e
+  else
+    for bk = lo to hi do
+      let b =
+        match Hashtbl.find_opt t.bands bk with
+        | Some b -> b
+        | None ->
+          let b = band_make () in
+          Hashtbl.replace t.bands bk b;
+          b
+      in
+      band_push b e
+    done;
+  t.added <- t.added + 1
+
+let sweep_band t (b : band) =
+  let w = ref 0 in
+  for i = 0 to b.len - 1 do
+    let e = Array.unsafe_get b.arr i in
+    if t.alive e.idx then begin
+      Array.unsafe_set b.arr !w e;
+      incr w
+    end
+  done;
+  (* Clear the trimmed tail so dead entries do not pin anything. *)
+  for i = !w to b.len - 1 do
+    Array.unsafe_set b.arr i dummy_entry
+  done;
+  b.len <- !w
+
+(* Rollback-safe incremental maintenance: kills only ever mark
+   instances dead (they are never revived), so the index can tombstone
+   lazily — probes re-check liveness through [alive] anyway — and
+   compact whole bands once at least half of the registered instances
+   have died. *)
+let note_killed t =
+  t.dead <- t.dead + 1;
+  if t.added > 64 && 2 * t.dead > t.added then begin
+    Hashtbl.iter (fun _ b -> sweep_band t b) t.bands;
+    sweep_band t t.tall;
+    t.added <- t.added - t.dead;
+    t.dead <- 0
+  end
+
+let query t ~y_lo ~y_hi ~x ~start ~stop =
+  let xlo, xhi = match x with Some r -> r | None -> (min_int, max_int) in
+  let acc = ref [] in
+  let n = ref 0 in
+  let consider (e : entry) =
+    if
+      e.idx >= start && e.idx < stop && e.y2 >= y_lo && e.y1 <= y_hi
+      && e.x2 >= xlo && e.x1 <= xhi
+    then begin
+      acc := e.idx :: !acc;
+      incr n
+    end
+  in
+  let scan_band (b : band) =
+    for i = 0 to b.len - 1 do
+      consider (Array.unsafe_get b.arr i)
+    done
+  in
+  for bk = band_of y_lo to band_of y_hi do
+    match Hashtbl.find_opt t.bands bk with
+    | Some b -> scan_band b
+    | None -> ()
+  done;
+  scan_band t.tall;
+  let out = Array.make !n 0 in
+  let i = ref (!n - 1) in
+  List.iter
+    (fun idx ->
+       Array.unsafe_set out !i idx;
+       decr i)
+    !acc;
+  (* Candidates from a single source band are already in creation order;
+     multiple bands (or the overflow list) interleave, and an entry can
+     appear in several probed bands.  Restore strict ascending order and
+     drop duplicates — enumeration order is what keeps hinted parses
+     byte-identical to unhinted ones. *)
+  let sorted =
+    let rec ascending i =
+      i >= !n - 1 || (out.(i) < out.(i + 1) && ascending (i + 1))
+    in
+    ascending 0
+  in
+  if sorted then out
+  else begin
+    Array.sort (fun (a : int) b -> compare a b) out;
+    let w = ref 0 in
+    Array.iter
+      (fun idx ->
+         if !w = 0 || out.(!w - 1) <> idx then begin
+           out.(!w) <- idx;
+           incr w
+         end)
+      out;
+    if !w = !n then out else Array.sub out 0 !w
+  end

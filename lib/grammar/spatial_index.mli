@@ -1,0 +1,45 @@
+(** Row-band spatial index over live-instance bounding boxes.
+
+    One index per per-symbol instance store: every instance is
+    registered (under its creation index) in each 32-pixel horizontal
+    band its box touches, with an overflow list for boxes spanning many
+    bands.  A probe takes a conservative {!Hint.region} — a y-interval
+    and an optional x-interval the candidate's spans must intersect —
+    and returns the matching creation indices in strictly ascending
+    order, so the parser's enumeration order (and therefore every
+    instance id and downstream tie-break) is exactly what a linear scan
+    would have produced on the same admissible subset.
+
+    The index is append-only plus lazy tombstoning: kills never revive,
+    so probes stay correct by re-checking liveness through the [alive]
+    callback, and bands are compacted wholesale once at least half the
+    registered instances have been reported dead ({!note_killed}) —
+    which also makes the structure trivially rollback-safe. *)
+
+type t
+
+val create : alive:(int -> bool) -> t
+(** [create ~alive] with [alive idx] reporting whether the instance at
+    creation index [idx] of the owning store is still live. *)
+
+val add : t -> idx:int -> Wqi_layout.Geometry.box -> unit
+(** Register an instance under its creation index.  Indices must be
+    added in ascending order (they are: stores are append-only). *)
+
+val note_killed : t -> unit
+(** Record that one registered instance died; triggers band compaction
+    when the dead fraction reaches one half. *)
+
+val query :
+  t ->
+  y_lo:int ->
+  y_hi:int ->
+  x:(int * int) option ->
+  start:int ->
+  stop:int ->
+  int array
+(** [query t ~y_lo ~y_hi ~x ~start ~stop]: creation indices in
+    [\[start, stop)] whose box y-span intersects [\[y_lo, y_hi\]] (and
+    x-span intersects [x] when given), strictly ascending, duplicates
+    removed.  A superset filter: callers must still check liveness, the
+    exact hint relations, and the production guard. *)

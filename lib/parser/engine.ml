@@ -2,6 +2,8 @@ module G = Wqi_grammar
 module Instance = G.Instance
 module Symbol = G.Symbol
 module Bitset = G.Bitset
+module Hint = G.Hint
+module Spatial_index = G.Spatial_index
 module Token = Wqi_token.Token
 module Budget = Wqi_budget.Budget
 
@@ -14,11 +16,12 @@ type options = {
   use_scheduling : bool;
   max_instances : int;
   semi_naive : bool;
+  use_hints : bool;
 }
 
 let default_options =
   { use_preferences = true; use_scheduling = true; max_instances = 200_000;
-    semi_naive = true }
+    semi_naive = true; use_hints = true }
 
 type stats = {
   created : int;
@@ -27,6 +30,10 @@ type stats = {
   rolled_back : int;
   temporary : int;
   truncated : bool;
+  guards_tried : int;
+  guards_admitted : int;
+  index_probes : int;
+  index_pruned : int;
 }
 
 type result = {
@@ -43,33 +50,55 @@ exception Truncated
 (* Per-symbol instance store: a growable vector in creation order.  The
    creation index doubles as the semi-naive watermark coordinate — the
    instances of a symbol created since a production last ran are exactly
-   the suffix starting at that production's recorded length. *)
+   the suffix starting at that production's recorded length — and as the
+   coordinate of the spatial candidate index. *)
 type vec = { mutable arr : Instance.t array; mutable len : int }
 
 let vec_make () = { arr = [||]; len = 0 }
 
-let vec_push v inst =
+(* Grown slots are filled with the parse-wide [filler] dummy, never the
+   pushed instance: filling with [inst] would pin it in every unused
+   slot, keeping rolled-back instances (and their whole subtrees)
+   reachable for as long as the store lives. *)
+let vec_push ~filler v inst =
   let cap = Array.length v.arr in
   if v.len = cap then begin
-    let arr = Array.make (max 8 (2 * cap)) inst in
+    let arr = Array.make (max 8 (2 * cap)) filler in
     Array.blit v.arr 0 arr 0 v.len;
     v.arr <- arr
   end;
   Array.unsafe_set v.arr v.len inst;
   v.len <- v.len + 1
 
+(* Per-slot hint obligations of one production: [(other, rel, cand_first)]
+   means the instance chosen for this slot must satisfy [rel] against the
+   instance already bound at slot [other]; [cand_first] tells which side
+   of the (ordered) relation the candidate occupies. *)
+type slot_check = { other : int; rel : Hint.rel; cand_first : bool }
+
 type state = {
   grammar : G.Grammar.t;
   store : (Symbol.t, vec) Hashtbl.t;
+  sindex : (Symbol.t, Spatial_index.t) Hashtbl.t;
+      (* row-band candidate index per symbol store; maintained only when
+         [hints_enabled] *)
   dedup : (string * int array, unit) Hashtbl.t;
       (* naive oracle only; the delta discipline needs no dedup table *)
   marks : (string, int array) Hashtbl.t;
       (* per-production store-length snapshots from its last application *)
+  plans : (string, slot_check list array) Hashtbl.t;
+      (* per-production hint obligations, resolved to slot order once *)
   universe : int;
+  filler : Instance.t;
+  hints_enabled : bool;
   mutable next_id : int;
   mutable created : int;
   mutable pruned : int;
   mutable rolled_back : int;
+  mutable guards_tried : int;
+  mutable guards_admitted : int;
+  mutable index_probes : int;
+  mutable index_pruned : int;
   options : options;
   gauge : Budget.gauge option;
       (* resource gauge; [None] leaves every code path — and thus every
@@ -95,6 +124,25 @@ let get_vec st sym =
     Hashtbl.replace st.store sym v;
     v
 
+let get_index st sym (v : vec) =
+  match Hashtbl.find_opt st.sindex sym with
+  | Some sx -> sx
+  | None ->
+    let sx =
+      Spatial_index.create ~alive:(fun idx ->
+          (Array.unsafe_get v.arr idx).Instance.alive)
+    in
+    Hashtbl.replace st.sindex sym sx;
+    sx
+
+(* Rollback notifications keep the spatial index's dead-entry accounting
+   in step with the store, so heavily-pruned bands get compacted instead
+   of being rescanned corpse by corpse. *)
+let note_kill st (i : Instance.t) =
+  match Hashtbl.find_opt st.sindex i.Instance.sym with
+  | Some sx -> Spatial_index.note_killed sx
+  | None -> ()
+
 (* Live instances in creation order (oldest first): downstream
    derivations then inherit the priority that production order
    established (earlier productions yield smaller ids, and maximal-tree
@@ -110,7 +158,13 @@ let live_instances st sym =
     done;
     !out
 
-let add_instance st inst = vec_push (get_vec st inst.Instance.sym) inst
+let add_instance st inst =
+  let sym = inst.Instance.sym in
+  let v = get_vec st sym in
+  let idx = v.len in
+  vec_push ~filler:st.filler v inst;
+  if st.hints_enabled then
+    Spatial_index.add (get_index st sym v) ~idx inst.Instance.box
 
 let fresh_id st =
   let id = st.next_id in
@@ -142,6 +196,67 @@ let marks_for st (p : G.Production.t) arity =
     Hashtbl.replace st.marks p.name m;
     m
 
+let plan_for st (p : G.Production.t) arity =
+  match Hashtbl.find_opt st.plans p.name with
+  | Some pl -> pl
+  | None ->
+    let pl = Array.make arity [] in
+    List.iter
+      (fun (h : Hint.t) ->
+         (* A hint becomes checkable at the later of its two slots, when
+            the earlier one is already bound. *)
+         let slot = max h.a h.b and other = min h.a h.b in
+         pl.(slot) <- { other; rel = h.rel; cand_first = h.a > h.b } :: pl.(slot))
+      p.hints;
+    Array.iteri (fun i l -> pl.(i) <- List.rev l) pl;
+    Hashtbl.replace st.plans p.name pl;
+    pl
+
+let guard_admits st (p : G.Production.t) chosen =
+  st.guards_tried <- st.guards_tried + 1;
+  let ok = p.guard chosen in
+  if ok then st.guards_admitted <- st.guards_admitted + 1;
+  ok
+
+(* Exact hint evaluation against the already-bound slots.  Sound
+   pre-filtering only: every hint is implied by the guard (the Hint
+   contract), so a candidate rejected here could never have produced an
+   instance — the enumeration merely skips subtrees the guard would have
+   rejected at every leaf. *)
+let hints_ok (checks : slot_check list) chosen (cand : Instance.t) =
+  List.for_all
+    (fun c ->
+       let other = (Array.unsafe_get chosen c.other).Instance.box in
+       if c.cand_first then Hint.holds_rel c.rel cand.Instance.box other
+       else Hint.holds_rel c.rel other cand.Instance.box)
+    checks
+
+(* Pick the tightest conservative probe region the bound anchors allow:
+   the narrowest y-interval drives the band probe, the narrowest
+   x-interval pre-filters entries.  Intervals from different hints can be
+   combined axis-by-axis because each is independently implied by the
+   guard. *)
+let probe_region (checks : slot_check list) chosen =
+  let best_y = ref None and best_x = ref None in
+  let narrow best (lo, hi) =
+    match !best with
+    | Some (blo, bhi) when bhi - blo <= hi - lo -> ()
+    | _ -> best := Some (lo, hi)
+  in
+  List.iter
+    (fun c ->
+       let anchor = (Array.unsafe_get chosen c.other).Instance.box in
+       let r = Hint.region c.rel ~anchor ~anchor_is_first:(not c.cand_first) in
+       (match r.Hint.y with Some iv -> narrow best_y iv | None -> ());
+       (match r.Hint.x with Some iv -> narrow best_x iv | None -> ()))
+    checks;
+  match !best_y with
+  | None -> None
+  | Some (y_lo, y_hi) -> Some (y_lo, y_hi, !best_x)
+
+(* Scans shorter than this are cheaper than a banded probe. *)
+let probe_min_scan = 16
+
 (* Semi-naive application of one production (the Datalog delta trick).
    Each component slot records the store length seen at the previous
    application; a candidate at an index past that watermark is "delta".
@@ -151,13 +266,25 @@ let marks_for st (p : G.Production.t) arity =
    lexicographic nested-loop order as the naive reference (the delta
    requirement only skips subtrees the reference would have discarded
    against its dedup table), so instance ids — and therefore every
-   downstream tie-break — come out identical.  Returns true when at
-   least one new instance was created. *)
+   downstream tie-break — come out identical.
+
+   When the production carries hints and the engine has them enabled,
+   slots whose hints anchor to an already-bound component enumerate the
+   spatially compatible candidate subset instead of the whole store:
+   either through the row-band index (candidates come back in ascending
+   creation order, so the enumeration order is untouched) or, for short
+   scans, by checking the hint relations inline before recursing.  The
+   guard is still evaluated on every surviving combination.  Returns
+   true when at least one new instance was created. *)
 let apply_production_delta st (p : G.Production.t) =
   let comps = Array.of_list p.components in
   let arity = Array.length comps in
   let marks = marks_for st p arity in
   let vecs = Array.map (fun sym -> get_vec st sym) comps in
+  let plan =
+    if st.hints_enabled && p.hints <> [] then plan_for st p arity
+    else [||]
+  in
   (* Snapshot lengths: instances created by this very application only
      become candidates in the next round, as in the reference. *)
   let lens = Array.map (fun v -> v.len) vecs in
@@ -181,27 +308,58 @@ let apply_production_delta st (p : G.Production.t) =
     let rec assign i cover have_delta =
       probe st;
       if i = arity then begin
-        if p.guard chosen then begin
+        if guard_admits st p chosen then begin
           create_instance st p (Array.copy chosen);
           added := true
         end
       end
       else begin
         let v = vecs.(i) in
+        let checks = if plan = [||] then [] else plan.(i) in
         (* If no delta child is bound yet and no later slot can supply
            one, this slot must: start at its watermark. *)
         let start =
           if have_delta || delta_from.(i + 1) then 0 else marks.(i)
         in
-        for idx = start to lens.(i) - 1 do
+        let stop = lens.(i) in
+        (* Cheapest rejections first: liveness, then cover disjointness
+           (word operations), then the hint relations — geometry runs
+           only on candidates that would otherwise recurse.  Filter
+           order cannot change the admitted set, only who pays for the
+           rejection. *)
+        let inspect idx =
           let cand = Array.unsafe_get v.arr idx in
-          if cand.Instance.alive && Bitset.disjoint cover cand.cover then begin
+          if
+            cand.Instance.alive
+            && Bitset.disjoint cover cand.cover
+            && (checks == [] || hints_ok checks chosen cand)
+          then begin
             Array.unsafe_set chosen i cand;
             assign (i + 1)
               (Bitset.union cover cand.cover)
               (have_delta || idx >= marks.(i))
           end
-        done
+        in
+        let scan () =
+          for idx = start to stop - 1 do
+            inspect idx
+          done
+        in
+        if checks == [] || stop - start < probe_min_scan then scan ()
+        else
+          match probe_region checks chosen with
+          | None -> scan ()
+          | Some (y_lo, y_hi, x) ->
+            (match Hashtbl.find_opt st.sindex comps.(i) with
+             | None -> scan ()
+             | Some sx ->
+               let cands =
+                 Spatial_index.query sx ~y_lo ~y_hi ~x ~start ~stop
+               in
+               st.index_probes <- st.index_probes + 1;
+               st.index_pruned <-
+                 st.index_pruned + (stop - start) - Array.length cands;
+               Array.iter inspect cands)
       end
     in
     (try assign 0 (Bitset.empty st.universe) false
@@ -214,7 +372,9 @@ let apply_production_delta st (p : G.Production.t) =
 
 (* Naive reference application: re-enumerate the full cross product of
    live instances and discard repeats against a dedup table.  Kept as
-   the oracle for the equivalence suite ([options.semi_naive = false]). *)
+   the oracle for the equivalence suite ([options.semi_naive = false]).
+   Hints are deliberately ignored here — the oracle defines the
+   semantics the hinted engines must reproduce. *)
 let apply_production_naive st (p : G.Production.t) =
   let candidates =
     List.map (fun sym -> Array.of_list (live_instances st sym)) p.components
@@ -227,7 +387,7 @@ let apply_production_naive st (p : G.Production.t) =
     probe st;
     if i = arity then begin
       let arr = Array.map (fun c -> Option.get c) chosen in
-      if p.guard arr then begin
+      if guard_admits st p arr then begin
         let key = (p.name, Array.map (fun (c : Instance.t) -> c.id) arr) in
         if not (Hashtbl.mem st.dedup key) then begin
           Hashtbl.replace st.dedup key ();
@@ -269,41 +429,118 @@ let instantiate st sym =
   in
   loop ()
 
+(* Above this many winner×loser pairs, [enforce] buckets the winners by
+   covered token so each loser only meets the winners it can actually
+   conflict with. *)
+(* Bucketing pays only when covers are sparse relative to the universe
+   — many-row interfaces, where most winner/loser pairs share no token.
+   On narrow universes nearly every pair conflicts, so bucketing would
+   reproduce the quadratic scan with allocation on top; the universe
+   floor keeps those on the plain path. *)
+let enforce_bucket_min_pairs = 2048
+
+let enforce_bucket_min_universe = 64
+
 (* Enforce one preference over the current instances (procedure [enforce]).
    Both sides are snapshotted once: enforcement only ever kills
    instances, so the snapshots plus the per-element [alive] re-checks
    are equivalent to re-filtering the store after every rollback — a
-   rollback can invalidate entries but never add new ones. *)
+   rollback can invalidate entries but never add new ones.
+
+   Two instances conflict only when their covers intersect, i.e. they
+   share at least one token — so for large preference fronts the
+   winners are bucketed by covered token and each loser scans the
+   merged (creation-ordered, deduplicated) buckets of its own tokens
+   instead of the full winner list.  The candidate sequence each loser
+   sees is the original winner order restricted to winners sharing a
+   token, and skipped winners satisfy [not (conflicts v1 v2)], so kills
+   (and their order) are identical to the quadratic scan. *)
 let enforce st (r : G.Preference.t) =
   let winners = live_instances st r.winner in
   let losers = live_instances st r.loser in
-  List.iter
-    (fun (v2 : Instance.t) ->
-       probe st;
-       if v2.alive then
+  let on_kill = note_kill st in
+  let try_kill (v1 : Instance.t) (v2 : Instance.t) =
+    if v1.alive && v2.alive && v1.id <> v2.id
+    && Instance.conflicts v1 v2
+    && r.conflict v1 v2 && r.wins v1 v2
+    && not (Instance.is_descendant v2 ~of_:v1)
+    then begin
+      let killed = Instance.rollback ~on_kill v2 in
+      st.pruned <- st.pruned + 1;
+      st.rolled_back <- st.rolled_back + (killed - 1);
+      Log.debug (fun m ->
+          m "preference %s: %a beats %a (%d rolled back)"
+            r.G.Preference.name Instance.pp v1 Instance.pp v2
+            (killed - 1))
+    end
+  in
+  let nw = List.length winners in
+  if
+    st.universe < enforce_bucket_min_universe || nw = 0
+    || nw * List.length losers < enforce_bucket_min_pairs
+  then
+    List.iter
+      (fun (v2 : Instance.t) ->
+         probe st;
+         if v2.alive then
+           List.iter (fun (v1 : Instance.t) -> try_kill v1 v2) winners)
+      losers
+  else begin
+    let warr = Array.of_list winners in
+    let buckets = Array.make st.universe [] in
+    Array.iteri
+      (fun ord (w : Instance.t) ->
          List.iter
-           (fun (v1 : Instance.t) ->
-              if v1.alive && v2.alive && v1.id <> v2.id
-              && Instance.conflicts v1 v2
-              && r.conflict v1 v2 && r.wins v1 v2
-              && not (Instance.is_descendant v2 ~of_:v1)
-              then begin
-                let killed = Instance.rollback v2 in
-                st.pruned <- st.pruned + 1;
-                st.rolled_back <- st.rolled_back + (killed - 1);
-                Log.debug (fun m ->
-                    m "preference %s: %a beats %a (%d rolled back)"
-                      r.G.Preference.name Instance.pp v1 Instance.pp v2
-                      (killed - 1))
-              end)
-           winners)
-    losers
+           (fun t -> buckets.(t) <- ord :: buckets.(t))
+           (Bitset.elements w.cover))
+      warr;
+    (* Per-loser dedup by marking winner ordinals: each bucket entry is
+       visited once, and only the (usually few) marked ordinals are
+       sorted back into creation order — never the full winner list. *)
+    let marked = Bytes.make nw '\000' in
+    List.iter
+      (fun (v2 : Instance.t) ->
+         probe st;
+         if v2.alive then begin
+           let touched = ref [] in
+           List.iter
+             (fun t ->
+                List.iter
+                  (fun ord ->
+                     if Bytes.unsafe_get marked ord = '\000' then begin
+                       Bytes.unsafe_set marked ord '\001';
+                       touched := ord :: !touched
+                     end)
+                  buckets.(t))
+             (Bitset.elements v2.cover);
+           let cands = List.sort Int.compare !touched in
+           List.iter
+             (fun ord ->
+                Bytes.unsafe_set marked ord '\000';
+                try_kill (Array.unsafe_get warr ord) v2)
+             cands
+         end)
+      losers
+  end
 
-let preferences_involving (g : G.Grammar.t) sym =
-  List.filter
+(* Symbol -> preferences involving it, precomputed once per parse (the
+   schedule loop used to re-filter the full preference list for every
+   symbol). *)
+let preferences_by_symbol (g : G.Grammar.t) =
+  let tbl : (Symbol.t, G.Preference.t list) Hashtbl.t = Hashtbl.create 32 in
+  let push sym r =
+    let prev = Option.value ~default:[] (Hashtbl.find_opt tbl sym) in
+    Hashtbl.replace tbl sym (r :: prev)
+  in
+  List.iter
     (fun (r : G.Preference.t) ->
-       Symbol.equal r.winner sym || Symbol.equal r.loser sym)
-    g.preferences
+       push r.winner r;
+       if not (Symbol.equal r.winner r.loser) then push r.loser r)
+    g.preferences;
+  (* Lists were built by consing over the grammar order; restore it. *)
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] in
+  List.iter (fun k -> Hashtbl.replace tbl k (List.rev (Hashtbl.find tbl k))) keys;
+  tbl
 
 (* d-edge-only topological order, used when scheduling is disabled. *)
 let d_only_order (g : G.Grammar.t) =
@@ -389,18 +626,36 @@ let maximal_trees st ~tripped =
           else t :: kept)
        [] sorted)
 
+(* The filler never participates in parsing: it exists only so vector
+   growth has something GC-neutral to put in unused slots. *)
+let make_filler universe =
+  let tok =
+    { Token.id = 0; kind = Token.Text; box = Wqi_layout.Geometry.origin;
+      sval = ""; name = ""; options = []; value = ""; checked = false;
+      multiple = false }
+  in
+  Instance.of_token ~id:(-1) ~universe:(max 1 universe) tok
+
 let parse ?gauge ?(options = default_options) grammar tokens =
   let universe = List.length tokens in
   let st =
     { grammar;
       store = Hashtbl.create 64;
+      sindex = Hashtbl.create 64;
       dedup = Hashtbl.create (if options.semi_naive then 1 else 1024);
       marks = Hashtbl.create 64;
+      plans = Hashtbl.create 64;
       universe;
+      filler = make_filler universe;
+      hints_enabled = options.semi_naive && options.use_hints;
       next_id = 0;
       created = 0;
       pruned = 0;
       rolled_back = 0;
+      guards_tried = 0;
+      guards_admitted = 0;
+      index_probes = 0;
+      index_pruned = 0;
       options;
       gauge }
   in
@@ -434,6 +689,10 @@ let parse ?gauge ?(options = default_options) grammar tokens =
     else
       { G.Schedule.order = d_only_order grammar; transformed = []; relaxed = [] }
   in
+  let prefs_by_sym = preferences_by_symbol grammar in
+  let prefs_for sym =
+    Option.value ~default:[] (Hashtbl.find_opt prefs_by_sym sym)
+  in
   (try
      if not !truncated then begin
        List.iter
@@ -441,7 +700,7 @@ let parse ?gauge ?(options = default_options) grammar tokens =
             Log.debug (fun m -> m "instantiating %a" Symbol.pp sym);
             instantiate st sym;
             if options.use_preferences && options.use_scheduling then
-              List.iter (enforce st) (preferences_involving grammar sym))
+              List.iter (enforce st) (prefs_for sym))
          schedule.G.Schedule.order;
        (* Late pruning when scheduling is off; also a final sweep in the
           scheduled mode for relaxed preferences whose loser precedes its
@@ -474,7 +733,11 @@ let parse ?gauge ?(options = default_options) grammar tokens =
         pruned = st.pruned;
         rolled_back = st.rolled_back;
         temporary;
-        truncated = !truncated } }
+        truncated = !truncated;
+        guards_tried = st.guards_tried;
+        guards_admitted = st.guards_admitted;
+        index_probes = st.index_probes;
+        index_pruned = st.index_pruned } }
 
 let count_trees result =
   let universe = List.length result.tokens in

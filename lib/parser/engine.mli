@@ -32,11 +32,22 @@ type options = {
           discard repeats against a dedup table.  Both produce identical
           results (instance ids included); the naive engine is retained
           as the oracle for the equivalence test suite. *)
+  use_hints : bool;
+      (** [true] (the default) lets the semi-naive engine use the
+          productions' declarative spatial hints: hinted component slots
+          anchored to an already-bound component enumerate only the
+          spatially compatible candidates, found through a per-symbol
+          row-band index.  Hints are an optimization, never a semantic
+          filter — every hint is implied by its production's guard, the
+          guard is still evaluated on every surviving combination, and
+          index probes return candidates in creation order, so results
+          are byte-identical with hints off (instance ids included).
+          Ignored by the naive oracle ([semi_naive = false]). *)
 }
 
 val default_options : options
 (** Preferences on, scheduling on, [max_instances = 200_000],
-    semi-naive instantiation. *)
+    semi-naive instantiation, hints on. *)
 
 type stats = {
   created : int;       (** instances ever created, tokens included *)
@@ -46,6 +57,18 @@ type stats = {
   temporary : int;     (** created instances that ended up in no maximal
                            tree — the paper's "temporary instances" *)
   truncated : bool;
+  guards_tried : int;
+      (** Production-guard invocations — the guard pressure.  The
+          spatial candidate index exists to shrink this number. *)
+  guards_admitted : int;
+      (** Guard invocations that returned [true] (each admits one new
+          instance in the semi-naive engine). *)
+  index_probes : int;
+      (** Row-band index probes issued for hinted component slots. *)
+  index_pruned : int;
+      (** Candidates skipped by index probes: the difference between the
+          scan lengths the unhinted engine would have walked and the
+          candidate lists the index returned. *)
 }
 
 type result = {

@@ -5,6 +5,7 @@ module Production = G.Production
 module Preference = G.Preference
 module Bitset = G.Bitset
 module R = G.Relation
+module H = G.Hint
 module Condition = Wqi_model.Condition
 
 (* ------------------------------------------------------------------ *)
@@ -88,8 +89,15 @@ let enum_options (i : Instance.t) =
 (* Production helpers                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let prod name head components ?guard ?build () =
-  Production.make ~name ~head ~components ?guard ?build ()
+(* [hints] restate the guard's spatial conjuncts declaratively so the
+   parser can enumerate candidates through its row-band index instead of
+   scanning whole stores.  Soundness rule: a hint may only be given when
+   the guard calls the very same relation with the same (or looser)
+   bounds on the same pair of components — the hint then prunes only
+   combinations the guard would reject anyway, and results stay
+   byte-identical with hints disabled. *)
+let prod name head components ?guard ?build ?hints () =
+  Production.make ~name ~head ~components ?guard ?build ?hints ()
 
 let g1 f = fun arr -> f arr.(0)
 let g2 f = fun arr -> f arr.(0) arr.(1)
@@ -152,10 +160,12 @@ let button_units =
   [ prod "P-RBU" rbu [ t_radio; t_text ]
       ~guard:(g2 (fun r s -> R.left ~max_gap:unit_gap r s))
       ~build:(g2 (fun _ s -> Instance.S_str (tok_sval s)))
+      ~hints:[ H.left_of ~max_gap:unit_gap 0 1 ]
       ();
     prod "P-CBU" cbu [ t_checkbox; t_text ]
       ~guard:(g2 (fun c s -> R.left ~max_gap:unit_gap c s))
       ~build:(g2 (fun _ s -> Instance.S_str (tok_sval s)))
+      ~hints:[ H.left_of ~max_gap:unit_gap 0 1 ]
       () ]
 
 let list_of_units name list_sym unit_sym =
@@ -165,12 +175,14 @@ let list_of_units name list_sym unit_sym =
     prod (name ^ "-h") list_sym [ list_sym; unit_sym ]
       ~guard:(g2 (fun l u -> R.left ~max_gap:90 l u))
       ~build:(g2 (fun l u -> Instance.S_ops (ops_of l @ [ str_of u ])))
+      ~hints:[ H.left_of ~max_gap:90 0 1 ]
       ();
     prod (name ^ "-v") list_sym [ list_sym; unit_sym ]
       ~guard:
         (g2 (fun l u ->
              R.above ~max_gap:20 l u && R.left_aligned ~tolerance:10 l u))
       ~build:(g2 (fun l u -> Instance.S_ops (ops_of l @ [ str_of u ])))
+      ~hints:[ H.above ~max_gap:20 0 1; H.left_aligned ~tolerance:10 0 1 ]
       () ]
 
 let lists =
@@ -207,26 +219,34 @@ let stacked rel a b = rel a b && R.left_aligned ~tolerance:25 a b
    by their longest sibling label, so the gap between a short label and
    its field can be large.  Association scoring still prefers the
    tightest pairing when several fields compete. *)
-let attr_left a b = R.left ~max_gap:150 a b
+let attr_left_gap = 150
+let attr_left a b = R.left ~max_gap:attr_left_gap a b
+
+(* Hint counterparts of the two conventions above, by slot index. *)
+let h_attr_left a b = H.left_of ~max_gap:attr_left_gap a b
+let h_stacked_above a b = [ H.above a b; H.left_aligned ~tolerance:25 a b ]
 
 let text_vals =
   [ prod "P-TextVal-left" text_val [ attr; value ]
       ~guard:(g2 (fun a v -> attr_left a v))
-      ~build:text_val_build ();
+      ~build:text_val_build ~hints:[ h_attr_left 0 1 ] ();
     prod "P-TextVal-above" text_val [ attr; value ]
       ~guard:(g2 (fun a v -> stacked (R.above ?max_gap:None) a v))
-      ~build:text_val_build ();
+      ~build:text_val_build ~hints:(h_stacked_above 0 1) ();
     prod "P-TextVal-below" text_val [ attr; value ]
       ~guard:(g2 (fun a v -> stacked (R.below ~max_gap:14) a v))
-      ~build:text_val_build ();
+      ~build:text_val_build
+      ~hints:[ H.below ~max_gap:14 0 1; H.left_aligned ~tolerance:25 0 1 ]
+      ();
     (* "...miles of ZIP [box]": the unit-prefixed run labels the next
        field. *)
     prod "P-TextVal-tail" text_val [ attr_tail; value ]
       ~guard:(g2 (fun a v -> R.left ~max_gap:60 a v))
-      ~build:text_val_build ();
+      ~build:text_val_build ~hints:[ H.left_of ~max_gap:60 0 1 ] ();
     prod "P-TextVal-unit" text_val [ attr; value; unit_word ]
       ~guard:(g3 (fun a v u -> attr_left a v && R.left ~max_gap:30 v u))
       ~build:(g3 (fun a _v _u -> cond ~attribute:(str_of a) Condition.Text))
+      ~hints:[ h_attr_left 0 1; H.left_of ~max_gap:30 1 2 ]
       () ]
 
 let text_op_build =
@@ -242,16 +262,24 @@ let text_ops =
        textbox, as in Qam's author condition. *)
     prod "P-TextOp-below" text_op [ attr; value; op ]
       ~guard:(g3 (fun a v o -> attr_left a v && R.above ~max_gap:24 v o))
-      ~build:text_op_build ();
+      ~build:text_op_build
+      ~hints:[ h_attr_left 0 1; H.above ~max_gap:24 1 2 ]
+      ();
     prod "P-TextOp-right" text_op [ attr; value; op ]
       ~guard:(g3 (fun a v o -> attr_left a v && R.left ~max_gap:90 v o))
-      ~build:text_op_build ();
+      ~build:text_op_build
+      ~hints:[ h_attr_left 0 1; H.left_of ~max_gap:90 1 2 ]
+      ();
     prod "P-TextOp-opleft" text_op [ attr; op; value ]
       ~guard:(g3 (fun a o v -> attr_left a o && R.left o v))
-      ~build:text_op_build_op_mid ();
+      ~build:text_op_build_op_mid
+      ~hints:[ h_attr_left 0 1; H.left_of 1 2 ]
+      ();
     prod "P-TextOp-attrabove" text_op [ attr; value; op ]
       ~guard:(g3 (fun a v o -> R.above a v && R.above ~max_gap:24 v o))
-      ~build:text_op_build () ]
+      ~build:text_op_build
+      ~hints:[ H.above 0 1; H.above ~max_gap:24 1 2 ]
+      () ]
 
 let select_build =
   g2 (fun a s -> cond ~attribute:(str_of a) (dom_of s))
@@ -259,10 +287,10 @@ let select_build =
 let select_cps =
   [ prod "P-SelectCP-left" select_cp [ attr; sel_val ]
       ~guard:(g2 (fun a s -> attr_left a s))
-      ~build:select_build ();
+      ~build:select_build ~hints:[ h_attr_left 0 1 ] ();
     prod "P-SelectCP-above" select_cp [ attr; sel_val ]
       ~guard:(g2 (fun a s -> stacked (R.above ?max_gap:None) a s))
-      ~build:select_build () ]
+      ~build:select_build ~hints:(h_stacked_above 0 1) () ]
 
 let enum_rb_build =
   g2 (fun a l ->
@@ -278,10 +306,10 @@ let enum_rbs =
       ();
     prod "P-EnumRB-left" enum_rb [ attr; rb_list ]
       ~guard:(g2 (fun a l -> attr_left a l))
-      ~build:enum_rb_build ();
+      ~build:enum_rb_build ~hints:[ h_attr_left 0 1 ] ();
     prod "P-EnumRB-above" enum_rb [ attr; rb_list ]
       ~guard:(g2 (fun a l -> stacked (R.above ?max_gap:None) a l))
-      ~build:enum_rb_build () ]
+      ~build:enum_rb_build ~hints:(h_stacked_above 0 1) () ]
 
 let check_cp_build =
   g2 (fun a l ->
@@ -296,10 +324,10 @@ let check_cps =
       ();
     prod "P-CheckCP-left" check_cp [ attr; cb_list ]
       ~guard:(g2 (fun a l -> attr_left a l))
-      ~build:check_cp_build ();
+      ~build:check_cp_build ~hints:[ h_attr_left 0 1 ] ();
     prod "P-CheckCP-above" check_cp [ attr; cb_list ]
       ~guard:(g2 (fun a l -> stacked (R.above ?max_gap:None) a l))
-      ~build:check_cp_build ();
+      ~build:check_cp_build ~hints:(h_stacked_above 0 1) ();
     prod "P-CBSolo" cb_solo [ cbu ]
       ~build:
         (g1 (fun u ->
@@ -311,35 +339,42 @@ let bounds =
   [ prod "P-BoundVal" bound_val [ bound_word; value ]
       ~guard:(g2 (fun w v -> R.left ~max_gap:40 w v))
       ~build:(fun _ -> Instance.S_domain Condition.Text)
+      ~hints:[ H.left_of ~max_gap:40 0 1 ]
       ();
     prod "P-BoundSel" bound_sel [ bound_word; sel_val ]
       ~guard:(g2 (fun w s -> R.left ~max_gap:40 w s))
       ~build:(g2 (fun _ s -> Instance.S_domain (dom_of s)))
+      ~hints:[ H.left_of ~max_gap:40 0 1 ]
       () ]
 
 let range_bodies =
   [ prod "P-RangeBody-h" range_body [ bound_val; bound_val ]
       ~guard:(g2 (fun a b -> R.left ~max_gap:120 a b))
       ~build:(fun _ -> Instance.S_domain (Condition.Range Condition.Text))
+      ~hints:[ H.left_of ~max_gap:120 0 1 ]
       ();
     prod "P-RangeBody-v" range_body [ bound_val; bound_val ]
       ~guard:(g2 (fun a b -> R.above ~max_gap:24 a b))
       ~build:(fun _ -> Instance.S_domain (Condition.Range Condition.Text))
+      ~hints:[ H.above ~max_gap:24 0 1 ]
       ();
     (* "Attr [tb] to [tb]": the first bound carries no marker. *)
     prod "P-RangeBody-valfirst" range_body [ value; bound_val ]
       ~guard:(g2 (fun v b -> R.left ~max_gap:60 v b))
       ~build:(fun _ -> Instance.S_domain (Condition.Range Condition.Text))
+      ~hints:[ H.left_of ~max_gap:60 0 1 ]
       ();
     prod "P-RangeSelBody-h" range_sel_body [ bound_sel; bound_sel ]
       ~guard:(g2 (fun a b -> R.left ~max_gap:120 a b))
       ~build:
         (g2 (fun a _ -> Instance.S_domain (Condition.Range (dom_of a))))
+      ~hints:[ H.left_of ~max_gap:120 0 1 ]
       ();
     prod "P-RangeSelBody-v" range_sel_body [ bound_sel; bound_sel ]
       ~guard:(g2 (fun a b -> R.above ~max_gap:24 a b))
       ~build:
         (g2 (fun a _ -> Instance.S_domain (Condition.Range (dom_of a))))
+      ~hints:[ H.above ~max_gap:24 0 1 ]
       () ]
 
 let range_build =
@@ -359,6 +394,7 @@ let range_cps =
         (g3 (fun a _v _b ->
              cond ~operators:[ "between" ] ~attribute:(str_of a)
                (Condition.Range Condition.Text)))
+      ~hints:[ h_attr_left 0 1; H.left_of ~max_gap:60 1 2 ]
       ();
     prod "P-RangeSelCP-combined" range_sel_cp [ attr_bound; sel_val; bound_sel ]
       ~guard:
@@ -367,21 +403,22 @@ let range_cps =
         (g3 (fun a v _b ->
              cond ~operators:[ "between" ] ~attribute:(str_of a)
                (Condition.Range (dom_of v))))
+      ~hints:[ h_attr_left 0 1; H.left_of ~max_gap:60 1 2 ]
       ();
     prod "P-RangeCP-left" range_cp [ attr; range_body ]
       ~guard:(g2 (fun a b -> range_attr_ok a && attr_left a b))
-      ~build:range_build ();
+      ~build:range_build ~hints:[ h_attr_left 0 1 ] ();
     prod "P-RangeCP-above" range_cp [ attr; range_body ]
       ~guard:
         (g2 (fun a b -> range_attr_ok a && stacked (R.above ?max_gap:None) a b))
-      ~build:range_build ();
+      ~build:range_build ~hints:(h_stacked_above 0 1) ();
     prod "P-RangeSelCP-left" range_sel_cp [ attr; range_sel_body ]
       ~guard:(g2 (fun a b -> range_attr_ok a && attr_left a b))
-      ~build:range_build ();
+      ~build:range_build ~hints:[ h_attr_left 0 1 ] ();
     prod "P-RangeSelCP-above" range_sel_cp [ attr; range_sel_body ]
       ~guard:
         (g2 (fun a b -> range_attr_ok a && stacked (R.above ?max_gap:None) a b))
-      ~build:range_build () ]
+      ~build:range_build ~hints:(h_stacked_above 0 1) () ]
 
 let date_combo insts =
   Lexicon.plausible_date_combo (List.map enum_options insts)
@@ -393,11 +430,13 @@ let date_bodies =
              R.left ~max_gap:30 a b && R.left ~max_gap:30 b c
              && date_combo [ a; b; c ]))
       ~build:(fun _ -> Instance.S_domain Condition.Datetime)
+      ~hints:[ H.left_of ~max_gap:30 0 1; H.left_of ~max_gap:30 1 2 ]
       ();
     prod "P-DateBody-2" date_body [ sel_val; sel_val ]
       ~guard:
         (g2 (fun a b -> R.left ~max_gap:30 a b && date_combo [ a; b ]))
       ~build:(fun _ -> Instance.S_domain Condition.Datetime)
+      ~hints:[ H.left_of ~max_gap:30 0 1 ]
       () ]
 
 let date_build =
@@ -406,15 +445,16 @@ let date_build =
 let date_cps =
   [ prod "P-DateCP-left" date_cp [ attr; date_body ]
       ~guard:(g2 (fun a b -> attr_left a b))
-      ~build:date_build ();
+      ~build:date_build ~hints:[ h_attr_left 0 1 ] ();
     prod "P-DateCP-above" date_cp [ attr; date_body ]
       ~guard:(g2 (fun a b -> stacked (R.above ?max_gap:None) a b))
-      ~build:date_build () ]
+      ~build:date_build ~hints:(h_stacked_above 0 1) () ]
 
 let keyword_cps =
   [ prod "P-KeywordCP" keyword_cp [ value; action ]
       ~guard:(g2 (fun v a -> R.left ~max_gap:60 v a))
       ~build:(fun _ -> cond ~attribute:"" Condition.Text)
+      ~hints:[ H.left_of ~max_gap:60 0 1 ]
       () ]
 
 (* ------------------------------------------------------------------ *)
@@ -450,11 +490,11 @@ let assembly =
   [ prod "P-HQI-base" hqi [ cp ] ~build:(g1 lift_conditions) ();
     prod "P-HQI-left" hqi [ hqi; cp ]
       ~guard:(g2 (fun row c -> R.left ~max_gap:150 row c))
-      ~build:(g2 concat_conds) ();
+      ~build:(g2 concat_conds) ~hints:[ H.left_of ~max_gap:150 0 1 ] ();
     prod "P-QI-base" qi [ hqi ] ~build:(g1 lift_conditions) ();
     prod "P-QI-above" qi [ qi; hqi ]
       ~guard:(g2 (fun q row -> R.above ~max_gap:120 q row))
-      ~build:(g2 concat_conds) () ]
+      ~build:(g2 concat_conds) ~hints:[ H.above ~max_gap:120 0 1 ] () ]
 
 let productions =
   atoms @ button_units @ lists @ op_productions @ text_vals @ text_ops

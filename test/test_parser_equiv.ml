@@ -1,10 +1,15 @@
-(* Equivalence suite: the delta-driven (semi-naive) engine must be
-   observationally identical to the naive reference oracle — not just
-   "equivalent trees" but the same instance ids, because ids are the
-   tie-breaker for maximal-tree selection and preference enforcement
-   order.  The suite sweeps generated corpus sources across grammar
-   complexities and parser configurations, plus the single-word bitset
-   specialization boundary the fast path relies on. *)
+(* Equivalence suite: the delta-driven (semi-naive) engine — with and
+   without spatial candidate indexing — must be observationally
+   identical to the naive reference oracle — not just "equivalent
+   trees" but the same instance ids, because ids are the tie-breaker
+   for maximal-tree selection and preference enforcement order.  The
+   suite sweeps generated corpus sources across grammar complexities
+   and parser configurations (a three-way pass per source:
+   oracle / semi-naive unhinted / semi-naive hinted), plus the
+   single-word bitset specialization boundary the fast path relies
+   on, plus a property test that randomly drops production hints —
+   hints are pure pruning advice, so any subset of them must leave
+   every observable unchanged. *)
 
 module G = Wqi_grammar
 module Symbol = G.Symbol
@@ -18,6 +23,7 @@ let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
 let naive options = { options with Engine.semi_naive = false }
+let unhinted options = { options with Engine.use_hints = false }
 
 let ids instances = List.map (fun (i : Instance.t) -> i.Instance.id) instances
 
@@ -58,10 +64,21 @@ let check_equivalent ctx (fast : Engine.result) (slow : Engine.result) =
     (tree_strings fast.Engine.maximal);
   check_list "semantic model" (model_strings slow) (model_strings fast)
 
+(* Three-way: the hinted semi-naive engine (the default), the same
+   engine with hints disabled, and the naive oracle.  [fst] is the
+   hinted result; the hints-off and oracle results are both checked
+   against it.  The guard/index counters legitimately differ between
+   the passes (that is the optimization) and are deliberately not part
+   of [check_equivalent]. *)
 let parse_both ?(options = Engine.default_options) grammar tokens =
-  let fast = Engine.parse ~options grammar tokens in
+  let hinted = Engine.parse ~options grammar tokens in
+  let plain = Engine.parse ~options:(unhinted options) grammar tokens in
+  check_equivalent "hints-on vs hints-off" hinted plain;
+  Alcotest.(check bool)
+    "hints never add guard work" true
+    (hinted.Engine.stats.guards_tried <= plain.Engine.stats.guards_tried);
   let slow = Engine.parse ~options:(naive options) grammar tokens in
-  (fast, slow)
+  (hinted, slow)
 
 (* 60 generated sources across the three domains, both complexity
    levels, with a sprinkle of out-of-grammar noise. *)
@@ -219,6 +236,46 @@ let test_parse_across_boundary () =
   let fast, slow = parse_both ~options grammar tokens in
   check_equivalent "wide interface" fast slow
 
+(* --- hint-subset property --- *)
+
+(* Hints are pruning advice, never semantics: a grammar carrying any
+   subset of the standard grammar's hints must parse every source to
+   the byte-identical result.  Random subsets (fixed seed) probe the
+   interaction of indexed and scanned slots within one production —
+   e.g. a kept second-slot hint with a dropped first-slot one. *)
+let with_hint_subset rng grammar =
+  let module P = G.Production in
+  let productions =
+    List.map
+      (fun (p : P.t) ->
+         P.make ~name:p.P.name ~head:p.P.head ~components:p.P.components
+           ~guard:p.P.guard ~build:p.P.build
+           ~hints:
+             (List.filter (fun _ -> Wqi_corpus.Prng.bool rng) p.P.hints)
+           ())
+      grammar.G.Grammar.productions
+  in
+  G.Grammar.make ~terminals:grammar.G.Grammar.terminals
+    ~start:grammar.G.Grammar.start ~productions
+    ~preferences:grammar.G.Grammar.preferences ()
+
+let test_random_hint_subsets () =
+  let grammar = Wqi_stdgrammar.Std.grammar in
+  let rng = Wqi_corpus.Prng.create 0x41D7L in
+  let sources = simple_sources 6 in
+  for round = 1 to 5 do
+    let subset = with_hint_subset rng grammar in
+    List.iter
+      (fun (s : Generator.source) ->
+         let tokens = Tokenize.of_html s.Generator.html in
+         let full = Engine.parse grammar tokens in
+         let dropped = Engine.parse subset tokens in
+         check_equivalent
+           (Printf.sprintf "%s/hint-subset-%d" s.Generator.id round)
+           dropped full)
+      sources
+  done
+
 let suite =
   [ ("delta = naive on 60 corpus sources", `Quick, test_corpus_equivalence);
     ("delta = naive without scheduling", `Quick,
@@ -229,4 +286,6 @@ let suite =
      test_bitset_boundary_membership);
     ("bitset word-boundary algebra", `Quick, test_bitset_boundary_algebra);
     ("bitset universe mismatch", `Quick, test_bitset_universe_mismatch);
-    ("parse across the word boundary", `Quick, test_parse_across_boundary) ]
+    ("parse across the word boundary", `Quick, test_parse_across_boundary);
+    ("random hint subsets are observationally inert", `Quick,
+     test_random_hint_subsets) ]
