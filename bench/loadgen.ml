@@ -1,0 +1,385 @@
+(* wqi_loadgen: replay the deterministic 120-interface corpus against a
+   wqi_serve daemon over N concurrent keep-alive connections and record
+   throughput and latency percentiles, cold cache vs warm cache, as
+   BENCH_serve.json (validated by validate_serve_json.ml).
+
+   Default mode spawns the server itself (--server PATH) once per
+   requested --jobs value, on an ephemeral port, and SIGTERMs it after
+   the passes — so the record also covers the graceful-drain exit
+   status.  --host/--port instead targets an already-running server.
+
+   Usage:
+     loadgen.exe --server ../bin/wqi_serve.exe --json BENCH_serve.json
+     loadgen.exe --host 127.0.0.1 --port 8080 --interfaces 30
+   Options: --jobs-list 1,4  --clients 8  --interfaces 120  --smoke *)
+
+module Generator = Wqi_corpus.Generator
+module Budget = Wqi_budget.Budget
+
+(* ------------------------------------------------------------------ *)
+(* Corpus: byte-identical to the bench batch120 section               *)
+(* ------------------------------------------------------------------ *)
+
+let corpus n =
+  let g = Wqi_corpus.Prng.create 0x120L in
+  let domains = Wqi_corpus.Vocabulary.core_three in
+  List.init n (fun i ->
+      Generator.generate g
+        ~id:(Printf.sprintf "batch-%03d" i)
+        ~domain:(List.nth domains (i mod 3))
+        ~complexity:`Rich ~oog_prob:0.05 ())
+  |> Array.of_list
+
+(* ------------------------------------------------------------------ *)
+(* Minimal HTTP/1.1 client (keep-alive)                               *)
+(* ------------------------------------------------------------------ *)
+
+type client = {
+  fd : Unix.file_descr;
+  buf : Bytes.t;
+  mutable pos : int;
+  mutable len : int;
+}
+
+let connect host port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.TCP_NODELAY true;
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  { fd; buf = Bytes.create 65536; pos = 0; len = 0 }
+
+let refill c =
+  if c.pos = c.len then begin
+    c.pos <- 0;
+    c.len <- 0
+  end;
+  if c.len = Bytes.length c.buf then true
+  else begin
+    let n = Unix.read c.fd c.buf c.len (Bytes.length c.buf - c.len) in
+    if n = 0 then false else (c.len <- c.len + n; true)
+  end
+
+let read_line c =
+  let b = Buffer.create 80 in
+  let rec go () =
+    if c.pos = c.len && not (refill c) then failwith "eof in response"
+    else
+      match Bytes.index_from_opt c.buf c.pos '\n' with
+      | Some i when i < c.len ->
+        Buffer.add_subbytes b c.buf c.pos (i - c.pos);
+        c.pos <- i + 1
+      | _ ->
+        Buffer.add_subbytes b c.buf c.pos (c.len - c.pos);
+        c.pos <- c.len;
+        go ()
+  in
+  go ();
+  let s = Buffer.contents b in
+  if s <> "" && s.[String.length s - 1] = '\r' then
+    String.sub s 0 (String.length s - 1)
+  else s
+
+let read_exact c n =
+  let out = Bytes.create n in
+  let filled = ref 0 in
+  while !filled < n do
+    if c.pos < c.len then begin
+      let take = min (n - !filled) (c.len - c.pos) in
+      Bytes.blit c.buf c.pos out !filled take;
+      c.pos <- c.pos + take;
+      filled := !filled + take
+    end
+    else if not (refill c) then failwith "eof in body"
+  done;
+  Bytes.unsafe_to_string out
+
+type response = {
+  status : int;
+  r_headers : (string * string) list;
+  r_body : string;
+}
+
+let request c ~meth ~target ~body =
+  let b = Buffer.create (String.length body + 256) in
+  Printf.bprintf b "%s %s HTTP/1.1\r\nhost: loadgen\r\n" meth target;
+  if body <> "" || meth = "POST" then
+    Printf.bprintf b "content-length: %d\r\n" (String.length body);
+  Buffer.add_string b "\r\n";
+  Buffer.add_string b body;
+  let s = Buffer.contents b in
+  let sent = ref 0 in
+  while !sent < String.length s do
+    sent := !sent + Unix.write_substring c.fd s !sent (String.length s - !sent)
+  done;
+  let status_line = read_line c in
+  let status =
+    match String.split_on_char ' ' status_line with
+    | _ :: code :: _ -> (try int_of_string code with _ -> 0)
+    | _ -> 0
+  in
+  let headers = ref [] in
+  let rec hdrs () =
+    match read_line c with
+    | "" -> ()
+    | line ->
+      (match String.index_opt line ':' with
+       | Some i ->
+         headers :=
+           ( String.lowercase_ascii (String.sub line 0 i),
+             String.trim
+               (String.sub line (i + 1) (String.length line - i - 1)) )
+           :: !headers
+       | None -> ());
+      hdrs ()
+  in
+  hdrs ();
+  let body =
+    match List.assoc_opt "content-length" !headers with
+    | Some n -> read_exact c (int_of_string (String.trim n))
+    | None -> ""
+  in
+  { status; r_headers = List.rev !headers; r_body = body }
+
+(* ------------------------------------------------------------------ *)
+(* Load pass                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type pass = {
+  seconds : float;
+  requests : int;
+  failed : int;
+  cache_hits : int;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+}
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+
+let run_pass ~host ~port ~clients ~(docs : Generator.source array) =
+  let n = Array.length docs in
+  let latencies = Array.make n 0. in
+  let failed = Atomic.make 0 in
+  let cache_hits = Atomic.make 0 in
+  let next = Atomic.make 0 in
+  let worker () =
+    let c = connect host port in
+    let rec drain () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        let doc = docs.(i) in
+        let t0 = Budget.now_s () in
+        let r =
+          request c ~meth:"POST"
+            ~target:(Printf.sprintf "/extract?name=%s" doc.Generator.id)
+            ~body:doc.Generator.html
+        in
+        latencies.(i) <- Budget.now_s () -. t0;
+        if r.status <> 200 then Atomic.incr failed;
+        (match List.assoc_opt "x-wqi-cache" r.r_headers with
+         | Some "hit" -> Atomic.incr cache_hits
+         | _ -> ());
+        drain ()
+      end
+    in
+    (try drain () with _ ->
+       (* A dead connection fails the remaining share of the corpus;
+          count one failure so the record can't claim a clean run. *)
+       Atomic.incr failed);
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  in
+  let t0 = Budget.now_s () in
+  let threads =
+    List.init (max 1 clients) (fun _ -> Thread.create worker ())
+  in
+  List.iter Thread.join threads;
+  let seconds = Budget.now_s () -. t0 in
+  let sorted = Array.map (fun s -> 1000. *. s) latencies in
+  Array.sort compare sorted;
+  { seconds;
+    requests = n;
+    failed = Atomic.get failed;
+    cache_hits = Atomic.get cache_hits;
+    p50_ms = percentile sorted 0.50;
+    p95_ms = percentile sorted 0.95;
+    p99_ms = percentile sorted 0.99 }
+
+(* ------------------------------------------------------------------ *)
+(* Server lifecycle (spawn mode)                                      *)
+(* ------------------------------------------------------------------ *)
+
+type server = { pid : int; s_port : int; out : in_channel }
+
+let spawn_server exe ~jobs ~clients =
+  let r, w = Unix.pipe () in
+  let pid =
+    Unix.create_process exe
+      [| exe; "--port"; "0"; "--jobs"; string_of_int jobs; "--max-inflight";
+         string_of_int (max 4 (clients * 2)); "--idle-timeout-s"; "2" |]
+      Unix.stdin w Unix.stderr
+  in
+  Unix.close w;
+  let out = Unix.in_channel_of_descr r in
+  (* First line: "wqi_serve: listening on HOST:PORT (...)"; the last
+     colon in the line separates host from port. *)
+  let line = input_line out in
+  let port =
+    match String.rindex_opt line ':' with
+    | None -> failwith ("cannot parse server banner: " ^ line)
+    | Some i ->
+      let rest = String.sub line (i + 1) (String.length line - i - 1) in
+      (match String.split_on_char ' ' (String.trim rest) with
+       | p :: _ -> (try int_of_string p with _ ->
+           failwith ("cannot parse server banner: " ^ line))
+       | [] -> failwith ("cannot parse server banner: " ^ line))
+  in
+  { pid; s_port = port; out }
+
+let stop_server s =
+  Unix.kill s.pid Sys.sigterm;
+  let _, status = Unix.waitpid [] s.pid in
+  close_in_noerr s.out;
+  match status with Unix.WEXITED c -> c | _ -> 255
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type run = {
+  r_jobs : int;
+  cold : pass;
+  warm : pass;
+  server_exit : int option;
+}
+
+let json_float f =
+  if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+
+let pass_json p =
+  Printf.sprintf
+    "{\"seconds\": %s, \"rps\": %s, \"requests\": %d, \"failed\": %d, \
+     \"cache_hits\": %d, \"p50_ms\": %s, \"p95_ms\": %s, \"p99_ms\": %s}"
+    (json_float p.seconds)
+    (json_float (float_of_int p.requests /. p.seconds))
+    p.requests p.failed p.cache_hits (json_float p.p50_ms)
+    (json_float p.p95_ms) (json_float p.p99_ms)
+
+let write_json file ~smoke ~interfaces ~clients runs =
+  let oc = open_out file in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema_version\": 1,\n";
+  p "  \"smoke\": %b,\n" smoke;
+  p "  \"interfaces\": %d,\n" interfaces;
+  p "  \"clients\": %d,\n" clients;
+  p "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
+  p "  \"runs\": [\n";
+  List.iteri
+    (fun i r ->
+       p "    {\"jobs\": %d, \"cold\": %s, \"warm\": %s, \"server_exit\": %s}%s\n"
+         r.r_jobs (pass_json r.cold) (pass_json r.warm)
+         (match r.server_exit with
+          | Some c -> string_of_int c
+          | None -> "null")
+         (if i = List.length runs - 1 then "" else ","))
+    runs;
+  p "  ],\n";
+  let cold_rps r = float_of_int r.cold.requests /. r.cold.seconds in
+  let first = List.hd runs and last = List.nth runs (List.length runs - 1) in
+  p "  \"throughput_speedup_jobs\": %s,\n"
+    (json_float (cold_rps last /. cold_rps first));
+  p "  \"warm_over_cold_p50\": %s\n"
+    (json_float (last.cold.p50_ms /. Float.max 1e-6 last.warm.p50_ms));
+  p "}\n";
+  close_out oc;
+  Format.eprintf "wrote %s@." file
+
+let () =
+  let server_exe = ref None in
+  let host = ref "127.0.0.1" in
+  let port = ref None in
+  let jobs_list = ref [ 1; 4 ] in
+  let clients = ref 8 in
+  let interfaces = ref 120 in
+  let json = ref None in
+  let smoke = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--server" :: exe :: rest -> server_exe := Some exe; parse rest
+    | "--host" :: h :: rest -> host := h; parse rest
+    | "--port" :: p :: rest -> port := Some (int_of_string p); parse rest
+    | "--jobs-list" :: l :: rest ->
+      jobs_list :=
+        String.split_on_char ',' l |> List.map String.trim
+        |> List.map int_of_string;
+      parse rest
+    | "--clients" :: n :: rest -> clients := int_of_string n; parse rest
+    | "--interfaces" :: n :: rest -> interfaces := int_of_string n; parse rest
+    | "--json" :: f :: rest -> json := Some f; parse rest
+    | "--smoke" :: rest -> smoke := true; parse rest
+    | arg :: _ ->
+      Format.eprintf
+        "unknown argument %s@.usage: loadgen (--server EXE | --port P) \
+         [--host H] [--jobs-list 1,4] [--clients N] [--interfaces N] \
+         [--json FILE] [--smoke]@."
+        arg;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !smoke && !interfaces = 120 then interfaces := 12;
+  let docs = corpus !interfaces in
+  let total_bytes =
+    Array.fold_left
+      (fun acc (s : Generator.source) -> acc + String.length s.Generator.html)
+      0 docs
+  in
+  Format.eprintf "corpus: %d interfaces, %d bytes@." (Array.length docs)
+    total_bytes;
+  let one_run ~jobs ~host ~port ~server =
+    Format.eprintf "jobs=%d port=%d: cold pass...@." jobs port;
+    let cold = run_pass ~host ~port ~clients:!clients ~docs in
+    Format.eprintf
+      "  cold: %.3f s (%.1f req/s), p50 %.2f ms, p95 %.2f ms, %d failed@."
+      cold.seconds
+      (float_of_int cold.requests /. cold.seconds)
+      cold.p50_ms cold.p95_ms cold.failed;
+    let warm = run_pass ~host ~port ~clients:!clients ~docs in
+    Format.eprintf
+      "  warm: %.3f s (%.1f req/s), p50 %.2f ms, %d cache hits, %d failed@."
+      warm.seconds
+      (float_of_int warm.requests /. warm.seconds)
+      warm.p50_ms warm.cache_hits warm.failed;
+    let server_exit = Option.map stop_server server in
+    (match server_exit with
+     | Some 0 | None -> ()
+     | Some c -> Format.eprintf "  server exited %d (expected 0)@." c);
+    { r_jobs = jobs; cold; warm; server_exit }
+  in
+  let runs =
+    match (!server_exe, !port) with
+    | Some exe, _ ->
+      List.map
+        (fun jobs ->
+           let s = spawn_server exe ~jobs ~clients:!clients in
+           one_run ~jobs ~host:!host ~port:s.s_port ~server:(Some s))
+        !jobs_list
+    | None, Some port ->
+      [ one_run ~jobs:0 ~host:!host ~port ~server:None ]
+    | None, None ->
+      Format.eprintf "need --server EXE or --port P@.";
+      exit 2
+  in
+  let failed =
+    List.fold_left (fun acc r -> acc + r.cold.failed + r.warm.failed) 0 runs
+  in
+  (match !json with
+   | Some file ->
+     write_json file ~smoke:!smoke ~interfaces:!interfaces ~clients:!clients
+       runs
+   | None -> ());
+  if failed > 0 then begin
+    Format.eprintf "%d failed requests@." failed;
+    exit 1
+  end

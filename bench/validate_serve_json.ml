@@ -1,0 +1,112 @@
+(* Schema validator for the BENCH_serve.json record emitted by
+   loadgen.exe --json: the serving-layer counterpart of
+   validate_bench_json.  Wired into `dune runtest` against a smoke run
+   so emitter regressions fail the suite.
+
+   Acceptance gates (ISSUE: serving tentpole):
+     - zero failed requests, in every pass of every run — always;
+     - server drained and exited 0 after SIGTERM — always (spawn mode);
+     - warm pass answered entirely from cache — always;
+     - warm-cache p50 at least 10x under cold p50 — full runs only
+       (smoke corpora are too small for stable percentiles);
+     - cold throughput at the highest jobs count at least 2x the
+       jobs=1 throughput — full runs on machines with >= 4 cores only,
+       following the BENCH_parse.json convention: this container
+       exposes a single core, so parallel speedup is recorded as
+       measured and only asserted where it is physically possible. *)
+
+open Json_min
+
+let check_pass ctx p =
+  let seconds = positive (ctx ^ ".seconds") (field p "seconds") in
+  let rps = positive (ctx ^ ".rps") (field p "rps") in
+  let requests = positive (ctx ^ ".requests") (field p "requests") in
+  let failed = non_negative (ctx ^ ".failed") (field p "failed") in
+  if failed <> 0. then bad "%s.failed: expected 0, got %g" ctx failed;
+  let hits = non_negative (ctx ^ ".cache_hits") (field p "cache_hits") in
+  if hits > requests then
+    bad "%s.cache_hits %g > requests %g" ctx hits requests;
+  let p50 = non_negative (ctx ^ ".p50_ms") (field p "p50_ms") in
+  let p95 = non_negative (ctx ^ ".p95_ms") (field p "p95_ms") in
+  let p99 = non_negative (ctx ^ ".p99_ms") (field p "p99_ms") in
+  if p95 < p50 then bad "%s: p95 %g < p50 %g" ctx p95 p50;
+  if p99 < p95 then bad "%s: p99 %g < p95 %g" ctx p99 p95;
+  (* rps must agree with requests/seconds (loose: rounding in emit) *)
+  let implied = requests /. seconds in
+  if implied > 0. && (rps /. implied < 0.9 || rps /. implied > 1.1) then
+    bad "%s.rps %g inconsistent with requests/seconds %g" ctx rps implied;
+  (requests, hits)
+
+let check_run ~interfaces i run =
+  let ctx = Printf.sprintf "runs[%d]" i in
+  let jobs = non_negative (ctx ^ ".jobs") (field run "jobs") in
+  let cold_requests, _ = check_pass (ctx ^ ".cold") (field run "cold") in
+  let warm_requests, warm_hits =
+    check_pass (ctx ^ ".warm") (field run "warm")
+  in
+  if cold_requests <> interfaces then
+    bad "%s.cold.requests %g <> interfaces %g" ctx cold_requests interfaces;
+  (* The warm pass replays the identical corpus under the identical
+     budget: with the cache on, every request must be a cache hit. *)
+  if warm_hits <> warm_requests then
+    bad "%s.warm: only %g/%g cache hits — cache not answering identical \
+         requests"
+      ctx warm_hits warm_requests;
+  (match field run "server_exit" with
+   | Null -> () (* external-server mode: lifecycle not observed *)
+   | Num 0. -> ()
+   | Num c -> bad "%s.server_exit: expected 0 (graceful drain), got %g" ctx c
+   | _ -> bad "%s.server_exit: expected number or null" ctx);
+  jobs
+
+let () =
+  let file =
+    match Sys.argv with
+    | [| _; file |] -> file
+    | _ ->
+      prerr_endline "usage: validate_serve_json FILE";
+      exit 2
+  in
+  match
+    let j = parse (read_file file) in
+    let version = num "schema_version" (field j "schema_version") in
+    if version <> 1. then bad "schema_version: expected 1, got %g" version;
+    let smoke =
+      match field j "smoke" with
+      | Bool b -> b
+      | _ -> bad "smoke: expected bool"
+    in
+    let interfaces = positive "interfaces" (field j "interfaces") in
+    ignore (positive "clients" (field j "clients"));
+    let cores = positive "cores" (field j "cores") in
+    let runs =
+      match field j "runs" with
+      | Arr (_ :: _ as runs) -> runs
+      | Arr [] -> bad "runs: empty"
+      | _ -> bad "runs: expected array"
+    in
+    let jobs = List.mapi (check_run ~interfaces) runs in
+    (match jobs with
+     | first :: (_ :: _ as rest) ->
+       if List.exists (fun j -> j <= first) rest then
+         bad "runs: jobs values must increase (got %s)"
+           (String.concat "," (List.map string_of_float jobs))
+     | _ -> ());
+    let speedup =
+      positive "throughput_speedup_jobs" (field j "throughput_speedup_jobs")
+    in
+    let warm_ratio =
+      positive "warm_over_cold_p50" (field j "warm_over_cold_p50")
+    in
+    if not smoke then begin
+      if warm_ratio < 10. then
+        bad "warm_over_cold_p50: expected >= 10, got %g" warm_ratio;
+      if cores >= 4. && List.length runs > 1 && speedup < 2. then
+        bad "throughput_speedup_jobs: expected >= 2 on %g cores, got %g"
+          cores speedup
+    end
+  with
+  | () -> Printf.printf "%s: schema ok\n" file
+  | exception Bad msg ->
+    Printf.eprintf "%s: INVALID — %s\n" file msg;
+    exit 1

@@ -51,7 +51,20 @@ let process config dir file =
     d_model = model;
     d_seconds = Budget.now_s () -. t0 }
 
-let run dir output jobs deadline_ms max_instances =
+(* With SIGPIPE ignored, writing JSONL to a closed pipe surfaces as a
+   [Sys_error] carrying the strerror text; a reader like `head` closing
+   stdout early is normal pipeline behaviour, not a batch failure. *)
+let is_broken_pipe msg =
+  let msg = String.lowercase_ascii msg in
+  let sub = "broken pipe" in
+  let n = String.length msg and m = String.length sub in
+  let found = ref false in
+  for i = 0 to n - m do
+    if String.sub msg i m = sub then found := true
+  done;
+  !found
+
+let run_guarded dir output jobs deadline_ms max_instances =
   if not (Sys.file_exists dir && Sys.is_directory dir) then begin
     Format.eprintf "%s is not a directory@." dir;
     1
@@ -124,6 +137,14 @@ let run dir output jobs deadline_ms max_instances =
       !total_seconds wall jobs;
     if files = [||] then 1 else 0
   end
+
+let run dir output jobs deadline_ms max_instances =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  try run_guarded dir output jobs deadline_ms max_instances
+  with Sys_error msg when is_broken_pipe msg ->
+    (* The downstream reader went away mid-stream (e.g. `| head -1`);
+       the documents already emitted reached it, so exit clean. *)
+    0
 
 open Cmdliner
 

@@ -37,9 +37,21 @@ let config_of width deadline_ms max_instances =
   | Some w -> Extractor.Config.with_width w c
   | None -> c
 
-let run input show_tokens show_trees show_stats show_ascii as_json verbose
+(* With SIGPIPE ignored, writing to a closed pipe surfaces as a
+   [Sys_error] carrying the strerror text.  A reader like `head` closing
+   stdout early is normal pipeline behaviour, not an extraction error. *)
+let is_broken_pipe msg =
+  let msg = String.lowercase_ascii msg in
+  let sub = "broken pipe" in
+  let n = String.length msg and m = String.length sub in
+  let found = ref false in
+  for i = 0 to n - m do
+    if String.sub msg i m = sub then found := true
+  done;
+  !found
+
+let run_guarded input show_tokens show_trees show_stats show_ascii as_json
     width deadline_ms max_instances =
-  setup_logs verbose;
   let html =
     match input with Some path -> read_file path | None -> read_stdin ()
   in
@@ -86,6 +98,25 @@ let run input show_tokens show_trees show_stats show_ascii as_json verbose
       (1000. *. d.total_seconds)
   end;
   if e.model.conditions = [] then 1 else 0
+
+let run input show_tokens show_trees show_stats show_ascii as_json verbose
+    width deadline_ms max_instances =
+  setup_logs verbose;
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  try
+    run_guarded input show_tokens show_trees show_stats show_ascii as_json
+      width deadline_ms max_instances
+  with Sys_error msg when is_broken_pipe msg ->
+    (* The downstream reader went away mid-output; what was written is
+       whatever it asked for.  Drop anything still buffered in the
+       formatter — its at_exit flush would re-raise into the dead pipe —
+       and exit clean so pipelines like `wqi_extract --json f.html |
+       head -1` succeed.  (Stdlib channel flushes at exit already
+       swallow write errors.) *)
+    Format.pp_set_formatter_output_functions Format.std_formatter
+      (fun _ _ _ -> ())
+      (fun () -> ());
+    0
 
 open Cmdliner
 

@@ -1,0 +1,172 @@
+(* The extraction service daemon: POST HTML query interfaces at
+   /extract, get version-2 JSON source descriptions back; /healthz and
+   /metrics for fleet observability.  See Wqi_serve.Serve for the
+   endpoint and admission-control semantics.
+
+   The process runs until SIGTERM/SIGINT, then drains: in-flight
+   requests finish, idle keep-alive connections are closed, the domain
+   pool is joined, and the process exits 0. *)
+
+module Serve = Wqi_serve.Serve
+module Cache = Wqi_serve.Cache
+module Extractor = Wqi_core.Extractor
+module Budget = Wqi_core.Budget
+
+let run host port jobs max_inflight max_body cache_bytes cache_ttl_s
+    cache_shards deadline_ms max_instances cap_deadline_ms cap_instances
+    idle_timeout_s =
+  let budget =
+    match (deadline_ms, max_instances) with
+    | None, None -> Budget.unlimited
+    | _ -> Budget.make ?deadline_ms ?max_instances ()
+  in
+  let cap_budget =
+    match (cap_deadline_ms, cap_instances) with
+    | None, None -> Budget.unlimited
+    | _ ->
+      Budget.make ?deadline_ms:cap_deadline_ms ?max_instances:cap_instances ()
+  in
+  let cache =
+    if cache_bytes <= 0 then None
+    else
+      Some
+        { Cache.max_bytes = cache_bytes;
+          ttl_s = cache_ttl_s;
+          shards = cache_shards }
+  in
+  let config =
+    { Serve.host;
+      port;
+      jobs;
+      max_inflight;
+      max_body;
+      cache;
+      extractor = Extractor.Config.(default |> with_budget budget);
+      cap_budget;
+      idle_timeout_s }
+  in
+  match
+    Serve.run config ~on_listen:(fun t ->
+        Printf.printf "wqi_serve: listening on %s:%d (jobs=%s, max-inflight=%d)\n"
+          host (Serve.port t)
+          (match jobs with
+           | Some j -> string_of_int j
+           | None -> string_of_int (Domain.recommended_domain_count ()))
+          max_inflight;
+        flush stdout)
+  with
+  | () -> 0
+  | exception Unix.Unix_error (e, fn, _) ->
+    Format.eprintf "wqi_serve: %s: %s@." fn (Unix.error_message e);
+    1
+
+open Cmdliner
+
+let host =
+  let doc = "Address to bind." in
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc)
+
+let port =
+  let doc = "Port to bind; 0 picks an ephemeral port (printed on stdout)." in
+  Arg.(value & opt int 8080 & info [ "p"; "port" ] ~docv:"PORT" ~doc)
+
+let jobs =
+  let doc =
+    "Worker-pool parallelism for extraction (default: the machine's \
+     recommended domain count)."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let max_inflight =
+  let doc =
+    "Admission-control bound: at most $(docv) extractions admitted (queued \
+     or running) at once; cache misses beyond it are shed with 503 + \
+     Retry-After.  0 sheds every miss."
+  in
+  Arg.(value
+       & opt int Serve.default_config.Serve.max_inflight
+       & info [ "max-inflight" ] ~docv:"N" ~doc)
+
+let max_body =
+  let doc = "Request-body byte bound (413 beyond it)." in
+  Arg.(value
+       & opt int Serve.default_config.Serve.max_body
+       & info [ "max-body-bytes" ] ~docv:"BYTES" ~doc)
+
+let cache_bytes =
+  let doc = "Result-cache byte bound across shards; 0 disables the cache." in
+  Arg.(value
+       & opt int Cache.default_config.Cache.max_bytes
+       & info [ "cache-bytes" ] ~docv:"BYTES" ~doc)
+
+let cache_ttl_s =
+  let doc = "Result-cache entry TTL in seconds; 0 = entries never expire." in
+  Arg.(value & opt float 0. & info [ "cache-ttl-s" ] ~docv:"SECONDS" ~doc)
+
+let cache_shards =
+  let doc = "Result-cache shard count." in
+  Arg.(value
+       & opt int Cache.default_config.Cache.shards
+       & info [ "cache-shards" ] ~docv:"N" ~doc)
+
+let deadline_ms =
+  let doc =
+    "Default per-request wall-clock budget in milliseconds (requests may \
+     override with ?deadline_ms=, capped by $(b,--cap-deadline-ms))."
+  in
+  Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+
+let max_instances =
+  let doc = "Default per-request cap on parser instances." in
+  Arg.(value & opt (some int) None & info [ "max-instances" ] ~docv:"N" ~doc)
+
+let cap_deadline_ms =
+  let doc =
+    "Ceiling on per-request deadline overrides; requests cannot run longer \
+     than this even by omitting ?deadline_ms=."
+  in
+  Arg.(value & opt (some int) None & info [ "cap-deadline-ms" ] ~docv:"MS" ~doc)
+
+let cap_instances =
+  let doc = "Ceiling on per-request parser-instance overrides." in
+  Arg.(value & opt (some int) None & info [ "cap-instances" ] ~docv:"N" ~doc)
+
+let idle_timeout_s =
+  let doc =
+    "Keep-alive receive timeout in seconds; also bounds how long idle \
+     connections can delay a graceful drain."
+  in
+  Arg.(value
+       & opt float Serve.default_config.Serve.idle_timeout_s
+       & info [ "idle-timeout-s" ] ~docv:"SECONDS" ~doc)
+
+let cmd =
+  let doc = "serve query-interface extraction over HTTP" in
+  let man =
+    [ `S Manpage.s_description;
+      `P
+        "Runs the governed form extractor as a long-lived HTTP service: \
+         $(b,POST /extract) with an HTML body returns the version-2 JSON \
+         source description; $(b,GET /healthz) and $(b,GET /metrics) \
+         expose liveness and Prometheus-style counters (request/outcome \
+         counts, latency histogram, cache hit ratio, parser guard \
+         pressure, pool queue depth).";
+      `P
+        "Requests may tighten their own resource budget with query \
+         parameters (deadline_ms, max_html_nodes, max_boxes, max_tokens, \
+         max_instances, max_rounds), each clamped by the server's caps.  \
+         Identical (normalized) HTML under the same budget is answered \
+         from a content-addressed LRU cache.";
+      `P
+        "SIGTERM/SIGINT drain gracefully: in-flight requests finish, new \
+         extractions are refused with 503, and the process exits 0." ]
+  in
+  let term =
+    Term.(
+      const run $ host $ port $ jobs $ max_inflight $ max_body $ cache_bytes
+      $ cache_ttl_s $ cache_shards $ deadline_ms $ max_instances
+      $ cap_deadline_ms $ cap_instances $ idle_timeout_s)
+  in
+  Cmd.v (Cmd.info "wqi_serve" ~version:"1.0.0" ~doc ~man) term
+
+let () = exit (Cmd.eval' cmd)

@@ -267,7 +267,7 @@ let extract_forms ?grammar ?options ?width html =
 
 let conditions e = e.model.Semantic_model.conditions
 
-let export ~name ?url e =
+let export ?(timings = true) ~name ?url e =
   let module E = Wqi_model.Export in
   let d = e.diagnostics in
   let seconds s = Printf.sprintf "%.6f" s in
@@ -291,16 +291,18 @@ let export ~name ?url e =
       ("index_pruned", string_of_int d.parse_stats.Engine.index_pruned);
       ("trees", string_of_int d.tree_count);
       ("complete", string_of_bool d.complete);
-      ("truncated", string_of_bool d.parse_stats.Engine.truncated);
-      ("seconds",
-       E.obj
-         [ ("html", seconds d.html_seconds);
-           ("layout", seconds d.layout_seconds);
-           ("classify", seconds d.classify_seconds);
-           ("parse", seconds d.parse_seconds);
-           ("merge", seconds d.merge_seconds);
-           ("total", seconds d.total_seconds) ]);
-      ("budget", E.budget d.budget);
-      ("consumed", consumed) ]
+      ("truncated", string_of_bool d.parse_stats.Engine.truncated) ]
+    @ (if timings then
+         [ ("seconds",
+            E.obj
+              [ ("html", seconds d.html_seconds);
+                ("layout", seconds d.layout_seconds);
+                ("classify", seconds d.classify_seconds);
+                ("parse", seconds d.parse_seconds);
+                ("merge", seconds d.merge_seconds);
+                ("total", seconds d.total_seconds) ]) ]
+       else [])
+    @ [ ("budget", E.budget d.budget);
+        ("consumed", consumed) ]
   in
   E.extraction ~name ?url ~diagnostics ~outcome:e.outcome e.model

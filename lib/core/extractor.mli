@@ -160,8 +160,14 @@ val extract_tokens :
 val conditions : extraction -> Wqi_model.Condition.t list
 (** Shorthand for [extraction.model.conditions]. *)
 
-val export : name:string -> ?url:string -> extraction -> string
+val export :
+  ?timings:bool -> name:string -> ?url:string -> extraction -> string
 (** The version-2 JSON source description
     ([{"wqi_extraction_version": 2, ...}]): outcome, capabilities, and a
     diagnostics object with counters, per-stage wall times, the budget
-    in force and the gauge consumption.  See {!Wqi_model.Export}. *)
+    in force and the gauge consumption.  See {!Wqi_model.Export}.
+
+    [~timings:false] omits the wall-time [seconds] object, making the
+    JSON a pure function of the input and budget spec — the form the
+    extraction server caches and the golden-file tests pin (counters
+    are deterministic; wall times are not). *)

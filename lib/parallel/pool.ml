@@ -1,97 +1,191 @@
 type task = unit -> unit
 
+(* The pool is a FIFO queue of thunks drained by [jobs - 1] worker
+   domains.  Two usage styles share it:
+
+   - {!map_array} (batch work): the caller enqueues helper thunks that
+     drain a chunk cursor and participates itself, exactly as before the
+     queue existed.
+   - {!submit} (service work): independent tasks are queued and their
+     results delivered through futures, so a long-lived process (the
+     extraction server) can park requests on the pool without blocking
+     its accept loop.
+
+   Workers exit only once the pool is stopped AND the queue is empty, so
+   [shutdown] is drain-then-join: work queued before the shutdown still
+   runs to completion. *)
+
 type t = {
   jobs : int;
   mutex : Mutex.t;
-  work_ready : Condition.t;
-  work_done : Condition.t;
-  mutable task : task option;
-  mutable generation : int;
-  mutable active : int;
+  work_ready : Condition.t;  (* queue non-empty, or stopping *)
+  queue : task Queue.t;
+  mutable inflight : int;    (* dequeued and currently executing *)
   mutable stopped : bool;
   mutable domains : unit Domain.t list;
 }
 
-(* Each worker parks on [work_ready] until the generation counter moves,
-   runs the shared task closure to exhaustion (the closure drains the
-   chunk queue internally), then reports back through [active] /
-   [work_done].  The task slot is cleared only after every worker has
-   reported, so a late-waking worker always finds the closure it was
-   woken for. *)
-let rec worker_loop pool last_gen =
+let rec worker_loop pool =
   Mutex.lock pool.mutex;
-  while pool.generation = last_gen && not pool.stopped do
+  while Queue.is_empty pool.queue && not pool.stopped do
     Condition.wait pool.work_ready pool.mutex
   done;
-  if pool.stopped then Mutex.unlock pool.mutex
+  if Queue.is_empty pool.queue then
+    (* stopped, nothing left to drain *)
+    Mutex.unlock pool.mutex
   else begin
-    let gen = pool.generation in
-    let task = pool.task in
+    let task = Queue.pop pool.queue in
+    pool.inflight <- pool.inflight + 1;
     Mutex.unlock pool.mutex;
-    (match task with Some f -> f () | None -> ());
+    (* Tasks are wrapped at enqueue time and never raise; the handler is
+       a backstop so a buggy thunk cannot kill a worker domain. *)
+    (try task () with _ -> ());
     Mutex.lock pool.mutex;
-    pool.active <- pool.active - 1;
-    if pool.active = 0 then Condition.broadcast pool.work_done;
+    pool.inflight <- pool.inflight - 1;
     Mutex.unlock pool.mutex;
-    worker_loop pool gen
+    worker_loop pool
   end
 
 let create ?jobs () =
   let jobs =
     match jobs with
     | None -> Domain.recommended_domain_count ()
-    | Some j when j >= 1 -> j
-    | Some j -> invalid_arg (Printf.sprintf "Pool.create: jobs %d < 1" j)
+    | Some j -> max 1 j  (* j <= 0 clamps to sequential, never raises *)
   in
   let pool =
     { jobs;
       mutex = Mutex.create ();
       work_ready = Condition.create ();
-      work_done = Condition.create ();
-      task = None;
-      generation = 0;
-      active = 0;
+      queue = Queue.create ();
+      inflight = 0;
       stopped = false;
       domains = [] }
   in
   pool.domains <-
-    List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool 0));
+    List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
   pool
 
 let jobs pool = pool.jobs
 
+let queue_depth pool =
+  Mutex.lock pool.mutex;
+  let n = Queue.length pool.queue in
+  Mutex.unlock pool.mutex;
+  n
+
+let inflight pool =
+  Mutex.lock pool.mutex;
+  let n = pool.inflight in
+  Mutex.unlock pool.mutex;
+  n
+
 let shutdown pool =
   Mutex.lock pool.mutex;
-  if not pool.stopped then begin
+  let already = pool.stopped in
+  if not already then begin
     pool.stopped <- true;
     Condition.broadcast pool.work_ready
   end;
   Mutex.unlock pool.mutex;
+  if not already && pool.domains = [] then begin
+    (* Sequential pool: no workers will drain the queue, so the caller
+       does.  ({!submit} runs inline on sequential pools, so the queue
+       is normally empty here; this is a backstop for tasks enqueued by
+       a concurrent caller racing the shutdown.) *)
+    let rec drain () =
+      Mutex.lock pool.mutex;
+      let next = Queue.take_opt pool.queue in
+      Mutex.unlock pool.mutex;
+      match next with
+      | None -> ()
+      | Some task ->
+        (try task () with _ -> ());
+        drain ()
+    in
+    drain ()
+  end;
   List.iter Domain.join pool.domains;
   pool.domains <- []
 
-(* Run [f] on every worker (the calling domain participates) and wait
-   until all have returned. *)
-let run_task pool f =
-  if pool.stopped then invalid_arg "Pool: used after shutdown";
-  if pool.jobs = 1 then f ()
-  else begin
-    Mutex.lock pool.mutex;
-    pool.task <- Some f;
-    pool.generation <- pool.generation + 1;
-    pool.active <- pool.jobs - 1;
-    Condition.broadcast pool.work_ready;
+(* ------------------------------------------------------------------ *)
+(* Futures                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type 'a state =
+  | Pending
+  | Resolved of 'a
+  | Faulted of exn * Printexc.raw_backtrace
+
+type 'a future = {
+  f_mutex : Mutex.t;
+  f_cond : Condition.t;
+  mutable f_state : 'a state;
+}
+
+let fulfil fut state =
+  Mutex.lock fut.f_mutex;
+  fut.f_state <- state;
+  Condition.broadcast fut.f_cond;
+  Mutex.unlock fut.f_mutex
+
+let submit pool f =
+  let fut =
+    { f_mutex = Mutex.create ();
+      f_cond = Condition.create ();
+      f_state = Pending }
+  in
+  let task () =
+    match f () with
+    | v -> fulfil fut (Resolved v)
+    | exception e -> fulfil fut (Faulted (e, Printexc.get_raw_backtrace ()))
+  in
+  Mutex.lock pool.mutex;
+  if pool.stopped then begin
     Mutex.unlock pool.mutex;
-    f ();
-    Mutex.lock pool.mutex;
-    while pool.active > 0 do
-      Condition.wait pool.work_done pool.mutex
-    done;
-    pool.task <- None;
-    Mutex.unlock pool.mutex
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  if pool.domains = [] then begin
+    (* Sequential pool: run now, on the submitting thread.  The future
+       is already fulfilled when it is returned. *)
+    Mutex.unlock pool.mutex;
+    task ();
+    fut
+  end
+  else begin
+    Queue.push task pool.queue;
+    Condition.signal pool.work_ready;
+    Mutex.unlock pool.mutex;
+    fut
   end
 
+let await fut =
+  Mutex.lock fut.f_mutex;
+  let rec wait () =
+    match fut.f_state with
+    | Pending ->
+      Condition.wait fut.f_cond fut.f_mutex;
+      wait ()
+    | Resolved v ->
+      Mutex.unlock fut.f_mutex;
+      v
+    | Faulted (e, bt) ->
+      Mutex.unlock fut.f_mutex;
+      Printexc.raise_with_backtrace e bt
+  in
+  wait ()
+
+let is_done fut =
+  Mutex.lock fut.f_mutex;
+  let done_ = match fut.f_state with Pending -> false | _ -> true in
+  Mutex.unlock fut.f_mutex;
+  done_
+
+(* ------------------------------------------------------------------ *)
+(* Batch mapping                                                      *)
+(* ------------------------------------------------------------------ *)
+
 let map_array pool f input =
+  if pool.stopped then invalid_arg "Pool: used after shutdown";
   let n = Array.length input in
   if n = 0 then [||]
   else begin
@@ -100,8 +194,7 @@ let map_array pool f input =
     let error = Atomic.make None in
     (* Chunked queue, no stealing: workers claim fixed-size index ranges
        off a single atomic cursor.  Results land at their input index,
-       so the output order is deterministic regardless of completion
-       order. *)
+       so the output order is deterministic regardless of parallelism. *)
     let chunk = max 1 (n / (pool.jobs * 8)) in
     let work () =
       let rec drain () =
@@ -120,7 +213,18 @@ let map_array pool f input =
       in
       drain ()
     in
-    run_task pool work;
+    if pool.domains = [] then work ()
+    else begin
+      (* Enqueue one helper per worker; the caller participates too, so
+         the map makes progress even while the queue is busy with
+         submitted tasks.  Helpers that arrive after the cursor is
+         exhausted return immediately. *)
+      let helpers =
+        List.init (min (pool.jobs - 1) n) (fun _ -> submit pool work)
+      in
+      work ();
+      List.iter (fun fut -> await fut) helpers
+    end;
     (match Atomic.get error with
      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
      | None -> ());

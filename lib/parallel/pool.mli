@@ -1,40 +1,84 @@
-(** A fixed pool of OCaml 5 domains for data-parallel batch work.
+(** A fixed pool of OCaml 5 domains for parallel work.
 
-    The pool is created once and reused across calls: spawning a domain
-    costs milliseconds, so per-call spawning would dominate the
-    per-interface parse times the batch extractor actually sees.  Work
-    is distributed as fixed-size index chunks claimed from a single
-    atomic cursor — no per-item locking, no stealing — which fits the
-    batch workload: many independent items of broadly similar cost.
+    The pool is created once and reused: spawning a domain costs
+    milliseconds, so per-call spawning would dominate the per-interface
+    parse times the extractor actually sees.  Internally the pool is a
+    FIFO queue of thunks drained by [jobs - 1] worker domains, serving
+    two workloads:
 
-    The mapped function runs concurrently on several domains; it must
-    not touch shared mutable state.  (The parser engine allocates all
-    of its state per [parse] call, so parsing and extraction qualify.) *)
+    - {b batch mapping} ({!map_array}): many independent items of
+      broadly similar cost, distributed as fixed-size index chunks
+      claimed from a single atomic cursor — no per-item locking, no
+      stealing.  The calling domain participates as the [jobs]-th
+      worker.
+    - {b task submission} ({!submit}): independent one-off tasks whose
+      results come back through futures ({!await}), so a long-lived
+      process (e.g. the extraction server) can park work on the pool
+      without blocking the thread that produced it.
+
+    The executed function runs concurrently on several domains; it must
+    not touch shared mutable state.  (The parser engine allocates all of
+    its state per [parse] call, so parsing and extraction qualify.) *)
 
 type t
 
 val create : ?jobs:int -> unit -> t
-(** [create ~jobs ()] spawns [jobs - 1] worker domains; the domain
-    calling {!map_array} participates as the [jobs]-th worker.  [jobs]
-    defaults to [Domain.recommended_domain_count ()].  Raises
-    [Invalid_argument] when [jobs < 1]. *)
+(** [create ~jobs ()] spawns [jobs - 1] worker domains.  [jobs]
+    defaults to [Domain.recommended_domain_count ()]; values [<= 1]
+    (including [0]) clamp to [1] — a sequential pool that spawns no
+    domains and never raises. *)
 
 val jobs : t -> int
 (** Parallelism degree, including the calling domain. *)
+
+(** {1 Futures} *)
+
+type 'a future
+(** The pending result of a {!submit}ted task. *)
+
+val submit : t -> (unit -> 'a) -> 'a future
+(** [submit pool f] enqueues [f] for execution on a worker domain and
+    returns a future for its result.  Tasks run in FIFO order.  On a
+    sequential pool ([jobs = 1]) the task runs inline, on the calling
+    thread, before [submit] returns.  Raises [Invalid_argument] after
+    {!shutdown}. *)
+
+val await : 'a future -> 'a
+(** Block until the task completes and return its result.  If the task
+    raised, the exception is re-raised here with its backtrace.  May be
+    called from any thread or domain, any number of times. *)
+
+val is_done : 'a future -> bool
+(** Whether {!await} would return without blocking. *)
+
+val queue_depth : t -> int
+(** Tasks enqueued and not yet started — the backlog an extraction
+    server reports as its queue-depth gauge. *)
+
+val inflight : t -> int
+(** Tasks currently executing on worker domains. *)
+
+(** {1 Batch mapping} *)
 
 val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 (** [map_array pool f input] applies [f] to every element on the pool
     and returns the results in input order (gathered by index, not by
     completion).  If some application raises, the first exception
     observed is re-raised in the caller after all workers have
-    drained. *)
+    drained.  The call shares the pool's queue with {!submit}ted tasks:
+    the caller always participates, so the map progresses even while
+    the queue is busy. *)
 
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 (** {!map_array} over lists. *)
 
 val shutdown : t -> unit
-(** Stop and join the worker domains.  Idempotent; the pool must not be
-    used afterwards. *)
+(** Drain then join: no new work is accepted (later {!submit} or
+    {!map_array} raise [Invalid_argument]), but every task already
+    queued still runs, and the worker domains are joined only once the
+    queue is empty and in-flight tasks have finished.  Futures for
+    queued tasks are therefore always eventually fulfilled.
+    Idempotent. *)
 
 val run : ?jobs:int -> (t -> 'a) -> 'a
 (** [run f] = create a pool, apply [f], and shut the pool down even on

@@ -1,0 +1,252 @@
+type config = {
+  max_bytes : int;
+  ttl_s : float;
+  shards : int;
+}
+
+let default_config = { max_bytes = 64 * 1024 * 1024; ttl_s = 0.; shards = 8 }
+
+type key = {
+  k_hash : int64;
+  k_len : int;    (* normalized-HTML length: a cheap collision guard *)
+  k_spec : string;
+}
+
+(* Doubly-linked LRU node; [prev] points toward the most recent end. *)
+type node = {
+  n_key : key;
+  mutable n_value : string;
+  mutable n_size : int;
+  mutable n_expires : float;  (* absolute clock value; infinity = never *)
+  mutable n_prev : node option;
+  mutable n_next : node option;
+}
+
+type shard = {
+  mutex : Mutex.t;
+  table : (key, node) Hashtbl.t;
+  mutable head : node option;  (* most recently used *)
+  mutable tail : node option;  (* least recently used *)
+  mutable bytes : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable expirations : int;
+  mutable insertions : int;
+}
+
+type t = {
+  config : config;
+  clock : unit -> float;
+  shard_bytes : int;
+  shards : shard array;
+}
+
+let create ?(clock = Wqi_budget.Budget.now_s) (config : config) =
+  let n = max 1 config.shards in
+  let config = { config with shards = n } in
+  { config;
+    clock;
+    shard_bytes = max 1 (config.max_bytes / n);
+    shards =
+      Array.init n (fun _ ->
+          { mutex = Mutex.create ();
+            table = Hashtbl.create 64;
+            head = None;
+            tail = None;
+            bytes = 0;
+            hits = 0;
+            misses = 0;
+            evictions = 0;
+            expirations = 0;
+            insertions = 0 }) }
+
+(* ------------------------------------------------------------------ *)
+(* Keys                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv1a_fold h s =
+  let h = ref h in
+  String.iter
+    (fun c ->
+       h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    s;
+  !h
+
+let fingerprint s = fnv1a_fold fnv_offset s
+
+let is_space = function ' ' | '\t' | '\n' | '\r' | '\012' -> true | _ -> false
+
+let normalize html =
+  let n = String.length html in
+  let lo = ref 0 in
+  while !lo < n && is_space html.[!lo] do incr lo done;
+  let hi = ref (n - 1) in
+  while !hi >= !lo && is_space html.[!hi] do decr hi done;
+  if !lo > !hi then ""
+  else begin
+    let b = Buffer.create (!hi - !lo + 1) in
+    let i = ref !lo in
+    while !i <= !hi do
+      (match html.[!i] with
+       | '\r' ->
+         Buffer.add_char b '\n';
+         if !i + 1 <= !hi && html.[!i + 1] = '\n' then incr i
+       | c -> Buffer.add_char b c);
+      incr i
+    done;
+    Buffer.contents b
+  end
+
+let key ~html ~spec =
+  let normalized = normalize html in
+  (* Chain the spec into the same hash stream, separated by a byte that
+     cannot occur in either part's role, so ("ab","c") and ("a","bc")
+     fingerprint differently. *)
+  let h = fnv1a_fold (fnv1a_fold fnv_offset spec) "\x00" in
+  { k_hash = fnv1a_fold h normalized;
+    k_len = String.length normalized;
+    k_spec = spec }
+
+let shard_of t k =
+  (* The low bits select the shard; FNV mixes well enough for that. *)
+  t.shards.(Int64.to_int k.k_hash land max_int mod t.config.shards)
+
+(* ------------------------------------------------------------------ *)
+(* Intrusive LRU list (shard mutex held)                              *)
+(* ------------------------------------------------------------------ *)
+
+let unlink sh node =
+  (match node.n_prev with
+   | Some p -> p.n_next <- node.n_next
+   | None -> sh.head <- node.n_next);
+  (match node.n_next with
+   | Some nx -> nx.n_prev <- node.n_prev
+   | None -> sh.tail <- node.n_prev);
+  node.n_prev <- None;
+  node.n_next <- None
+
+let push_front sh node =
+  node.n_prev <- None;
+  node.n_next <- sh.head;
+  (match sh.head with
+   | Some h -> h.n_prev <- Some node
+   | None -> sh.tail <- Some node);
+  sh.head <- Some node
+
+let remove sh node =
+  unlink sh node;
+  Hashtbl.remove sh.table node.n_key;
+  sh.bytes <- sh.bytes - node.n_size
+
+let entry_size value = String.length value + 64 (* node + table slack *)
+
+(* ------------------------------------------------------------------ *)
+(* Lookup and insertion                                               *)
+(* ------------------------------------------------------------------ *)
+
+let find t k =
+  let sh = shard_of t k in
+  Mutex.lock sh.mutex;
+  let result =
+    match Hashtbl.find_opt sh.table k with
+    | None ->
+      sh.misses <- sh.misses + 1;
+      None
+    | Some node ->
+      if node.n_expires <= t.clock () then begin
+        remove sh node;
+        sh.expirations <- sh.expirations + 1;
+        sh.misses <- sh.misses + 1;
+        None
+      end
+      else begin
+        unlink sh node;
+        push_front sh node;
+        sh.hits <- sh.hits + 1;
+        Some node.n_value
+      end
+  in
+  Mutex.unlock sh.mutex;
+  result
+
+let add t k value =
+  let size = entry_size value in
+  if size <= t.shard_bytes then begin
+    let sh = shard_of t k in
+    let expires =
+      if t.config.ttl_s > 0. then t.clock () +. t.config.ttl_s else infinity
+    in
+    Mutex.lock sh.mutex;
+    (match Hashtbl.find_opt sh.table k with
+     | Some node ->
+       sh.bytes <- sh.bytes - node.n_size + size;
+       node.n_value <- value;
+       node.n_size <- size;
+       node.n_expires <- expires;
+       unlink sh node;
+       push_front sh node
+     | None ->
+       let node =
+         { n_key = k;
+           n_value = value;
+           n_size = size;
+           n_expires = expires;
+           n_prev = None;
+           n_next = None }
+       in
+       Hashtbl.replace sh.table k node;
+       push_front sh node;
+       sh.bytes <- sh.bytes + size;
+       sh.insertions <- sh.insertions + 1);
+    while sh.bytes > t.shard_bytes do
+      match sh.tail with
+      | None -> sh.bytes <- 0 (* unreachable: bytes > 0 implies a tail *)
+      | Some lru ->
+        remove sh lru;
+        sh.evictions <- sh.evictions + 1
+    done;
+    Mutex.unlock sh.mutex
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  expirations : int;
+  insertions : int;
+  entries : int;
+  bytes : int;
+  capacity : int;
+}
+
+let stats t =
+  Array.fold_left
+    (fun acc sh ->
+       Mutex.lock sh.mutex;
+       let acc =
+         { acc with
+           hits = acc.hits + sh.hits;
+           misses = acc.misses + sh.misses;
+           evictions = acc.evictions + sh.evictions;
+           expirations = acc.expirations + sh.expirations;
+           insertions = acc.insertions + sh.insertions;
+           entries = acc.entries + Hashtbl.length sh.table;
+           bytes = acc.bytes + sh.bytes }
+       in
+       Mutex.unlock sh.mutex;
+       acc)
+    { hits = 0; misses = 0; evictions = 0; expirations = 0; insertions = 0;
+      entries = 0; bytes = 0; capacity = t.config.max_bytes }
+    t.shards
+
+let hit_ratio s =
+  let total = s.hits + s.misses in
+  if total = 0 then 0. else float_of_int s.hits /. float_of_int total

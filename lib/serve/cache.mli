@@ -1,0 +1,79 @@
+(** Content-addressed result cache for the extraction server.
+
+    Identical forms recur constantly in a crawl — the same search box
+    is embedded on every page of a site — so the server memoizes
+    serialized extractions keyed by what actually determines the
+    answer: the (normalized) HTML content and the budget spec in
+    force.  Keys are FNV-1a/64 fingerprints guarded by the normalized
+    length and the spec string, so a lookup never touches the original
+    markup.
+
+    The cache is sharded: each shard holds an LRU list and a hash
+    table behind its own mutex, so concurrent handler threads on
+    different shards never contend.  Shards are bounded by bytes (the
+    serialized values dominate), not entry count, and entries can
+    carry a TTL so a long-lived daemon eventually re-extracts content
+    whose grammar or code may have changed under it.
+
+    The cache is a plain memoizer with no single-flight machinery: two
+    concurrent misses on the same key both compute and the second
+    {!add} wins.  That is deliberate — extractions are pure, so the
+    duplicate work is bounded and harmless. *)
+
+type config = {
+  max_bytes : int;  (** total byte bound across all shards *)
+  ttl_s : float;    (** entry lifetime in seconds; [<= 0.] = no expiry *)
+  shards : int;     (** clamped to [>= 1] *)
+}
+
+val default_config : config
+(** 64 MiB, no TTL, 8 shards. *)
+
+type t
+
+val create : ?clock:(unit -> float) -> config -> t
+(** [clock] (for TTL arithmetic) defaults to the monotonic
+    [Wqi_budget.Budget.now_s]; tests inject a fake clock to exercise
+    expiry deterministically. *)
+
+type key
+
+val fingerprint : string -> int64
+(** The raw FNV-1a/64 hash (offset basis 0xcbf29ce484222325, prime
+    0x100000001b3), exposed for tests. *)
+
+val normalize : string -> string
+(** Line-ending and outer-whitespace normalization applied to HTML
+    before hashing: CRLF and lone CR become LF, leading and trailing
+    ASCII whitespace is dropped.  Deliberately conservative — it only
+    merges representations that tokenize identically. *)
+
+val key : html:string -> spec:string -> key
+(** [key ~html ~spec] fingerprints [normalize html] together with
+    [spec] — the caller's rendering of everything else that shapes the
+    response (budget caps, source name, format version). *)
+
+val find : t -> key -> string option
+(** A hit refreshes the entry's LRU position.  Expired entries are
+    removed on the way and count as misses (and as expirations). *)
+
+val add : t -> key -> string -> unit
+(** Insert or replace, evicting least-recently-used entries of the
+    shard until the value fits.  Values larger than a whole shard are
+    not stored. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;     (** entries dropped to make room *)
+  expirations : int;   (** entries dropped because their TTL passed *)
+  insertions : int;
+  entries : int;       (** current entry count, all shards *)
+  bytes : int;         (** current value bytes, all shards *)
+  capacity : int;      (** configured [max_bytes] *)
+}
+
+val stats : t -> stats
+
+val hit_ratio : stats -> float
+(** [hits / (hits + misses)]; [0.] before any lookup. *)

@@ -1,0 +1,437 @@
+module Pool = Wqi_parallel.Pool
+module Extractor = Wqi_core.Extractor
+module Budget = Wqi_budget.Budget
+module Export = Wqi_model.Export
+
+type config = {
+  host : string;
+  port : int;
+  jobs : int option;
+  max_inflight : int;
+  max_body : int;
+  cache : Cache.config option;
+  extractor : Extractor.Config.t;
+  cap_budget : Budget.t;
+  idle_timeout_s : float;
+}
+
+let default_config =
+  { host = "127.0.0.1";
+    port = 8080;
+    jobs = None;
+    max_inflight = 4 * Domain.recommended_domain_count ();
+    max_body = 4 * 1024 * 1024;
+    cache = Some Cache.default_config;
+    extractor = Extractor.Config.default;
+    cap_budget = Budget.unlimited;
+    idle_timeout_s = 5. }
+
+type t = {
+  config : config;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  pool : Pool.t;
+  cache : Cache.t option;
+  telemetry : Telemetry.t;
+  stop_r : Unix.file_descr;  (* self-pipe: wakes the accept loop *)
+  stop_w : Unix.file_descr;
+  draining : bool Atomic.t;
+  mutex : Mutex.t;            (* guards the three fields below *)
+  cond : Condition.t;
+  mutable conns : int;        (* live connection threads *)
+  mutable extract_inflight : int;  (* admitted extractions *)
+  mutable accept_thread : Thread.t option;
+}
+
+let draining t = Atomic.get t.draining
+
+let port t = t.bound_port
+
+(* ------------------------------------------------------------------ *)
+(* Budget-override parsing                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Effective per-request budget: the request parameter if present,
+   otherwise the server default — in both cases never looser than the
+   server's cap for that field (an absent parameter cannot escape a
+   cap either). *)
+let merge_field ~request ~dflt ~cap =
+  let chosen = match request with Some _ -> request | None -> dflt in
+  match cap with
+  | None -> chosen
+  | Some c ->
+    (match chosen with
+     | Some v -> Some (min (max v 0) c)
+     | None -> Some c)
+
+let budget_of_query config req =
+  let bad = ref None in
+  let param name =
+    match Http.query_param req name with
+    | None -> None
+    | Some raw ->
+      (match int_of_string_opt raw with
+       | Some v -> Some (max v 0)
+       | None ->
+         bad := Some (Printf.sprintf "%s: expected an integer, got %S" name raw);
+         None)
+  in
+  let deadline_ms = param "deadline_ms" in
+  let max_html_nodes = param "max_html_nodes" in
+  let max_boxes = param "max_boxes" in
+  let max_tokens = param "max_tokens" in
+  let max_instances = param "max_instances" in
+  let max_rounds = param "max_rounds" in
+  match !bad with
+  | Some msg -> Error msg
+  | None ->
+    let dflt = config.extractor.Extractor.Config.budget in
+    let cap = config.cap_budget in
+    Ok
+      { Budget.deadline_ms =
+          merge_field ~request:deadline_ms ~dflt:dflt.Budget.deadline_ms
+            ~cap:cap.Budget.deadline_ms;
+        max_html_nodes =
+          merge_field ~request:max_html_nodes ~dflt:dflt.Budget.max_html_nodes
+            ~cap:cap.Budget.max_html_nodes;
+        max_boxes =
+          merge_field ~request:max_boxes ~dflt:dflt.Budget.max_boxes
+            ~cap:cap.Budget.max_boxes;
+        max_tokens =
+          merge_field ~request:max_tokens ~dflt:dflt.Budget.max_tokens
+            ~cap:cap.Budget.max_tokens;
+        max_instances =
+          merge_field ~request:max_instances ~dflt:dflt.Budget.max_instances
+            ~cap:cap.Budget.max_instances;
+        max_rounds =
+          merge_field ~request:max_rounds ~dflt:dflt.Budget.max_rounds
+            ~cap:cap.Budget.max_rounds }
+
+(* ------------------------------------------------------------------ *)
+(* Request handling                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let json_error msg =
+  Export.obj [ ("error", Export.string msg) ]
+
+let respond fd ~status ?headers ?content_type body =
+  try Http.write_response fd ~status ?headers ?content_type body
+  with Unix.Unix_error _ -> ()  (* peer went away; nothing to salvage *)
+
+let observe t ~code ?outcome ?cache_hit ?stats t0 =
+  Telemetry.observe_request t.telemetry ~code ?outcome ?cache_hit ?stats
+    ~seconds:(Budget.now_s () -. t0) ()
+
+let outcome_tag = function
+  | Budget.Complete -> `Complete
+  | Budget.Degraded _ -> `Degraded
+  | Budget.Failed _ -> `Failed
+
+let outcome_name = function
+  | `Complete -> "complete"
+  | `Degraded -> "degraded"
+  | `Failed -> "failed"
+
+(* Cached values carry their outcome in a one-byte prefix so a hit can
+   report the original outcome without re-parsing the JSON. *)
+let encode_cached outcome body =
+  (match outcome with `Complete -> "C" | `Degraded -> "D" | `Failed -> assert false)
+  ^ body
+
+let decode_cached s =
+  if s = "" then (`Complete, s)
+  else
+    match s.[0] with
+    | 'D' -> (`Degraded, String.sub s 1 (String.length s - 1))
+    | _ -> (`Complete, String.sub s 1 (String.length s - 1))
+
+let admit t =
+  Mutex.lock t.mutex;
+  let admitted = t.extract_inflight < t.config.max_inflight in
+  if admitted then t.extract_inflight <- t.extract_inflight + 1;
+  Mutex.unlock t.mutex;
+  admitted
+
+let release t =
+  Mutex.lock t.mutex;
+  t.extract_inflight <- t.extract_inflight - 1;
+  Mutex.unlock t.mutex
+
+let handle_extract t fd req t0 =
+  match budget_of_query t.config req with
+  | Error msg ->
+    respond fd ~status:400 (json_error msg);
+    observe t ~code:400 t0
+  | Ok budget ->
+    let name =
+      match Http.query_param req "name" with
+      | Some n when n <> "" -> n
+      | _ -> "request"
+    in
+    let spec =
+      Printf.sprintf "v%d|name=%s|budget=%s" Export.extraction_version name
+        (Export.budget budget)
+    in
+    let ckey =
+      Option.map (fun _ -> Cache.key ~html:req.Http.body ~spec) t.cache
+    in
+    let cached =
+      match (t.cache, ckey) with
+      | Some cache, Some k -> Cache.find cache k
+      | _ -> None
+    in
+    (match cached with
+     | Some stored ->
+       let outcome, body = decode_cached stored in
+       respond fd ~status:200
+         ~headers:
+           [ ("x-wqi-outcome", outcome_name outcome);
+             ("x-wqi-cache", "hit") ]
+         body;
+       observe t ~code:200 ~outcome ~cache_hit:true t0
+     | None ->
+       if not (admit t) then begin
+         Telemetry.shed t.telemetry;
+         respond fd ~status:503
+           ~headers:[ ("retry-after", "1") ]
+           (json_error "server at capacity; retry shortly");
+         observe t ~code:503 t0
+       end
+       else
+         Fun.protect ~finally:(fun () -> release t) @@ fun () ->
+         let config =
+           Extractor.Config.with_budget budget t.config.extractor
+         in
+         let fut =
+           Pool.submit t.pool (fun () ->
+               Extractor.run config (Extractor.Html req.Http.body))
+         in
+         let e = Pool.await fut in
+         let body = Extractor.export ~timings:false ~name e in
+         let tag = outcome_tag e.Extractor.outcome in
+         let status = match tag with `Failed -> 500 | _ -> 200 in
+         (match (t.cache, ckey, tag) with
+          | Some cache, Some k, (`Complete | `Degraded) ->
+            Cache.add cache k (encode_cached tag body)
+          | _ -> ());
+         respond fd ~status
+           ~headers:
+             [ ("x-wqi-outcome", outcome_name tag);
+               ("x-wqi-cache",
+                if Option.is_none t.cache then "off" else "miss") ]
+           body;
+         observe t ~code:status ~outcome:tag
+           ~stats:e.Extractor.diagnostics.Extractor.parse_stats t0)
+
+let metrics_body t =
+  let cache_series =
+    match t.cache with
+    | None -> []
+    | Some cache ->
+      let s = Cache.stats cache in
+      [ ("wqi_cache_hits_total", "Result-cache hits.", `Counter,
+         float_of_int s.Cache.hits);
+        ("wqi_cache_misses_total", "Result-cache misses.", `Counter,
+         float_of_int s.Cache.misses);
+        ("wqi_cache_evictions_total",
+         "Entries evicted to respect the byte bound.", `Counter,
+         float_of_int s.Cache.evictions);
+        ("wqi_cache_expirations_total", "Entries dropped by TTL.", `Counter,
+         float_of_int s.Cache.expirations);
+        ("wqi_cache_entries", "Resident cache entries.", `Gauge,
+         float_of_int s.Cache.entries);
+        ("wqi_cache_bytes", "Resident cache bytes.", `Gauge,
+         float_of_int s.Cache.bytes);
+        ("wqi_cache_hit_ratio", "hits / (hits + misses).", `Gauge,
+         Cache.hit_ratio s) ]
+  in
+  Mutex.lock t.mutex;
+  let inflight = t.extract_inflight in
+  Mutex.unlock t.mutex;
+  Telemetry.render t.telemetry
+    ~extra:
+      (cache_series
+       @ [ ("wqi_pool_queue_depth", "Tasks queued on the domain pool.",
+            `Gauge, float_of_int (Pool.queue_depth t.pool));
+           ("wqi_pool_inflight", "Tasks executing on the domain pool.",
+            `Gauge, float_of_int (Pool.inflight t.pool));
+           ("wqi_inflight_requests",
+            "Admitted extract requests (queued or running).", `Gauge,
+            float_of_int inflight);
+           ("wqi_pool_jobs", "Worker-pool parallelism.", `Gauge,
+            float_of_int (Pool.jobs t.pool)) ])
+
+(* Returns whether the connection may be kept alive. *)
+let handle_request t fd req =
+  let t0 = Budget.now_s () in
+  (match (req.Http.meth, req.Http.path) with
+   | "GET", "/healthz" ->
+     if draining t then begin
+       respond fd ~status:503 ~content_type:"text/plain" "draining\n";
+       observe t ~code:503 t0
+     end
+     else begin
+       respond fd ~status:200 ~content_type:"text/plain" "ok\n";
+       observe t ~code:200 t0
+     end
+   | "GET", "/metrics" ->
+     respond fd ~status:200
+       ~content_type:"text/plain; version=0.0.4" (metrics_body t);
+     observe t ~code:200 t0
+   | "POST", "/extract" ->
+     if draining t then begin
+       respond fd ~status:503
+         ~headers:[ ("retry-after", "1") ]
+         (json_error "draining");
+       observe t ~code:503 t0
+     end
+     else handle_extract t fd req t0
+   | ("GET" | "HEAD"), "/extract" ->
+     respond fd ~status:405 ~headers:[ ("allow", "POST") ]
+       (json_error "use POST");
+     observe t ~code:405 t0
+   | _ ->
+     respond fd ~status:404 (json_error "not found");
+     observe t ~code:404 t0);
+  req.Http.keep_alive
+
+let conn_finished t =
+  Mutex.lock t.mutex;
+  t.conns <- t.conns - 1;
+  if t.conns = 0 then Condition.broadcast t.cond;
+  Mutex.unlock t.mutex
+
+let handle_conn t fd =
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true
+   with Unix.Unix_error _ -> ());
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.config.idle_timeout_s
+   with Unix.Unix_error _ -> ());
+  let c = Http.conn fd in
+  let rec loop () =
+    if not (draining t) then
+      match Http.read_request c ~max_body:t.config.max_body with
+      | None -> ()
+      | exception Http.Malformed msg ->
+        let t0 = Budget.now_s () in
+        respond fd ~status:400 ~headers:[ ("connection", "close") ]
+          (json_error msg);
+        observe t ~code:400 t0
+      | exception Http.Too_large msg ->
+        let t0 = Budget.now_s () in
+        respond fd ~status:413 ~headers:[ ("connection", "close") ]
+          (json_error msg);
+        observe t ~code:413 t0
+      | exception
+          Unix.Unix_error
+            ((EAGAIN | EWOULDBLOCK | ETIMEDOUT | ECONNRESET | EPIPE), _, _) ->
+        ()  (* idle timeout or peer reset: just close *)
+      | Some req -> if handle_request t fd req then loop ()
+  in
+  (try loop () with _ -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  conn_finished t
+
+(* ------------------------------------------------------------------ *)
+(* Accept loop and lifecycle                                          *)
+(* ------------------------------------------------------------------ *)
+
+let accept_loop t =
+  let rec loop () =
+    if not (draining t) then begin
+      (* The short timeout bounds signal-to-drain latency: a handler
+         set by [run] only executes once some thread re-enters OCaml
+         code, and this select is that thread when the server is
+         idle. *)
+      (match Unix.select [ t.listen_fd; t.stop_r ] [] [] 0.25 with
+       | exception Unix.Unix_error (EINTR, _, _) -> ()
+       | ready, _, _ ->
+         if (not (List.mem t.stop_r ready)) && List.mem t.listen_fd ready
+         then (
+           match Unix.accept ~cloexec:true t.listen_fd with
+           | exception
+               Unix.Unix_error
+                 ((EAGAIN | EWOULDBLOCK | ECONNABORTED | EINTR), _, _) ->
+             ()
+           | fd, _ ->
+             Mutex.lock t.mutex;
+             t.conns <- t.conns + 1;
+             Mutex.unlock t.mutex;
+             ignore (Thread.create (fun () -> handle_conn t fd) ())));
+      loop ()
+    end
+  in
+  loop ()
+
+let start config =
+  let addr =
+    try Unix.inet_addr_of_string config.host
+    with Failure _ ->
+      (try (Unix.gethostbyname config.host).Unix.h_addr_list.(0)
+       with Not_found ->
+         invalid_arg (Printf.sprintf "Serve.start: unknown host %S" config.host))
+  in
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+     Unix.bind listen_fd (Unix.ADDR_INET (addr, config.port));
+     Unix.listen listen_fd 128
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise e);
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> config.port
+  in
+  let stop_r, stop_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock stop_w;
+  let t =
+    { config;
+      listen_fd;
+      bound_port;
+      pool = Pool.create ?jobs:config.jobs ();
+      cache = Option.map (fun c -> Cache.create c) config.cache;
+      telemetry = Telemetry.create ();
+      stop_r;
+      stop_w;
+      draining = Atomic.make false;
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      conns = 0;
+      extract_inflight = 0;
+      accept_thread = None }
+  in
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t
+
+let stop t =
+  if not (Atomic.exchange t.draining true) then
+    (* Wake the accept loop without waiting for its select timeout. *)
+    try ignore (Unix.write_substring t.stop_w "x" 0 1)
+    with Unix.Unix_error _ -> ()
+
+let wait t =
+  (match t.accept_thread with
+   | Some thread -> Thread.join thread
+   | None -> ());
+  t.accept_thread <- None;
+  (* No new connections past this point; wait for the live ones.  They
+     stop at their next request boundary (or their receive timeout). *)
+  Mutex.lock t.mutex;
+  while t.conns > 0 do
+    Condition.wait t.cond t.mutex
+  done;
+  Mutex.unlock t.mutex;
+  Pool.shutdown t.pool;
+  List.iter
+    (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    [ t.listen_fd; t.stop_r; t.stop_w ]
+
+let run ?on_listen config =
+  let t = start config in
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let on_stop_signal _ = stop t in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_stop_signal);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_stop_signal);
+  (match on_listen with Some f -> f t | None -> ());
+  wait t

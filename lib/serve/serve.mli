@@ -1,0 +1,88 @@
+(** The extraction service: a long-lived HTTP/1.1 daemon over the
+    governed extractor.
+
+    One accept loop hands connections to lightweight handler threads;
+    handler threads park extraction work on the shared
+    {!Wqi_parallel.Pool} (worker domains) through [Pool.submit] and
+    block on the future, so the accept loop and in-progress responses
+    never wait behind a parse.  Identical requests are answered from
+    the content-addressed {!Cache}.
+
+    {b Endpoints.}
+    - [POST /extract] — body: raw HTML; optional query parameters
+      [name] (source name in the JSON) and per-request budget
+      overrides [deadline_ms], [max_html_nodes], [max_boxes],
+      [max_tokens], [max_instances], [max_rounds], each clamped by the
+      server's cap budget.  Responds 200 with the version-2 JSON
+      source description ([Complete] and [Degraded] outcomes; see the
+      [x-wqi-outcome] and [x-wqi-cache] headers), 500 with the same
+      envelope for [Failed] extractions, 400 for malformed requests
+      and parameters, 413 for oversized bodies, 503 (with
+      [Retry-After]) when admission control sheds the request.
+    - [GET /healthz] — 200 ["ok"] while serving, 503 ["draining"]
+      during shutdown.
+    - [GET /metrics] — Prometheus text exposition: requests by status,
+      outcomes, latency histogram, cache hit/miss/eviction counters,
+      aggregated parser guard/index counters, pool queue depth and
+      in-flight gauges.
+
+    {b Admission control.} At most [max_inflight] extractions are
+    admitted (queued or running) at once; beyond that, misses are
+    refused immediately with 503 + [Retry-After] instead of queueing
+    without bound.  Cache hits bypass admission — they cost
+    microseconds and keep a saturated server useful.
+
+    {b Shutdown.} {!stop} (wired to SIGTERM/SIGINT by {!run}) stops
+    accepting, lets in-flight requests finish, closes idle keep-alive
+    connections, then drains and joins the domain pool. *)
+
+type config = {
+  host : string;
+  port : int;  (** 0 binds an ephemeral port; read it back with {!port} *)
+  jobs : int option;
+      (** worker-pool parallelism; [None] = recommended domain count *)
+  max_inflight : int;
+      (** admission-control bound on concurrently admitted extractions;
+          0 sheds every cache miss (useful for overload tests) *)
+  max_body : int;  (** request-body byte bound (413 beyond it) *)
+  cache : Cache.config option;  (** [None] disables the result cache *)
+  extractor : Wqi_core.Extractor.Config.t;
+      (** base extractor configuration; its budget is the per-request
+          default *)
+  cap_budget : Wqi_budget.Budget.t;
+      (** per-field ceilings for request budget overrides: a request
+          can tighten a cap but never exceed these; unlimited fields
+          are uncapped *)
+  idle_timeout_s : float;
+      (** keep-alive receive timeout; also bounds how long an idle
+          connection can delay a drain *)
+}
+
+val default_config : config
+(** Port 8080 on 127.0.0.1, recommended jobs, [max_inflight] = 4 ×
+    recommended domain count, 4 MiB bodies, default cache config,
+    default extractor config (unlimited budget), no caps, 5 s idle
+    timeout. *)
+
+type t
+
+val start : config -> t
+(** Bind, listen and spawn the accept loop.  Raises [Unix.Unix_error]
+    if the address cannot be bound. *)
+
+val port : t -> int
+(** The actually-bound port (useful with [config.port = 0]). *)
+
+val stop : t -> unit
+(** Initiate a graceful drain.  Safe to call from a signal handler and
+    idempotent; returns immediately — use {!wait} to block until the
+    drain finishes. *)
+
+val wait : t -> unit
+(** Block until the server has fully drained: accept loop exited,
+    connections closed, pool shut down. *)
+
+val run : ?on_listen:(t -> unit) -> config -> unit
+(** [run config] = {!start}, install SIGTERM/SIGINT handlers that
+    {!stop}, ignore SIGPIPE, then {!wait}.  [on_listen] fires once the
+    socket is bound (the CLI prints the address there). *)

@@ -1,0 +1,182 @@
+module Engine = Wqi_parser.Engine
+
+(* Upper bounds (seconds) of the latency histogram, +Inf implied. *)
+let buckets =
+  [| 0.0005; 0.001; 0.0025; 0.005; 0.01; 0.025; 0.05; 0.1; 0.25; 0.5; 1.0;
+     2.5; 5.0 |]
+
+type t = {
+  mutex : Mutex.t;
+  by_code : (int, int ref) Hashtbl.t;
+  mutable complete : int;
+  mutable degraded : int;
+  mutable failed : int;
+  mutable cache_answered : int;
+  mutable shed : int;
+  bucket_counts : int array;  (* non-cumulative; rendered cumulative *)
+  mutable latency_sum : float;
+  mutable latency_count : int;
+  mutable guards_tried : int;
+  mutable guards_admitted : int;
+  mutable index_probes : int;
+  mutable index_pruned : int;
+  mutable instances_created : int;
+  mutable parses : int;
+}
+
+let create () =
+  { mutex = Mutex.create ();
+    by_code = Hashtbl.create 8;
+    complete = 0;
+    degraded = 0;
+    failed = 0;
+    cache_answered = 0;
+    shed = 0;
+    bucket_counts = Array.make (Array.length buckets + 1) 0;
+    latency_sum = 0.;
+    latency_count = 0;
+    guards_tried = 0;
+    guards_admitted = 0;
+    index_probes = 0;
+    index_pruned = 0;
+    instances_created = 0;
+    parses = 0 }
+
+let bucket_index seconds =
+  let rec go i =
+    if i >= Array.length buckets then i
+    else if seconds <= buckets.(i) then i
+    else go (i + 1)
+  in
+  go 0
+
+let observe_request t ~code ?outcome ?(cache_hit = false) ?stats ~seconds () =
+  Mutex.lock t.mutex;
+  (match Hashtbl.find_opt t.by_code code with
+   | Some r -> incr r
+   | None -> Hashtbl.replace t.by_code code (ref 1));
+  (match outcome with
+   | Some `Complete -> t.complete <- t.complete + 1
+   | Some `Degraded -> t.degraded <- t.degraded + 1
+   | Some `Failed -> t.failed <- t.failed + 1
+   | None -> ());
+  if cache_hit then t.cache_answered <- t.cache_answered + 1;
+  (match stats with
+   | Some (s : Engine.stats) ->
+     t.guards_tried <- t.guards_tried + s.Engine.guards_tried;
+     t.guards_admitted <- t.guards_admitted + s.Engine.guards_admitted;
+     t.index_probes <- t.index_probes + s.Engine.index_probes;
+     t.index_pruned <- t.index_pruned + s.Engine.index_pruned;
+     t.instances_created <- t.instances_created + s.Engine.created;
+     t.parses <- t.parses + 1
+   | None -> ());
+  t.bucket_counts.(bucket_index seconds) <-
+    t.bucket_counts.(bucket_index seconds) + 1;
+  t.latency_sum <- t.latency_sum +. seconds;
+  t.latency_count <- t.latency_count + 1;
+  Mutex.unlock t.mutex
+
+let shed t =
+  Mutex.lock t.mutex;
+  t.shed <- t.shed + 1;
+  Mutex.unlock t.mutex
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%g" f
+
+let series b ~name ~help ~kind rows =
+  Printf.bprintf b "# HELP %s %s\n" name help;
+  Printf.bprintf b "# TYPE %s %s\n" name
+    (match kind with `Counter -> "counter" | `Gauge -> "gauge"
+                   | `Histogram -> "histogram");
+  List.iter
+    (fun (labels, value) ->
+       if labels = "" then
+         Printf.bprintf b "%s %s\n" name (float_repr value)
+       else Printf.bprintf b "%s{%s} %s\n" name labels (float_repr value))
+    rows
+
+let render t ~extra =
+  Mutex.lock t.mutex;
+  let codes =
+    Hashtbl.fold (fun code r acc -> (code, !r) :: acc) t.by_code []
+    |> List.sort compare
+  in
+  let outcomes =
+    [ ("complete", t.complete); ("degraded", t.degraded);
+      ("failed", t.failed) ]
+  in
+  let shed = t.shed in
+  let cache_answered = t.cache_answered in
+  let bucket_counts = Array.copy t.bucket_counts in
+  let latency_sum = t.latency_sum in
+  let latency_count = t.latency_count in
+  let engine =
+    [ ("wqi_parse_guards_tried_total", "Production-guard invocations.",
+       t.guards_tried);
+      ("wqi_parse_guards_admitted_total",
+       "Guard invocations that admitted an instance.", t.guards_admitted);
+      ("wqi_parse_index_probes_total",
+       "Spatial-index probes for hinted slots.", t.index_probes);
+      ("wqi_parse_index_pruned_total",
+       "Candidates skipped thanks to index probes.", t.index_pruned);
+      ("wqi_parse_instances_created_total",
+       "Parser instances created, token instances included.",
+       t.instances_created);
+      ("wqi_extractions_total", "Extractions executed (cache misses).",
+       t.parses) ]
+  in
+  Mutex.unlock t.mutex;
+  let b = Buffer.create 2048 in
+  series b ~name:"wqi_requests_total" ~help:"Requests by HTTP status code."
+    ~kind:`Counter
+    (List.map
+       (fun (code, n) ->
+          (Printf.sprintf "code=\"%d\"" code, float_of_int n))
+       codes);
+  series b ~name:"wqi_extract_outcomes_total"
+    ~help:"Extraction responses by outcome." ~kind:`Counter
+    (List.map
+       (fun (name, n) ->
+          (Printf.sprintf "outcome=\"%s\"" name, float_of_int n))
+       outcomes);
+  series b ~name:"wqi_shed_total"
+    ~help:"Requests refused by admission control (503 + Retry-After)."
+    ~kind:`Counter
+    [ ("", float_of_int shed) ];
+  series b ~name:"wqi_cache_answered_total"
+    ~help:"Extract requests answered from the result cache."
+    ~kind:`Counter
+    [ ("", float_of_int cache_answered) ];
+  (* Histogram: cumulative buckets, Prometheus style. *)
+  Printf.bprintf b
+    "# HELP wqi_request_seconds Request latency, read to response.\n";
+  Printf.bprintf b "# TYPE wqi_request_seconds histogram\n";
+  let cumulative = ref 0 in
+  Array.iteri
+    (fun i upper ->
+       cumulative := !cumulative + bucket_counts.(i);
+       Printf.bprintf b "wqi_request_seconds_bucket{le=\"%g\"} %d\n" upper
+         !cumulative)
+    buckets;
+  cumulative := !cumulative + bucket_counts.(Array.length buckets);
+  Printf.bprintf b "wqi_request_seconds_bucket{le=\"+Inf\"} %d\n" !cumulative;
+  Printf.bprintf b "wqi_request_seconds_sum %g\n" latency_sum;
+  Printf.bprintf b "wqi_request_seconds_count %d\n" latency_count;
+  List.iter
+    (fun (name, help, value) ->
+       series b ~name ~help ~kind:`Counter [ ("", float_of_int value) ])
+    engine;
+  List.iter
+    (fun (name, help, kind, value) ->
+       series b ~name ~help
+         ~kind:(match kind with `Counter -> `Counter | `Gauge -> `Gauge)
+         [ ("", value) ])
+    extra;
+  Buffer.contents b

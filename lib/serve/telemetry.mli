@@ -1,0 +1,36 @@
+(** Request-level observability for the extraction server: counters by
+    HTTP status and extraction outcome, a fixed-bucket latency
+    histogram, and aggregated parser guard/index counters, rendered in
+    the Prometheus text exposition format.
+
+    All mutation goes through one mutex — the counters are touched once
+    per request, far from any hot path — so the registry is safe to
+    share across handler threads and worker domains. *)
+
+type t
+
+val create : unit -> t
+
+val observe_request :
+  t ->
+  code:int ->
+  ?outcome:[ `Complete | `Degraded | `Failed ] ->
+  ?cache_hit:bool ->
+  ?stats:Wqi_parser.Engine.stats ->
+  seconds:float ->
+  unit ->
+  unit
+(** Record one finished request: status code, wall time from request
+    read to response ready, and — for requests that ran an extraction —
+    its outcome, whether the cache answered it, and the parser
+    counters. *)
+
+val shed : t -> unit
+(** Record one load-shed request (also counted by [observe_request]
+    under its 503 status; this counter isolates admission-control sheds
+    from other 503s such as draining). *)
+
+val render : t -> extra:(string * string * [ `Counter | `Gauge ] * float) list -> string
+(** The exposition body.  [extra] appends caller-owned series —
+    [(name, help, kind, value)] — used for pool depth, cache totals and
+    inflight gauges whose live values the registry does not own. *)

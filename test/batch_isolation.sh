@@ -8,6 +8,7 @@ set -euo pipefail
 
 batch=$1
 fixtures=$2
+extract=$3
 
 work=$(mktemp -d)
 trap 'rm -rf "$work"' EXIT
@@ -34,3 +35,37 @@ grep -q '"status": "failed"' "$work/poisoned.err"
 grep -q '2 failed' "$work/poisoned.err"
 
 echo "batch isolation ok: stdout identical with poisoned documents"
+
+# SIGPIPE hygiene: a downstream reader that exits early (| head) must
+# not kill the producer — the CLI ignores SIGPIPE, treats the broken
+# pipe as end-of-output, and exits 0 rather than dying with signal 13
+# (exit 141).  Both producers below emit more than the 64 KiB Linux
+# pipe buffer, so they are guaranteed to write into the closed pipe.
+
+# wqi_extract: the wide-form token/tree dump is ~85 KiB.
+set +e
+"$extract" --max-instances 2000 --tokens --trees \
+  "$work/docs/wide_form.html" 2>/dev/null | head -n 5 >/dev/null
+estat=${PIPESTATUS[0]}
+set -e
+if [ "$estat" -ne 0 ]; then
+  echo "wqi_extract | head: producer exited $estat (want 0)" >&2
+  exit 1
+fi
+
+# wqi_batch: 80 copies of a small interface make ~80 KiB of JSONL.
+mkdir "$work/many"
+for i in $(seq -w 1 80); do
+  cp "$fixtures/books.html" "$work/many/books_$i.html"
+done
+set +e
+"$batch" --jobs 4 --max-instances 2000 "$work/many" 2>/dev/null \
+  | head -n 1 >/dev/null
+bstat=${PIPESTATUS[0]}
+set -e
+if [ "$bstat" -ne 0 ]; then
+  echo "wqi_batch | head: producer exited $bstat (want 0)" >&2
+  exit 1
+fi
+
+echo "sigpipe hygiene ok: producers exit 0 into an early-closing reader"

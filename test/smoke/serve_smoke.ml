@@ -1,0 +1,306 @@
+(* End-to-end smoke of the wqi_serve daemon over real sockets, run by
+   the @serve-smoke alias (and dune runtest):
+
+     - /healthz liveness;
+     - /extract: a Complete source, a Degraded (instance-capped)
+       source, a cache hit byte-identical to its miss, a malformed
+       request (400), and method/path errors (405/404);
+     - /metrics exposition (request counters, histogram, pool gauges);
+     - deterministic 503 load-shedding once max_inflight is reached;
+     - SIGTERM graceful drain: the in-flight extraction completes and
+       the process exits 0.
+
+   usage: serve_smoke SERVER_EXE FIXTURES_DIR *)
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+       prerr_endline ("serve_smoke: FAIL: " ^ msg);
+       exit 1)
+    fmt
+
+let note fmt = Printf.ksprintf (fun msg -> prerr_endline ("  " ^ msg)) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(* --- tiny HTTP/1.1 client, one connection per call --- *)
+
+type response = {
+  status : int;
+  headers : (string * string) list;
+  body : string;
+}
+
+let recv_all fd =
+  let b = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read fd chunk 0 4096 with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes b chunk 0 n;
+      go ()
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_response raw =
+  match String.index_opt raw '\n' with
+  | None -> fail "no status line in %S" raw
+  | Some _ ->
+    let headers_end =
+      let rec find i =
+        if i + 3 >= String.length raw then fail "no header terminator"
+        else if String.sub raw i 4 = "\r\n\r\n" then i
+        else find (i + 1)
+      in
+      find 0
+    in
+    let head = String.sub raw 0 headers_end in
+    let body =
+      String.sub raw (headers_end + 4) (String.length raw - headers_end - 4)
+    in
+    (match String.split_on_char '\r' head with
+     | [] -> fail "empty response head"
+     | status_line :: rest ->
+       let status =
+         match String.split_on_char ' ' status_line with
+         | _ :: code :: _ -> (
+             try int_of_string code with _ -> fail "bad status %s" status_line)
+         | _ -> fail "bad status line %S" status_line
+       in
+       let headers =
+         List.filter_map
+           (fun line ->
+              let line =
+                if line <> "" && line.[0] = '\n' then
+                  String.sub line 1 (String.length line - 1)
+                else line
+              in
+              match String.index_opt line ':' with
+              | None -> None
+              | Some i ->
+                Some
+                  ( String.lowercase_ascii (String.sub line 0 i),
+                    String.trim
+                      (String.sub line (i + 1) (String.length line - i - 1))
+                  ))
+           rest
+       in
+       { status; headers; body })
+
+let request port ~meth ~target ?(body = "") () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+       Unix.connect fd
+         (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port));
+       let req =
+         Printf.sprintf
+           "%s %s HTTP/1.1\r\nhost: smoke\r\nconnection: close\r\n\
+            content-length: %d\r\n\r\n%s"
+           meth target (String.length body) body
+       in
+       let sent = ref 0 in
+       while !sent < String.length req do
+         sent :=
+           !sent
+           + Unix.write_substring fd req !sent (String.length req - !sent)
+       done;
+       parse_response (recv_all fd))
+
+let header r name = List.assoc_opt name r.headers
+
+let contains haystack needle =
+  let n = String.length haystack and m = String.length needle in
+  let rec go i = i + m <= n && (String.sub haystack i m = needle || go (i + 1)) in
+  go 0
+
+let metric_value metrics name =
+  (* First sample line starting with `name` followed by a space. *)
+  String.split_on_char '\n' metrics
+  |> List.find_map (fun line ->
+      match String.split_on_char ' ' line with
+      | [ n; v ] when n = name -> float_of_string_opt v
+      | _ -> None)
+
+(* --- server lifecycle --- *)
+
+let spawn server_exe args =
+  let r, w = Unix.pipe () in
+  let argv = Array.of_list (server_exe :: args) in
+  let pid = Unix.create_process server_exe argv Unix.stdin w Unix.stderr in
+  Unix.close w;
+  let ic = Unix.in_channel_of_descr r in
+  let banner = input_line ic in
+  let port =
+    match String.rindex_opt banner ':' with
+    | None -> fail "unparseable banner %S" banner
+    | Some i ->
+      let rest = String.sub banner (i + 1) (String.length banner - i - 1) in
+      (match String.split_on_char ' ' (String.trim rest) with
+       | p :: _ -> (
+           try int_of_string p with _ -> fail "unparseable banner %S" banner)
+       | [] -> fail "unparseable banner %S" banner)
+  in
+  (pid, port, ic)
+
+let () =
+  (match Sys.argv with
+   | [| _; _; _ |] -> ()
+   | _ -> fail "usage: serve_smoke SERVER_EXE FIXTURES_DIR");
+  let server_exe = Sys.argv.(1) and fixtures = Sys.argv.(2) in
+  (* A hung server must fail the alias, not wedge CI. *)
+  ignore (Unix.alarm 120);
+  let books = read_file (Filename.concat fixtures "books.html") in
+  let jobs_html = read_file (Filename.concat fixtures "jobs.html") in
+  let wide = read_file (Filename.concat fixtures "wide_form.html") in
+  let pid, port, _banner_ic =
+    spawn server_exe
+      [ "--port"; "0"; "--jobs"; "2"; "--max-inflight"; "1";
+        "--idle-timeout-s"; "2" ]
+  in
+  note "server pid %d on port %d" pid port;
+
+  (* healthz *)
+  let r = request port ~meth:"GET" ~target:"/healthz" () in
+  if r.status <> 200 || r.body <> "ok\n" then
+    fail "/healthz: %d %S" r.status r.body;
+  note "healthz ok";
+
+  (* complete extraction *)
+  let r = request port ~meth:"POST" ~target:"/extract?name=books" ~body:books () in
+  if r.status <> 200 then fail "/extract books: %d %s" r.status r.body;
+  if header r "x-wqi-outcome" <> Some "complete" then
+    fail "books outcome: %s" (Option.value ~default:"-" (header r "x-wqi-outcome"));
+  if header r "x-wqi-cache" <> Some "miss" then
+    fail "books first request must miss";
+  if not (contains r.body "\"wqi_extraction_version\": 2") then
+    fail "books body is not a v2 export: %s" r.body;
+  let books_body = r.body in
+  note "extract complete ok (%d bytes)" (String.length books_body);
+
+  (* cache hit, byte-identical *)
+  let r = request port ~meth:"POST" ~target:"/extract?name=books" ~body:books () in
+  if r.status <> 200 || header r "x-wqi-cache" <> Some "hit" then
+    fail "books repeat must hit the cache (%d, %s)" r.status
+      (Option.value ~default:"-" (header r "x-wqi-cache"));
+  if r.body <> books_body then fail "cache hit is not byte-identical";
+  note "cache hit ok";
+
+  (* degraded extraction: the wide form under an instance cap *)
+  let r =
+    request port ~meth:"POST"
+      ~target:"/extract?name=wide&max_instances=2000" ~body:wide ()
+  in
+  if r.status <> 200 then fail "/extract wide: %d" r.status;
+  if header r "x-wqi-outcome" <> Some "degraded" then
+    fail "wide outcome: %s" (Option.value ~default:"-" (header r "x-wqi-outcome"));
+  if not (contains r.body "\"status\": \"degraded\"") then
+    fail "wide body does not report degradation";
+  note "extract degraded ok";
+
+  (* malformed budget parameter *)
+  let r =
+    request port ~meth:"POST" ~target:"/extract?deadline_ms=abc" ~body:books ()
+  in
+  if r.status <> 400 then fail "malformed budget: %d (want 400)" r.status;
+  note "malformed request 400 ok";
+
+  (* method/path errors *)
+  let r = request port ~meth:"GET" ~target:"/extract" () in
+  if r.status <> 405 then fail "GET /extract: %d (want 405)" r.status;
+  let r = request port ~meth:"GET" ~target:"/nope" () in
+  if r.status <> 404 then fail "GET /nope: %d (want 404)" r.status;
+
+  (* metrics exposition *)
+  let r = request port ~meth:"GET" ~target:"/metrics" () in
+  if r.status <> 200 then fail "/metrics: %d" r.status;
+  List.iter
+    (fun needle ->
+       if not (contains r.body needle) then
+         fail "/metrics missing %S in:\n%s" needle r.body)
+    [ "wqi_requests_total{code=\"200\"}";
+      "wqi_requests_total{code=\"400\"}";
+      "wqi_extract_outcomes_total{outcome=\"complete\"}";
+      "wqi_extract_outcomes_total{outcome=\"degraded\"}";
+      "wqi_cache_answered_total 1";
+      "wqi_request_seconds_bucket";
+      "wqi_cache_hits_total";
+      "wqi_pool_queue_depth";
+      "wqi_pool_jobs 2" ];
+  note "metrics ok";
+
+  (* Deterministic 503: park a slow extraction (the wide form under a
+     wall-clock deadline; ungoverned it runs for tens of seconds) in
+     the single admission slot, wait until /metrics shows it admitted,
+     then any cache-missing extraction must be shed. *)
+  let slow_done = ref None in
+  let slow =
+    Thread.create
+      (fun () ->
+         slow_done :=
+           Some
+             (request port ~meth:"POST"
+                ~target:"/extract?name=wide&deadline_ms=700" ~body:wide ()))
+      ()
+  in
+  let rec await_inflight tries =
+    if tries = 0 then fail "slow request never became in-flight";
+    let m = request port ~meth:"GET" ~target:"/metrics" () in
+    match metric_value m.body "wqi_inflight_requests" with
+    | Some v when v >= 1. -> ()
+    | _ ->
+      Thread.delay 0.01;
+      await_inflight (tries - 1)
+  in
+  await_inflight 200;
+  let r = request port ~meth:"POST" ~target:"/extract?name=jobs" ~body:jobs_html () in
+  if r.status <> 503 then fail "overload: %d (want 503)" r.status;
+  if header r "retry-after" = None then fail "503 without retry-after";
+  Thread.join slow;
+  (match !slow_done with
+   | Some { status = 200; _ } -> ()
+   | Some r -> fail "slow request: %d (want 200)" r.status
+   | None -> fail "slow request returned nothing");
+  let m = request port ~meth:"GET" ~target:"/metrics" () in
+  (match metric_value m.body "wqi_shed_total" with
+   | Some v when v >= 1. -> ()
+   | v ->
+     fail "wqi_shed_total: %s (want >= 1)"
+       (match v with Some f -> string_of_float f | None -> "absent"));
+  note "deterministic 503 ok";
+
+  (* Graceful drain: park another slow extraction (different deadline,
+     so a different cache key), SIGTERM mid-flight, and require both a
+     complete response and a clean exit. *)
+  let drain_done = ref None in
+  let drain =
+    Thread.create
+      (fun () ->
+         drain_done :=
+           Some
+             (request port ~meth:"POST"
+                ~target:"/extract?name=wide&deadline_ms=701" ~body:wide ()))
+      ()
+  in
+  await_inflight 200;
+  Unix.kill pid Sys.sigterm;
+  Thread.join drain;
+  (match !drain_done with
+   | Some { status = 200; _ } -> ()
+   | Some r -> fail "drained request: %d (want 200)" r.status
+   | None -> fail "drained request returned nothing");
+  (match Unix.waitpid [] pid with
+   | _, Unix.WEXITED 0 -> ()
+   | _, Unix.WEXITED c -> fail "server exited %d (want 0)" c
+   | _, Unix.WSIGNALED s -> fail "server killed by signal %d" s
+   | _, Unix.WSTOPPED s -> fail "server stopped by signal %d" s);
+  note "graceful drain ok (exit 0)";
+  print_endline "serve smoke ok"

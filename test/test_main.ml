@@ -17,4 +17,7 @@ let () =
       ("derive", Test_derive.suite);
       ("formulate", Test_formulate.suite);
       ("fixtures", Test_fixtures.suite);
+      ("export-golden", Test_export_golden.suite);
+      ("serve-cache", Test_serve_cache.suite);
+      ("pool", Test_pool.suite);
       ("properties", Test_props.suite) ]

@@ -1,0 +1,94 @@
+(* The domain pool's task-queue API (lib/parallel/pool.ml): futures,
+   exception propagation, drain-then-join shutdown, the jobs clamp, and
+   map_array determinism alongside submitted tasks. *)
+
+module Pool = Wqi_parallel.Pool
+
+let test_submit_await () =
+  let pool = Pool.create ~jobs:4 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+       let futures =
+         List.init 100 (fun i -> Pool.submit pool (fun () -> i * i))
+       in
+       List.iteri
+         (fun i fut -> Alcotest.(check int) "result" (i * i) (Pool.await fut))
+         futures)
+
+let test_exception_propagates () =
+  let pool = Pool.create ~jobs:2 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+       let fut = Pool.submit pool (fun () -> raise Not_found) in
+       (match Pool.await fut with
+        | _ -> Alcotest.fail "await must re-raise the task's exception"
+        | exception Not_found -> ());
+       (* The pool survives a task failure. *)
+       Alcotest.(check int) "next task" 7
+         (Pool.await (Pool.submit pool (fun () -> 7))))
+
+let test_shutdown_drains () =
+  (* Shutdown must run every queued task before joining, so futures
+     taken before shutdown always fulfil. *)
+  let pool = Pool.create ~jobs:2 () in
+  let ran = Atomic.make 0 in
+  let futures =
+    List.init 64 (fun i ->
+        Pool.submit pool (fun () ->
+            Atomic.incr ran;
+            i))
+  in
+  Pool.shutdown pool;
+  List.iteri
+    (fun i fut -> Alcotest.(check int) "drained result" i (Pool.await fut))
+    futures;
+  Alcotest.(check int) "all tasks ran" 64 (Atomic.get ran)
+
+let test_submit_after_shutdown_raises () =
+  let pool = Pool.create ~jobs:2 () in
+  Pool.shutdown pool;
+  match Pool.submit pool (fun () -> ()) with
+  | _ -> Alcotest.fail "submit after shutdown must raise"
+  | exception Invalid_argument _ -> ()
+
+let test_jobs_clamp () =
+  (* jobs:0 and negative values clamp to a sequential pool instead of
+     raising Invalid_argument from Domain spawning or chunk math. *)
+  List.iter
+    (fun jobs ->
+       let pool = Pool.create ~jobs () in
+       Alcotest.(check int) "clamped" 1 (Pool.jobs pool);
+       let out = Pool.map_array pool (fun x -> x + 1) [| 1; 2; 3 |] in
+       Alcotest.(check (array int)) "map works" [| 2; 3; 4 |] out;
+       Alcotest.(check int) "inline submit" 9
+         (Pool.await (Pool.submit pool (fun () -> 9)));
+       Pool.shutdown pool)
+    [ 0; -3 ]
+
+let test_map_array_deterministic () =
+  let input = Array.init 101 (fun i -> i) in
+  let expected = Array.map (fun x -> (x * 7) mod 31) input in
+  let pool = Pool.create ~jobs:3 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+       for _ = 1 to 5 do
+         let out = Pool.map_array pool (fun x -> (x * 7) mod 31) input in
+         Alcotest.(check (array int)) "input order" expected out
+       done)
+
+let test_shutdown_idempotent () =
+  let pool = Pool.create ~jobs:3 () in
+  Pool.shutdown pool;
+  Pool.shutdown pool
+
+let suite =
+  [ ("submit/await", `Quick, test_submit_await);
+    ("exception propagation", `Quick, test_exception_propagates);
+    ("shutdown drains queued futures", `Quick, test_shutdown_drains);
+    ("submit after shutdown raises", `Quick, test_submit_after_shutdown_raises);
+    ("jobs clamp to sequential", `Quick, test_jobs_clamp);
+    ("map_array deterministic", `Quick, test_map_array_deterministic);
+    ("shutdown idempotent", `Quick, test_shutdown_idempotent) ]

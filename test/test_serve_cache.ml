@@ -1,0 +1,160 @@
+(* The extraction-result cache (lib/serve/cache.ml): a hit must be
+   byte-identical to a fresh extraction, eviction must respect the byte
+   bound in LRU order, and TTL expiry must be driven purely by the
+   injected clock. *)
+
+module Cache = Wqi_serve.Cache
+module Extractor = Wqi_core.Extractor
+module Generator = Wqi_corpus.Generator
+
+let spec = "v2|name=test|budget="
+
+let fresh_export html =
+  Extractor.export ~timings:false ~name:"test"
+    (Extractor.run Extractor.Config.default (Extractor.Html html))
+
+(* The server-level guarantee, checked across 60 corpus interfaces: an
+   answer served from cache is byte-identical to extracting the same
+   markup again.  Simple and Rich complexities, all three core domains,
+   the usual out-of-grammar noise. *)
+let test_hit_is_fresh () =
+  let g = Wqi_corpus.Prng.create 0x5E4EL in
+  let domains = Wqi_corpus.Vocabulary.core_three in
+  let sources =
+    List.init 60 (fun i ->
+        Generator.generate g
+          ~id:(Printf.sprintf "cache-%02d" i)
+          ~domain:(List.nth domains (i mod 3))
+          ~complexity:(if i mod 2 = 0 then `Simple else `Rich)
+          ~oog_prob:0.05 ())
+  in
+  let cache = Cache.create Cache.default_config in
+  List.iter
+    (fun (s : Generator.source) ->
+       let k = Cache.key ~html:s.html ~spec in
+       (match Cache.find cache k with
+        | Some _ -> Alcotest.failf "%s: hit before insertion" s.id
+        | None -> ());
+       Cache.add cache k (fresh_export s.html))
+    sources;
+  List.iter
+    (fun (s : Generator.source) ->
+       let k = Cache.key ~html:s.html ~spec in
+       match Cache.find cache k with
+       | None -> Alcotest.failf "%s: miss after insertion" s.id
+       | Some cached ->
+         Alcotest.(check string)
+           (s.id ^ ": cached = fresh") (fresh_export s.html) cached)
+    sources;
+  let st = Cache.stats cache in
+  Alcotest.(check int) "hits" 60 st.Cache.hits;
+  Alcotest.(check int) "misses" 60 st.Cache.misses;
+  Alcotest.(check int) "insertions" 60 st.Cache.insertions;
+  Alcotest.(check int) "evictions" 0 st.Cache.evictions
+
+let key_of i = Cache.key ~html:(Printf.sprintf "<form>doc %d</form>" i) ~spec
+
+(* Values of 136 bytes cost 200 with the 64-byte node overhead, so a
+   1000-byte single-shard cache holds exactly five. *)
+let value_of i = Printf.sprintf "%0135d\n" i
+
+let test_eviction_lru () =
+  let cache =
+    Cache.create { Cache.max_bytes = 1000; ttl_s = 0.; shards = 1 }
+  in
+  for i = 0 to 9 do
+    Cache.add cache (key_of i) (value_of i)
+  done;
+  let st = Cache.stats cache in
+  Alcotest.(check int) "entries" 5 st.Cache.entries;
+  Alcotest.(check int) "evictions" 5 st.Cache.evictions;
+  if st.Cache.bytes > 1000 then
+    Alcotest.failf "bytes %d over the 1000 bound" st.Cache.bytes;
+  for i = 0 to 4 do
+    match Cache.find cache (key_of i) with
+    | Some _ -> Alcotest.failf "doc %d: oldest entries must be evicted" i
+    | None -> ()
+  done;
+  for i = 5 to 9 do
+    match Cache.find cache (key_of i) with
+    | None -> Alcotest.failf "doc %d: newest entries must survive" i
+    | Some v -> Alcotest.(check string) "value" (value_of i) v
+  done;
+  (* Touching an old entry protects it: re-find 5, insert one more, and
+     the eviction victim must be 6 (now least recent), not 5. *)
+  ignore (Cache.find cache (key_of 5));
+  Cache.add cache (key_of 10) (value_of 10);
+  (match Cache.find cache (key_of 5) with
+   | None -> Alcotest.fail "doc 5 was touched, must survive the eviction"
+   | Some _ -> ());
+  match Cache.find cache (key_of 6) with
+  | Some _ -> Alcotest.fail "doc 6 was least recent, must be evicted"
+  | None -> ()
+
+let test_oversized_value_skipped () =
+  let cache =
+    Cache.create { Cache.max_bytes = 100; ttl_s = 0.; shards = 1 }
+  in
+  Cache.add cache (key_of 0) (String.make 200 'x');
+  (match Cache.find cache (key_of 0) with
+   | Some _ -> Alcotest.fail "value larger than the cache must not be stored"
+   | None -> ());
+  Alcotest.(check int) "insertions" 0 (Cache.stats cache).Cache.insertions
+
+let test_ttl_expiry () =
+  let now = ref 0. in
+  let cache =
+    Cache.create
+      ~clock:(fun () -> !now)
+      { Cache.max_bytes = 10_000; ttl_s = 10.; shards = 1 }
+  in
+  Cache.add cache (key_of 0) "v";
+  now := 5.;
+  (match Cache.find cache (key_of 0) with
+   | None -> Alcotest.fail "entry expired before its TTL"
+   | Some v -> Alcotest.(check string) "value" "v" v);
+  now := 15.;
+  (match Cache.find cache (key_of 0) with
+   | Some _ -> Alcotest.fail "entry must expire 10 s after insertion"
+   | None -> ());
+  let st = Cache.stats cache in
+  Alcotest.(check int) "expirations" 1 st.Cache.expirations;
+  Alcotest.(check int) "entries" 0 st.Cache.entries;
+  Alcotest.(check int) "bytes" 0 st.Cache.bytes;
+  (* Re-inserting restarts the clock. *)
+  Cache.add cache (key_of 0) "v2";
+  now := 20.;
+  match Cache.find cache (key_of 0) with
+  | None -> Alcotest.fail "re-inserted entry expired early"
+  | Some v -> Alcotest.(check string) "value" "v2" v
+
+let test_spec_distinguishes () =
+  let cache = Cache.create Cache.default_config in
+  let html = "<form>same markup</form>" in
+  Cache.add cache (Cache.key ~html ~spec:"budget-a") "a";
+  (match Cache.find cache (Cache.key ~html ~spec:"budget-b") with
+   | Some _ -> Alcotest.fail "different budget spec must not hit"
+   | None -> ());
+  match Cache.find cache (Cache.key ~html ~spec:"budget-a") with
+  | Some v -> Alcotest.(check string) "value" "a" v
+  | None -> Alcotest.fail "same spec must hit"
+
+let test_normalization () =
+  (* Line-ending and outer-whitespace variants of the same markup share
+     a key; interior whitespace still distinguishes. *)
+  let base = Cache.key ~html:"<form>\nA\n</form>" ~spec in
+  let crlf = Cache.key ~html:"<form>\r\nA\r\n</form>" ~spec in
+  let padded = Cache.key ~html:"  <form>\nA\n</form>\n\n" ~spec in
+  let interior = Cache.key ~html:"<form>\n A\n</form>" ~spec in
+  if base <> crlf then Alcotest.fail "CRLF variant must share the key";
+  if base <> padded then Alcotest.fail "padded variant must share the key";
+  if base = interior then
+    Alcotest.fail "interior whitespace must change the key"
+
+let suite =
+  [ ("hit is byte-identical to fresh (60 sources)", `Quick, test_hit_is_fresh);
+    ("eviction under byte bound, LRU order", `Quick, test_eviction_lru);
+    ("oversized value skipped", `Quick, test_oversized_value_skipped);
+    ("ttl expiry via injected clock", `Quick, test_ttl_expiry);
+    ("budget spec distinguishes keys", `Quick, test_spec_distinguishes);
+    ("html normalization", `Quick, test_normalization) ]
