@@ -65,6 +65,8 @@ type batch_result = {
   b_seconds_jobs1 : float;
   b_seconds_jobsn : float;
   b_instances_created : int;
+  b_trace_off_seconds : float;  (* same sweep, tracing explicitly off *)
+  b_trace_on_seconds : float;   (* same sweep, fresh trace per document *)
   b_governed : governed_result;
 }
 
@@ -330,6 +332,30 @@ let batch120 () =
     (seconds_jobs1 /. seconds_jobsn)
     jobs_n;
   note "instances created: %d" created;
+  (* Tracing overhead (schema 4): the identical jobs=1 sweep with the
+     tracer explicitly disabled, then with a fresh per-document trace —
+     the pattern wqi_batch --trace-dir and the server use.  Best of two
+     so one GC major cannot poison the record; the validator gates the
+     disabled sweep at 2% of the baseline above. *)
+  let sweep ~traced =
+    let t0 = Unix.gettimeofday () in
+    Pool.run ~jobs:1 (fun pool ->
+        ignore
+          (Pool.map_array pool
+             (fun tokens ->
+                let trace =
+                  if traced then Some (Wqi_obs.Trace.create ()) else None
+                in
+                Engine.parse ?trace Wqi_stdgrammar.Std.grammar tokens)
+             tokenized));
+    Unix.gettimeofday () -. t0
+  in
+  let best f = min (f ()) (f ()) in
+  let trace_off_seconds = best (fun () -> sweep ~traced:false) in
+  let trace_on_seconds = best (fun () -> sweep ~traced:true) in
+  note "tracing: off %.3f s, on %.3f s (enabled overhead %+.1f%%)"
+    trace_off_seconds trace_on_seconds
+    (100. *. (trace_on_seconds /. trace_off_seconds -. 1.));
   (* Governed pass: the same 120 interfaces through the full pipeline
      (HTML up) under an aggressive per-document budget, to measure what
      resource governance costs and how often it trips on a realistic
@@ -374,6 +400,8 @@ let batch120 () =
         b_seconds_jobs1 = seconds_jobs1;
         b_seconds_jobsn = seconds_jobsn;
         b_instances_created = created;
+        b_trace_off_seconds = trace_off_seconds;
+        b_trace_on_seconds = trace_on_seconds;
         b_governed =
           { g_deadline_ms = deadline_ms;
             g_max_instances = governed_max_instances;
@@ -632,7 +660,7 @@ let write_json file =
   let oc = open_out file in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema_version\": 3,\n";
+  p "  \"schema_version\": 4,\n";
   p "  \"smoke\": %b" !smoke;
   (match !json_perf with
    | None -> ()
@@ -669,6 +697,12 @@ let write_json file =
      p "    \"speedup\": %s,\n"
        (json_float (b.b_seconds_jobs1 /. b.b_seconds_jobsn));
      p "    \"instances_created\": %d,\n" b.b_instances_created;
+     p "    \"trace\": {\n";
+     p "      \"off_seconds\": %s,\n" (json_float b.b_trace_off_seconds);
+     p "      \"on_seconds\": %s,\n" (json_float b.b_trace_on_seconds);
+     p "      \"on_off_ratio\": %s\n"
+       (json_float (b.b_trace_on_seconds /. b.b_trace_off_seconds));
+     p "    },\n";
      let g = b.b_governed in
      p "    \"governed\": {\n";
      p "      \"deadline_ms\": %d,\n" g.g_deadline_ms;

@@ -1,0 +1,32 @@
+(* @obs-smoke driver: extract one deterministic Rich corpus document
+   with tracing enabled and write the Chrome trace JSON to the path in
+   argv, for validate_trace_json to check.  Uses the same PRNG seed as
+   the batch120 harness so the document shape tracks what the perf
+   record measures. *)
+
+module Generator = Wqi_corpus.Generator
+module Trace = Wqi_obs.Trace
+module Extractor = Wqi_core.Extractor
+
+let () =
+  let out =
+    match Sys.argv with
+    | [| _; out |] -> out
+    | _ ->
+      prerr_endline "usage: obs_smoke OUT.json";
+      exit 2
+  in
+  let g = Wqi_corpus.Prng.create 0x120L in
+  let domain = List.hd Wqi_corpus.Vocabulary.core_three in
+  let source =
+    Generator.generate g ~id:"obs-smoke" ~domain ~complexity:`Rich
+      ~oog_prob:0.0 ()
+  in
+  let trace = Trace.create () in
+  ignore
+    (Extractor.run ~trace Extractor.Config.default
+       (Extractor.Html source.Generator.html));
+  let oc = open_out_bin out in
+  output_string oc (Trace.to_chrome_json trace);
+  output_char oc '\n';
+  close_out oc

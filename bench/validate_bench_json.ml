@@ -57,15 +57,34 @@ let check_governed g =
   let failed = num "batch120.governed.failed" (field g "failed") in
   if failed <> 0. then bad "batch120.governed.failed: expected 0, got %g" failed
 
+(* Tracing must be free when off (schema 4): the disabled sweep re-runs
+   the exact jobs=1 loop, so anything beyond 2% over the recorded
+   baseline means a `?trace` branch leaked onto the hot path.  The gate
+   is one-sided — the best-of-two disabled sweep runs warm and is
+   allowed to beat the cold baseline by any margin. *)
+let check_trace ~seconds_jobs1 t =
+  let off = positive "batch120.trace.off_seconds" (field t "off_seconds") in
+  let on = positive "batch120.trace.on_seconds" (field t "on_seconds") in
+  ignore (positive "batch120.trace.on_off_ratio" (field t "on_off_ratio"));
+  if off > 1.02 *. seconds_jobs1 then
+    bad "batch120.trace.off_seconds: %g > 1.02 * seconds_jobs1 %g (disabled \
+         tracing is not free)"
+      off seconds_jobs1;
+  if on < off *. 0.5 then
+    bad "batch120.trace: on_seconds %g implausibly below off_seconds %g" on off
+
 let check_batch b =
   ignore (positive "batch120.interfaces" (field b "interfaces"));
   ignore (positive "batch120.avg_tokens" (field b "avg_tokens"));
   ignore (positive "batch120.cores" (field b "cores"));
   ignore (positive "batch120.jobs" (field b "jobs"));
-  ignore (positive "batch120.seconds_jobs1" (field b "seconds_jobs1"));
+  let seconds_jobs1 =
+    positive "batch120.seconds_jobs1" (field b "seconds_jobs1")
+  in
   ignore (positive "batch120.seconds_jobsN" (field b "seconds_jobsN"));
   ignore (positive "batch120.speedup" (field b "speedup"));
   ignore (positive "batch120.instances_created" (field b "instances_created"));
+  check_trace ~seconds_jobs1 (field b "trace");
   check_governed (field b "governed")
 
 let () =
@@ -79,7 +98,7 @@ let () =
   match
     let j = parse (read_file file) in
     let version = num "schema_version" (field j "schema_version") in
-    if version <> 3. then bad "schema_version: expected 3, got %g" version;
+    if version <> 4. then bad "schema_version: expected 4, got %g" version;
     (match field j "smoke" with
      | Bool _ -> ()
      | _ -> bad "smoke: expected bool");

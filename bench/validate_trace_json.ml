@@ -1,0 +1,62 @@
+(* Validator for Chrome trace-event JSON emitted by Wqi_obs.Trace
+   (wqi_extract --trace, wqi_batch --trace-dir, wqi_serve --trace-dir,
+   obs_smoke).  Checks the structural contract the ISSUE pins down: a
+   non-empty traceEvents array, a complete span for every pipeline stage
+   plus the total, at least one parser.round event, and well-formed
+   timestamps on every event.  Shares Json_min with the bench-record
+   validators. *)
+
+open Json_min
+
+let stage_spans = [ "html"; "layout"; "classify"; "parse"; "merge"; "total" ]
+
+let check_events events =
+  if events = [] then bad "traceEvents: empty";
+  let get name e = field e name in
+  let str_of name e = str ("event." ^ name) (get name e) in
+  List.iteri
+    (fun i e ->
+       let ctx = Printf.sprintf "traceEvents[%d]" i in
+       let ph = str_of "ph" e in
+       if ph <> "X" && ph <> "i" then bad "%s.ph: unexpected %S" ctx ph;
+       if str_of "name" e = "" then bad "%s.name: empty" ctx;
+       ignore (str (ctx ^ ".cat") (get "cat" e));
+       ignore (non_negative (ctx ^ ".ts") (get "ts" e));
+       ignore (num (ctx ^ ".pid") (get "pid" e));
+       ignore (num (ctx ^ ".tid") (get "tid" e));
+       if ph = "X" then ignore (non_negative (ctx ^ ".dur") (get "dur" e)))
+    events;
+  List.iter
+    (fun stage ->
+       let found =
+         List.exists
+           (fun e -> str_of "ph" e = "X" && str_of "name" e = stage)
+           events
+       in
+       if not found then bad "traceEvents: no complete span named %S" stage)
+    stage_spans;
+  if
+    not
+      (List.exists (fun e -> str_of "cat" e = "parser.round") events)
+  then bad "traceEvents: no parser.round event"
+
+let () =
+  let file =
+    match Sys.argv with
+    | [| _; file |] -> file
+    | _ ->
+      prerr_endline "usage: validate_trace_json FILE";
+      exit 2
+  in
+  match
+    let j = parse (read_file file) in
+    (match field j "traceEvents" with
+     | Arr events -> check_events events
+     | _ -> bad "traceEvents: expected array");
+    let unit = str "displayTimeUnit" (field j "displayTimeUnit") in
+    if unit <> "ms" then bad "displayTimeUnit: expected \"ms\", got %S" unit
+  with
+  | () -> Printf.printf "%s: trace ok\n" file
+  | exception Bad msg ->
+    Printf.eprintf "%s: INVALID — %s\n" file msg;
+    exit 1

@@ -17,6 +17,7 @@
 module Pool = Wqi_parallel.Pool
 module Extractor = Wqi_core.Extractor
 module Budget = Wqi_core.Budget
+module Trace = Wqi_obs.Trace
 
 let read_file path =
   let ic = open_in_bin path in
@@ -33,8 +34,13 @@ type doc = {
   d_seconds : float;
 }
 
-let process config dir file =
+let process config ?trace_dir dir file =
   let t0 = Budget.now_s () in
+  (* One trace per document; workers write distinct files, so tracing
+     needs no cross-domain coordination. *)
+  let trace =
+    match trace_dir with None -> None | Some _ -> Some (Trace.create ())
+  in
   let outcome, model =
     match read_file (Filename.concat dir file) with
     | exception e ->
@@ -43,9 +49,21 @@ let process config dir file =
     | html ->
       (* [run] itself never raises — in-pipeline errors come back as a
          [Failed] outcome — so only the file read needs the handler. *)
-      let e = Extractor.run config (Extractor.Html html) in
+      let e = Extractor.run ?trace config (Extractor.Html html) in
       (e.Extractor.outcome, e.Extractor.model)
   in
+  (match (trace, trace_dir) with
+   | Some t, Some tdir ->
+     let path =
+       Filename.concat tdir (Filename.remove_extension file ^ ".trace.json")
+     in
+     let oc = open_out_bin path in
+     Fun.protect
+       ~finally:(fun () -> close_out_noerr oc)
+       (fun () ->
+          output_string oc (Trace.to_chrome_json t);
+          output_char oc '\n')
+   | _ -> ());
   { d_file = file;
     d_outcome = outcome;
     d_model = model;
@@ -64,12 +82,15 @@ let is_broken_pipe msg =
   done;
   !found
 
-let run_guarded dir output jobs deadline_ms max_instances =
+let run_guarded dir output jobs deadline_ms max_instances trace_dir =
   if not (Sys.file_exists dir && Sys.is_directory dir) then begin
     Format.eprintf "%s is not a directory@." dir;
     1
   end
   else begin
+    (match trace_dir with
+     | Some tdir when not (Sys.file_exists tdir) -> Unix.mkdir tdir 0o755
+     | _ -> ());
     let files =
       Sys.readdir dir |> Array.to_list
       |> List.filter (fun f -> Filename.check_suffix f ".html")
@@ -93,7 +114,7 @@ let run_guarded dir output jobs deadline_ms max_instances =
     let t0 = Unix.gettimeofday () in
     let results =
       Pool.run ~jobs (fun pool ->
-          Pool.map_array pool (process config dir) files)
+          Pool.map_array pool (process config ?trace_dir dir) files)
     in
     let wall = Unix.gettimeofday () -. t0 in
     let oc =
@@ -138,9 +159,9 @@ let run_guarded dir output jobs deadline_ms max_instances =
     if files = [||] then 1 else 0
   end
 
-let run dir output jobs deadline_ms max_instances =
+let run dir output jobs deadline_ms max_instances trace_dir =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  try run_guarded dir output jobs deadline_ms max_instances
+  try run_guarded dir output jobs deadline_ms max_instances trace_dir
   with Sys_error msg when is_broken_pipe msg ->
     (* The downstream reader went away mid-stream (e.g. `| head -1`);
        the documents already emitted reached it, so exit clean. *)
@@ -175,10 +196,20 @@ let max_instances =
   let doc = "Per-document cap on parser instances." in
   Arg.(value & opt (some int) None & info [ "max-instances" ] ~docv:"N" ~doc)
 
+let trace_dir =
+  let doc =
+    "Write one Chrome trace-event JSON per document into $(docv) \
+     (created if missing), named after the source file with a \
+     .trace.json suffix."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-dir" ] ~docv:"DIR" ~doc)
+
 let cmd =
   let doc = "extract capabilities from a directory of query interfaces" in
   let term =
-    Term.(const run $ dir $ output $ jobs $ deadline_ms $ max_instances)
+    Term.(
+      const run $ dir $ output $ jobs $ deadline_ms $ max_instances
+      $ trace_dir)
   in
   Cmd.v (Cmd.info "wqi_batch" ~version:"1.0.0" ~doc) term
 

@@ -4,6 +4,7 @@
 
 module Extractor = Wqi_core.Extractor
 module Budget = Wqi_core.Budget
+module Trace = Wqi_obs.Trace
 
 let read_file path =
   let ic = open_in_bin path in
@@ -50,13 +51,31 @@ let is_broken_pipe msg =
   done;
   !found
 
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc s)
+
 let run_guarded input show_tokens show_trees show_stats show_ascii as_json
-    width deadline_ms max_instances =
+    width deadline_ms max_instances trace_file profile =
   let html =
     match input with Some path -> read_file path | None -> read_stdin ()
   in
   let config = config_of width deadline_ms max_instances in
-  let e = Extractor.run config (Extractor.Html html) in
+  let trace =
+    if trace_file <> None || profile then Some (Trace.create ()) else None
+  in
+  let e = Extractor.run ?trace config (Extractor.Html html) in
+  (match (trace, trace_file) with
+   | Some t, Some path ->
+     write_file path (Trace.to_chrome_json t ^ "\n")
+   | _ -> ());
+  (match trace with
+   | Some t when profile ->
+     (* Stderr, so `--json | jq` style pipelines keep a pure stdout. *)
+     prerr_string (Trace.profile t)
+   | _ -> ());
   if as_json then begin
     let name =
       match input with Some path -> Filename.basename path | None -> "stdin"
@@ -100,12 +119,12 @@ let run_guarded input show_tokens show_trees show_stats show_ascii as_json
   if e.model.conditions = [] then 1 else 0
 
 let run input show_tokens show_trees show_stats show_ascii as_json verbose
-    width deadline_ms max_instances =
+    width deadline_ms max_instances trace_file profile =
   setup_logs verbose;
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   try
     run_guarded input show_tokens show_trees show_stats show_ascii as_json
-      width deadline_ms max_instances
+      width deadline_ms max_instances trace_file profile
   with Sys_error msg when is_broken_pipe msg ->
     (* The downstream reader went away mid-output; what was written is
        whatever it asked for.  Drop anything still buffered in the
@@ -167,6 +186,22 @@ let max_instances =
   in
   Arg.(value & opt (some int) None & info [ "max-instances" ] ~docv:"N" ~doc)
 
+let trace_file =
+  let doc =
+    "Write a Chrome trace-event JSON of the extraction to $(docv) \
+     (loadable in Perfetto or chrome://tracing): spans for every \
+     pipeline stage, per-fix-point-round parser events with instance \
+     and guard counters, budget-trip and rollback annotations."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let profile =
+  let doc =
+    "Print a per-stage profile table (calls, total/avg/max milliseconds, \
+     share of total) to stderr after extraction."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
 let cmd =
   let doc = "extract query capabilities from a Web query interface" in
   let man =
@@ -186,7 +221,8 @@ let cmd =
   let term =
     Term.(
       const run $ input $ show_tokens $ show_trees $ show_stats $ show_ascii
-      $ as_json $ verbose $ width $ deadline_ms $ max_instances)
+      $ as_json $ verbose $ width $ deadline_ms $ max_instances $ trace_file
+      $ profile)
   in
   Cmd.v (Cmd.info "wqi_extract" ~version:"1.0.0" ~doc ~man) term
 

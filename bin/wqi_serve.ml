@@ -14,7 +14,7 @@ module Budget = Wqi_core.Budget
 
 let run host port jobs max_inflight max_body cache_bytes cache_ttl_s
     cache_shards deadline_ms max_instances cap_deadline_ms cap_instances
-    idle_timeout_s =
+    idle_timeout_s trace_sample trace_dir slow_ms access_log =
   let budget =
     match (deadline_ms, max_instances) with
     | None, None -> Budget.unlimited
@@ -43,7 +43,11 @@ let run host port jobs max_inflight max_body cache_bytes cache_ttl_s
       cache;
       extractor = Extractor.Config.(default |> with_budget budget);
       cap_budget;
-      idle_timeout_s }
+      idle_timeout_s;
+      trace_sample;
+      trace_dir;
+      slow_ms;
+      access_log }
   in
   match
     Serve.run config ~on_listen:(fun t ->
@@ -140,6 +144,36 @@ let idle_timeout_s =
        & opt float Serve.default_config.Serve.idle_timeout_s
        & info [ "idle-timeout-s" ] ~docv:"SECONDS" ~doc)
 
+let trace_sample =
+  let doc =
+    "Trace every $(docv)-th extract request end to end (requires \
+     $(b,--trace-dir)); 0 disables sampling.  Individual requests can \
+     always opt in with an $(b,x-wqi-trace: 1) header."
+  in
+  Arg.(value & opt int 0 & info [ "trace-sample" ] ~docv:"N" ~doc)
+
+let trace_dir =
+  let doc =
+    "Write Chrome trace-event JSON for traced requests into $(docv) \
+     (created if missing), one file per request named by its trace id."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-dir" ] ~docv:"DIR" ~doc)
+
+let slow_ms =
+  let doc =
+    "Log requests slower than $(docv) milliseconds to stderr, with \
+     their trace id."
+  in
+  Arg.(value & opt (some float) None & info [ "slow-ms" ] ~docv:"MS" ~doc)
+
+let access_log =
+  let doc =
+    "Append a structured (JSONL) access log to $(docv): timestamp, \
+     method, path, status, response bytes, latency, cache disposition, \
+     outcome and trace id per request.  Pass $(b,-) for stderr."
+  in
+  Arg.(value & opt (some string) None & info [ "access-log" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc = "serve query-interface extraction over HTTP" in
   let man =
@@ -165,7 +199,8 @@ let cmd =
     Term.(
       const run $ host $ port $ jobs $ max_inflight $ max_body $ cache_bytes
       $ cache_ttl_s $ cache_shards $ deadline_ms $ max_instances
-      $ cap_deadline_ms $ cap_instances $ idle_timeout_s)
+      $ cap_deadline_ms $ cap_instances $ idle_timeout_s $ trace_sample
+      $ trace_dir $ slow_ms $ access_log)
   in
   Cmd.v (Cmd.info "wqi_serve" ~version:"1.0.0" ~doc ~man) term
 

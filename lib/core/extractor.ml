@@ -4,6 +4,7 @@ module Token = Wqi_token.Token
 module Semantic_model = Wqi_model.Semantic_model
 module Merger = Wqi_model.Merger
 module Budget = Wqi_budget.Budget
+module Trace = Wqi_obs.Trace
 
 module Config = struct
   type t = {
@@ -62,10 +63,33 @@ type extraction = {
   diagnostics : diagnostics;
 }
 
-let time f =
+(* Stage timing plus a pipeline span when traced; the untraced path
+   pays one [None] branch over the pre-tracing stage timer. *)
+let timed trace name f =
   let t0 = Budget.now_s () in
   let v = f () in
-  (v, Budget.now_s () -. t0)
+  let t1 = Budget.now_s () in
+  (match trace with
+   | None -> ()
+   | Some _ -> Trace.span trace ~cat:"pipeline" name ~t0 ~t1);
+  (v, t1 -. t0)
+
+(* Budget trips become instant events on the trace, one per trip, so a
+   degraded extraction shows where in the timeline degradation began. *)
+let trace_trips trace trips =
+  match trace with
+  | None -> ()
+  | Some _ ->
+    List.iter
+      (fun (t : Budget.trip) ->
+         Trace.instant trace ~cat:"pipeline"
+           ~args:
+             [ ("stage", Trace.Str (Budget.stage_name t.Budget.stage));
+               ("reason", Trace.Str (Budget.reason_name t.Budget.reason));
+               ("limit", Trace.Int t.Budget.limit);
+               ("consumed", Trace.Int t.Budget.consumed) ]
+           "budget_trip")
+      trips
 
 let zero_stats =
   { Engine.created = 0; live = 0; pruned = 0; rolled_back = 0; temporary = 0;
@@ -137,19 +161,23 @@ let merge_trees tokens (result : Engine.result) =
   let model = Merger.merge ~all_tokens ~ignorable parses in
   (model, trees)
 
-let run (config : Config.t) input =
+let run ?trace (config : Config.t) input =
   let g = Budget.start config.budget in
   (* An unlimited budget stays entirely off the stage hot paths: every
      gauge check in the pipeline is a [None] no-op, so ungoverned runs
      behave — instance ids included — exactly as before governance
-     existed. *)
+     existed.  The trace is threaded the same way: [None] everywhere
+     costs one branch per stage. *)
   let gauge = if Budget.is_unlimited config.budget then None else Some g in
   let stage = ref Budget.Html in
+  let t_start = Budget.now_s () in
   try
     let doc, html_seconds =
       match input with
       | Html markup ->
-        let d, s = time (fun () -> Wqi_html.Parser.parse ?gauge markup) in
+        let d, s =
+          timed trace "html" (fun () -> Wqi_html.Parser.parse ?gauge ?trace markup)
+        in
         (Some d, s)
       | Document d -> (Some d, 0.)
       | Tokens _ -> (None, 0.)
@@ -158,7 +186,8 @@ let run (config : Config.t) input =
     let atoms, layout_seconds =
       match doc with
       | Some d ->
-        time (fun () -> Wqi_layout.Engine.render ?gauge ~width:config.width d)
+        timed trace "layout" (fun () ->
+            Wqi_layout.Engine.render ?gauge ?trace ~width:config.width d)
       | None -> ([], 0.)
     in
     stage := Budget.Tokenize;
@@ -166,16 +195,18 @@ let run (config : Config.t) input =
       match input with
       | Tokens tokens -> (tokens, 0.)
       | Html _ | Document _ ->
-        time (fun () -> Wqi_token.Tokenize.of_atoms ?gauge atoms)
+        timed trace "classify" (fun () ->
+            Wqi_token.Tokenize.of_atoms ?gauge ?trace atoms)
     in
     stage := Budget.Parse;
     let result, parse_seconds =
-      time (fun () ->
-          Engine.parse ?gauge ~options:config.options config.grammar tokens)
+      timed trace "parse" (fun () ->
+          Engine.parse ?gauge ?trace ~options:config.options config.grammar
+            tokens)
     in
     stage := Budget.Merge;
     let (model, trees), merge_seconds =
-      time (fun () -> merge_trees tokens result)
+      timed trace "merge" (fun () -> merge_trees tokens result)
     in
     let outcome =
       match Budget.trips g with
@@ -191,6 +222,14 @@ let run (config : Config.t) input =
                 consumed = result.Engine.stats.created } ]
         else Budget.Complete
     in
+    (match trace with
+     | None -> ()
+     | Some _ ->
+       (match outcome with
+        | Budget.Degraded trips -> trace_trips trace trips
+        | Budget.Complete | Budget.Failed _ -> ());
+       Trace.span trace ~cat:"pipeline" "total" ~t0:t_start
+         ~t1:(Budget.now_s ()));
     { model;
       tokens;
       trees;
@@ -210,6 +249,16 @@ let run (config : Config.t) input =
           budget = config.budget;
           consumption = consumption_of g } }
   with e ->
+    (match trace with
+     | None -> ()
+     | Some _ ->
+       Trace.instant trace ~cat:"pipeline"
+         ~args:
+           [ ("stage", Trace.Str (Budget.stage_name !stage));
+             ("error", Trace.Str (Printexc.to_string e)) ]
+         "failed";
+       Trace.span trace ~cat:"pipeline" "total" ~t0:t_start
+         ~t1:(Budget.now_s ()));
     { model = Semantic_model.empty;
       tokens = [];
       trees = [];
@@ -221,11 +270,13 @@ let run (config : Config.t) input =
           total_seconds = Budget.elapsed_ms g /. 1000.;
           consumption = consumption_of g } }
 
-let run_forms (config : Config.t) html =
+let run_forms ?trace (config : Config.t) html =
   let module Dom = Wqi_html.Dom in
   let g = Budget.start config.budget in
   let gauge = if Budget.is_unlimited config.budget then None else Some g in
-  let doc = Wqi_html.Parser.parse ?gauge html in
+  let doc, _ =
+    timed trace "html" (fun () -> Wqi_html.Parser.parse ?gauge ?trace html)
+  in
   (* The page-level parse has its own gauge; if it tripped, every form
      extraction below worked on a truncated page and must say so. *)
   let page_trips = Budget.trips g in
@@ -237,14 +288,14 @@ let run_forms (config : Config.t) html =
       { e with outcome = Budget.Degraded (page_trips @ trips) }
   in
   match Dom.find_all (Dom.is_element ~named:"form") doc with
-  | [] -> [ degrade (run config (Document doc)) ]
+  | [] -> [ degrade (run ?trace config (Document doc)) ]
   | forms ->
     List.map
       (fun form ->
          (* Lay out each form as its own page so that unrelated page
             furniture cannot interfere with its spatial structure. *)
          let isolated = Dom.element "html" [ Dom.element "body" [ form ] ] in
-         degrade (run config (Document isolated)))
+         degrade (run ?trace config (Document isolated)))
       forms
 
 let config_of ?grammar ?options ?width () =

@@ -87,14 +87,23 @@ type extraction = {
   diagnostics : diagnostics;
 }
 
-val run : Config.t -> input -> extraction
+val run : ?trace:Wqi_obs.Trace.t -> Config.t -> input -> extraction
 (** [run config input] extracts under [config]'s budget.  Never raises:
     budget trips degrade the extraction ([outcome = Degraded _], with
     the model merged from the partial pipeline output), and any
     unexpected exception is caught and reported as [outcome = Failed _]
-    with an empty model. *)
+    with an empty model.
 
-val run_forms : Config.t -> string -> extraction list
+    [trace] records one span per pipeline stage ([html], [layout],
+    [classify], [parse], [merge]) plus a [total] span, per-stage detail
+    instants from the stages themselves, per-fix-point-round parser
+    spans, and a [budget_trip] instant for every trip of a degraded
+    outcome.  Tracing is observational only: the extraction — and the
+    {!export} bytes — are byte-identical with [trace] absent.  A trace
+    belongs to one extraction at a time; do not share one across
+    concurrent runs. *)
+
+val run_forms : ?trace:Wqi_obs.Trace.t -> Config.t -> string -> extraction list
 (** [run_forms config html] extracts each [<form>] element of the page
     separately, each laid out in isolation and each governed by a fresh
     instance of [config.budget] (the budget is per form, not shared

@@ -131,8 +131,18 @@ let build ?gauge tokens =
   done;
   List.rev root.f_children
 
-let parse ?gauge html =
+let parse ?gauge ?trace html =
   let body_children = build ?gauge (Lexer.tokenize html) in
-  Dom.element "html" [ Dom.element "body" body_children ]
+  let doc = Dom.element "html" [ Dom.element "body" body_children ] in
+  (* Node counting walks the tree, so it runs only under a trace. *)
+  (match trace with
+   | None -> ()
+   | Some _ ->
+     Wqi_obs.Trace.instant trace ~cat:"stage"
+       ~args:
+         [ ("nodes", Wqi_obs.Trace.Int (Dom.fold (fun n _ -> n + 1) 0 doc));
+           ("bytes", Wqi_obs.Trace.Int (String.length html)) ]
+       "html.dom");
+  doc
 
 let parse_fragment ?gauge html = build ?gauge (Lexer.tokenize html)

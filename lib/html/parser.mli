@@ -9,7 +9,8 @@ val is_void : string -> bool
 (** [is_void name] is true for void elements ([br], [img], [input], ...)
     which never carry children or close tags. *)
 
-val parse : ?gauge:Wqi_budget.Budget.gauge -> string -> Dom.t
+val parse :
+  ?gauge:Wqi_budget.Budget.gauge -> ?trace:Wqi_obs.Trace.t -> string -> Dom.t
 (** [parse html] parses the markup and returns the document root, an
     [Element ("html", ...)] node containing a [body].  Markup found
     outside [body] (for instance a bare [<form>] fragment) is placed
@@ -18,7 +19,10 @@ val parse : ?gauge:Wqi_budget.Budget.gauge -> string -> Dom.t
     [gauge] charges one budget unit per node-creating markup token
     (open tags, text runs, comments); when the node cap or the deadline
     trips, the rest of the input is ignored and the partial tree built
-    so far is returned — parsing still never fails. *)
+    so far is returned — parsing still never fails.
+
+    [trace] records an [html.dom] instant carrying the node count and
+    input size; tracing never changes the tree built. *)
 
 val parse_fragment : ?gauge:Wqi_budget.Budget.gauge -> string -> Dom.t list
 (** [parse_fragment html] parses the markup and returns the children of

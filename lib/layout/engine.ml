@@ -419,7 +419,7 @@ and layout_table ctx out node ~x ~y ~width ~align =
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let render ?gauge ?(width = Style.page_width) doc =
+let render ?gauge ?trace ?(width = Style.page_width) doc =
   let ctx = { gauge; live = true; measuring = false } in
   let out = ref [] in
   let margin = 8 in
@@ -427,6 +427,17 @@ let render ?gauge ?(width = Style.page_width) doc =
     layout_children ctx out (Dom.children doc) ~x:margin ~y:margin
       ~width:(width - (2 * margin)) ~align:`Left
   in
-  List.sort
-    (fun a b -> Geometry.compare_reading_order a.box b.box)
-    (List.rev !out)
+  let atoms =
+    List.sort
+      (fun a b -> Geometry.compare_reading_order a.box b.box)
+      (List.rev !out)
+  in
+  (match trace with
+   | None -> ()
+   | Some _ ->
+     Wqi_obs.Trace.instant trace ~cat:"stage"
+       ~args:
+         [ ("atoms", Wqi_obs.Trace.Int (List.length atoms));
+           ("width", Wqi_obs.Trace.Int width) ]
+       "layout.atoms");
+  atoms

@@ -30,11 +30,18 @@ type item =
 type laid = { item : item; box : Geometry.box }
 
 val render :
-  ?gauge:Wqi_budget.Budget.gauge -> ?width:int -> Wqi_html.Dom.t -> laid list
+  ?gauge:Wqi_budget.Budget.gauge ->
+  ?trace:Wqi_obs.Trace.t ->
+  ?width:int ->
+  Wqi_html.Dom.t ->
+  laid list
 (** [render doc] lays out the document and returns its visible atoms in
     reading order (top-to-bottom, left-to-right).  [width] defaults to
     {!Style.page_width}.
 
     [gauge] charges one budget unit per emitted atom; when the box cap
     or the deadline trips, layout stops and the atoms already placed — a
-    prefix of the page in layout order — are returned. *)
+    prefix of the page in layout order — are returned.
+
+    [trace] records a [layout.atoms] instant with the atom count and
+    page width; tracing never changes the layout. *)

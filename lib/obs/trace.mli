@@ -1,0 +1,81 @@
+(** Low-overhead span/event tracer for the extraction pipeline.
+
+    A trace is a bounded ring buffer of events stamped with the
+    monotonic clock ({!Wqi_budget.Budget.now_s}, the same C stub the
+    budget deadline uses).  Every recording entry point takes a
+    [t option]: with [None] the only cost at an instrumentation site is
+    one branch, so untraced runs stay on the exact code paths they had
+    before tracing existed.  The ring starts small and grows
+    geometrically up to {!capacity} — traces are created per document
+    and per request, so {!create} must stay cheap relative to the work
+    being traced.  When the ring reaches capacity, the oldest events
+    are overwritten and counted in {!dropped}; recording then allocates
+    nothing beyond the argument lists the caller builds.
+
+    A trace belongs to a single extraction run and is not thread-safe;
+    concurrent runs each get their own trace.
+
+    Tracing is observational only: it reads counters and the clock,
+    never influences extraction, so results are byte-identical with
+    tracing off, on, or sampled. *)
+
+type t
+
+(** Argument values attached to events, e.g. per-round parser stat
+    deltas. *)
+type value = Int of int | Float of float | Bool of bool | Str of string
+
+val create : ?capacity:int -> unit -> t
+(** [create ()] makes a trace ring holding at most [capacity] events
+    (default 32768, floored at 1); the backing array starts small and
+    doubles on demand.  The trace origin — the zero of every exported
+    timestamp — is the creation instant. *)
+
+val capacity : t -> int
+
+val length : t -> int
+(** Events currently held (at most [capacity]). *)
+
+val dropped : t -> int
+(** Oldest events overwritten because the ring was full. *)
+
+val now : unit -> float
+(** The tracer's clock: monotonic seconds ({!Wqi_budget.Budget.now_s}).
+    Callers bracket work with [now] and hand both stamps to {!span}. *)
+
+val span :
+  t option ->
+  ?cat:string ->
+  ?args:(string * value) list ->
+  string ->
+  t0:float ->
+  t1:float ->
+  unit
+(** [span trace name ~t0 ~t1] records a complete-duration event
+    ([ph = "X"]) covering the interval [[t0, t1]] (stamps from {!now}).
+    [None] is a no-op. *)
+
+val instant :
+  t option -> ?cat:string -> ?args:(string * value) list -> string -> unit
+(** [instant trace name] records a point event ([ph = "i"]) at the
+    current clock reading.  [None] is a no-op. *)
+
+val with_span :
+  t option -> ?cat:string -> string -> (unit -> 'a) -> 'a
+(** [with_span trace name f] runs [f ()] inside a span; the span is
+    recorded even when [f] raises. *)
+
+val to_chrome_json : ?scrub_timestamps:bool -> t -> string
+(** The trace in Chrome trace-event JSON (an object with a
+    [traceEvents] array), loadable in Perfetto or [chrome://tracing].
+    Timestamps are microseconds relative to the trace origin.
+
+    [~scrub_timestamps:true] replaces every timestamp with the event's
+    ordinal and every duration with 1 — events, ordering and args are
+    untouched — making the export a pure function of the recorded
+    event sequence; golden tests pin those bytes. *)
+
+val profile : t -> string
+(** A human-readable per-stage profile: spans aggregated by name
+    (calls, total/avg/max milliseconds, share of the [total] span),
+    followed by instant-event counts with summed integer args. *)

@@ -21,6 +21,7 @@ type t = {
   work_ready : Condition.t;  (* queue non-empty, or stopping *)
   queue : task Queue.t;
   mutable inflight : int;    (* dequeued and currently executing *)
+  mutable peak_inflight : int;  (* high-water mark of [inflight] *)
   mutable stopped : bool;
   mutable domains : unit Domain.t list;
 }
@@ -36,6 +37,8 @@ let rec worker_loop pool =
   else begin
     let task = Queue.pop pool.queue in
     pool.inflight <- pool.inflight + 1;
+    if pool.inflight > pool.peak_inflight then
+      pool.peak_inflight <- pool.inflight;
     Mutex.unlock pool.mutex;
     (* Tasks are wrapped at enqueue time and never raise; the handler is
        a backstop so a buggy thunk cannot kill a worker domain. *)
@@ -58,6 +61,7 @@ let create ?jobs () =
       work_ready = Condition.create ();
       queue = Queue.create ();
       inflight = 0;
+      peak_inflight = 0;
       stopped = false;
       domains = [] }
   in
@@ -76,6 +80,12 @@ let queue_depth pool =
 let inflight pool =
   Mutex.lock pool.mutex;
   let n = pool.inflight in
+  Mutex.unlock pool.mutex;
+  n
+
+let peak_inflight pool =
+  Mutex.lock pool.mutex;
+  let n = pool.peak_inflight in
   Mutex.unlock pool.mutex;
   n
 

@@ -58,6 +58,11 @@ val queue_depth : t -> int
 val inflight : t -> int
 (** Tasks currently executing on worker domains. *)
 
+val peak_inflight : t -> int
+(** High-water mark of {!inflight} over the pool's lifetime — how close
+    the pool ever came to saturating its worker domains.  Tasks run
+    inline by a sequential pool never count. *)
+
 (** {1 Batch mapping} *)
 
 val map_array : t -> ('a -> 'b) -> 'a array -> 'b array

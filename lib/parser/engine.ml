@@ -6,6 +6,7 @@ module Hint = G.Hint
 module Spatial_index = G.Spatial_index
 module Token = Wqi_token.Token
 module Budget = Wqi_budget.Budget
+module Trace = Wqi_obs.Trace
 
 let src = Logs.Src.create "wqi.parser" ~doc:"Best-effort 2P parser"
 
@@ -103,6 +104,9 @@ type state = {
   gauge : Budget.gauge option;
       (* resource gauge; [None] leaves every code path — and thus every
          instance id — exactly as in the ungoverned parser *)
+  trace : Trace.t option;
+      (* span/event sink; [None] costs one branch per fix-point round
+         and per enforcement — tracing never influences parsing *)
 }
 
 (* Deadline probe for hot loops: cheap when the gauge is absent, throttled
@@ -411,23 +415,53 @@ let apply_production_naive st (p : G.Production.t) =
   !added
 
 (* Fix-point instantiation of one symbol (procedure [instantiate] of
-   Figure 11). *)
+   Figure 11).  Under a trace, every fix-point round becomes one span
+   carrying the [stats] deltas it produced — which round of which symbol
+   created, pruned and rolled back how much, and what the guards and the
+   spatial index did for it.  The untraced path is the code that existed
+   before tracing: one [None] branch per round. *)
 let instantiate st sym =
   let productions = G.Grammar.productions_with_head st.grammar sym in
   let apply =
     if st.options.semi_naive then apply_production_delta
     else apply_production_naive
   in
-  let rec loop () =
+  let sym_name =
+    match st.trace with None -> "" | Some _ -> Fmt.str "%a" Symbol.pp sym
+  in
+  let rec loop round =
     (match st.gauge with
      | None -> ()
      | Some g -> if not (Budget.round g) then raise Truncated);
     let progressed =
-      List.fold_left (fun acc p -> apply st p || acc) false productions
+      match st.trace with
+      | None -> List.fold_left (fun acc p -> apply st p || acc) false productions
+      | Some _ ->
+        let t0 = Budget.now_s () in
+        let created0 = st.created and pruned0 = st.pruned in
+        let rolled0 = st.rolled_back in
+        let tried0 = st.guards_tried and admitted0 = st.guards_admitted in
+        let probes0 = st.index_probes and ipruned0 = st.index_pruned in
+        let progressed =
+          List.fold_left (fun acc p -> apply st p || acc) false productions
+        in
+        Trace.span st.trace ~cat:"parser.round" sym_name ~t0
+          ~t1:(Budget.now_s ())
+          ~args:
+            [ ("round", Trace.Int round);
+              ("created", Trace.Int (st.created - created0));
+              ("pruned", Trace.Int (st.pruned - pruned0));
+              ("rolled_back", Trace.Int (st.rolled_back - rolled0));
+              ("guards_tried", Trace.Int (st.guards_tried - tried0));
+              ("guards_admitted",
+               Trace.Int (st.guards_admitted - admitted0));
+              ("index_probes", Trace.Int (st.index_probes - probes0));
+              ("index_pruned", Trace.Int (st.index_pruned - ipruned0)) ];
+        progressed
     in
-    if progressed then loop ()
+    if progressed then loop (round + 1)
   in
-  loop ()
+  loop 0
 
 (* Above this many winner×loser pairs, [enforce] buckets the winners by
    covered token so each loser only meets the winners it can actually
@@ -522,6 +556,24 @@ let enforce st (r : G.Preference.t) =
          end)
       losers
   end
+
+(* Rollback annotation: one span per enforcement that actually killed
+   something, naming the preference and its kill counts.  Silent
+   enforcements (no conflict on the current front) are not recorded —
+   a trace shows where trees died, not every scan. *)
+let enforce_traced st (r : G.Preference.t) =
+  match st.trace with
+  | None -> enforce st r
+  | Some _ ->
+    let t0 = Budget.now_s () in
+    let pruned0 = st.pruned and rolled0 = st.rolled_back in
+    enforce st r;
+    if st.pruned > pruned0 || st.rolled_back > rolled0 then
+      Trace.span st.trace ~cat:"parser.enforce" r.G.Preference.name ~t0
+        ~t1:(Budget.now_s ())
+        ~args:
+          [ ("pruned", Trace.Int (st.pruned - pruned0));
+            ("rolled_back", Trace.Int (st.rolled_back - rolled0)) ]
 
 (* Symbol -> preferences involving it, precomputed once per parse (the
    schedule loop used to re-filter the full preference list for every
@@ -636,7 +688,7 @@ let make_filler universe =
   in
   Instance.of_token ~id:(-1) ~universe:(max 1 universe) tok
 
-let parse ?gauge ?(options = default_options) grammar tokens =
+let parse ?gauge ?trace ?(options = default_options) grammar tokens =
   let universe = List.length tokens in
   let st =
     { grammar;
@@ -657,7 +709,8 @@ let parse ?gauge ?(options = default_options) grammar tokens =
       index_probes = 0;
       index_pruned = 0;
       options;
-      gauge }
+      gauge;
+      trace }
   in
   let truncated = ref false in
   (* Token instances are charged against the budget too: on a trip the
@@ -700,19 +753,26 @@ let parse ?gauge ?(options = default_options) grammar tokens =
             Log.debug (fun m -> m "instantiating %a" Symbol.pp sym);
             instantiate st sym;
             if options.use_preferences && options.use_scheduling then
-              List.iter (enforce st) (prefs_for sym))
+              List.iter (enforce_traced st) (prefs_for sym))
          schedule.G.Schedule.order;
        (* Late pruning when scheduling is off; also a final sweep in the
           scheduled mode for relaxed preferences whose loser precedes its
           winner. *)
        if options.use_preferences then
          if not options.use_scheduling then
-           List.iter (enforce st) grammar.preferences
-         else List.iter (enforce st) schedule.G.Schedule.relaxed
+           List.iter (enforce_traced st) grammar.preferences
+         else List.iter (enforce_traced st) schedule.G.Schedule.relaxed
      end
    with Truncated -> truncated := true);
+  if !truncated then
+    Trace.instant trace ~cat:"parser"
+      ~args:[ ("created", Trace.Int st.created) ]
+      "budget_trip";
   let all_live = all_live_list st in
-  let maximal = maximal_trees st ~tripped:(!truncated && gauge <> None) in
+  let maximal =
+    Trace.with_span trace ~cat:"parser" "maximize" (fun () ->
+        maximal_trees st ~tripped:(!truncated && gauge <> None))
+  in
   let complete =
     List.find_opt
       (fun (i : Instance.t) ->

@@ -88,6 +88,7 @@ type result = {
 
 val parse :
   ?gauge:Wqi_budget.Budget.gauge ->
+  ?trace:Wqi_obs.Trace.t ->
   ?options:options ->
   Wqi_grammar.Grammar.t ->
   Wqi_token.Token.t list ->
@@ -102,7 +103,15 @@ val parse :
     instance store is still maximized, so maximal partial trees are
     returned and [stats.truncated] is set.  With [gauge] absent the
     engine is byte-for-byte identical to the ungoverned parser
-    (instance ids included). *)
+    (instance ids included).
+
+    [trace] records one span per fix-point round (named after the
+    symbol, carrying the {!stats} deltas that round produced), one span
+    per preference enforcement that killed instances (the rollback
+    annotation), a [budget_trip] instant when the parse was truncated,
+    and a span around maximal-tree selection.  Tracing is observational
+    only: results — instance ids included — are byte-identical with
+    [trace] absent. *)
 
 val count_trees : result -> int
 (** Number of distinct complete parse trees (live start-symbol instances

@@ -2,6 +2,9 @@ module Pool = Wqi_parallel.Pool
 module Extractor = Wqi_core.Extractor
 module Budget = Wqi_budget.Budget
 module Export = Wqi_model.Export
+module Trace = Wqi_obs.Trace
+
+let version = "1.0.0"
 
 type config = {
   host : string;
@@ -13,6 +16,10 @@ type config = {
   extractor : Extractor.Config.t;
   cap_budget : Budget.t;
   idle_timeout_s : float;
+  trace_sample : int;
+  trace_dir : string option;
+  slow_ms : float option;
+  access_log : string option;
 }
 
 let default_config =
@@ -24,7 +31,11 @@ let default_config =
     cache = Some Cache.default_config;
     extractor = Extractor.Config.default;
     cap_budget = Budget.unlimited;
-    idle_timeout_s = 5. }
+    idle_timeout_s = 5.;
+    trace_sample = 0;
+    trace_dir = None;
+    slow_ms = None;
+    access_log = None }
 
 type t = {
   config : config;
@@ -33,6 +44,11 @@ type t = {
   pool : Pool.t;
   cache : Cache.t option;
   telemetry : Telemetry.t;
+  req_seed : string;          (* per-process prefix of request ids *)
+  req_counter : int Atomic.t; (* request-id sequence *)
+  sample_counter : int Atomic.t;  (* extract requests seen, for --trace-sample *)
+  access_out : out_channel option;  (* structured access log sink *)
+  log_mutex : Mutex.t;        (* one access-log line at a time *)
   stop_r : Unix.file_descr;  (* self-pipe: wakes the accept loop *)
   stop_w : Unix.file_descr;
   draining : bool Atomic.t;
@@ -132,6 +148,98 @@ let outcome_name = function
   | `Degraded -> "degraded"
   | `Failed -> "failed"
 
+(* ------------------------------------------------------------------ *)
+(* Request-level observability                                        *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_id t =
+  Printf.sprintf "%s-%06d" t.req_seed (Atomic.fetch_and_add t.req_counter 1)
+
+let iso8601 now =
+  let tm = Unix.gmtime now in
+  let ms = int_of_float ((now -. Float.of_int (int_of_float now)) *. 1000.) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec ms
+
+(* One JSON object per request, flushed per line so `tail -f` and crash
+   post-mortems both see complete records. *)
+let log_access t ~meth ~path ~status ~bytes ~seconds ~cache ~outcome ~id =
+  match t.access_out with
+  | None -> ()
+  | Some oc ->
+    let line =
+      Printf.sprintf
+        "{\"ts\":%s,\"method\":%s,\"path\":%s,\"status\":%d,\"bytes\":%d,\
+         \"ms\":%.3f,\"cache\":%s,\"outcome\":%s,\"id\":%s}"
+        (Export.string (iso8601 (Unix.gettimeofday ())))
+        (Export.string meth) (Export.string path) status bytes
+        (1000. *. seconds) (Export.string cache) (Export.string outcome)
+        (Export.string id)
+    in
+    Mutex.lock t.log_mutex;
+    output_string oc line;
+    output_char oc '\n';
+    flush oc;
+    Mutex.unlock t.log_mutex
+
+let log_slow t ~meth ~path ~status ~seconds ~id =
+  match t.config.slow_ms with
+  | Some threshold when 1000. *. seconds >= threshold ->
+    Printf.eprintf "wqi_serve: slow request %s %s -> %d %.1f ms id=%s\n%!" meth
+      path status (1000. *. seconds) id
+  | _ -> ()
+
+(* Respond and account in one move: telemetry (status, outcome, latency,
+   per-stage histograms), the structured access log, and the
+   slow-request log all see exactly the bytes that went on the wire. *)
+let finish t fd req ~t0 ~id ~status ?headers ?content_type ?outcome ?cache_hit
+    ?stats ?stage_seconds ?(cache = "-") body =
+  respond fd ~status ?headers ?content_type body;
+  let seconds = Budget.now_s () -. t0 in
+  Telemetry.observe_request t.telemetry ~code:status ?outcome ?cache_hit ?stats
+    ?stage_seconds ~seconds ();
+  let meth = req.Http.meth and path = req.Http.path in
+  let outcome =
+    match outcome with Some o -> outcome_name o | None -> "-"
+  in
+  log_access t ~meth ~path ~status ~bytes:(String.length body) ~seconds ~cache
+    ~outcome ~id;
+  log_slow t ~meth ~path ~status ~seconds ~id
+
+let stage_seconds_of (d : Extractor.diagnostics) =
+  [ ("html", d.Extractor.html_seconds);
+    ("layout", d.Extractor.layout_seconds);
+    ("classify", d.Extractor.classify_seconds);
+    ("parse", d.Extractor.parse_seconds);
+    ("merge", d.Extractor.merge_seconds) ]
+
+(* Tracing is opt-in twice over: the server must run with --trace-dir,
+   and the request must either carry [x-wqi-trace: 1] or land on the
+   --trace-sample grid.  Everything else runs with [?trace:None] — the
+   untraced hot path. *)
+let want_trace t req =
+  match t.config.trace_dir with
+  | None -> None
+  | Some dir ->
+    let on_demand = Http.header req "x-wqi-trace" = Some "1" in
+    let sampled =
+      t.config.trace_sample > 0
+      && Atomic.fetch_and_add t.sample_counter 1 mod t.config.trace_sample = 0
+    in
+    if on_demand || sampled then Some dir else None
+
+let write_trace dir ~id trace =
+  let path = Filename.concat dir (id ^ ".json") in
+  match open_out_bin path with
+  | exception Sys_error _ -> ()  (* tracing must never fail a request *)
+  | oc ->
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+         output_string oc (Trace.to_chrome_json trace);
+         output_char oc '\n')
+
 (* Cached values carry their outcome in a one-byte prefix so a hit can
    report the original outcome without re-parsing the JSON. *)
 let encode_cached outcome body =
@@ -157,11 +265,12 @@ let release t =
   t.extract_inflight <- t.extract_inflight - 1;
   Mutex.unlock t.mutex
 
-let handle_extract t fd req t0 =
+let handle_extract t fd req t0 ~id =
   match budget_of_query t.config req with
   | Error msg ->
-    respond fd ~status:400 (json_error msg);
-    observe t ~code:400 t0
+    finish t fd req ~t0 ~id ~status:400
+      ~headers:[ ("x-wqi-trace-id", id) ]
+      (json_error msg)
   | Ok budget ->
     let name =
       match Http.query_param req "name" with
@@ -183,30 +292,40 @@ let handle_extract t fd req t0 =
     (match cached with
      | Some stored ->
        let outcome, body = decode_cached stored in
-       respond fd ~status:200
+       finish t fd req ~t0 ~id ~status:200
          ~headers:
            [ ("x-wqi-outcome", outcome_name outcome);
-             ("x-wqi-cache", "hit") ]
-         body;
-       observe t ~code:200 ~outcome ~cache_hit:true t0
+             ("x-wqi-cache", "hit");
+             ("x-wqi-trace-id", id) ]
+         ~outcome ~cache_hit:true ~cache:"hit" body
      | None ->
        if not (admit t) then begin
          Telemetry.shed t.telemetry;
-         respond fd ~status:503
-           ~headers:[ ("retry-after", "1") ]
-           (json_error "server at capacity; retry shortly");
-         observe t ~code:503 t0
+         finish t fd req ~t0 ~id ~status:503
+           ~headers:[ ("retry-after", "1"); ("x-wqi-trace-id", id) ]
+           ~cache:"shed"
+           (json_error "server at capacity; retry shortly")
        end
        else
          Fun.protect ~finally:(fun () -> release t) @@ fun () ->
          let config =
            Extractor.Config.with_budget budget t.config.extractor
          in
+         let tdir = want_trace t req in
+         (* The trace rides into the pool closure: exactly one worker
+            domain writes it, and this thread only reads it back after
+            [await] — no concurrent access. *)
+         let trace =
+           match tdir with None -> None | Some _ -> Some (Trace.create ())
+         in
          let fut =
            Pool.submit t.pool (fun () ->
-               Extractor.run config (Extractor.Html req.Http.body))
+               Extractor.run ?trace config (Extractor.Html req.Http.body))
          in
          let e = Pool.await fut in
+         (match (trace, tdir) with
+          | Some tr, Some dir -> write_trace dir ~id tr
+          | _ -> ());
          let body = Extractor.export ~timings:false ~name e in
          let tag = outcome_tag e.Extractor.outcome in
          let status = match tag with `Failed -> 500 | _ -> 200 in
@@ -214,14 +333,15 @@ let handle_extract t fd req t0 =
           | Some cache, Some k, (`Complete | `Degraded) ->
             Cache.add cache k (encode_cached tag body)
           | _ -> ());
-         respond fd ~status
+         let cache = if Option.is_none t.cache then "off" else "miss" in
+         finish t fd req ~t0 ~id ~status
            ~headers:
              [ ("x-wqi-outcome", outcome_name tag);
-               ("x-wqi-cache",
-                if Option.is_none t.cache then "off" else "miss") ]
-           body;
-         observe t ~code:status ~outcome:tag
-           ~stats:e.Extractor.diagnostics.Extractor.parse_stats t0)
+               ("x-wqi-cache", cache);
+               ("x-wqi-trace-id", id) ]
+           ~outcome:tag ~stats:e.Extractor.diagnostics.Extractor.parse_stats
+           ~stage_seconds:(stage_seconds_of e.Extractor.diagnostics)
+           ~cache body)
 
 let metrics_body t =
   let cache_series =
@@ -259,40 +379,35 @@ let metrics_body t =
             "Admitted extract requests (queued or running).", `Gauge,
             float_of_int inflight);
            ("wqi_pool_jobs", "Worker-pool parallelism.", `Gauge,
-            float_of_int (Pool.jobs t.pool)) ])
+            float_of_int (Pool.jobs t.pool));
+           ("wqi_pool_peak_inflight",
+            "High-water mark of tasks executing on the domain pool.",
+            `Gauge, float_of_int (Pool.peak_inflight t.pool)) ])
 
 (* Returns whether the connection may be kept alive. *)
 let handle_request t fd req =
   let t0 = Budget.now_s () in
+  let id = fresh_id t in
   (match (req.Http.meth, req.Http.path) with
    | "GET", "/healthz" ->
-     if draining t then begin
-       respond fd ~status:503 ~content_type:"text/plain" "draining\n";
-       observe t ~code:503 t0
-     end
-     else begin
-       respond fd ~status:200 ~content_type:"text/plain" "ok\n";
-       observe t ~code:200 t0
-     end
+     if draining t then
+       finish t fd req ~t0 ~id ~status:503 ~content_type:"text/plain"
+         "draining\n"
+     else
+       finish t fd req ~t0 ~id ~status:200 ~content_type:"text/plain" "ok\n"
    | "GET", "/metrics" ->
-     respond fd ~status:200
-       ~content_type:"text/plain; version=0.0.4" (metrics_body t);
-     observe t ~code:200 t0
+     finish t fd req ~t0 ~id ~status:200
+       ~content_type:"text/plain; version=0.0.4" (metrics_body t)
    | "POST", "/extract" ->
-     if draining t then begin
-       respond fd ~status:503
+     if draining t then
+       finish t fd req ~t0 ~id ~status:503
          ~headers:[ ("retry-after", "1") ]
-         (json_error "draining");
-       observe t ~code:503 t0
-     end
-     else handle_extract t fd req t0
+         (json_error "draining")
+     else handle_extract t fd req t0 ~id
    | ("GET" | "HEAD"), "/extract" ->
-     respond fd ~status:405 ~headers:[ ("allow", "POST") ]
-       (json_error "use POST");
-     observe t ~code:405 t0
-   | _ ->
-     respond fd ~status:404 (json_error "not found");
-     observe t ~code:404 t0);
+     finish t fd req ~t0 ~id ~status:405 ~headers:[ ("allow", "POST") ]
+       (json_error "use POST")
+   | _ -> finish t fd req ~t0 ~id ~status:404 (json_error "not found"));
   req.Http.keep_alive
 
 let conn_finished t =
@@ -385,13 +500,37 @@ let start config =
   in
   let stop_r, stop_w = Unix.pipe ~cloexec:true () in
   Unix.set_nonblock stop_w;
+  (match config.trace_dir with
+   | Some dir when not (Sys.file_exists dir) ->
+     (try Unix.mkdir dir 0o755 with Unix.Unix_error _ -> ())
+   | _ -> ());
+  let access_out =
+    match config.access_log with
+    | None -> None
+    | Some "-" -> Some stderr
+    | Some path ->
+      Some (open_out_gen [ Open_append; Open_creat ] 0o644 path)
+  in
+  (* Request ids must be unique across restarts writing into the same
+     trace dir / log, so seed them from process identity and start
+     time. *)
+  let req_seed =
+    Printf.sprintf "%04x%04x"
+      (Unix.getpid () land 0xffff)
+      (int_of_float (Unix.gettimeofday ()) land 0xffff)
+  in
   let t =
     { config;
       listen_fd;
       bound_port;
       pool = Pool.create ?jobs:config.jobs ();
       cache = Option.map (fun c -> Cache.create c) config.cache;
-      telemetry = Telemetry.create ();
+      telemetry = Telemetry.create ~version ();
+      req_seed;
+      req_counter = Atomic.make 0;
+      sample_counter = Atomic.make 0;
+      access_out;
+      log_mutex = Mutex.create ();
       stop_r;
       stop_w;
       draining = Atomic.make false;
@@ -423,6 +562,9 @@ let wait t =
   done;
   Mutex.unlock t.mutex;
   Pool.shutdown t.pool;
+  (match t.access_out with
+   | Some oc when oc != stderr -> close_out_noerr oc
+   | _ -> ());
   List.iter
     (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
     [ t.listen_fd; t.stop_r; t.stop_w ]

@@ -22,9 +22,19 @@
     - [GET /healthz] — 200 ["ok"] while serving, 503 ["draining"]
       during shutdown.
     - [GET /metrics] — Prometheus text exposition: requests by status,
-      outcomes, latency histogram, cache hit/miss/eviction counters,
-      aggregated parser guard/index counters, pool queue depth and
-      in-flight gauges.
+      outcomes, latency histogram, per-stage latency histograms
+      ([wqi_stage_seconds{stage=...}]), cache hit/miss/eviction
+      counters, aggregated parser guard/index counters, pool queue
+      depth and in-flight gauges (including the [wqi_pool_peak_inflight]
+      high-water mark), build info and uptime.
+
+    {b Observability.} Every response to a parsed request carries an
+    [x-wqi-trace-id] header on [/extract].  With [config.trace_dir]
+    set, a request carrying [x-wqi-trace: 1] — or every
+    [config.trace_sample]-th extract request — is traced end to end and
+    its Chrome trace-event JSON written to [trace_dir/<id>.json].
+    [config.access_log] enables a structured JSONL access log;
+    [config.slow_ms] logs slower requests to stderr.
 
     {b Admission control.} At most [max_inflight] extractions are
     admitted (queued or running) at once; beyond that, misses are
@@ -56,13 +66,28 @@ type config = {
   idle_timeout_s : float;
       (** keep-alive receive timeout; also bounds how long an idle
           connection can delay a drain *)
+  trace_sample : int;
+      (** trace every Nth extract request; 0 disables sampling.  Traces
+          are written only when [trace_dir] is set. *)
+  trace_dir : string option;
+      (** directory for per-request Chrome trace-event JSON files
+          (created if missing); [None] disables tracing entirely, even
+          for requests carrying [x-wqi-trace: 1] *)
+  slow_ms : float option;
+      (** log requests slower than this many milliseconds to stderr *)
+  access_log : string option;
+      (** structured (JSONL) access-log sink: a path (appended to) or
+          ["-"] for stderr; [None] disables the access log *)
 }
 
 val default_config : config
 (** Port 8080 on 127.0.0.1, recommended jobs, [max_inflight] = 4 ×
     recommended domain count, 4 MiB bodies, default cache config,
     default extractor config (unlimited budget), no caps, 5 s idle
-    timeout. *)
+    timeout; no tracing, no slow-request log, no access log. *)
+
+val version : string
+(** Server version, reported by the [wqi_build_info] metric. *)
 
 type t
 

@@ -1,12 +1,20 @@
 module Engine = Wqi_parser.Engine
+module Budget = Wqi_budget.Budget
 
 (* Upper bounds (seconds) of the latency histogram, +Inf implied. *)
 let buckets =
   [| 0.0005; 0.001; 0.0025; 0.005; 0.01; 0.025; 0.05; 0.1; 0.25; 0.5; 1.0;
      2.5; 5.0 |]
 
+(* Pipeline stages of the per-stage latency histograms, in pipeline
+   order; must match the [Extractor.diagnostics] stage timings the
+   server feeds in. *)
+let stage_names = [| "html"; "layout"; "classify"; "parse"; "merge" |]
+
 type t = {
   mutex : Mutex.t;
+  version : string;
+  start_s : float;  (* monotonic; uptime = now - start *)
   by_code : (int, int ref) Hashtbl.t;
   mutable complete : int;
   mutable degraded : int;
@@ -16,6 +24,9 @@ type t = {
   bucket_counts : int array;  (* non-cumulative; rendered cumulative *)
   mutable latency_sum : float;
   mutable latency_count : int;
+  stage_bucket_counts : int array array;  (* per stage, non-cumulative *)
+  stage_sums : float array;
+  stage_counts : int array;
   mutable guards_tried : int;
   mutable guards_admitted : int;
   mutable index_probes : int;
@@ -24,8 +35,10 @@ type t = {
   mutable parses : int;
 }
 
-let create () =
+let create ?(version = "dev") () =
   { mutex = Mutex.create ();
+    version;
+    start_s = Budget.now_s ();
     by_code = Hashtbl.create 8;
     complete = 0;
     degraded = 0;
@@ -35,6 +48,11 @@ let create () =
     bucket_counts = Array.make (Array.length buckets + 1) 0;
     latency_sum = 0.;
     latency_count = 0;
+    stage_bucket_counts =
+      Array.init (Array.length stage_names) (fun _ ->
+          Array.make (Array.length buckets + 1) 0);
+    stage_sums = Array.make (Array.length stage_names) 0.;
+    stage_counts = Array.make (Array.length stage_names) 0;
     guards_tried = 0;
     guards_admitted = 0;
     index_probes = 0;
@@ -50,8 +68,27 @@ let bucket_index seconds =
   in
   go 0
 
-let observe_request t ~code ?outcome ?(cache_hit = false) ?stats ~seconds () =
+let stage_index name =
+  let rec go i =
+    if i >= Array.length stage_names then None
+    else if stage_names.(i) = name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let observe_request t ~code ?outcome ?(cache_hit = false) ?stats
+    ?(stage_seconds = []) ~seconds () =
   Mutex.lock t.mutex;
+  List.iter
+    (fun (name, s) ->
+       match stage_index name with
+       | None -> ()
+       | Some i ->
+         let bi = bucket_index s in
+         t.stage_bucket_counts.(i).(bi) <- t.stage_bucket_counts.(i).(bi) + 1;
+         t.stage_sums.(i) <- t.stage_sums.(i) +. s;
+         t.stage_counts.(i) <- t.stage_counts.(i) + 1)
+    stage_seconds;
   (match Hashtbl.find_opt t.by_code code with
    | Some r -> incr r
    | None -> Hashtbl.replace t.by_code code (ref 1));
@@ -85,6 +122,20 @@ let shed t =
 (* Rendering                                                          *)
 (* ------------------------------------------------------------------ *)
 
+(* Prometheus label-value escaping: backslash, double quote and newline
+   must be escaped inside the double-quoted label value. *)
+let escape_label s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+       match c with
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '"' -> Buffer.add_string b "\\\""
+       | '\n' -> Buffer.add_string b "\\n"
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
 let float_repr f =
   if Float.is_integer f && Float.abs f < 1e15 then
     Printf.sprintf "%.0f" f
@@ -117,6 +168,9 @@ let render t ~extra =
   let bucket_counts = Array.copy t.bucket_counts in
   let latency_sum = t.latency_sum in
   let latency_count = t.latency_count in
+  let stage_bucket_counts = Array.map Array.copy t.stage_bucket_counts in
+  let stage_sums = Array.copy t.stage_sums in
+  let stage_counts = Array.copy t.stage_counts in
   let engine =
     [ ("wqi_parse_guards_tried_total", "Production-guard invocations.",
        t.guards_tried);
@@ -169,10 +223,39 @@ let render t ~extra =
   Printf.bprintf b "wqi_request_seconds_bucket{le=\"+Inf\"} %d\n" !cumulative;
   Printf.bprintf b "wqi_request_seconds_sum %g\n" latency_sum;
   Printf.bprintf b "wqi_request_seconds_count %d\n" latency_count;
+  (* Per-stage extraction latency: one histogram family, stage label. *)
+  Printf.bprintf b
+    "# HELP wqi_stage_seconds Extraction pipeline stage latency.\n";
+  Printf.bprintf b "# TYPE wqi_stage_seconds histogram\n";
+  Array.iteri
+    (fun si stage ->
+       let stage = escape_label stage in
+       let cumulative = ref 0 in
+       Array.iteri
+         (fun i upper ->
+            cumulative := !cumulative + stage_bucket_counts.(si).(i);
+            Printf.bprintf b
+              "wqi_stage_seconds_bucket{stage=\"%s\",le=\"%g\"} %d\n" stage
+              upper !cumulative)
+         buckets;
+       cumulative := !cumulative + stage_bucket_counts.(si).(Array.length buckets);
+       Printf.bprintf b "wqi_stage_seconds_bucket{stage=\"%s\",le=\"+Inf\"} %d\n"
+         stage !cumulative;
+       Printf.bprintf b "wqi_stage_seconds_sum{stage=\"%s\"} %g\n" stage
+         stage_sums.(si);
+       Printf.bprintf b "wqi_stage_seconds_count{stage=\"%s\"} %d\n" stage
+         stage_counts.(si))
+    stage_names;
   List.iter
     (fun (name, help, value) ->
        series b ~name ~help ~kind:`Counter [ ("", float_of_int value) ])
     engine;
+  series b ~name:"wqi_build_info"
+    ~help:"Server build information; value is always 1." ~kind:`Gauge
+    [ (Printf.sprintf "version=\"%s\"" (escape_label t.version), 1.) ];
+  series b ~name:"wqi_uptime_seconds"
+    ~help:"Seconds since the server started." ~kind:`Gauge
+    [ ("", Budget.now_s () -. t.start_s) ];
   List.iter
     (fun (name, help, kind, value) ->
        series b ~name ~help

@@ -9,7 +9,10 @@
 
 type t
 
-val create : unit -> t
+val create : ?version:string -> unit -> t
+(** [version] (default ["dev"]) is reported as the [version] label of
+    the [wqi_build_info] gauge; creation time anchors
+    [wqi_uptime_seconds]. *)
 
 val observe_request :
   t ->
@@ -17,13 +20,16 @@ val observe_request :
   ?outcome:[ `Complete | `Degraded | `Failed ] ->
   ?cache_hit:bool ->
   ?stats:Wqi_parser.Engine.stats ->
+  ?stage_seconds:(string * float) list ->
   seconds:float ->
   unit ->
   unit
 (** Record one finished request: status code, wall time from request
     read to response ready, and — for requests that ran an extraction —
     its outcome, whether the cache answered it, and the parser
-    counters. *)
+    counters.  [stage_seconds] feeds the per-stage latency histograms
+    ([wqi_stage_seconds{stage=...}]); entries whose stage name is not
+    one of html/layout/classify/parse/merge are ignored. *)
 
 val shed : t -> unit
 (** Record one load-shed request (also counted by [observe_request]

@@ -54,7 +54,7 @@ let classify_atom ~fresh { Engine.item; box } =
            checked = Dom.has_attr "checked" node;
            multiple = Dom.has_attr "multiple" node })
 
-let of_atoms ?gauge atoms =
+let of_atoms ?gauge ?trace atoms =
   let next_id = ref 0 in
   let fresh () =
     let id = !next_id in
@@ -76,10 +76,19 @@ let of_atoms ?gauge atoms =
          in
          if within then go (tok :: acc) rest else List.rev acc)
   in
-  go [] atoms
+  let tokens = go [] atoms in
+  (match trace with
+   | None -> ()
+   | Some _ ->
+     Wqi_obs.Trace.instant trace ~cat:"stage"
+       ~args:
+         [ ("atoms", Wqi_obs.Trace.Int (List.length atoms));
+           ("tokens", Wqi_obs.Trace.Int (List.length tokens)) ]
+       "tokenize.tokens");
+  tokens
 
-let of_document ?gauge ?width doc =
-  of_atoms ?gauge (Engine.render ?gauge ?width doc)
+let of_document ?gauge ?trace ?width doc =
+  of_atoms ?gauge ?trace (Engine.render ?gauge ?trace ?width doc)
 
-let of_html ?gauge ?width markup =
-  of_document ?gauge ?width (Wqi_html.Parser.parse ?gauge markup)
+let of_html ?gauge ?trace ?width markup =
+  of_document ?gauge ?trace ?width (Wqi_html.Parser.parse ?gauge ?trace markup)

@@ -6,20 +6,35 @@
     coverage bitsets. *)
 
 val of_atoms :
-  ?gauge:Wqi_budget.Budget.gauge -> Wqi_layout.Engine.laid list -> Token.t list
+  ?gauge:Wqi_budget.Budget.gauge ->
+  ?trace:Wqi_obs.Trace.t ->
+  Wqi_layout.Engine.laid list ->
+  Token.t list
 (** [of_atoms atoms] classifies already laid-out atoms into tokens.
 
     [gauge] charges one budget unit per token kept; when the token cap
     or the deadline trips, classification stops and the prefix of tokens
-    produced so far (ids still dense) is returned. *)
+    produced so far (ids still dense) is returned.
+
+    [trace] records a [tokenize.tokens] instant with the atom and token
+    counts; tracing never changes classification. *)
 
 val of_document :
-  ?gauge:Wqi_budget.Budget.gauge -> ?width:int -> Wqi_html.Dom.t -> Token.t list
+  ?gauge:Wqi_budget.Budget.gauge ->
+  ?trace:Wqi_obs.Trace.t ->
+  ?width:int ->
+  Wqi_html.Dom.t ->
+  Token.t list
 (** [of_document doc] renders [doc] and classifies its atoms.  [width]
-    is the page width handed to the layout engine; [gauge] governs both
-    the layout pass and the classification pass. *)
+    is the page width handed to the layout engine; [gauge] (and
+    [trace]) govern both the layout pass and the classification
+    pass. *)
 
 val of_html :
-  ?gauge:Wqi_budget.Budget.gauge -> ?width:int -> string -> Token.t list
+  ?gauge:Wqi_budget.Budget.gauge ->
+  ?trace:Wqi_obs.Trace.t ->
+  ?width:int ->
+  string ->
+  Token.t list
 (** [of_html markup] is [of_document (Wqi_html.Parser.parse markup)],
-    with [gauge] also governing HTML tree construction. *)
+    with [gauge] (and [trace]) also covering HTML tree construction. *)

@@ -12,6 +12,7 @@
 
 module Extractor = Wqi_core.Extractor
 module Budget = Wqi_core.Budget
+module Trace = Wqi_obs.Trace
 
 let read_file path =
   let ic = open_in_bin path in
@@ -50,4 +51,13 @@ let () =
          (Filename.concat dir file)
          (Extractor.export ~timings:false ~name e ^ "\n");
        Printf.printf "wrote %s (%s)\n" (Filename.concat dir file) name)
-    (cases html)
+    (cases html);
+  (* Scrubbed Chrome trace of the same fixture: with timestamps replaced
+     by ordinals and durations pinned, the event stream is a pure
+     function of the markup, so the export is byte-stable. *)
+  let trace = Trace.create () in
+  ignore (Extractor.run ~trace Extractor.Config.default (Extractor.Html html));
+  write_file
+    (Filename.concat dir "trace.json")
+    (Trace.to_chrome_json ~scrub_timestamps:true trace ^ "\n");
+  Printf.printf "wrote %s (golden-trace)\n" (Filename.concat dir "trace.json")

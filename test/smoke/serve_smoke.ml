@@ -94,18 +94,22 @@ let parse_response raw =
        in
        { status; headers; body })
 
-let request port ~meth ~target ?(body = "") () =
+let request port ~meth ~target ?(headers = []) ?(body = "") () =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
        Unix.connect fd
          (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port));
+       let extra =
+         String.concat ""
+           (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) headers)
+       in
        let req =
          Printf.sprintf
-           "%s %s HTTP/1.1\r\nhost: smoke\r\nconnection: close\r\n\
+           "%s %s HTTP/1.1\r\nhost: smoke\r\nconnection: close\r\n%s\
             content-length: %d\r\n\r\n%s"
-           meth target (String.length body) body
+           meth target extra (String.length body) body
        in
        let sent = ref 0 in
        while !sent < String.length req do
@@ -161,10 +165,15 @@ let () =
   let books = read_file (Filename.concat fixtures "books.html") in
   let jobs_html = read_file (Filename.concat fixtures "jobs.html") in
   let wide = read_file (Filename.concat fixtures "wide_form.html") in
+  (* --trace-sample is huge on purpose: only extract request #0 lands
+     on the sampling grid, so exactly one request is trace-sampled and
+     the rest exercise the untraced path. *)
   let pid, port, _banner_ic =
     spawn server_exe
       [ "--port"; "0"; "--jobs"; "2"; "--max-inflight"; "1";
-        "--idle-timeout-s"; "2" ]
+        "--idle-timeout-s"; "2"; "--trace-dir"; "smoke-traces";
+        "--trace-sample"; "1000000"; "--access-log"; "smoke-access.log";
+        "--slow-ms"; "100000" ]
   in
   note "server pid %d on port %d" pid port;
 
@@ -185,6 +194,37 @@ let () =
     fail "books body is not a v2 export: %s" r.body;
   let books_body = r.body in
   note "extract complete ok (%d bytes)" (String.length books_body);
+
+  (* Request #0 landed on the --trace-sample grid: its trace id names a
+     Chrome trace file in the trace dir. *)
+  let trace_of r =
+    match header r "x-wqi-trace-id" with
+    | None -> fail "extract response without x-wqi-trace-id"
+    | Some id -> Filename.concat "smoke-traces" (id ^ ".json")
+  in
+  let sampled_trace = trace_of r in
+  if not (Sys.file_exists sampled_trace) then
+    fail "sampled trace %s was not written" sampled_trace;
+  let trace_body = read_file sampled_trace in
+  if not (contains trace_body "\"traceEvents\"") then
+    fail "sampled trace is not Chrome trace JSON: %s" trace_body;
+  if not (contains trace_body "parser.round") then
+    fail "sampled trace has no parser rounds";
+  note "trace sampling ok (%s)" sampled_trace;
+
+  (* On-demand tracing: x-wqi-trace: 1 on a cache miss. *)
+  let r =
+    request port ~meth:"POST" ~target:"/extract?name=jobs-traced"
+      ~headers:[ ("x-wqi-trace", "1") ]
+      ~body:jobs_html ()
+  in
+  if r.status <> 200 then fail "/extract jobs-traced: %d" r.status;
+  let demand_trace = trace_of r in
+  if not (Sys.file_exists demand_trace) then
+    fail "on-demand trace %s was not written" demand_trace;
+  if not (contains (read_file demand_trace) "\"traceEvents\"") then
+    fail "on-demand trace is not Chrome trace JSON";
+  note "on-demand tracing ok (%s)" demand_trace;
 
   (* cache hit, byte-identical *)
   let r = request port ~meth:"POST" ~target:"/extract?name=books" ~body:books () in
@@ -234,7 +274,15 @@ let () =
       "wqi_request_seconds_bucket";
       "wqi_cache_hits_total";
       "wqi_pool_queue_depth";
-      "wqi_pool_jobs 2" ];
+      "wqi_pool_jobs 2";
+      "wqi_pool_peak_inflight";
+      "wqi_build_info{version=\"1.0.0\"} 1";
+      "wqi_uptime_seconds";
+      "wqi_stage_seconds_bucket{stage=\"parse\",le=\"+Inf\"}";
+      "wqi_stage_seconds_count{stage=\"merge\"}" ];
+  (match metric_value r.body "wqi_uptime_seconds" with
+   | Some v when v >= 0. -> ()
+   | _ -> fail "wqi_uptime_seconds not a non-negative sample");
   note "metrics ok";
 
   (* Deterministic 503: park a slow extraction (the wide form under a
@@ -303,4 +351,24 @@ let () =
    | _, Unix.WSIGNALED s -> fail "server killed by signal %d" s
    | _, Unix.WSTOPPED s -> fail "server stopped by signal %d" s);
   note "graceful drain ok (exit 0)";
+
+  (* Structured access log: flushed per line, so complete after exit. *)
+  let log = read_file "smoke-access.log" in
+  List.iter
+    (fun needle ->
+       if not (contains log needle) then
+         fail "access log missing %S in:\n%s" needle log)
+    [ "\"method\":\"POST\"";
+      "\"path\":\"/extract\"";
+      "\"path\":\"/healthz\"";
+      "\"status\":200";
+      "\"status\":503";
+      "\"cache\":\"hit\"";
+      "\"cache\":\"miss\"";
+      "\"cache\":\"shed\"";
+      "\"outcome\":\"complete\"";
+      "\"outcome\":\"degraded\"";
+      "\"ts\":\"";
+      "\"id\":\"" ];
+  note "access log ok (%d bytes)" (String.length log);
   print_endline "serve smoke ok"

@@ -19,5 +19,7 @@ let () =
       ("fixtures", Test_fixtures.suite);
       ("export-golden", Test_export_golden.suite);
       ("serve-cache", Test_serve_cache.suite);
+      ("obs", Test_obs.suite);
+      ("telemetry", Test_telemetry.suite);
       ("pool", Test_pool.suite);
       ("properties", Test_props.suite) ]

@@ -1,0 +1,191 @@
+(* Prometheus text-exposition correctness for the server's telemetry
+   registry: every family carries # HELP and # TYPE before its samples,
+   histogram buckets are cumulative with the +Inf bucket equal to the
+   count, label values are escaped per the exposition format, and the
+   body ends with exactly one trailing newline. *)
+
+module Telemetry = Wqi_serve.Telemetry
+
+let render t = Telemetry.render t ~extra:[]
+
+let lines body = String.split_on_char '\n' body
+
+let contains haystack needle =
+  let n = String.length haystack and m = String.length needle in
+  let rec go i = i + m <= n && (String.sub haystack i m = needle || go (i + 1)) in
+  go 0
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* Sample value of the first line starting with [prefix]. *)
+let sample body prefix =
+  lines body
+  |> List.find_map (fun line ->
+      if starts_with prefix line then
+        match String.rindex_opt line ' ' with
+        | Some i ->
+          float_of_string_opt
+            (String.sub line (i + 1) (String.length line - i - 1))
+        | None -> None
+      else None)
+
+let observed () =
+  let t = Telemetry.create ~version:"1.0.0" () in
+  (* Latencies chosen to land in distinct buckets of
+     [0.0005; 0.001; 0.0025; 0.005; ...]. *)
+  Telemetry.observe_request t ~code:200 ~outcome:`Complete
+    ~stage_seconds:
+      [ ("html", 0.0004); ("layout", 0.0004); ("classify", 0.0004);
+        ("parse", 0.002); ("merge", 0.0004) ]
+    ~seconds:0.0008 ();
+  Telemetry.observe_request t ~code:200 ~outcome:`Degraded
+    ~stage_seconds:[ ("parse", 0.004); ("bogus-stage", 1.0) ]
+    ~seconds:0.002 ();
+  Telemetry.observe_request t ~code:404 ~seconds:10_000. ();
+  t
+
+let test_help_and_type_precede_samples () =
+  let body = render (observed ()) in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun line ->
+       if starts_with "# HELP " line then begin
+         match String.split_on_char ' ' line with
+         | _ :: _ :: name :: _ -> Hashtbl.replace seen name `Help
+         | _ -> Alcotest.failf "malformed HELP line %S" line
+       end
+       else if starts_with "# TYPE " line then begin
+         match String.split_on_char ' ' line with
+         | _ :: _ :: name :: _ ->
+           if Hashtbl.find_opt seen name <> Some `Help then
+             Alcotest.failf "TYPE before HELP for %s" name;
+           Hashtbl.replace seen name `Type
+         | _ -> Alcotest.failf "malformed TYPE line %S" line
+       end
+       else if line <> "" then begin
+         (* A sample line: its family (name up to '{' or '_bucket'/'_sum'/
+            '_count' suffix or ' ') must have HELP and TYPE already. *)
+         let name =
+           match String.index_opt line '{' with
+           | Some i -> String.sub line 0 i
+           | None ->
+             (match String.index_opt line ' ' with
+              | Some i -> String.sub line 0 i
+              | None -> line)
+         in
+         let family =
+           List.fold_left
+             (fun acc suffix ->
+                if acc <> name then acc
+                else if
+                  String.length name > String.length suffix
+                  && String.sub name
+                       (String.length name - String.length suffix)
+                       (String.length suffix)
+                     = suffix
+                then
+                  String.sub name 0 (String.length name - String.length suffix)
+                else acc)
+             name
+             [ "_bucket"; "_sum"; "_count" ]
+         in
+         if Hashtbl.find_opt seen family <> Some `Type then
+           Alcotest.failf "sample %S before # TYPE %s" line family
+       end)
+    (lines body)
+
+let check_histogram body ~prefix ~labels =
+  let bucket le =
+    let sel =
+      if labels = "" then Printf.sprintf "%s_bucket{le=\"%s\"}" prefix le
+      else Printf.sprintf "%s_bucket{%s,le=\"%s\"}" prefix labels le
+    in
+    match sample body sel with
+    | Some v -> v
+    | None -> Alcotest.failf "missing bucket %s" sel
+  in
+  let uppers =
+    [ "0.0005"; "0.001"; "0.0025"; "0.005"; "0.01"; "0.025"; "0.05"; "0.1";
+      "0.25"; "0.5"; "1"; "2.5"; "5"; "+Inf" ]
+  in
+  let _ =
+    List.fold_left
+      (fun prev le ->
+         let v = bucket le in
+         if v < prev then
+           Alcotest.failf "%s: bucket le=%s not cumulative (%g < %g)" prefix
+             le v prev;
+         v)
+      0. uppers
+  in
+  let count_sel =
+    if labels = "" then prefix ^ "_count " else prefix ^ "_count{" ^ labels ^ "}"
+  in
+  match sample body count_sel with
+  | None -> Alcotest.failf "missing %s" count_sel
+  | Some count ->
+    Alcotest.(check (float 0.))
+      (prefix ^ ": +Inf bucket = count")
+      count (bucket "+Inf")
+
+let test_request_histogram_cumulative () =
+  let body = render (observed ()) in
+  check_histogram body ~prefix:"wqi_request_seconds" ~labels:"";
+  (* 10000 s falls beyond every finite bucket: +Inf must exceed le=5. *)
+  let v le =
+    Option.get
+      (sample body (Printf.sprintf "wqi_request_seconds_bucket{le=\"%s\"}" le))
+  in
+  Alcotest.(check (float 0.)) "overflow sample only in +Inf" 1. (v "+Inf" -. v "5")
+
+let test_stage_histograms () =
+  let body = render (observed ()) in
+  List.iter
+    (fun stage ->
+       check_histogram body ~prefix:"wqi_stage_seconds"
+         ~labels:(Printf.sprintf "stage=\"%s\"" stage))
+    [ "html"; "layout"; "classify"; "parse"; "merge" ];
+  (* parse saw two samples (0.002 and 0.004), the other stages one. *)
+  Alcotest.(check (option (float 0.)))
+    "parse count" (Some 2.)
+    (sample body "wqi_stage_seconds_count{stage=\"parse\"}");
+  Alcotest.(check (option (float 0.)))
+    "merge count" (Some 1.)
+    (sample body "wqi_stage_seconds_count{stage=\"merge\"}");
+  (* Unknown stage names are dropped, not invented as new series. *)
+  Alcotest.(check bool) "bogus stage ignored" false
+    (contains body "bogus-stage")
+
+let test_label_escaping () =
+  let t = Telemetry.create ~version:"v\"1\\a\nb" () in
+  let body = render t in
+  Alcotest.(check bool) "escaped version label" true
+    (contains body "wqi_build_info{version=\"v\\\"1\\\\a\\nb\"} 1")
+
+let test_build_info_and_uptime () =
+  let body = render (observed ()) in
+  Alcotest.(check bool) "build info" true
+    (contains body "wqi_build_info{version=\"1.0.0\"} 1");
+  match sample body "wqi_uptime_seconds " with
+  | Some v when v >= 0. -> ()
+  | _ -> Alcotest.fail "wqi_uptime_seconds missing or negative"
+
+let test_trailing_newline () =
+  let body = render (observed ()) in
+  Alcotest.(check bool) "non-empty" true (String.length body > 0);
+  Alcotest.(check char) "ends with newline" '\n'
+    body.[String.length body - 1];
+  Alcotest.(check bool) "no blank last line" false
+    (String.length body > 1 && body.[String.length body - 2] = '\n')
+
+let suite =
+  [ ("HELP and TYPE precede samples", `Quick,
+     test_help_and_type_precede_samples);
+    ("request histogram cumulative, +Inf = count", `Quick,
+     test_request_histogram_cumulative);
+    ("per-stage histograms", `Quick, test_stage_histograms);
+    ("label value escaping", `Quick, test_label_escaping);
+    ("build info and uptime", `Quick, test_build_info_and_uptime);
+    ("trailing newline", `Quick, test_trailing_newline) ]
