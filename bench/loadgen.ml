@@ -1,7 +1,21 @@
 (* wqi_loadgen: replay the deterministic 120-interface corpus against a
    wqi_serve daemon over N concurrent keep-alive connections and record
    throughput and latency percentiles, cold cache vs warm cache, as
-   BENCH_serve.json (validated by validate_serve_json.ml).
+   BENCH_serve.json (validated by validate_serve_json.ml, schema 2).
+
+   Connection affinity: each client owns one keep-alive connection for
+   the whole run (cold AND warm pass) and a fixed slice of the corpus
+   (doc i belongs to client [i mod clients]).  Under a shared-nothing
+   server a connection stays on one domain — and therefore one cache
+   shard — so the warm pass must be all hits regardless of the domain
+   count, and the validator can gate on it.
+
+   Correctness is measured, not assumed: every warm response must be
+   byte-identical to the cold response for the same document, and every
+   run after the first must be byte-identical to the first run's
+   responses (single- vs multi-domain servers must not disagree).
+   Mismatches count as failed requests.  After the passes the generator
+   scrapes /metrics and records the per-domain request split.
 
    Default mode spawns the server itself (--server PATH) once per
    requested --jobs value, on an ephemeral port, and SIGTERMs it after
@@ -11,7 +25,9 @@
    Usage:
      loadgen.exe --server ../bin/wqi_serve.exe --json BENCH_serve.json
      loadgen.exe --host 127.0.0.1 --port 8080 --interfaces 30
-   Options: --jobs-list 1,4  --clients 8  --interfaces 120  --smoke *)
+   Options: --jobs-list 1,4  --clients 8  --interfaces 120  --smoke
+   (--jobs-list defaults to 1,cores on machines with >= 4 cores and to
+   just 1 elsewhere, so a laptop rerun cannot record a bogus speedup) *)
 
 module Generator = Wqi_corpus.Generator
 module Budget = Wqi_budget.Budget
@@ -158,21 +174,29 @@ let percentile sorted p =
   if n = 0 then 0.
   else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
 
-let run_pass ~host ~port ~clients ~(docs : Generator.source array) =
+(* One pass over the corpus on pre-connected clients.  Client [c] sends
+   exactly the docs with [i mod clients = c], in index order, on its own
+   keep-alive connection — the deterministic partition that gives every
+   doc connection (and shard) affinity across passes.  [expect.(i)],
+   when non-empty, is the response body the doc must reproduce
+   byte-for-byte; a mismatch is a failed request.  [record] stores the
+   observed bodies for later passes to check against. *)
+let run_pass ~(conns : client array) ~(docs : Generator.source array)
+    ~(expect : string array option) ~(record : string array option) =
   let n = Array.length docs in
+  let clients = Array.length conns in
   let latencies = Array.make n 0. in
   let failed = Atomic.make 0 in
   let cache_hits = Atomic.make 0 in
-  let next = Atomic.make 0 in
-  let worker () =
-    let c = connect host port in
-    let rec drain () =
-      let i = Atomic.fetch_and_add next 1 in
+  let mismatches = Atomic.make 0 in
+  let worker c =
+    let conn = conns.(c) in
+    let rec go i =
       if i < n then begin
         let doc = docs.(i) in
         let t0 = Budget.now_s () in
         let r =
-          request c ~meth:"POST"
+          request conn ~meth:"POST"
             ~target:(Printf.sprintf "/extract?name=%s" doc.Generator.id)
             ~body:doc.Generator.html
         in
@@ -181,30 +205,101 @@ let run_pass ~host ~port ~clients ~(docs : Generator.source array) =
         (match List.assoc_opt "x-wqi-cache" r.r_headers with
          | Some "hit" -> Atomic.incr cache_hits
          | _ -> ());
-        drain ()
+        (match expect with
+         | Some e when e.(i) <> "" && e.(i) <> r.r_body ->
+           Atomic.incr mismatches;
+           Atomic.incr failed
+         | _ -> ());
+        (match record with Some rec_ -> rec_.(i) <- r.r_body | None -> ());
+        go (i + clients)
       end
     in
-    (try drain () with _ ->
-       (* A dead connection fails the remaining share of the corpus;
-          count one failure so the record can't claim a clean run. *)
-       Atomic.incr failed);
-    try Unix.close c.fd with Unix.Unix_error _ -> ()
+    try go c
+    with _ ->
+      (* A dead connection fails the remaining share of the corpus;
+         count one failure so the record can't claim a clean run. *)
+      Atomic.incr failed
   in
   let t0 = Budget.now_s () in
-  let threads =
-    List.init (max 1 clients) (fun _ -> Thread.create worker ())
-  in
+  let threads = Array.to_list (Array.init clients (fun c -> Thread.create worker c)) in
   List.iter Thread.join threads;
   let seconds = Budget.now_s () -. t0 in
   let sorted = Array.map (fun s -> 1000. *. s) latencies in
   Array.sort compare sorted;
-  { seconds;
-    requests = n;
-    failed = Atomic.get failed;
-    cache_hits = Atomic.get cache_hits;
-    p50_ms = percentile sorted 0.50;
-    p95_ms = percentile sorted 0.95;
-    p99_ms = percentile sorted 0.99 }
+  ( { seconds;
+      requests = n;
+      failed = Atomic.get failed;
+      cache_hits = Atomic.get cache_hits;
+      p50_ms = percentile sorted 0.50;
+      p95_ms = percentile sorted 0.95;
+      p99_ms = percentile sorted 0.99 },
+    Atomic.get mismatches )
+
+(* ------------------------------------------------------------------ *)
+(* Metrics scrape: per-domain request split and coalesced count       *)
+(* ------------------------------------------------------------------ *)
+
+let float_of_metric s = match float_of_string_opt (String.trim s) with
+  | Some f -> f
+  | None -> 0.
+
+(* Pull the merged exposition once per run and keep the series the
+   record needs: wqi_domain_requests_total{domain="i"} rows (ordered by
+   domain index) and the single-flight coalesced counter. *)
+let scrape_metrics ~host ~port =
+  match connect host port with
+  | exception _ -> ([||], 0)
+  | c ->
+    let parse body =
+      let domains = Hashtbl.create 8 in
+      let coalesced = ref 0 in
+      (String.split_on_char '\n' body
+       |> List.iter (fun line ->
+          let prefix = "wqi_domain_requests_total{domain=\"" in
+          if String.length line > String.length prefix
+             && String.sub line 0 (String.length prefix) = prefix
+          then begin
+            let rest =
+              String.sub line (String.length prefix)
+                (String.length line - String.length prefix)
+            in
+            match String.index_opt rest '"' with
+            | Some q ->
+              (match int_of_string_opt (String.sub rest 0 q) with
+               | Some d ->
+                 (match String.index_opt rest ' ' with
+                  | Some sp ->
+                    let v =
+                      String.sub rest (sp + 1) (String.length rest - sp - 1)
+                    in
+                    Hashtbl.replace domains d
+                      (int_of_float (float_of_metric v))
+                  | None -> ())
+               | None -> ())
+            | None -> ()
+          end
+          else
+            match String.index_opt line ' ' with
+            | Some sp when String.sub line 0 sp = "wqi_cache_coalesced_total" ->
+              coalesced :=
+                int_of_float
+                  (float_of_metric
+                     (String.sub line (sp + 1) (String.length line - sp - 1)))
+            | _ -> ()));
+      let per_domain =
+        let n = Hashtbl.length domains in
+        Array.init n (fun i ->
+            match Hashtbl.find_opt domains i with Some v -> v | None -> 0)
+      in
+      (per_domain, !coalesced)
+    in
+    let result =
+      match request c ~meth:"GET" ~target:"/metrics" ~body:"" with
+      | { status = 200; r_body; _ } -> parse r_body
+      | _ | (exception _) -> ([||], 0)
+    in
+    (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    result
 
 (* ------------------------------------------------------------------ *)
 (* Server lifecycle (spawn mode)                                      *)
@@ -251,6 +346,9 @@ type run = {
   r_jobs : int;
   cold : pass;
   warm : pass;
+  domain_requests : int array;
+  coalesced : int;
+  identity_mismatches : int;
   server_exit : int option;
 }
 
@@ -269,26 +367,39 @@ let pass_json p =
 let write_json file ~smoke ~interfaces ~clients runs =
   let oc = open_out file in
   let p fmt = Printf.fprintf oc fmt in
+  let cores = Domain.recommended_domain_count () in
   p "{\n";
-  p "  \"schema_version\": 1,\n";
+  p "  \"schema_version\": 2,\n";
   p "  \"smoke\": %b,\n" smoke;
   p "  \"interfaces\": %d,\n" interfaces;
   p "  \"clients\": %d,\n" clients;
-  p "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
+  p "  \"cores\": %d,\n" cores;
   p "  \"runs\": [\n";
   List.iteri
     (fun i r ->
-       p "    {\"jobs\": %d, \"cold\": %s, \"warm\": %s, \"server_exit\": %s}%s\n"
-         r.r_jobs (pass_json r.cold) (pass_json r.warm)
+       p
+         "    {\"jobs\": %d, \"cores\": %d, \"cold\": %s, \"warm\": %s, \
+          \"domain_requests\": [%s], \"coalesced\": %d, \
+          \"identity_mismatches\": %d, \"server_exit\": %s}%s\n"
+         r.r_jobs cores (pass_json r.cold) (pass_json r.warm)
+         (String.concat ", "
+            (Array.to_list (Array.map string_of_int r.domain_requests)))
+         r.coalesced r.identity_mismatches
          (match r.server_exit with
           | Some c -> string_of_int c
           | None -> "null")
          (if i = List.length runs - 1 then "" else ","))
     runs;
   p "  ],\n";
+  (* Speedup on the warm (cache-hit) passes: that is the path that had
+     regressed under the old shared-pool server and the path the
+     validator gates on multi-core machines. *)
+  let warm_rps r = float_of_int r.warm.requests /. r.warm.seconds in
   let cold_rps r = float_of_int r.cold.requests /. r.cold.seconds in
   let first = List.hd runs and last = List.nth runs (List.length runs - 1) in
   p "  \"throughput_speedup_jobs\": %s,\n"
+    (json_float (warm_rps last /. warm_rps first));
+  p "  \"cold_speedup_jobs\": %s,\n"
     (json_float (cold_rps last /. cold_rps first));
   p "  \"warm_over_cold_p50\": %s\n"
     (json_float (last.cold.p50_ms /. Float.max 1e-6 last.warm.p50_ms));
@@ -297,10 +408,14 @@ let write_json file ~smoke ~interfaces ~clients runs =
   Format.eprintf "wrote %s@." file
 
 let () =
+  let cores = Domain.recommended_domain_count () in
   let server_exe = ref None in
   let host = ref "127.0.0.1" in
   let port = ref None in
-  let jobs_list = ref [ 1; 4 ] in
+  (* On a small machine a jobs=cores run cannot demonstrate a speedup,
+     only record noise (or, on 1-2 cores, a regression).  Default to a
+     scaling comparison only where one is measurable. *)
+  let jobs_list = ref (if cores >= 4 then [ 1; cores ] else [ 1 ]) in
   let clients = ref 8 in
   let interfaces = ref 120 in
   let json = ref None in
@@ -337,25 +452,56 @@ let () =
   in
   Format.eprintf "corpus: %d interfaces, %d bytes@." (Array.length docs)
     total_bytes;
+  (* Bodies from the first run's cold pass: every later run (different
+     jobs count, different server process) must reproduce them
+     byte-for-byte, cache hits included. *)
+  let reference = Array.make (Array.length docs) "" in
+  let have_reference = ref false in
   let one_run ~jobs ~host ~port ~server =
     Format.eprintf "jobs=%d port=%d: cold pass...@." jobs port;
-    let cold = run_pass ~host ~port ~clients:!clients ~docs in
+    let conns =
+      Array.init (max 1 !clients) (fun _ -> connect host port)
+    in
+    let cold_bodies = Array.make (Array.length docs) "" in
+    let cold, cold_mism =
+      run_pass ~conns ~docs
+        ~expect:(if !have_reference then Some reference else None)
+        ~record:(Some cold_bodies)
+    in
     Format.eprintf
       "  cold: %.3f s (%.1f req/s), p50 %.2f ms, p95 %.2f ms, %d failed@."
       cold.seconds
       (float_of_int cold.requests /. cold.seconds)
       cold.p50_ms cold.p95_ms cold.failed;
-    let warm = run_pass ~host ~port ~clients:!clients ~docs in
+    (* Warm pass reuses the SAME connections, so every request lands on
+       the shard that cached its cold response. *)
+    let warm, warm_mism =
+      run_pass ~conns ~docs ~expect:(Some cold_bodies) ~record:None
+    in
     Format.eprintf
       "  warm: %.3f s (%.1f req/s), p50 %.2f ms, %d cache hits, %d failed@."
       warm.seconds
       (float_of_int warm.requests /. warm.seconds)
       warm.p50_ms warm.cache_hits warm.failed;
+    if not !have_reference then begin
+      Array.blit cold_bodies 0 reference 0 (Array.length docs);
+      have_reference := true
+    end;
+    let domain_requests, coalesced = scrape_metrics ~host ~port in
+    Array.iter
+      (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+      conns;
     let server_exit = Option.map stop_server server in
     (match server_exit with
      | Some 0 | None -> ()
      | Some c -> Format.eprintf "  server exited %d (expected 0)@." c);
-    { r_jobs = jobs; cold; warm; server_exit }
+    { r_jobs = jobs;
+      cold;
+      warm;
+      domain_requests;
+      coalesced;
+      identity_mismatches = cold_mism + warm_mism;
+      server_exit }
   in
   let runs =
     match (!server_exe, !port) with

@@ -4,17 +4,18 @@
    endpoint and admission-control semantics.
 
    The process runs until SIGTERM/SIGINT, then drains: in-flight
-   requests finish, idle keep-alive connections are closed, the domain
-   pool is joined, and the process exits 0. *)
+   requests finish, idle keep-alive connections are closed, every
+   serving domain is joined, and the process exits 0. *)
 
 module Serve = Wqi_serve.Serve
 module Cache = Wqi_serve.Cache
 module Extractor = Wqi_core.Extractor
 module Budget = Wqi_core.Budget
 
-let run host port jobs max_inflight max_body cache_bytes cache_ttl_s
-    cache_shards deadline_ms max_instances cap_deadline_ms cap_instances
-    idle_timeout_s trace_sample trace_dir slow_ms access_log =
+let run host port jobs accept_mode max_inflight max_body cache_bytes
+    cache_ttl_s cache_shards deadline_ms max_instances cap_deadline_ms
+    cap_instances idle_timeout_s drain_grace_s trace_sample trace_dir slow_ms
+    access_log =
   let budget =
     match (deadline_ms, max_instances) with
     | None, None -> Budget.unlimited
@@ -38,12 +39,14 @@ let run host port jobs max_inflight max_body cache_bytes cache_ttl_s
     { Serve.host;
       port;
       jobs;
+      accept_mode;
       max_inflight;
       max_body;
       cache;
       extractor = Extractor.Config.(default |> with_budget budget);
       cap_budget;
       idle_timeout_s;
+      drain_grace_s;
       trace_sample;
       trace_dir;
       slow_ms;
@@ -51,12 +54,14 @@ let run host port jobs max_inflight max_body cache_bytes cache_ttl_s
   in
   match
     Serve.run config ~on_listen:(fun t ->
-        Printf.printf "wqi_serve: listening on %s:%d (jobs=%s, max-inflight=%d)\n"
-          host (Serve.port t)
-          (match jobs with
-           | Some j -> string_of_int j
-           | None -> string_of_int (Domain.recommended_domain_count ()))
-          max_inflight;
+        (* The banner is parsed by bench/loadgen and the smoke tests
+           (port = text after the last ':'); keep colons out of the
+           parenthesized part. *)
+        Printf.printf
+          "wqi_serve: listening on %s:%d (jobs=%d, accept=%s, \
+           max-inflight=%d)\n"
+          host (Serve.port t) (Serve.domain_count t)
+          (Serve.accept_mode_name t) max_inflight;
         flush stdout)
   with
   | () -> 0
@@ -76,10 +81,23 @@ let port =
 
 let jobs =
   let doc =
-    "Worker-pool parallelism for extraction (default: the machine's \
-     recommended domain count)."
+    "Serving domains, each with its own accept loop, cache shard and \
+     telemetry arena (default: the machine's recommended domain count)."
   in
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let accept_mode =
+  let doc =
+    "How connections reach serving domains: $(b,reuseport) = one \
+     SO_REUSEPORT listening socket per domain (kernel load-balances), \
+     $(b,dispatch) = a single listener plus a round-robin fd-passing \
+     dispatcher thread, $(b,auto) = reuseport with fallback to dispatch \
+     where the socket option is unsupported."
+  in
+  let modes =
+    [ ("auto", `Auto); ("reuseport", `Reuseport); ("dispatch", `Dispatch) ]
+  in
+  Arg.(value & opt (enum modes) `Auto & info [ "accept" ] ~docv:"MODE" ~doc)
 
 let max_inflight =
   let doc =
@@ -144,6 +162,15 @@ let idle_timeout_s =
        & opt float Serve.default_config.Serve.idle_timeout_s
        & info [ "idle-timeout-s" ] ~docv:"SECONDS" ~doc)
 
+let drain_grace_s =
+  let doc =
+    "How long a graceful drain waits for live connection handlers \
+     before deadline-killing their sockets."
+  in
+  Arg.(value
+       & opt float Serve.default_config.Serve.drain_grace_s
+       & info [ "drain-grace-s" ] ~docv:"SECONDS" ~doc)
+
 let trace_sample =
   let doc =
     "Trace every $(docv)-th extract request end to end (requires \
@@ -197,10 +224,10 @@ let cmd =
   in
   let term =
     Term.(
-      const run $ host $ port $ jobs $ max_inflight $ max_body $ cache_bytes
-      $ cache_ttl_s $ cache_shards $ deadline_ms $ max_instances
-      $ cap_deadline_ms $ cap_instances $ idle_timeout_s $ trace_sample
-      $ trace_dir $ slow_ms $ access_log)
+      const run $ host $ port $ jobs $ accept_mode $ max_inflight $ max_body
+      $ cache_bytes $ cache_ttl_s $ cache_shards $ deadline_ms $ max_instances
+      $ cap_deadline_ms $ cap_instances $ idle_timeout_s $ drain_grace_s
+      $ trace_sample $ trace_dir $ slow_ms $ access_log)
   in
   Cmd.v (Cmd.info "wqi_serve" ~version:"1.0.0" ~doc ~man) term
 

@@ -247,3 +247,19 @@ let map_list pool f input =
 let run ?jobs f =
   let pool = create ?jobs () in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(* ------------------------------------------------------------------ *)
+(* Domain groups                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Group = struct
+  type t = unit Domain.t array
+
+  let spawn ~jobs f =
+    let jobs = max 1 jobs in
+    Array.init jobs (fun i -> Domain.spawn (fun () -> f i))
+
+  let size = Array.length
+
+  let join g = Array.iter Domain.join g
+end

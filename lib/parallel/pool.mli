@@ -88,3 +88,26 @@ val shutdown : t -> unit
 val run : ?jobs:int -> (t -> 'a) -> 'a
 (** [run f] = create a pool, apply [f], and shut the pool down even on
     exceptions. *)
+
+(** {1 Domain groups}
+
+    The shared-nothing alternative to the queue: instead of parking
+    tasks on a shared pool, spawn one long-lived domain per core and
+    give each its own loop over state it exclusively owns (the
+    extraction server runs one accept loop, cache shard and telemetry
+    arena per group member).  There is no queue, no futures and no
+    shared mutex — the group only knows how to spawn and join. *)
+module Group : sig
+  type t
+
+  val spawn : jobs:int -> (int -> unit) -> t
+  (** [spawn ~jobs f] starts [max 1 jobs] domains, running [f 0] …
+      [f (jobs - 1)].  [f] receives the member's index and owns
+      whatever state it indexes with it; it must arrange its own exit
+      condition (the server uses a drain flag plus a self-pipe). *)
+
+  val size : t -> int
+
+  val join : t -> unit
+  (** Block until every member's [f] has returned. *)
+end

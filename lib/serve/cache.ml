@@ -35,11 +35,23 @@ type shard = {
   mutable insertions : int;
 }
 
+(* One in-flight extraction per key: the first miss becomes the leader
+   and computes; concurrent misses on the same key park here until the
+   leader publishes, instead of extracting the same document again. *)
+type flight_entry = {
+  mutable fe_result : string option;
+  mutable fe_done : bool;
+}
+
 type t = {
   config : config;
   clock : unit -> float;
   shard_bytes : int;
   shards : shard array;
+  fl_mutex : Mutex.t;  (* guards the in-flight table and [coalesced] *)
+  fl_cond : Condition.t;
+  fl_table : (key, flight_entry) Hashtbl.t;
+  mutable coalesced : int;  (* follower lookups answered by a leader *)
 }
 
 let create ?(clock = Wqi_budget.Budget.now_s) (config : config) =
@@ -59,7 +71,11 @@ let create ?(clock = Wqi_budget.Budget.now_s) (config : config) =
             misses = 0;
             evictions = 0;
             expirations = 0;
-            insertions = 0 }) }
+            insertions = 0 });
+    fl_mutex = Mutex.create ();
+    fl_cond = Condition.create ();
+    fl_table = Hashtbl.create 16;
+    coalesced = 0 }
 
 (* ------------------------------------------------------------------ *)
 (* Keys                                                               *)
@@ -213,6 +229,41 @@ let add t k value =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Single-flight                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type flight = Leader | Follower of string option
+
+let begin_flight t k =
+  Mutex.lock t.fl_mutex;
+  match Hashtbl.find_opt t.fl_table k with
+  | None ->
+    Hashtbl.replace t.fl_table k { fe_result = None; fe_done = false };
+    Mutex.unlock t.fl_mutex;
+    Leader
+  | Some entry ->
+    (* The entry reference outlives its table slot: [end_flight]
+       removes the key but followers woken here still read the
+       published result off the entry itself. *)
+    while not entry.fe_done do
+      Condition.wait t.fl_cond t.fl_mutex
+    done;
+    if entry.fe_result <> None then t.coalesced <- t.coalesced + 1;
+    Mutex.unlock t.fl_mutex;
+    Follower entry.fe_result
+
+let end_flight t k result =
+  Mutex.lock t.fl_mutex;
+  (match Hashtbl.find_opt t.fl_table k with
+   | Some entry ->
+     entry.fe_result <- result;
+     entry.fe_done <- true;
+     Hashtbl.remove t.fl_table k
+   | None -> ());
+  Condition.broadcast t.fl_cond;
+  Mutex.unlock t.fl_mutex
+
+(* ------------------------------------------------------------------ *)
 (* Stats                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -222,12 +273,16 @@ type stats = {
   evictions : int;
   expirations : int;
   insertions : int;
+  coalesced : int;
   entries : int;
   bytes : int;
   capacity : int;
 }
 
 let stats t =
+  Mutex.lock t.fl_mutex;
+  let coalesced = t.coalesced in
+  Mutex.unlock t.fl_mutex;
   Array.fold_left
     (fun acc sh ->
        Mutex.lock sh.mutex;
@@ -244,7 +299,7 @@ let stats t =
        Mutex.unlock sh.mutex;
        acc)
     { hits = 0; misses = 0; evictions = 0; expirations = 0; insertions = 0;
-      entries = 0; bytes = 0; capacity = t.config.max_bytes }
+      coalesced; entries = 0; bytes = 0; capacity = t.config.max_bytes }
     t.shards
 
 let hit_ratio s =

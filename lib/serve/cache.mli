@@ -15,10 +15,19 @@
     carry a TTL so a long-lived daemon eventually re-extracts content
     whose grammar or code may have changed under it.
 
-    The cache is a plain memoizer with no single-flight machinery: two
-    concurrent misses on the same key both compute and the second
-    {!add} wins.  That is deliberate — extractions are pure, so the
-    duplicate work is bounded and harmless. *)
+    In the shared-nothing server each serving domain owns a private
+    cache instance, so none of these mutexes is ever contended across
+    domains on the request path.
+
+    {b Single-flight.} Cold misses can stampede: at start-up every
+    crawler replays the same popular forms at once, and without
+    coordination each concurrent miss extracts the same document.
+    {!begin_flight} elects exactly one leader per key; concurrent
+    misses on the same key park until the leader {!end_flight}s and
+    then read the published bytes instead of re-extracting.  The
+    protocol is advisory and crash-safe: a leader that publishes
+    [None] (shed or failed extraction) wakes its followers empty-handed
+    and they retry on their own. *)
 
 type config = {
   max_bytes : int;  (** total byte bound across all shards *)
@@ -62,12 +71,37 @@ val add : t -> key -> string -> unit
     shard until the value fits.  Values larger than a whole shard are
     not stored. *)
 
+(** {1 Single-flight} *)
+
+type flight =
+  | Leader  (** this caller owns the extraction; it {b must} call
+                {!end_flight} for the same key exactly once *)
+  | Follower of string option
+      (** another caller led; [Some value] is the bytes it published
+          (count it as a hit), [None] means the leader gave up (shed or
+          failed) — re-check the cache and try again *)
+
+val begin_flight : t -> key -> flight
+(** Join (or open) the in-flight extraction for [key].  Returns
+    [Leader] immediately when no extraction is in flight; otherwise
+    {b blocks} until the current leader calls {!end_flight} and returns
+    its published result as [Follower].  Call only after {!find}
+    missed. *)
+
+val end_flight : t -> key -> string option -> unit
+(** Publish the leader's result ([Some value] — normally also
+    {!add}ed — or [None] on failure) and wake every follower.  The key
+    is open for a new flight afterwards.  Idempotent for keys with no
+    open flight. *)
+
 type stats = {
   hits : int;
   misses : int;
   evictions : int;     (** entries dropped to make room *)
   expirations : int;   (** entries dropped because their TTL passed *)
   insertions : int;
+  coalesced : int;     (** follower misses answered by a single-flight
+                           leader instead of a duplicate extraction *)
   entries : int;       (** current entry count, all shards *)
   bytes : int;         (** current value bytes, all shards *)
   capacity : int;      (** configured [max_bytes] *)

@@ -233,9 +233,17 @@ let write_all fd s =
     sent := !sent + Unix.write_substring fd s !sent (n - !sent)
   done
 
-let write_response fd ~status ?(headers = [])
+let write_response ?scratch fd ~status ?(headers = [])
     ?(content_type = "application/json") body =
-  let b = Buffer.create (String.length body + 256) in
+  (* A handler serving a keep-alive connection reuses one scratch
+     buffer across responses instead of allocating per response. *)
+  let b =
+    match scratch with
+    | Some b ->
+      Buffer.clear b;
+      b
+    | None -> Buffer.create (String.length body + 256)
+  in
   Buffer.add_string b
     (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (status_reason status));
   Buffer.add_string b (Printf.sprintf "content-type: %s\r\n" content_type);

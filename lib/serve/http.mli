@@ -44,6 +44,7 @@ val read_request : conn -> max_body:int -> request option
     receive timeout) passes through. *)
 
 val write_response :
+  ?scratch:Buffer.t ->
   Unix.file_descr ->
   status:int ->
   ?headers:(string * string) list ->
@@ -52,7 +53,10 @@ val write_response :
   unit
 (** Write a full response with [Content-Length].  [content_type]
     defaults to [application/json].  The caller decides connection
-    reuse; pass [("connection", "close")] in [headers] when closing. *)
+    reuse; pass [("connection", "close")] in [headers] when closing.
+    [scratch], when given, is cleared and used to assemble the
+    response bytes — a per-connection handler passes the same buffer
+    for every response so keep-alive traffic stops allocating. *)
 
 val status_reason : int -> string
 (** Reason phrase for the status codes this server emits. *)

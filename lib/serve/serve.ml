@@ -1,21 +1,25 @@
-module Pool = Wqi_parallel.Pool
 module Extractor = Wqi_core.Extractor
 module Budget = Wqi_budget.Budget
 module Export = Wqi_model.Export
 module Trace = Wqi_obs.Trace
+module Group = Wqi_parallel.Pool.Group
 
 let version = "1.0.0"
+
+type accept_mode = [ `Auto | `Reuseport | `Dispatch ]
 
 type config = {
   host : string;
   port : int;
   jobs : int option;
+  accept_mode : accept_mode;
   max_inflight : int;
   max_body : int;
   cache : Cache.config option;
   extractor : Extractor.Config.t;
   cap_budget : Budget.t;
   idle_timeout_s : float;
+  drain_grace_s : float;
   trace_sample : int;
   trace_dir : string option;
   slow_ms : float option;
@@ -26,42 +30,78 @@ let default_config =
   { host = "127.0.0.1";
     port = 8080;
     jobs = None;
+    accept_mode = `Auto;
     max_inflight = 4 * Domain.recommended_domain_count ();
     max_body = 4 * 1024 * 1024;
     cache = Some Cache.default_config;
     extractor = Extractor.Config.default;
     cap_budget = Budget.unlimited;
     idle_timeout_s = 5.;
+    drain_grace_s = 30.;
     trace_sample = 0;
     trace_dir = None;
     slow_ms = None;
     access_log = None }
 
+(* ------------------------------------------------------------------ *)
+(* Per-domain state                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* One live connection handler.  [h_thread] is filled by the accept
+   loop right after [Thread.create]; only the accept loop and the
+   handler itself touch the registry, both under [s_mutex]. *)
+type handler = {
+  h_fd : Unix.file_descr;
+  mutable h_thread : Thread.t option;
+}
+
+(* Everything a serving domain touches on its request path lives here
+   and belongs to this domain alone: its own listening socket (or
+   dispatcher inbox), its own cache shard, its own telemetry arena and
+   its own handler registry.  Nothing in a request's
+   accept → parse → extract → respond path crosses into another
+   domain's shard. *)
+type shard = {
+  s_index : int;
+  s_listen : Unix.file_descr option;  (* own socket in `Reuseport mode *)
+  s_cache : Cache.t option;
+  s_telemetry : Telemetry.t;
+  s_mutex : Mutex.t;  (* guards registry, zombies, token and inbox *)
+  s_cond : Condition.t;  (* dispatcher inbox: fd queued, or draining *)
+  s_live : (int, handler) Hashtbl.t;  (* token -> live handler *)
+  mutable s_zombies : Thread.t list;  (* finished handlers, to join *)
+  mutable s_token : int;
+  s_pending : Unix.file_descr Queue.t;  (* `Dispatch mode inbox *)
+}
+
 type t = {
   config : config;
-  listen_fd : Unix.file_descr;
   bound_port : int;
-  pool : Pool.t;
-  cache : Cache.t option;
-  telemetry : Telemetry.t;
+  mode : [ `Reuseport | `Dispatch ];
+  shards : shard array;
+  dispatch_listen : Unix.file_descr option;  (* `Dispatch mode only *)
+  inflight : int Atomic.t;  (* admitted extractions, all domains *)
+  peak_inflight : int Atomic.t;
   req_seed : string;          (* per-process prefix of request ids *)
   req_counter : int Atomic.t; (* request-id sequence *)
   sample_counter : int Atomic.t;  (* extract requests seen, for --trace-sample *)
   access_out : out_channel option;  (* structured access log sink *)
   log_mutex : Mutex.t;        (* one access-log line at a time *)
-  stop_r : Unix.file_descr;  (* self-pipe: wakes the accept loop *)
+  stop_r : Unix.file_descr;  (* self-pipe: wakes every accept loop *)
   stop_w : Unix.file_descr;
   draining : bool Atomic.t;
-  mutex : Mutex.t;            (* guards the three fields below *)
-  cond : Condition.t;
-  mutable conns : int;        (* live connection threads *)
-  mutable extract_inflight : int;  (* admitted extractions *)
-  mutable accept_thread : Thread.t option;
+  mutable dispatcher : Thread.t option;
+  mutable domains : Group.t option;
 }
 
 let draining t = Atomic.get t.draining
 
 let port t = t.bound_port
+
+let jobs_of config =
+  match config.jobs with
+  | Some j -> max 1 j
+  | None -> Domain.recommended_domain_count ()
 
 (* ------------------------------------------------------------------ *)
 (* Budget-override parsing                                            *)
@@ -130,12 +170,12 @@ let budget_of_query config req =
 let json_error msg =
   Export.obj [ ("error", Export.string msg) ]
 
-let respond fd ~status ?headers ?content_type body =
-  try Http.write_response fd ~status ?headers ?content_type body
+let respond ?scratch fd ~status ?headers ?content_type body =
+  try Http.write_response ?scratch fd ~status ?headers ?content_type body
   with Unix.Unix_error _ -> ()  (* peer went away; nothing to salvage *)
 
-let observe t ~code ?outcome ?cache_hit ?stats t0 =
-  Telemetry.observe_request t.telemetry ~code ?outcome ?cache_hit ?stats
+let observe sh ~code t0 =
+  Telemetry.observe_request sh.s_telemetry ~code
     ~seconds:(Budget.now_s () -. t0) ()
 
 let outcome_tag = function
@@ -163,7 +203,10 @@ let iso8601 now =
     tm.Unix.tm_sec ms
 
 (* One JSON object per request, flushed per line so `tail -f` and crash
-   post-mortems both see complete records. *)
+   post-mortems both see complete records.  The sink is the one piece
+   of shared mutable state left on the request path — it only exists
+   when --access-log is on, and interleaving lines from several
+   domains into one file needs a lock by construction. *)
 let log_access t ~meth ~path ~status ~bytes ~seconds ~cache ~outcome ~id =
   match t.access_out with
   | None -> ()
@@ -192,13 +235,17 @@ let log_slow t ~meth ~path ~status ~seconds ~id =
 
 (* Respond and account in one move: telemetry (status, outcome, latency,
    per-stage histograms), the structured access log, and the
-   slow-request log all see exactly the bytes that went on the wire. *)
-let finish t fd req ~t0 ~id ~status ?headers ?content_type ?outcome ?cache_hit
-    ?stats ?stage_seconds ?(cache = "-") body =
-  respond fd ~status ?headers ?content_type body;
+   slow-request log all see exactly the bytes that went on the wire.
+   Telemetry lands in the serving domain's own arena. *)
+let finish t sh ~scratch fd req ~t0 ~id ~status ?headers ?content_type ?outcome
+    ?cache_hit ?stats ?stage_seconds ?(cache = "-") body =
   let seconds = Budget.now_s () -. t0 in
-  Telemetry.observe_request t.telemetry ~code:status ?outcome ?cache_hit ?stats
-    ?stage_seconds ~seconds ();
+  (* Account before writing: once the client has the response bytes, a
+     /metrics scrape must already see this request, or a scrape racing
+     the last response reads an undercounted split. *)
+  Telemetry.observe_request sh.s_telemetry ~code:status ?outcome ?cache_hit
+    ?stats ?stage_seconds ~seconds ();
+  respond ~scratch fd ~status ?headers ?content_type body;
   let meth = req.Http.meth and path = req.Http.path in
   let outcome =
     match outcome with Some o -> outcome_name o | None -> "-"
@@ -253,22 +300,97 @@ let decode_cached s =
     | 'D' -> (`Degraded, String.sub s 1 (String.length s - 1))
     | _ -> (`Complete, String.sub s 1 (String.length s - 1))
 
+(* Admission control is the one deliberately global limit: it bounds
+   the whole process's concurrent extraction work, so it is a single
+   atomic counter — one lock-free fetch-and-add per admitted request,
+   never a mutex. *)
 let admit t =
-  Mutex.lock t.mutex;
-  let admitted = t.extract_inflight < t.config.max_inflight in
-  if admitted then t.extract_inflight <- t.extract_inflight + 1;
-  Mutex.unlock t.mutex;
-  admitted
+  let rec go () =
+    let cur = Atomic.get t.inflight in
+    if cur >= t.config.max_inflight then false
+    else if Atomic.compare_and_set t.inflight cur (cur + 1) then begin
+      let rec bump () =
+        let p = Atomic.get t.peak_inflight in
+        if cur + 1 > p
+           && not (Atomic.compare_and_set t.peak_inflight p (cur + 1))
+        then bump ()
+      in
+      bump ();
+      true
+    end
+    else go ()
+  in
+  go ()
 
-let release t =
-  Mutex.lock t.mutex;
-  t.extract_inflight <- t.extract_inflight - 1;
-  Mutex.unlock t.mutex
+let release t = ignore (Atomic.fetch_and_add t.inflight (-1))
 
-let handle_extract t fd req t0 ~id =
+let respond_hit t sh ~scratch fd req ~t0 ~id stored =
+  let outcome, body = decode_cached stored in
+  finish t sh ~scratch fd req ~t0 ~id ~status:200
+    ~headers:
+      [ ("x-wqi-outcome", outcome_name outcome);
+        ("x-wqi-cache", "hit");
+        ("x-wqi-trace-id", id) ]
+    ~outcome ~cache_hit:true ~cache:"hit" body
+
+(* Run the extraction on this handler thread, inside this domain: the
+   whole accept → parse → extract → respond path stays on one core.
+   [publish] tells the single-flight leader path to feed waiters. *)
+let run_extraction t sh ~scratch fd req ~t0 ~id ~budget ~name ~publish ckey =
+  if not (admit t) then begin
+    publish None;
+    Telemetry.shed sh.s_telemetry;
+    finish t sh ~scratch fd req ~t0 ~id ~status:503
+      ~headers:[ ("retry-after", "1"); ("x-wqi-trace-id", id) ]
+      ~cache:"shed"
+      (json_error "server at capacity; retry shortly")
+  end
+  else begin
+    let published = ref false in
+    let publish_once v =
+      if not !published then begin
+        published := true;
+        publish v
+      end
+    in
+    Fun.protect
+      ~finally:(fun () ->
+          release t;
+          publish_once None)
+    @@ fun () ->
+    let config = Extractor.Config.with_budget budget t.config.extractor in
+    let tdir = want_trace t req in
+    let trace =
+      match tdir with None -> None | Some _ -> Some (Trace.create ())
+    in
+    let e = Extractor.run ?trace config (Extractor.Html req.Http.body) in
+    (match (trace, tdir) with
+     | Some tr, Some dir -> write_trace dir ~id tr
+     | _ -> ());
+    let body = Extractor.export ~timings:false ~name e in
+    let tag = outcome_tag e.Extractor.outcome in
+    let status = match tag with `Failed -> 500 | _ -> 200 in
+    (match (sh.s_cache, ckey, tag) with
+     | Some cache, Some k, (`Complete | `Degraded) ->
+       let stored = encode_cached tag body in
+       Cache.add cache k stored;
+       publish_once (Some stored)
+     | _ -> publish_once None);
+    let cache = if Option.is_none sh.s_cache then "off" else "miss" in
+    finish t sh ~scratch fd req ~t0 ~id ~status
+      ~headers:
+        [ ("x-wqi-outcome", outcome_name tag);
+          ("x-wqi-cache", cache);
+          ("x-wqi-trace-id", id) ]
+      ~outcome:tag ~stats:e.Extractor.diagnostics.Extractor.parse_stats
+      ~stage_seconds:(stage_seconds_of e.Extractor.diagnostics)
+      ~cache body
+  end
+
+let handle_extract t sh ~scratch fd req t0 ~id =
   match budget_of_query t.config req with
   | Error msg ->
-    finish t fd req ~t0 ~id ~status:400
+    finish t sh ~scratch fd req ~t0 ~id ~status:400
       ~headers:[ ("x-wqi-trace-id", id) ]
       (json_error msg)
   | Ok budget ->
@@ -282,221 +404,441 @@ let handle_extract t fd req t0 ~id =
         (Export.budget budget)
     in
     let ckey =
-      Option.map (fun _ -> Cache.key ~html:req.Http.body ~spec) t.cache
+      Option.map (fun _ -> Cache.key ~html:req.Http.body ~spec) sh.s_cache
     in
-    let cached =
-      match (t.cache, ckey) with
-      | Some cache, Some k -> Cache.find cache k
-      | _ -> None
+    (* Single-flight retry loop: a follower woken without a value
+       (leader shed or failed) re-checks the cache and competes to
+       lead; the attempt bound is a backstop, after which the request
+       extracts on its own rather than loop. *)
+    let rec attempt n =
+      let cached =
+        match (sh.s_cache, ckey) with
+        | Some cache, Some k -> Cache.find cache k
+        | _ -> None
+      in
+      match cached with
+      | Some stored -> respond_hit t sh ~scratch fd req ~t0 ~id stored
+      | None ->
+        (match (sh.s_cache, ckey) with
+         | Some cache, Some k when n < 8 ->
+           (match Cache.begin_flight cache k with
+            | Cache.Follower (Some stored) ->
+              respond_hit t sh ~scratch fd req ~t0 ~id stored
+            | Cache.Follower None -> attempt (n + 1)
+            | Cache.Leader ->
+              run_extraction t sh ~scratch fd req ~t0 ~id ~budget ~name
+                ~publish:(fun v -> Cache.end_flight cache k v)
+                ckey)
+         | _ ->
+           run_extraction t sh ~scratch fd req ~t0 ~id ~budget ~name
+             ~publish:(fun _ -> ())
+             ckey)
     in
-    (match cached with
-     | Some stored ->
-       let outcome, body = decode_cached stored in
-       finish t fd req ~t0 ~id ~status:200
-         ~headers:
-           [ ("x-wqi-outcome", outcome_name outcome);
-             ("x-wqi-cache", "hit");
-             ("x-wqi-trace-id", id) ]
-         ~outcome ~cache_hit:true ~cache:"hit" body
-     | None ->
-       if not (admit t) then begin
-         Telemetry.shed t.telemetry;
-         finish t fd req ~t0 ~id ~status:503
-           ~headers:[ ("retry-after", "1"); ("x-wqi-trace-id", id) ]
-           ~cache:"shed"
-           (json_error "server at capacity; retry shortly")
-       end
-       else
-         Fun.protect ~finally:(fun () -> release t) @@ fun () ->
-         let config =
-           Extractor.Config.with_budget budget t.config.extractor
-         in
-         let tdir = want_trace t req in
-         (* The trace rides into the pool closure: exactly one worker
-            domain writes it, and this thread only reads it back after
-            [await] — no concurrent access. *)
-         let trace =
-           match tdir with None -> None | Some _ -> Some (Trace.create ())
-         in
-         let fut =
-           Pool.submit t.pool (fun () ->
-               Extractor.run ?trace config (Extractor.Html req.Http.body))
-         in
-         let e = Pool.await fut in
-         (match (trace, tdir) with
-          | Some tr, Some dir -> write_trace dir ~id tr
-          | _ -> ());
-         let body = Extractor.export ~timings:false ~name e in
-         let tag = outcome_tag e.Extractor.outcome in
-         let status = match tag with `Failed -> 500 | _ -> 200 in
-         (match (t.cache, ckey, tag) with
-          | Some cache, Some k, (`Complete | `Degraded) ->
-            Cache.add cache k (encode_cached tag body)
-          | _ -> ());
-         let cache = if Option.is_none t.cache then "off" else "miss" in
-         finish t fd req ~t0 ~id ~status
-           ~headers:
-             [ ("x-wqi-outcome", outcome_name tag);
-               ("x-wqi-cache", cache);
-               ("x-wqi-trace-id", id) ]
-           ~outcome:tag ~stats:e.Extractor.diagnostics.Extractor.parse_stats
-           ~stage_seconds:(stage_seconds_of e.Extractor.diagnostics)
-           ~cache body)
+    attempt 0
+
+(* ------------------------------------------------------------------ *)
+(* Metrics: merge-on-scrape                                           *)
+(* ------------------------------------------------------------------ *)
+
+let mode_name = function `Reuseport -> "reuseport" | `Dispatch -> "dispatch"
+
+let pending_conns t =
+  match t.mode with
+  | `Reuseport -> 0
+  | `Dispatch ->
+    Array.fold_left
+      (fun acc sh ->
+         Mutex.lock sh.s_mutex;
+         let n = Queue.length sh.s_pending in
+         Mutex.unlock sh.s_mutex;
+         acc + n)
+      0 t.shards
 
 let metrics_body t =
+  (* One snapshot per domain arena (each under its own mutex, briefly),
+     then a lock-free merge: the scrape pays the coordination cost, the
+     request path pays none. *)
+  let snaps = Array.map (fun sh -> Telemetry.snapshot sh.s_telemetry) t.shards in
+  let merged = Telemetry.merge (Array.to_list snaps) in
   let cache_series =
-    match t.cache with
-    | None -> []
-    | Some cache ->
-      let s = Cache.stats cache in
+    if Array.for_all (fun sh -> sh.s_cache = None) t.shards then []
+    else begin
+      let zero =
+        { Cache.hits = 0; misses = 0; evictions = 0; expirations = 0;
+          insertions = 0; coalesced = 0; entries = 0; bytes = 0; capacity = 0 }
+      in
+      let s =
+        Array.fold_left
+          (fun acc sh ->
+             match sh.s_cache with
+             | None -> acc
+             | Some cache ->
+               let s = Cache.stats cache in
+               { Cache.hits = acc.Cache.hits + s.Cache.hits;
+                 misses = acc.Cache.misses + s.Cache.misses;
+                 evictions = acc.Cache.evictions + s.Cache.evictions;
+                 expirations = acc.Cache.expirations + s.Cache.expirations;
+                 insertions = acc.Cache.insertions + s.Cache.insertions;
+                 coalesced = acc.Cache.coalesced + s.Cache.coalesced;
+                 entries = acc.Cache.entries + s.Cache.entries;
+                 bytes = acc.Cache.bytes + s.Cache.bytes;
+                 capacity = acc.Cache.capacity + s.Cache.capacity })
+          zero t.shards
+      in
       [ ("wqi_cache_hits_total", "Result-cache hits.", `Counter,
-         float_of_int s.Cache.hits);
+         [ ("", float_of_int s.Cache.hits) ]);
         ("wqi_cache_misses_total", "Result-cache misses.", `Counter,
-         float_of_int s.Cache.misses);
+         [ ("", float_of_int s.Cache.misses) ]);
         ("wqi_cache_evictions_total",
          "Entries evicted to respect the byte bound.", `Counter,
-         float_of_int s.Cache.evictions);
+         [ ("", float_of_int s.Cache.evictions) ]);
         ("wqi_cache_expirations_total", "Entries dropped by TTL.", `Counter,
-         float_of_int s.Cache.expirations);
+         [ ("", float_of_int s.Cache.expirations) ]);
+        ("wqi_cache_coalesced_total",
+         "Cold misses answered by a single-flight leader.", `Counter,
+         [ ("", float_of_int s.Cache.coalesced) ]);
         ("wqi_cache_entries", "Resident cache entries.", `Gauge,
-         float_of_int s.Cache.entries);
+         [ ("", float_of_int s.Cache.entries) ]);
         ("wqi_cache_bytes", "Resident cache bytes.", `Gauge,
-         float_of_int s.Cache.bytes);
+         [ ("", float_of_int s.Cache.bytes) ]);
         ("wqi_cache_hit_ratio", "hits / (hits + misses).", `Gauge,
-         Cache.hit_ratio s) ]
+         [ ("", Cache.hit_ratio s) ]) ]
+    end
   in
-  Mutex.lock t.mutex;
-  let inflight = t.extract_inflight in
-  Mutex.unlock t.mutex;
-  Telemetry.render t.telemetry
+  let domain_rows =
+    Array.to_list
+      (Array.mapi
+         (fun i sn ->
+            (Printf.sprintf "domain=\"%d\"" i,
+             float_of_int (Telemetry.requests sn)))
+         snaps)
+  in
+  let inflight = Atomic.get t.inflight in
+  Telemetry.render_snapshot merged
     ~extra:
       (cache_series
-       @ [ ("wqi_pool_queue_depth", "Tasks queued on the domain pool.",
-            `Gauge, float_of_int (Pool.queue_depth t.pool));
-           ("wqi_pool_inflight", "Tasks executing on the domain pool.",
-            `Gauge, float_of_int (Pool.inflight t.pool));
+       @ [ ("wqi_domain_requests_total",
+            "Requests served, by owning domain (merge-on-scrape).",
+            `Counter, domain_rows);
+           ("wqi_pool_queue_depth",
+            "Accepted connections waiting for a domain (dispatch mode).",
+            `Gauge, [ ("", float_of_int (pending_conns t)) ]);
+           ("wqi_pool_inflight", "Extractions executing across domains.",
+            `Gauge, [ ("", float_of_int inflight) ]);
            ("wqi_inflight_requests",
-            "Admitted extract requests (queued or running).", `Gauge,
-            float_of_int inflight);
-           ("wqi_pool_jobs", "Worker-pool parallelism.", `Gauge,
-            float_of_int (Pool.jobs t.pool));
+            "Admitted extract requests currently running.", `Gauge,
+            [ ("", float_of_int inflight) ]);
+           ("wqi_pool_jobs", "Serving domains (one accept loop each).",
+            `Gauge, [ ("", float_of_int (Array.length t.shards)) ]);
            ("wqi_pool_peak_inflight",
-            "High-water mark of tasks executing on the domain pool.",
-            `Gauge, float_of_int (Pool.peak_inflight t.pool)) ])
+            "High-water mark of concurrent extractions.", `Gauge,
+            [ ("", float_of_int (Atomic.get t.peak_inflight)) ]);
+           ("wqi_accept_mode_info",
+            "Accept architecture in use; value is always 1.", `Gauge,
+            [ (Printf.sprintf "mode=\"%s\"" (mode_name t.mode), 1.) ]) ])
 
 (* Returns whether the connection may be kept alive. *)
-let handle_request t fd req =
+let handle_request t sh ~scratch fd req =
   let t0 = Budget.now_s () in
   let id = fresh_id t in
   (match (req.Http.meth, req.Http.path) with
    | "GET", "/healthz" ->
      if draining t then
-       finish t fd req ~t0 ~id ~status:503 ~content_type:"text/plain"
-         "draining\n"
+       finish t sh ~scratch fd req ~t0 ~id ~status:503
+         ~content_type:"text/plain" "draining\n"
      else
-       finish t fd req ~t0 ~id ~status:200 ~content_type:"text/plain" "ok\n"
+       finish t sh ~scratch fd req ~t0 ~id ~status:200
+         ~content_type:"text/plain" "ok\n"
    | "GET", "/metrics" ->
-     finish t fd req ~t0 ~id ~status:200
+     finish t sh ~scratch fd req ~t0 ~id ~status:200
        ~content_type:"text/plain; version=0.0.4" (metrics_body t)
    | "POST", "/extract" ->
      if draining t then
-       finish t fd req ~t0 ~id ~status:503
+       finish t sh ~scratch fd req ~t0 ~id ~status:503
          ~headers:[ ("retry-after", "1") ]
          (json_error "draining")
-     else handle_extract t fd req t0 ~id
+     else handle_extract t sh ~scratch fd req t0 ~id
    | ("GET" | "HEAD"), "/extract" ->
-     finish t fd req ~t0 ~id ~status:405 ~headers:[ ("allow", "POST") ]
+     finish t sh ~scratch fd req ~t0 ~id ~status:405
+       ~headers:[ ("allow", "POST") ]
        (json_error "use POST")
-   | _ -> finish t fd req ~t0 ~id ~status:404 (json_error "not found"));
+   | _ -> finish t sh ~scratch fd req ~t0 ~id ~status:404 (json_error "not found"));
   req.Http.keep_alive
 
-let conn_finished t =
-  Mutex.lock t.mutex;
-  t.conns <- t.conns - 1;
-  if t.conns = 0 then Condition.broadcast t.cond;
-  Mutex.unlock t.mutex
+(* ------------------------------------------------------------------ *)
+(* Connection handlers                                                *)
+(* ------------------------------------------------------------------ *)
 
-let handle_conn t fd =
+let conn_finished sh token =
+  Mutex.lock sh.s_mutex;
+  (match Hashtbl.find_opt sh.s_live token with
+   | Some h ->
+     Hashtbl.remove sh.s_live token;
+     (* Move our Thread.t to the zombie list so the accept loop (or
+        the drain) can [Thread.join] it — handlers are never
+        fire-and-forgotten. *)
+     (match h.h_thread with
+      | Some th -> sh.s_zombies <- th :: sh.s_zombies
+      | None -> ())  (* registration in flight; the accept loop zombies it *)
+   | None -> ());
+  Mutex.unlock sh.s_mutex
+
+let handle_conn t sh token fd =
   (try Unix.setsockopt fd Unix.TCP_NODELAY true
    with Unix.Unix_error _ -> ());
   (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.config.idle_timeout_s
    with Unix.Unix_error _ -> ());
   let c = Http.conn fd in
+  let scratch = Buffer.create 4096 in
   let rec loop () =
     if not (draining t) then
       match Http.read_request c ~max_body:t.config.max_body with
       | None -> ()
       | exception Http.Malformed msg ->
         let t0 = Budget.now_s () in
-        respond fd ~status:400 ~headers:[ ("connection", "close") ]
+        respond ~scratch fd ~status:400 ~headers:[ ("connection", "close") ]
           (json_error msg);
-        observe t ~code:400 t0
+        observe sh ~code:400 t0
       | exception Http.Too_large msg ->
         let t0 = Budget.now_s () in
-        respond fd ~status:413 ~headers:[ ("connection", "close") ]
+        respond ~scratch fd ~status:413 ~headers:[ ("connection", "close") ]
           (json_error msg);
-        observe t ~code:413 t0
+        observe sh ~code:413 t0
       | exception
           Unix.Unix_error
             ((EAGAIN | EWOULDBLOCK | ETIMEDOUT | ECONNRESET | EPIPE), _, _) ->
         ()  (* idle timeout or peer reset: just close *)
-      | Some req -> if handle_request t fd req then loop ()
+      | Some req -> if handle_request t sh ~scratch fd req then loop ()
   in
   (try loop () with _ -> ());
   (try Unix.close fd with Unix.Unix_error _ -> ());
-  conn_finished t
+  conn_finished sh token
+
+(* Register, spawn and track one handler.  Only the domain's own loop
+   calls this, so registration cannot race the drain (which runs on
+   the same thread, after the loop exits). *)
+let register_conn t sh fd =
+  Mutex.lock sh.s_mutex;
+  let token = sh.s_token in
+  sh.s_token <- token + 1;
+  Hashtbl.replace sh.s_live token { h_fd = fd; h_thread = None };
+  let finished = sh.s_zombies in
+  sh.s_zombies <- [];
+  Mutex.unlock sh.s_mutex;
+  (* Joining finished handlers here keeps the registry and the thread
+     table bounded by the number of *live* connections on a long-lived
+     server. *)
+  List.iter Thread.join finished;
+  let th = Thread.create (fun () -> handle_conn t sh token fd) () in
+  Mutex.lock sh.s_mutex;
+  (match Hashtbl.find_opt sh.s_live token with
+   | Some h -> h.h_thread <- Some th
+   | None ->
+     (* The handler already finished and removed itself before we could
+        record its thread: zombie it ourselves. *)
+     sh.s_zombies <- th :: sh.s_zombies);
+  Mutex.unlock sh.s_mutex
 
 (* ------------------------------------------------------------------ *)
-(* Accept loop and lifecycle                                          *)
+(* Accept loops and lifecycle                                         *)
 (* ------------------------------------------------------------------ *)
 
-let accept_loop t =
+let accept_loop t sh listen_fd =
   let rec loop () =
     if not (draining t) then begin
       (* The short timeout bounds signal-to-drain latency: a handler
          set by [run] only executes once some thread re-enters OCaml
-         code, and this select is that thread when the server is
-         idle. *)
-      (match Unix.select [ t.listen_fd; t.stop_r ] [] [] 0.25 with
+         code, and this select is that thread when the domain is
+         idle.  The stop pipe is never read, so one write wakes every
+         domain's select at once. *)
+      (match Unix.select [ listen_fd; t.stop_r ] [] [] 0.25 with
        | exception Unix.Unix_error (EINTR, _, _) -> ()
        | ready, _, _ ->
-         if (not (List.mem t.stop_r ready)) && List.mem t.listen_fd ready
+         if (not (List.mem t.stop_r ready)) && List.mem listen_fd ready
          then (
-           match Unix.accept ~cloexec:true t.listen_fd with
+           match Unix.accept ~cloexec:true listen_fd with
            | exception
                Unix.Unix_error
                  ((EAGAIN | EWOULDBLOCK | ECONNABORTED | EINTR), _, _) ->
              ()
-           | fd, _ ->
-             Mutex.lock t.mutex;
-             t.conns <- t.conns + 1;
-             Mutex.unlock t.mutex;
-             ignore (Thread.create (fun () -> handle_conn t fd) ())));
+           | fd, _ -> register_conn t sh fd));
       loop ()
     end
   in
   loop ()
 
-let start config =
-  let addr =
-    try Unix.inet_addr_of_string config.host
-    with Failure _ ->
-      (try (Unix.gethostbyname config.host).Unix.h_addr_list.(0)
-       with Not_found ->
-         invalid_arg (Printf.sprintf "Serve.start: unknown host %S" config.host))
+(* Dispatch-mode inbox: the domain waits for the dispatcher to queue
+   accepted sockets on its shard. *)
+let inbox_loop t sh =
+  let rec loop () =
+    Mutex.lock sh.s_mutex;
+    while Queue.is_empty sh.s_pending && not (draining t) do
+      Condition.wait sh.s_cond sh.s_mutex
+    done;
+    let next = Queue.take_opt sh.s_pending in
+    Mutex.unlock sh.s_mutex;
+    match next with
+    | Some fd ->
+      register_conn t sh fd;
+      loop ()
+    | None -> ()  (* draining and the inbox is empty *)
   in
-  let listen_fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
-  (try
-     Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
-     Unix.bind listen_fd (Unix.ADDR_INET (addr, config.port));
-     Unix.listen listen_fd 128
-   with e ->
-     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
-     raise e);
-  let bound_port =
-    match Unix.getsockname listen_fd with
-    | Unix.ADDR_INET (_, p) -> p
-    | _ -> config.port
+  loop ()
+
+(* Drain one shard: wait for its live handlers to finish (they stop at
+   their next request boundary or receive timeout), deadline-kill the
+   stragglers by shutting their sockets down, then join every handler
+   thread so none outlives the domain. *)
+let drain_shard t sh =
+  let deadline = Budget.now_s () +. t.config.drain_grace_s in
+  let kicked = ref false in
+  let rec wait_live () =
+    Mutex.lock sh.s_mutex;
+    let live = Hashtbl.length sh.s_live in
+    if live = 0 then Mutex.unlock sh.s_mutex
+    else begin
+      if (not !kicked) && Budget.now_s () > deadline then begin
+        kicked := true;
+        Hashtbl.iter
+          (fun _ h ->
+             try Unix.shutdown h.h_fd Unix.SHUTDOWN_ALL
+             with Unix.Unix_error _ -> ())
+          sh.s_live
+      end;
+      Mutex.unlock sh.s_mutex;
+      (* Condition has no timed wait; this loop only runs at shutdown,
+         so a coarse poll is fine. *)
+      Thread.delay 0.02;
+      wait_live ()
+    end
+  in
+  wait_live ();
+  Mutex.lock sh.s_mutex;
+  let finished = sh.s_zombies in
+  sh.s_zombies <- [];
+  Mutex.unlock sh.s_mutex;
+  List.iter Thread.join finished
+
+let domain_main t i =
+  let sh = t.shards.(i) in
+  (match (t.mode, sh.s_listen) with
+   | `Reuseport, Some fd -> accept_loop t sh fd
+   | `Reuseport, None -> ()  (* unreachable by construction *)
+   | `Dispatch, _ -> inbox_loop t sh);
+  drain_shard t sh
+
+(* The fallback for platforms without SO_REUSEPORT: one thread accepts
+   and deals sockets round-robin to the domain inboxes.  Connections
+   (not requests) are the unit of dispatch, so a request still never
+   crosses a domain boundary once its connection lands. *)
+let dispatcher_loop t listen_fd =
+  let n = Array.length t.shards in
+  let next = ref 0 in
+  let rec loop () =
+    if not (draining t) then begin
+      (match Unix.select [ listen_fd; t.stop_r ] [] [] 0.25 with
+       | exception Unix.Unix_error (EINTR, _, _) -> ()
+       | ready, _, _ ->
+         if (not (List.mem t.stop_r ready)) && List.mem listen_fd ready
+         then (
+           match Unix.accept ~cloexec:true listen_fd with
+           | exception
+               Unix.Unix_error
+                 ((EAGAIN | EWOULDBLOCK | ECONNABORTED | EINTR), _, _) ->
+             ()
+           | fd, _ ->
+             let sh = t.shards.(!next mod n) in
+             next := !next + 1;
+             Mutex.lock sh.s_mutex;
+             Queue.push fd sh.s_pending;
+             Condition.signal sh.s_cond;
+             Mutex.unlock sh.s_mutex));
+      loop ()
+    end
+  in
+  loop ();
+  (* Wake every inbox so the domains notice the drain even when no
+     further connection arrives. *)
+  Array.iter
+    (fun sh ->
+       Mutex.lock sh.s_mutex;
+       Condition.broadcast sh.s_cond;
+       Mutex.unlock sh.s_mutex)
+    t.shards
+
+(* ------------------------------------------------------------------ *)
+(* Startup                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let resolve_host host =
+  try Unix.inet_addr_of_string host
+  with Failure _ ->
+    (try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+     with Not_found ->
+       invalid_arg (Printf.sprintf "Serve.start: unknown host %S" host))
+
+let make_listener ~reuseport addr port =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  try
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    if reuseport then Unix.setsockopt fd Unix.SO_REUSEPORT true;
+    Unix.bind fd (Unix.ADDR_INET (addr, port));
+    Unix.listen fd 128;
+    fd
+  with e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
+
+let port_of fd =
+  match Unix.getsockname fd with
+  | Unix.ADDR_INET (_, p) -> p
+  | _ -> 0
+
+let close_all fds =
+  List.iter
+    (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    fds
+
+(* Bind the accept sockets: one per domain under SO_REUSEPORT (the
+   kernel then load-balances new connections across domains), or a
+   single socket plus the fd-passing dispatcher when the option is
+   unavailable (or dispatch is forced). *)
+let bind_listeners config ~jobs addr =
+  let reuseport_listeners () =
+    let first = make_listener ~reuseport:true addr config.port in
+    let port = port_of first in
+    let rec rest acc k =
+      if k = 0 then List.rev acc
+      else
+        match make_listener ~reuseport:true addr port with
+        | fd -> rest (fd :: acc) (k - 1)
+        | exception e ->
+          close_all (first :: acc);
+          raise e
+    in
+    (first :: rest [] (jobs - 1), port)
+  in
+  match config.accept_mode with
+  | `Dispatch ->
+    let fd = make_listener ~reuseport:false addr config.port in
+    (`Dispatch, [], Some fd, port_of fd)
+  | `Reuseport ->
+    let fds, port = reuseport_listeners () in
+    (`Reuseport, fds, None, port)
+  | `Auto ->
+    (match reuseport_listeners () with
+     | fds, port -> (`Reuseport, fds, None, port)
+     | exception
+         Unix.Unix_error
+           ((ENOPROTOOPT | EINVAL | EOPNOTSUPP | EPERM), _, _) ->
+       let fd = make_listener ~reuseport:false addr config.port in
+       (`Dispatch, [], Some fd, port_of fd))
+
+let start config =
+  let addr = resolve_host config.host in
+  let jobs = jobs_of config in
+  let mode, listeners, dispatch_listen, bound_port =
+    bind_listeners config ~jobs addr
   in
   let stop_r, stop_w = Unix.pipe ~cloexec:true () in
   Unix.set_nonblock stop_w;
@@ -519,13 +861,37 @@ let start config =
       (Unix.getpid () land 0xffff)
       (int_of_float (Unix.gettimeofday ()) land 0xffff)
   in
+  (* Each domain owns an equal slice of the configured cache bytes, so
+     the process-wide byte bound is unchanged by the domain count. *)
+  let shard_cache_config =
+    Option.map
+      (fun (c : Cache.config) ->
+         { c with Cache.max_bytes = max 1 (c.Cache.max_bytes / jobs) })
+      config.cache
+  in
+  let listeners = Array.of_list listeners in
+  let shards =
+    Array.init jobs (fun i ->
+        { s_index = i;
+          s_listen =
+            (if i < Array.length listeners then Some listeners.(i) else None);
+          s_cache = Option.map Cache.create shard_cache_config;
+          s_telemetry = Telemetry.create ~version ();
+          s_mutex = Mutex.create ();
+          s_cond = Condition.create ();
+          s_live = Hashtbl.create 16;
+          s_zombies = [];
+          s_token = 0;
+          s_pending = Queue.create () })
+  in
   let t =
     { config;
-      listen_fd;
       bound_port;
-      pool = Pool.create ?jobs:config.jobs ();
-      cache = Option.map (fun c -> Cache.create c) config.cache;
-      telemetry = Telemetry.create ~version ();
+      mode;
+      shards;
+      dispatch_listen;
+      inflight = Atomic.make 0;
+      peak_inflight = Atomic.make 0;
       req_seed;
       req_counter = Atomic.make 0;
       sample_counter = Atomic.make 0;
@@ -534,40 +900,44 @@ let start config =
       stop_r;
       stop_w;
       draining = Atomic.make false;
-      mutex = Mutex.create ();
-      cond = Condition.create ();
-      conns = 0;
-      extract_inflight = 0;
-      accept_thread = None }
+      dispatcher = None;
+      domains = None }
   in
-  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t.domains <- Some (Group.spawn ~jobs (fun i -> domain_main t i));
+  (match (mode, dispatch_listen) with
+   | `Dispatch, Some fd ->
+     t.dispatcher <- Some (Thread.create (fun () -> dispatcher_loop t fd) ())
+   | _ -> ());
   t
 
 let stop t =
   if not (Atomic.exchange t.draining true) then
-    (* Wake the accept loop without waiting for its select timeout. *)
+    (* Wake every accept loop without waiting for its select timeout.
+       The byte is never read back, so the level-triggered select in
+       each domain sees the pipe readable from now on. *)
     try ignore (Unix.write_substring t.stop_w "x" 0 1)
     with Unix.Unix_error _ -> ()
 
 let wait t =
-  (match t.accept_thread with
+  (match t.dispatcher with
    | Some thread -> Thread.join thread
    | None -> ());
-  t.accept_thread <- None;
-  (* No new connections past this point; wait for the live ones.  They
-     stop at their next request boundary (or their receive timeout). *)
-  Mutex.lock t.mutex;
-  while t.conns > 0 do
-    Condition.wait t.cond t.mutex
-  done;
-  Mutex.unlock t.mutex;
-  Pool.shutdown t.pool;
+  t.dispatcher <- None;
+  (* Each domain drains its own handlers and joins them; joining the
+     group therefore implies every connection is finished. *)
+  (match t.domains with
+   | Some g -> Group.join g
+   | None -> ());
+  t.domains <- None;
   (match t.access_out with
    | Some oc when oc != stderr -> close_out_noerr oc
    | _ -> ());
-  List.iter
-    (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
-    [ t.listen_fd; t.stop_r; t.stop_w ]
+  let listen_fds =
+    Array.to_list (Array.map (fun sh -> sh.s_listen) t.shards)
+    |> List.filter_map Fun.id
+  in
+  let extra = match t.dispatch_listen with Some fd -> [ fd ] | None -> [] in
+  close_all (listen_fds @ extra @ [ t.stop_r; t.stop_w ])
 
 let run ?on_listen config =
   let t = start config in
@@ -577,3 +947,7 @@ let run ?on_listen config =
   Sys.set_signal Sys.sigint (Sys.Signal_handle on_stop_signal);
   (match on_listen with Some f -> f t | None -> ());
   wait t
+
+let accept_mode_name t = mode_name t.mode
+
+let domain_count t = Array.length t.shards

@@ -1,12 +1,34 @@
 (** The extraction service: a long-lived HTTP/1.1 daemon over the
-    governed extractor.
+    governed extractor, shared-nothing across cores.
 
-    One accept loop hands connections to lightweight handler threads;
-    handler threads park extraction work on the shared
-    {!Wqi_parallel.Pool} (worker domains) through [Pool.submit] and
-    block on the future, so the accept loop and in-progress responses
-    never wait behind a parse.  Identical requests are answered from
-    the content-addressed {!Cache}.
+    {b Architecture.} With [jobs = N] the server spawns [N] domains
+    ({!Wqi_parallel.Pool.Group}); each domain owns its complete serving
+    stack — its own accept loop on its own [SO_REUSEPORT] listening
+    socket, its own {!Cache} shard, its own {!Telemetry} arena and its
+    own set of connection-handler threads.  A request's whole
+    accept → parse → extract → respond path executes inside one domain;
+    no mutex is shared between domains on that path.  The only global
+    coordination points are a single atomic admission counter (one
+    lock-free fetch-and-add per admitted extraction), the optional
+    access-log sink, and [GET /metrics], which merges per-domain
+    telemetry snapshots at scrape time ({i merge-on-scrape}).
+
+    Where [SO_REUSEPORT] is unavailable (or [accept_mode = `Dispatch]
+    is forced), a single dispatcher thread accepts and deals whole
+    connections round-robin to per-domain inboxes; requests still never
+    cross a domain boundary after their connection lands.
+
+    {b Connection affinity.} The kernel's reuseport balancing keys on
+    the connection 4-tuple, so a keep-alive connection — and every
+    request on it — stays on one domain, and therefore on one cache
+    shard.  Clients that reuse connections get shard-warm hits; the
+    process-wide cache byte bound is split evenly across shards.
+
+    {b Single-flight.} Concurrent identical cold misses inside a shard
+    run one extraction: the first request leads, the rest wait on the
+    in-flight key table and are answered from the leader's result
+    (counted as cache hits, plus the [wqi_cache_coalesced_total]
+    counter).
 
     {b Endpoints.}
     - [POST /extract] — body: raw HTML; optional query parameters
@@ -21,12 +43,15 @@
       [Retry-After]) when admission control sheds the request.
     - [GET /healthz] — 200 ["ok"] while serving, 503 ["draining"]
       during shutdown.
-    - [GET /metrics] — Prometheus text exposition: requests by status,
-      outcomes, latency histogram, per-stage latency histograms
-      ([wqi_stage_seconds{stage=...}]), cache hit/miss/eviction
-      counters, aggregated parser guard/index counters, pool queue
-      depth and in-flight gauges (including the [wqi_pool_peak_inflight]
-      high-water mark), build info and uptime.
+    - [GET /metrics] — Prometheus text exposition merged over every
+      domain's arena: requests by status, outcomes, latency histogram,
+      per-stage latency histograms ([wqi_stage_seconds{stage=...}]),
+      summed cache hit/miss/eviction/coalesced counters, aggregated
+      parser guard/index counters, per-domain request counts
+      ([wqi_domain_requests_total{domain="i"}]), in-flight gauges
+      (including the [wqi_pool_peak_inflight] high-water mark), the
+      accept architecture ([wqi_accept_mode_info{mode=...}]), build
+      info and uptime.
 
     {b Observability.} Every response to a parsed request carries an
     [x-wqi-trace-id] header on [/extract].  With [config.trace_dir]
@@ -37,25 +62,43 @@
     [config.slow_ms] logs slower requests to stderr.
 
     {b Admission control.} At most [max_inflight] extractions are
-    admitted (queued or running) at once; beyond that, misses are
+    admitted across all domains at once; beyond that, misses are
     refused immediately with 503 + [Retry-After] instead of queueing
     without bound.  Cache hits bypass admission — they cost
     microseconds and keep a saturated server useful.
 
-    {b Shutdown.} {!stop} (wired to SIGTERM/SIGINT by {!run}) stops
-    accepting, lets in-flight requests finish, closes idle keep-alive
-    connections, then drains and joins the domain pool. *)
+    {b Shutdown.} {!stop} (wired to SIGTERM/SIGINT by {!run}) flips the
+    drain flag and writes the self-pipe, waking every domain's accept
+    loop at once.  Each domain stops accepting, waits for its live
+    handlers to finish (requests in flight complete; idle keep-alive
+    connections close at their receive timeout), deadline-kills
+    stragglers after [drain_grace_s] by shutting their sockets, and
+    joins every handler thread it ever spawned before exiting.
+    {!wait} joins the domains (and the dispatcher, if any) and closes
+    the listeners; a drained server exits 0 with no leaked threads. *)
+
+type accept_mode = [ `Auto | `Reuseport | `Dispatch ]
+(** How connections reach domains: [`Reuseport] = per-domain listening
+    sockets sharing the port via [SO_REUSEPORT]; [`Dispatch] = one
+    listener plus a round-robin fd-passing dispatcher thread; [`Auto]
+    (default) tries reuseport and falls back to dispatch where the
+    socket option is unsupported. *)
 
 type config = {
   host : string;
   port : int;  (** 0 binds an ephemeral port; read it back with {!port} *)
   jobs : int option;
-      (** worker-pool parallelism; [None] = recommended domain count *)
+      (** serving domains; [None] = recommended domain count *)
+  accept_mode : accept_mode;
   max_inflight : int;
-      (** admission-control bound on concurrently admitted extractions;
-          0 sheds every cache miss (useful for overload tests) *)
+      (** admission-control bound on concurrently admitted extractions
+          across all domains; 0 sheds every cache miss (useful for
+          overload tests) *)
   max_body : int;  (** request-body byte bound (413 beyond it) *)
-  cache : Cache.config option;  (** [None] disables the result cache *)
+  cache : Cache.config option;
+      (** [None] disables the result cache.  [max_bytes] is a
+          process-wide bound, split evenly across the per-domain
+          shards. *)
   extractor : Wqi_core.Extractor.Config.t;
       (** base extractor configuration; its budget is the per-request
           default *)
@@ -66,6 +109,9 @@ type config = {
   idle_timeout_s : float;
       (** keep-alive receive timeout; also bounds how long an idle
           connection can delay a drain *)
+  drain_grace_s : float;
+      (** how long a drain waits for live handlers before
+          deadline-killing their sockets *)
   trace_sample : int;
       (** trace every Nth extract request; 0 disables sampling.  Traces
           are written only when [trace_dir] is set. *)
@@ -81,10 +127,11 @@ type config = {
 }
 
 val default_config : config
-(** Port 8080 on 127.0.0.1, recommended jobs, [max_inflight] = 4 ×
-    recommended domain count, 4 MiB bodies, default cache config,
-    default extractor config (unlimited budget), no caps, 5 s idle
-    timeout; no tracing, no slow-request log, no access log. *)
+(** Port 8080 on 127.0.0.1, recommended jobs, [`Auto] accept mode,
+    [max_inflight] = 4 × recommended domain count, 4 MiB bodies,
+    default cache config, default extractor config (unlimited budget),
+    no caps, 5 s idle timeout, 30 s drain grace; no tracing, no
+    slow-request log, no access log. *)
 
 val version : string
 (** Server version, reported by the [wqi_build_info] metric. *)
@@ -92,11 +139,18 @@ val version : string
 type t
 
 val start : config -> t
-(** Bind, listen and spawn the accept loop.  Raises [Unix.Unix_error]
-    if the address cannot be bound. *)
+(** Bind the listeners and spawn the serving domains.  Raises
+    [Unix.Unix_error] if the address cannot be bound. *)
 
 val port : t -> int
 (** The actually-bound port (useful with [config.port = 0]). *)
+
+val accept_mode_name : t -> string
+(** The accept architecture actually in use: ["reuseport"] or
+    ["dispatch"] (after [`Auto] resolution). *)
+
+val domain_count : t -> int
+(** Serving domains spawned (the resolved [jobs]). *)
 
 val stop : t -> unit
 (** Initiate a graceful drain.  Safe to call from a signal handler and
@@ -104,10 +158,10 @@ val stop : t -> unit
     drain finishes. *)
 
 val wait : t -> unit
-(** Block until the server has fully drained: accept loop exited,
-    connections closed, pool shut down. *)
+(** Block until the server has fully drained: every domain's accept
+    loop exited, its handlers joined, and the listeners closed. *)
 
 val run : ?on_listen:(t -> unit) -> config -> unit
 (** [run config] = {!start}, install SIGTERM/SIGINT handlers that
     {!stop}, ignore SIGPIPE, then {!wait}.  [on_listen] fires once the
-    socket is bound (the CLI prints the address there). *)
+    sockets are bound (the CLI prints the address there). *)

@@ -119,6 +119,112 @@ let shed t =
   Mutex.unlock t.mutex
 
 (* ------------------------------------------------------------------ *)
+(* Snapshots and merging                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A snapshot is plain immutable data: the scrape path copies each
+   arena out under its own mutex (held for microseconds), merges the
+   copies without any lock, and renders from the merge.  Request-path
+   threads never block on a scrape and a scrape never blocks on more
+   than one arena at a time. *)
+type snapshot = {
+  s_version : string;
+  s_start : float;
+  s_codes : (int * int) list;  (* sorted by code, deterministic *)
+  s_complete : int;
+  s_degraded : int;
+  s_failed : int;
+  s_cache_answered : int;
+  s_shed : int;
+  s_buckets : int array;
+  s_latency_sum : float;
+  s_latency_count : int;
+  s_stage_buckets : int array array;
+  s_stage_sums : float array;
+  s_stage_counts : int array;
+  s_guards_tried : int;
+  s_guards_admitted : int;
+  s_index_probes : int;
+  s_index_pruned : int;
+  s_instances_created : int;
+  s_parses : int;
+}
+
+let snapshot t =
+  Mutex.lock t.mutex;
+  let sn =
+    { s_version = t.version;
+      s_start = t.start_s;
+      s_codes =
+        Hashtbl.fold (fun code r acc -> (code, !r) :: acc) t.by_code []
+        |> List.sort compare;
+      s_complete = t.complete;
+      s_degraded = t.degraded;
+      s_failed = t.failed;
+      s_cache_answered = t.cache_answered;
+      s_shed = t.shed;
+      s_buckets = Array.copy t.bucket_counts;
+      s_latency_sum = t.latency_sum;
+      s_latency_count = t.latency_count;
+      s_stage_buckets = Array.map Array.copy t.stage_bucket_counts;
+      s_stage_sums = Array.copy t.stage_sums;
+      s_stage_counts = Array.copy t.stage_counts;
+      s_guards_tried = t.guards_tried;
+      s_guards_admitted = t.guards_admitted;
+      s_index_probes = t.index_probes;
+      s_index_pruned = t.index_pruned;
+      s_instances_created = t.instances_created;
+      s_parses = t.parses }
+  in
+  Mutex.unlock t.mutex;
+  sn
+
+let requests sn = List.fold_left (fun acc (_, n) -> acc + n) 0 sn.s_codes
+
+let merge_codes a b =
+  (* Both inputs sorted: merge like merge-sort, summing equal codes, so
+     the result stays sorted and deterministic. *)
+  let rec go a b acc =
+    match (a, b) with
+    | [], rest | rest, [] -> List.rev_append acc rest
+    | (ca, na) :: ta, (cb, _) :: _ when ca < cb -> go ta b ((ca, na) :: acc)
+    | (ca, _) :: _, (cb, nb) :: tb when cb < ca -> go a tb ((cb, nb) :: acc)
+    | (ca, na) :: ta, (_, nb) :: tb -> go ta tb ((ca, na + nb) :: acc)
+  in
+  go a b []
+
+let array_add a b = Array.mapi (fun i v -> v + b.(i)) a
+let farray_add a b = Array.mapi (fun i v -> v +. b.(i)) a
+
+let merge2 a b =
+  { s_version = a.s_version;
+    s_start = Float.min a.s_start b.s_start;
+    s_codes = merge_codes a.s_codes b.s_codes;
+    s_complete = a.s_complete + b.s_complete;
+    s_degraded = a.s_degraded + b.s_degraded;
+    s_failed = a.s_failed + b.s_failed;
+    s_cache_answered = a.s_cache_answered + b.s_cache_answered;
+    s_shed = a.s_shed + b.s_shed;
+    s_buckets = array_add a.s_buckets b.s_buckets;
+    s_latency_sum = a.s_latency_sum +. b.s_latency_sum;
+    s_latency_count = a.s_latency_count + b.s_latency_count;
+    s_stage_buckets =
+      Array.mapi (fun i row -> array_add row b.s_stage_buckets.(i))
+        a.s_stage_buckets;
+    s_stage_sums = farray_add a.s_stage_sums b.s_stage_sums;
+    s_stage_counts = array_add a.s_stage_counts b.s_stage_counts;
+    s_guards_tried = a.s_guards_tried + b.s_guards_tried;
+    s_guards_admitted = a.s_guards_admitted + b.s_guards_admitted;
+    s_index_probes = a.s_index_probes + b.s_index_probes;
+    s_index_pruned = a.s_index_pruned + b.s_index_pruned;
+    s_instances_created = a.s_instances_created + b.s_instances_created;
+    s_parses = a.s_parses + b.s_parses }
+
+let merge = function
+  | [] -> invalid_arg "Telemetry.merge: empty snapshot list"
+  | first :: rest -> List.fold_left merge2 first rest
+
+(* ------------------------------------------------------------------ *)
 (* Rendering                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -153,47 +259,33 @@ let series b ~name ~help ~kind rows =
        else Printf.bprintf b "%s{%s} %s\n" name labels (float_repr value))
     rows
 
-let render t ~extra =
-  Mutex.lock t.mutex;
-  let codes =
-    Hashtbl.fold (fun code r acc -> (code, !r) :: acc) t.by_code []
-    |> List.sort compare
-  in
+let render_snapshot sn ~extra =
   let outcomes =
-    [ ("complete", t.complete); ("degraded", t.degraded);
-      ("failed", t.failed) ]
+    [ ("complete", sn.s_complete); ("degraded", sn.s_degraded);
+      ("failed", sn.s_failed) ]
   in
-  let shed = t.shed in
-  let cache_answered = t.cache_answered in
-  let bucket_counts = Array.copy t.bucket_counts in
-  let latency_sum = t.latency_sum in
-  let latency_count = t.latency_count in
-  let stage_bucket_counts = Array.map Array.copy t.stage_bucket_counts in
-  let stage_sums = Array.copy t.stage_sums in
-  let stage_counts = Array.copy t.stage_counts in
   let engine =
     [ ("wqi_parse_guards_tried_total", "Production-guard invocations.",
-       t.guards_tried);
+       sn.s_guards_tried);
       ("wqi_parse_guards_admitted_total",
-       "Guard invocations that admitted an instance.", t.guards_admitted);
+       "Guard invocations that admitted an instance.", sn.s_guards_admitted);
       ("wqi_parse_index_probes_total",
-       "Spatial-index probes for hinted slots.", t.index_probes);
+       "Spatial-index probes for hinted slots.", sn.s_index_probes);
       ("wqi_parse_index_pruned_total",
-       "Candidates skipped thanks to index probes.", t.index_pruned);
+       "Candidates skipped thanks to index probes.", sn.s_index_pruned);
       ("wqi_parse_instances_created_total",
        "Parser instances created, token instances included.",
-       t.instances_created);
+       sn.s_instances_created);
       ("wqi_extractions_total", "Extractions executed (cache misses).",
-       t.parses) ]
+       sn.s_parses) ]
   in
-  Mutex.unlock t.mutex;
   let b = Buffer.create 2048 in
   series b ~name:"wqi_requests_total" ~help:"Requests by HTTP status code."
     ~kind:`Counter
     (List.map
        (fun (code, n) ->
           (Printf.sprintf "code=\"%d\"" code, float_of_int n))
-       codes);
+       sn.s_codes);
   series b ~name:"wqi_extract_outcomes_total"
     ~help:"Extraction responses by outcome." ~kind:`Counter
     (List.map
@@ -203,11 +295,11 @@ let render t ~extra =
   series b ~name:"wqi_shed_total"
     ~help:"Requests refused by admission control (503 + Retry-After)."
     ~kind:`Counter
-    [ ("", float_of_int shed) ];
+    [ ("", float_of_int sn.s_shed) ];
   series b ~name:"wqi_cache_answered_total"
     ~help:"Extract requests answered from the result cache."
     ~kind:`Counter
-    [ ("", float_of_int cache_answered) ];
+    [ ("", float_of_int sn.s_cache_answered) ];
   (* Histogram: cumulative buckets, Prometheus style. *)
   Printf.bprintf b
     "# HELP wqi_request_seconds Request latency, read to response.\n";
@@ -215,14 +307,14 @@ let render t ~extra =
   let cumulative = ref 0 in
   Array.iteri
     (fun i upper ->
-       cumulative := !cumulative + bucket_counts.(i);
+       cumulative := !cumulative + sn.s_buckets.(i);
        Printf.bprintf b "wqi_request_seconds_bucket{le=\"%g\"} %d\n" upper
          !cumulative)
     buckets;
-  cumulative := !cumulative + bucket_counts.(Array.length buckets);
+  cumulative := !cumulative + sn.s_buckets.(Array.length buckets);
   Printf.bprintf b "wqi_request_seconds_bucket{le=\"+Inf\"} %d\n" !cumulative;
-  Printf.bprintf b "wqi_request_seconds_sum %g\n" latency_sum;
-  Printf.bprintf b "wqi_request_seconds_count %d\n" latency_count;
+  Printf.bprintf b "wqi_request_seconds_sum %g\n" sn.s_latency_sum;
+  Printf.bprintf b "wqi_request_seconds_count %d\n" sn.s_latency_count;
   (* Per-stage extraction latency: one histogram family, stage label. *)
   Printf.bprintf b
     "# HELP wqi_stage_seconds Extraction pipeline stage latency.\n";
@@ -233,18 +325,19 @@ let render t ~extra =
        let cumulative = ref 0 in
        Array.iteri
          (fun i upper ->
-            cumulative := !cumulative + stage_bucket_counts.(si).(i);
+            cumulative := !cumulative + sn.s_stage_buckets.(si).(i);
             Printf.bprintf b
               "wqi_stage_seconds_bucket{stage=\"%s\",le=\"%g\"} %d\n" stage
               upper !cumulative)
          buckets;
-       cumulative := !cumulative + stage_bucket_counts.(si).(Array.length buckets);
+       cumulative :=
+         !cumulative + sn.s_stage_buckets.(si).(Array.length buckets);
        Printf.bprintf b "wqi_stage_seconds_bucket{stage=\"%s\",le=\"+Inf\"} %d\n"
          stage !cumulative;
        Printf.bprintf b "wqi_stage_seconds_sum{stage=\"%s\"} %g\n" stage
-         stage_sums.(si);
+         sn.s_stage_sums.(si);
        Printf.bprintf b "wqi_stage_seconds_count{stage=\"%s\"} %d\n" stage
-         stage_counts.(si))
+         sn.s_stage_counts.(si))
     stage_names;
   List.iter
     (fun (name, help, value) ->
@@ -252,14 +345,16 @@ let render t ~extra =
     engine;
   series b ~name:"wqi_build_info"
     ~help:"Server build information; value is always 1." ~kind:`Gauge
-    [ (Printf.sprintf "version=\"%s\"" (escape_label t.version), 1.) ];
+    [ (Printf.sprintf "version=\"%s\"" (escape_label sn.s_version), 1.) ];
   series b ~name:"wqi_uptime_seconds"
     ~help:"Seconds since the server started." ~kind:`Gauge
-    [ ("", Budget.now_s () -. t.start_s) ];
+    [ ("", Budget.now_s () -. sn.s_start) ];
   List.iter
-    (fun (name, help, kind, value) ->
+    (fun (name, help, kind, rows) ->
        series b ~name ~help
          ~kind:(match kind with `Counter -> `Counter | `Gauge -> `Gauge)
-         [ ("", value) ])
+         rows)
     extra;
   Buffer.contents b
+
+let render t ~extra = render_snapshot (snapshot t) ~extra

@@ -3,9 +3,17 @@
     histogram, and aggregated parser guard/index counters, rendered in
     the Prometheus text exposition format.
 
-    All mutation goes through one mutex — the counters are touched once
-    per request, far from any hot path — so the registry is safe to
-    share across handler threads and worker domains. *)
+    The shared-nothing server gives each serving domain its own arena
+    ([t]): request-path mutation takes only that arena's mutex, which
+    no other domain ever touches on its request path, so arenas never
+    contend across cores.  [/metrics] is produced by merge-on-scrape:
+    {!snapshot} copies each arena out (holding one arena mutex at a
+    time, for microseconds), {!merge} folds the copies without any
+    lock, and {!render_snapshot} renders the merged totals.  Merging is
+    exact: counters and histogram buckets add, so the merged exposition
+    over any partition of a request stream is identical to a single
+    arena observing the whole stream (property-tested in
+    [test/test_telemetry.ml]). *)
 
 type t
 
@@ -36,7 +44,43 @@ val shed : t -> unit
     under its 503 status; this counter isolates admission-control sheds
     from other 503s such as draining). *)
 
-val render : t -> extra:(string * string * [ `Counter | `Gauge ] * float) list -> string
-(** The exposition body.  [extra] appends caller-owned series —
-    [(name, help, kind, value)] — used for pool depth, cache totals and
-    inflight gauges whose live values the registry does not own. *)
+(** {1 Merge-on-scrape} *)
+
+type snapshot
+(** An immutable copy of one arena's counters.  Snapshots are plain
+    data: merging and rendering them takes no locks. *)
+
+val snapshot : t -> snapshot
+(** Copy the arena out under its mutex (held briefly; the request path
+    never blocks behind a scrape for longer than one field copy). *)
+
+val merge : snapshot list -> snapshot
+(** Exact element-wise sum: status-code counters merge by code (sorted,
+    deterministic), histogram buckets and sums add, the start time is
+    the earliest (so merged uptime is the oldest domain's), the version
+    is the first snapshot's.  Raises [Invalid_argument] on []. *)
+
+val requests : snapshot -> int
+(** Total requests the snapshot has observed, all status codes — the
+    per-domain request count behind
+    [wqi_domain_requests_total{domain=...}]. *)
+
+val render_snapshot :
+  snapshot ->
+  extra:
+    (string * string * [ `Counter | `Gauge ] * (string * float) list) list ->
+  string
+(** The exposition body for a (possibly merged) snapshot.  [extra]
+    appends caller-owned series — [(name, help, kind, rows)], each row
+    a [(labels, value)] sample where [labels] is either [""] (no
+    labels) or a pre-rendered [name="value"] list — used for pool
+    gauges, cache totals and per-domain request counters whose live
+    values the registry does not own. *)
+
+val render :
+  t ->
+  extra:
+    (string * string * [ `Counter | `Gauge ] * (string * float) list) list ->
+  string
+(** [render t ~extra] = [render_snapshot (snapshot t) ~extra] — the
+    single-arena exposition. *)

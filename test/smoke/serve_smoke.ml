@@ -2,13 +2,20 @@
    the @serve-smoke alias (and dune runtest):
 
      - /healthz liveness;
-     - /extract: a Complete source, a Degraded (instance-capped)
-       source, a cache hit byte-identical to its miss, a malformed
-       request (400), and method/path errors (405/404);
-     - /metrics exposition (request counters, histogram, pool gauges);
-     - deterministic 503 load-shedding once max_inflight is reached;
-     - SIGTERM graceful drain: the in-flight extraction completes and
-       the process exits 0.
+     - /extract under --jobs 4 (shared-nothing, one accept loop and
+       cache shard per domain): a Complete source, a Degraded
+       (instance-capped) source, a cache hit byte-identical to its miss
+       on the same keep-alive connection (connection affinity pins both
+       requests to one domain's shard), a malformed request (400), and
+       method/path errors (405/404);
+     - /metrics merge-on-scrape exposition (request counters, latency
+       histogram, per-domain request split, accept-mode info);
+     - deterministic 503 load-shedding once the global max_inflight is
+       reached, from any domain;
+     - SIGTERM graceful drain across all domains: the in-flight
+       extraction completes and the process exits 0;
+     - single-flight, against a --jobs 1 --accept dispatch server:
+       concurrent identical cold misses run exactly one extraction.
 
    usage: serve_smoke SERVER_EXE FIXTURES_DIR *)
 
@@ -121,6 +128,60 @@ let request port ~meth ~target ?(headers = []) ?(body = "") () =
 
 let header r name = List.assoc_opt name r.headers
 
+(* Keep-alive client: several requests on ONE connection, so they all
+   land on the same serving domain (and cache shard).  Byte-at-a-time
+   reads are fine at smoke scale. *)
+let kconnect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port));
+  fd
+
+let krequest fd ~meth ~target ?(headers = []) ?(body = "") () =
+  let extra =
+    String.concat ""
+      (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) headers)
+  in
+  let req =
+    Printf.sprintf
+      "%s %s HTTP/1.1\r\nhost: smoke\r\n%scontent-length: %d\r\n\r\n%s" meth
+      target extra (String.length body) body
+  in
+  let sent = ref 0 in
+  while !sent < String.length req do
+    sent := !sent + Unix.write_substring fd req !sent (String.length req - !sent)
+  done;
+  let head = Buffer.create 512 in
+  let one = Bytes.create 1 in
+  let rec read_head () =
+    (match Unix.read fd one 0 1 with
+     | 0 -> fail "eof in keep-alive response head"
+     | _ -> Buffer.add_subbytes head one 0 1);
+    let s = Buffer.contents head in
+    let l = String.length s in
+    if l >= 4 && String.sub s (l - 4) 4 = "\r\n\r\n" then s else read_head ()
+  in
+  let raw_head = read_head () in
+  let content_length =
+    String.split_on_char '\n' raw_head
+    |> List.find_map (fun line ->
+        match String.index_opt line ':' with
+        | Some i
+          when String.lowercase_ascii (String.trim (String.sub line 0 i))
+               = "content-length" ->
+          int_of_string_opt
+            (String.trim (String.sub line (i + 1) (String.length line - i - 1)))
+        | _ -> None)
+    |> Option.value ~default:0
+  in
+  let body_buf = Bytes.create content_length in
+  let filled = ref 0 in
+  while !filled < content_length do
+    match Unix.read fd body_buf !filled (content_length - !filled) with
+    | 0 -> fail "eof in keep-alive response body"
+    | n -> filled := !filled + n
+  done;
+  parse_response (raw_head ^ Bytes.to_string body_buf)
+
 let contains haystack needle =
   let n = String.length haystack and m = String.length needle in
   let rec go i = i + m <= n && (String.sub haystack i m = needle || go (i + 1)) in
@@ -153,7 +214,7 @@ let spawn server_exe args =
            try int_of_string p with _ -> fail "unparseable banner %S" banner)
        | [] -> fail "unparseable banner %S" banner)
   in
-  (pid, port, ic)
+  (pid, port, ic, banner)
 
 let () =
   (match Sys.argv with
@@ -168,14 +229,14 @@ let () =
   (* --trace-sample is huge on purpose: only extract request #0 lands
      on the sampling grid, so exactly one request is trace-sampled and
      the rest exercise the untraced path. *)
-  let pid, port, _banner_ic =
+  let pid, port, _banner_ic, banner =
     spawn server_exe
-      [ "--port"; "0"; "--jobs"; "2"; "--max-inflight"; "1";
+      [ "--port"; "0"; "--jobs"; "4"; "--max-inflight"; "1";
         "--idle-timeout-s"; "2"; "--trace-dir"; "smoke-traces";
         "--trace-sample"; "1000000"; "--access-log"; "smoke-access.log";
         "--slow-ms"; "100000" ]
   in
-  note "server pid %d on port %d" pid port;
+  note "server pid %d on port %d (%s)" pid port banner;
 
   (* healthz *)
   let r = request port ~meth:"GET" ~target:"/healthz" () in
@@ -183,8 +244,14 @@ let () =
     fail "/healthz: %d %S" r.status r.body;
   note "healthz ok";
 
-  (* complete extraction *)
-  let r = request port ~meth:"POST" ~target:"/extract?name=books" ~body:books () in
+  (* Complete extraction — on a keep-alive connection, because the
+     cache-hit check below must land on the same domain (per-domain
+     cache shards; a new connection could reach a different shard). *)
+  let books_conn = kconnect port in
+  let r =
+    krequest books_conn ~meth:"POST" ~target:"/extract?name=books" ~body:books
+      ()
+  in
   if r.status <> 200 then fail "/extract books: %d %s" r.status r.body;
   if header r "x-wqi-outcome" <> Some "complete" then
     fail "books outcome: %s" (Option.value ~default:"-" (header r "x-wqi-outcome"));
@@ -212,6 +279,18 @@ let () =
     fail "sampled trace has no parser rounds";
   note "trace sampling ok (%s)" sampled_trace;
 
+  (* Cache hit, byte-identical, same connection -> same shard. *)
+  let r =
+    krequest books_conn ~meth:"POST" ~target:"/extract?name=books" ~body:books
+      ()
+  in
+  if r.status <> 200 || header r "x-wqi-cache" <> Some "hit" then
+    fail "books repeat must hit the cache (%d, %s)" r.status
+      (Option.value ~default:"-" (header r "x-wqi-cache"));
+  if r.body <> books_body then fail "cache hit is not byte-identical";
+  (try Unix.close books_conn with Unix.Unix_error _ -> ());
+  note "cache hit ok";
+
   (* On-demand tracing: x-wqi-trace: 1 on a cache miss. *)
   let r =
     request port ~meth:"POST" ~target:"/extract?name=jobs-traced"
@@ -225,14 +304,6 @@ let () =
   if not (contains (read_file demand_trace) "\"traceEvents\"") then
     fail "on-demand trace is not Chrome trace JSON";
   note "on-demand tracing ok (%s)" demand_trace;
-
-  (* cache hit, byte-identical *)
-  let r = request port ~meth:"POST" ~target:"/extract?name=books" ~body:books () in
-  if r.status <> 200 || header r "x-wqi-cache" <> Some "hit" then
-    fail "books repeat must hit the cache (%d, %s)" r.status
-      (Option.value ~default:"-" (header r "x-wqi-cache"));
-  if r.body <> books_body then fail "cache hit is not byte-identical";
-  note "cache hit ok";
 
   (* degraded extraction: the wide form under an instance cap *)
   let r =
@@ -273,9 +344,13 @@ let () =
       "wqi_cache_answered_total 1";
       "wqi_request_seconds_bucket";
       "wqi_cache_hits_total";
+      "wqi_cache_coalesced_total";
       "wqi_pool_queue_depth";
-      "wqi_pool_jobs 2";
+      "wqi_pool_jobs 4";
       "wqi_pool_peak_inflight";
+      "wqi_domain_requests_total{domain=\"0\"}";
+      "wqi_domain_requests_total{domain=\"3\"}";
+      "wqi_accept_mode_info{mode=\"";
       "wqi_build_info{version=\"1.0.0\"} 1";
       "wqi_uptime_seconds";
       "wqi_stage_seconds_bucket{stage=\"parse\",le=\"+Inf\"}";
@@ -283,7 +358,31 @@ let () =
   (match metric_value r.body "wqi_uptime_seconds" with
    | Some v when v >= 0. -> ()
    | _ -> fail "wqi_uptime_seconds not a non-negative sample");
-  note "metrics ok";
+  (* The merged per-domain split must account for exactly the requests
+     the merged status counters saw — same scrape, same snapshots. *)
+  let sum_prefix prefix =
+    String.split_on_char '\n' r.body
+    |> List.fold_left
+      (fun acc line ->
+         if
+           String.length line > String.length prefix
+           && String.sub line 0 (String.length prefix) = prefix
+         then
+           match String.rindex_opt line ' ' with
+           | Some i ->
+             acc
+             +. Option.value ~default:0.
+                  (float_of_string_opt
+                     (String.sub line (i + 1) (String.length line - i - 1)))
+           | None -> acc
+         else acc)
+      0.
+  in
+  let by_code = sum_prefix "wqi_requests_total{" in
+  let by_domain = sum_prefix "wqi_domain_requests_total{" in
+  if by_code <> by_domain then
+    fail "merge mismatch: %g requests by code, %g by domain" by_code by_domain;
+  note "metrics ok (merge: %g requests across 4 domains)" by_domain;
 
   (* Deterministic 503: park a slow extraction (the wide form under a
      wall-clock deadline; ungoverned it runs for tens of seconds) in
@@ -371,4 +470,69 @@ let () =
       "\"ts\":\"";
       "\"id\":\"" ];
   note "access log ok (%d bytes)" (String.length log);
+
+  (* Single-flight: 4 concurrent identical cold misses must run ONE
+     extraction — the leader's — and feed the other three from its
+     result.  jobs=1 keeps all four on one shard; --accept dispatch
+     also exercises the fd-passing fallback path end to end. *)
+  let pid2, port2, _ic2, banner2 =
+    spawn server_exe
+      [ "--port"; "0"; "--jobs"; "1"; "--accept"; "dispatch";
+        "--max-inflight"; "4"; "--idle-timeout-s"; "2" ]
+  in
+  if not (contains banner2 "accept=dispatch") then
+    fail "dispatch server banner %S does not announce accept=dispatch" banner2;
+  let results = Array.make 4 None in
+  let posters =
+    List.init 4 (fun i ->
+        Thread.create
+          (fun () ->
+             results.(i) <-
+               Some
+                 (request port2 ~meth:"POST"
+                    ~target:"/extract?name=wide&deadline_ms=700" ~body:wide ()))
+          ())
+  in
+  List.iter Thread.join posters;
+  let bodies =
+    Array.to_list results
+    |> List.map (function
+        | Some { status = 200; body; _ } -> body
+        | Some r -> fail "single-flight request: %d (want 200)" r.status
+        | None -> fail "single-flight request returned nothing")
+  in
+  (match bodies with
+   | first :: rest ->
+     if List.exists (fun b -> b <> first) rest then
+       fail "single-flight responses are not byte-identical"
+   | [] -> assert false);
+  let m = request port2 ~meth:"GET" ~target:"/metrics" () in
+  (* Exactly one request went through the extractor... *)
+  (match metric_value m.body "wqi_extractions_total" with
+   | Some 1. -> ()
+   | v ->
+     fail "single-flight: expected wqi_extractions_total 1, got %s"
+       (match v with Some f -> string_of_float f | None -> "absent"));
+  (match metric_value m.body "wqi_stage_seconds_count{stage=\"parse\"}" with
+   | Some 1. -> ()
+   | v ->
+     fail "single-flight: expected exactly 1 extraction, stage count %s"
+       (match v with Some f -> string_of_float f | None -> "absent"));
+  (* ...and at least one waiter was fed by the in-flight leader. *)
+  (match metric_value m.body "wqi_cache_coalesced_total" with
+   | Some v when v >= 1. -> ()
+   | v ->
+     fail "wqi_cache_coalesced_total: %s (want >= 1)"
+       (match v with Some f -> string_of_float f | None -> "absent"));
+  Unix.kill pid2 Sys.sigterm;
+  (match Unix.waitpid [] pid2 with
+   | _, Unix.WEXITED 0 -> ()
+   | _, Unix.WEXITED c -> fail "dispatch server exited %d (want 0)" c
+   | _, s ->
+     fail "dispatch server did not exit cleanly (%s)"
+       (match s with
+        | Unix.WSIGNALED n -> Printf.sprintf "signal %d" n
+        | Unix.WSTOPPED n -> Printf.sprintf "stopped %d" n
+        | Unix.WEXITED n -> string_of_int n));
+  note "single-flight ok (1 extraction for 4 concurrent identical requests)";
   print_endline "serve smoke ok"

@@ -84,6 +84,37 @@ let test_shutdown_idempotent () =
   Pool.shutdown pool;
   Pool.shutdown pool
 
+(* Domain groups: every member runs with its own index, exactly once,
+   truly in parallel (join returns only after all bodies finish), and
+   jobs <= 0 clamps to one member. *)
+let test_group_spawn_join () =
+  let n = 4 in
+  let ran = Array.make n 0 in
+  let g = Pool.Group.spawn ~jobs:n (fun i -> ran.(i) <- ran.(i) + 1) in
+  Alcotest.(check int) "size" n (Pool.Group.size g);
+  Pool.Group.join g;
+  Alcotest.(check (array int)) "each index ran once" (Array.make n 1) ran
+
+let test_group_clamp () =
+  let hit = ref [] in
+  let g = Pool.Group.spawn ~jobs:0 (fun i -> hit := i :: !hit) in
+  Alcotest.(check int) "clamped size" 1 (Pool.Group.size g);
+  Pool.Group.join g;
+  Alcotest.(check (list int)) "only member 0" [ 0 ] !hit
+
+let test_group_members_concurrent () =
+  (* Members rendezvous via a shared atomic: this only terminates if
+     the group's bodies are actually live at the same time. *)
+  let n = 2 in
+  let arrived = Atomic.make 0 in
+  let g =
+    Pool.Group.spawn ~jobs:n (fun _ ->
+        Atomic.incr arrived;
+        while Atomic.get arrived < n do Domain.cpu_relax () done)
+  in
+  Pool.Group.join g;
+  Alcotest.(check int) "both arrived" n (Atomic.get arrived)
+
 let suite =
   [ ("submit/await", `Quick, test_submit_await);
     ("exception propagation", `Quick, test_exception_propagates);
@@ -91,4 +122,7 @@ let suite =
     ("submit after shutdown raises", `Quick, test_submit_after_shutdown_raises);
     ("jobs clamp to sequential", `Quick, test_jobs_clamp);
     ("map_array deterministic", `Quick, test_map_array_deterministic);
-    ("shutdown idempotent", `Quick, test_shutdown_idempotent) ]
+    ("shutdown idempotent", `Quick, test_shutdown_idempotent);
+    ("group spawn/join", `Quick, test_group_spawn_join);
+    ("group clamps jobs", `Quick, test_group_clamp);
+    ("group members run concurrently", `Quick, test_group_members_concurrent) ]

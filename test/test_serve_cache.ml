@@ -151,10 +151,118 @@ let test_normalization () =
   if base = interior then
     Alcotest.fail "interior whitespace must change the key"
 
+(* --- single-flight --- *)
+
+(* Leader/follower protocol, sequential view: the first begin_flight
+   leads; once the leader publishes, followers arriving before the
+   publish are fed the leader's result, and the table entry is gone
+   afterwards (a later begin_flight leads again). *)
+let test_single_flight_leader_then_lead_again () =
+  let cache = Cache.create Cache.default_config in
+  let k = key_of 0 in
+  (match Cache.begin_flight cache k with
+   | Cache.Leader -> ()
+   | Cache.Follower _ -> Alcotest.fail "first begin_flight must lead");
+  Cache.end_flight cache k (Some "payload");
+  (* The flight is over: a new begin_flight must lead, not wait. *)
+  (match Cache.begin_flight cache k with
+   | Cache.Leader -> ()
+   | Cache.Follower _ ->
+     Alcotest.fail "begin_flight after end_flight must lead again");
+  Cache.end_flight cache k None;
+  Alcotest.(check int) "no coalesced followers" 0
+    (Cache.stats cache).Cache.coalesced
+
+(* Concurrent followers: park N threads on a key while the leader is
+   in flight, publish, and require every follower to observe the
+   leader's exact payload and be counted as coalesced. *)
+let test_single_flight_followers_fed () =
+  let cache = Cache.create Cache.default_config in
+  let k = key_of 1 in
+  (match Cache.begin_flight cache k with
+   | Cache.Leader -> ()
+   | Cache.Follower _ -> Alcotest.fail "leader expected");
+  let n = 8 in
+  let results = Array.make n None in
+  let started = Atomic.make 0 in
+  let followers =
+    List.init n (fun i ->
+        Thread.create
+          (fun () ->
+             Atomic.incr started;
+             results.(i) <- Some (Cache.begin_flight cache k))
+          ())
+  in
+  (* Wait until every follower thread is running (and so blocked in
+     begin_flight, give or take the last few instructions). *)
+  while Atomic.get started < n do
+    Thread.yield ()
+  done;
+  Thread.delay 0.02;
+  Cache.end_flight cache k (Some "leader-result");
+  List.iter Thread.join followers;
+  (* A thread that had not yet reached begin_flight when the leader
+     published legitimately starts a NEW flight (and must end it); all
+     the rest must have been fed the leader's exact payload. *)
+  let fed = ref 0 in
+  Array.iteri
+    (fun i r ->
+       match r with
+       | Some (Cache.Follower (Some v)) ->
+         incr fed;
+         Alcotest.(check string)
+           (Printf.sprintf "follower %d fed the leader's payload" i)
+           "leader-result" v
+       | Some Cache.Leader -> Cache.end_flight cache k None
+       | Some (Cache.Follower None) ->
+         Alcotest.failf "follower %d woke without a result" i
+       | None -> Alcotest.failf "follower %d never returned" i)
+    results;
+  if !fed = 0 then Alcotest.fail "no follower was fed by the leader";
+  Alcotest.(check int) "coalesced counter" !fed
+    (Cache.stats cache).Cache.coalesced
+
+(* A leader that fails publishes None: followers wake empty-handed (and
+   are NOT counted as coalesced) so one of them can retry as leader. *)
+let test_single_flight_failed_leader () =
+  let cache = Cache.create Cache.default_config in
+  let k = key_of 2 in
+  (match Cache.begin_flight cache k with
+   | Cache.Leader -> ()
+   | Cache.Follower _ -> Alcotest.fail "leader expected");
+  let woke = ref None in
+  let follower =
+    Thread.create (fun () -> woke := Some (Cache.begin_flight cache k)) ()
+  in
+  Thread.delay 0.02;
+  Cache.end_flight cache k None;
+  Thread.join follower;
+  (match !woke with
+   | Some (Cache.Follower None) -> ()
+   | Some (Cache.Follower (Some _)) ->
+     Alcotest.fail "failed flight must not deliver a result"
+   | Some Cache.Leader ->
+     (* Arrived after the failed publish: it leads a retry, as the
+        server's retry loop would. *)
+     Cache.end_flight cache k None
+   | None -> Alcotest.fail "follower never returned");
+  Alcotest.(check int) "failed flights do not coalesce" 0
+    (Cache.stats cache).Cache.coalesced;
+  (* And the key is free again. *)
+  match Cache.begin_flight cache k with
+  | Cache.Leader -> Cache.end_flight cache k None
+  | Cache.Follower _ -> Alcotest.fail "key must be free after a failed flight"
+
 let suite =
   [ ("hit is byte-identical to fresh (60 sources)", `Quick, test_hit_is_fresh);
     ("eviction under byte bound, LRU order", `Quick, test_eviction_lru);
     ("oversized value skipped", `Quick, test_oversized_value_skipped);
     ("ttl expiry via injected clock", `Quick, test_ttl_expiry);
     ("budget spec distinguishes keys", `Quick, test_spec_distinguishes);
-    ("html normalization", `Quick, test_normalization) ]
+    ("html normalization", `Quick, test_normalization);
+    ("single-flight: flight ends, key leads again", `Quick,
+     test_single_flight_leader_then_lead_again);
+    ("single-flight: followers fed by the leader", `Quick,
+     test_single_flight_followers_fed);
+    ("single-flight: failed leader frees the key", `Quick,
+     test_single_flight_failed_leader) ]

@@ -2,7 +2,13 @@
    registry: every family carries # HELP and # TYPE before its samples,
    histogram buckets are cumulative with the +Inf bucket equal to the
    count, label values are escaped per the exposition format, and the
-   body ends with exactly one trailing newline. *)
+   body ends with exactly one trailing newline.
+
+   Also covers merge-on-scrape: per-domain arenas snapshotted and
+   merged must render the exact exposition a single arena fed the same
+   observations renders (modulo the uptime gauge, which depends on
+   arena creation time), and the merged output must satisfy every
+   exposition contract above. *)
 
 module Telemetry = Wqi_serve.Telemetry
 
@@ -46,8 +52,7 @@ let observed () =
   Telemetry.observe_request t ~code:404 ~seconds:10_000. ();
   t
 
-let test_help_and_type_precede_samples () =
-  let body = render (observed ()) in
+let check_help_and_type body =
   let seen = Hashtbl.create 16 in
   List.iter
     (fun line ->
@@ -95,6 +100,9 @@ let test_help_and_type_precede_samples () =
            Alcotest.failf "sample %S before # TYPE %s" line family
        end)
     (lines body)
+
+let test_help_and_type_precede_samples () =
+  check_help_and_type (render (observed ()))
 
 let check_histogram body ~prefix ~labels =
   let bucket le =
@@ -180,6 +188,134 @@ let test_trailing_newline () =
   Alcotest.(check bool) "no blank last line" false
     (String.length body > 1 && body.[String.length body - 2] = '\n')
 
+(* --- merge-on-scrape --- *)
+
+(* Uptime is the one sample legitimately sensitive to when an arena was
+   created; everything else must merge exactly. *)
+let strip_uptime body =
+  lines body
+  |> List.filter (fun l -> not (starts_with "wqi_uptime_seconds " l))
+  |> String.concat "\n"
+
+let mk_stats i : Wqi_parser.Engine.stats =
+  { created = (3 * i) + 1;
+    live = i;
+    pruned = i / 2;
+    rolled_back = i mod 2;
+    temporary = i mod 3;
+    truncated = false;
+    guards_tried = (10 * i) + 5;
+    guards_admitted = 4 * i;
+    index_probes = 2 * i;
+    index_pruned = i }
+
+(* Property: K per-domain arenas, each fed a slice of an observation
+   stream, snapshot + merge + render == one arena fed the whole
+   stream.  The stream cycles codes, outcomes, latencies (spanning
+   every bucket including +Inf), stage timings, parser stats, cache
+   hits and sheds, so every merged field is exercised. *)
+let test_merge_equals_single_arena () =
+  let k = 4 in
+  let arenas = Array.init k (fun _ -> Telemetry.create ~version:"1.0.0" ()) in
+  let reference = Telemetry.create ~version:"1.0.0" () in
+  let codes = [| 200; 200; 200; 400; 404; 500; 503 |] in
+  let outcomes = [| None; Some `Complete; Some `Degraded; Some `Failed |] in
+  let latencies = [| 0.0003; 0.0008; 0.002; 0.004; 0.02; 0.3; 4.0; 42.0 |] in
+  for j = 0 to 199 do
+    let code = codes.(j mod Array.length codes) in
+    let outcome = outcomes.(j mod Array.length outcomes) in
+    let s = latencies.(j mod Array.length latencies) in
+    let stage_seconds =
+      match j mod 3 with
+      | 0 -> [ ("html", s /. 5.); ("parse", s /. 2.); ("merge", s /. 7.) ]
+      | 1 -> [ ("layout", s); ("classify", s *. 2.) ]
+      | _ -> []
+    in
+    let stats = if j mod 5 = 0 then Some (mk_stats j) else None in
+    let cache_hit = j mod 7 = 0 in
+    let observe t =
+      Telemetry.observe_request t ~code ?outcome ~cache_hit ?stats
+        ~stage_seconds ~seconds:s ()
+    in
+    observe arenas.(j mod k);
+    observe reference;
+    if j mod 11 = 0 then begin
+      Telemetry.shed arenas.(j mod k);
+      Telemetry.shed reference
+    end
+  done;
+  let merged =
+    Telemetry.merge (Array.to_list (Array.map Telemetry.snapshot arenas))
+  in
+  Alcotest.(check int) "merged request count" 200 (Telemetry.requests merged);
+  Alcotest.(check string)
+    "merged exposition == single-arena exposition"
+    (strip_uptime (render reference))
+    (strip_uptime (Telemetry.render_snapshot merged ~extra:[]))
+
+let merged_observed () =
+  (* The [observed ()] stream, spread over three arenas. *)
+  let ts = Array.init 3 (fun _ -> Telemetry.create ~version:"1.0.0" ()) in
+  Telemetry.observe_request ts.(0) ~code:200 ~outcome:`Complete
+    ~stage_seconds:
+      [ ("html", 0.0004); ("layout", 0.0004); ("classify", 0.0004);
+        ("parse", 0.002); ("merge", 0.0004) ]
+    ~seconds:0.0008 ();
+  Telemetry.observe_request ts.(1) ~code:200 ~outcome:`Degraded
+    ~stage_seconds:[ ("parse", 0.004); ("bogus-stage", 1.0) ]
+    ~seconds:0.002 ();
+  Telemetry.observe_request ts.(2) ~code:404 ~seconds:10_000. ();
+  Telemetry.render_snapshot
+    (Telemetry.merge (Array.to_list (Array.map Telemetry.snapshot ts)))
+    ~extra:[]
+
+(* The merged output is an exposition like any other: same HELP/TYPE
+   ordering, cumulative histograms, counts. *)
+let test_merged_contract () =
+  let body = merged_observed () in
+  check_help_and_type body;
+  check_histogram body ~prefix:"wqi_request_seconds" ~labels:"";
+  List.iter
+    (fun stage ->
+       check_histogram body ~prefix:"wqi_stage_seconds"
+         ~labels:(Printf.sprintf "stage=\"%s\"" stage))
+    [ "html"; "layout"; "classify"; "parse"; "merge" ];
+  Alcotest.(check (option (float 0.)))
+    "merged parse count" (Some 2.)
+    (sample body "wqi_stage_seconds_count{stage=\"parse\"}");
+  Alcotest.(check (option (float 0.)))
+    "merged 200 count" (Some 2.)
+    (sample body "wqi_requests_total{code=\"200\"}");
+  Alcotest.(check (option (float 0.)))
+    "merged 404 count" (Some 1.)
+    (sample body "wqi_requests_total{code=\"404\"}");
+  Alcotest.(check char) "merged ends with newline" '\n'
+    body.[String.length body - 1]
+
+let test_merge_empty_rejected () =
+  Alcotest.check_raises "merge []"
+    (Invalid_argument "Telemetry.merge: empty snapshot list") (fun () ->
+        ignore (Telemetry.merge []))
+
+(* Labeled extra rows (the server's per-domain request split) render
+   one sample per row under a single HELP/TYPE header. *)
+let test_extra_labeled_rows () =
+  let t = Telemetry.create ~version:"1.0.0" () in
+  let body =
+    Telemetry.render t
+      ~extra:
+        [ ("wqi_domain_requests_total", "Requests by owning domain.",
+           `Counter,
+           [ ("domain=\"0\"", 3.); ("domain=\"1\"", 4.) ]) ]
+  in
+  check_help_and_type body;
+  Alcotest.(check (option (float 0.)))
+    "domain 0" (Some 3.)
+    (sample body "wqi_domain_requests_total{domain=\"0\"}");
+  Alcotest.(check (option (float 0.)))
+    "domain 1" (Some 4.)
+    (sample body "wqi_domain_requests_total{domain=\"1\"}")
+
 let suite =
   [ ("HELP and TYPE precede samples", `Quick,
      test_help_and_type_precede_samples);
@@ -188,4 +324,10 @@ let suite =
     ("per-stage histograms", `Quick, test_stage_histograms);
     ("label value escaping", `Quick, test_label_escaping);
     ("build info and uptime", `Quick, test_build_info_and_uptime);
-    ("trailing newline", `Quick, test_trailing_newline) ]
+    ("trailing newline", `Quick, test_trailing_newline);
+    ("merge == single arena (property)", `Quick,
+     test_merge_equals_single_arena);
+    ("merged output satisfies the exposition contract", `Quick,
+     test_merged_contract);
+    ("merge of zero snapshots rejected", `Quick, test_merge_empty_rejected);
+    ("extra labeled rows", `Quick, test_extra_labeled_rows) ]
