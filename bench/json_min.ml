@@ -167,6 +167,13 @@ let field obj name =
      | None -> bad "missing field %S" name)
   | _ -> bad "expected object while looking for %S" name
 
+(* For fields later schema revisions added behind a flag (e.g. the
+   --grammar-dir run): absent is fine, present must validate. *)
+let field_opt obj name =
+  match obj with
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> bad "expected object while looking for %S" name
+
 let num ctx = function Num f -> f | _ -> bad "%s: expected number" ctx
 let str ctx = function Str s -> s | _ -> bad "%s: expected string" ctx
 

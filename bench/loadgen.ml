@@ -245,14 +245,16 @@ let float_of_metric s = match float_of_string_opt (String.trim s) with
 
 (* Pull the merged exposition once per run and keep the series the
    record needs: wqi_domain_requests_total{domain="i"} rows (ordered by
-   domain index) and the single-flight coalesced counter. *)
+   domain index), the single-flight coalesced counter and the size of
+   the grammar registry (wqi_grammar_info rows). *)
 let scrape_metrics ~host ~port =
   match connect host port with
-  | exception _ -> ([||], 0)
+  | exception _ -> ([||], 0, 0)
   | c ->
     let parse body =
       let domains = Hashtbl.create 8 in
       let coalesced = ref 0 in
+      let grammars = ref 0 in
       (String.split_on_char '\n' body
        |> List.iter (fun line ->
           let prefix = "wqi_domain_requests_total{domain=\"" in
@@ -278,6 +280,10 @@ let scrape_metrics ~host ~port =
                | None -> ())
             | None -> ()
           end
+          else if
+            String.length line > 17
+            && String.sub line 0 17 = "wqi_grammar_info{"
+          then incr grammars
           else
             match String.index_opt line ' ' with
             | Some sp when String.sub line 0 sp = "wqi_cache_coalesced_total" ->
@@ -291,12 +297,12 @@ let scrape_metrics ~host ~port =
         Array.init n (fun i ->
             match Hashtbl.find_opt domains i with Some v -> v | None -> 0)
       in
-      (per_domain, !coalesced)
+      (per_domain, !coalesced, !grammars)
     in
     let result =
       match request c ~meth:"GET" ~target:"/metrics" ~body:"" with
       | { status = 200; r_body; _ } -> parse r_body
-      | _ | (exception _) -> ([||], 0)
+      | _ | (exception _) -> ([||], 0, 0)
     in
     (try Unix.close c.fd with Unix.Unix_error _ -> ());
     result
@@ -307,13 +313,17 @@ let scrape_metrics ~host ~port =
 
 type server = { pid : int; s_port : int; out : in_channel }
 
-let spawn_server exe ~jobs ~clients =
+let spawn_server ?grammar_dir exe ~jobs ~clients =
   let r, w = Unix.pipe () in
+  let argv =
+    [ exe; "--port"; "0"; "--jobs"; string_of_int jobs; "--max-inflight";
+      string_of_int (max 4 (clients * 2)); "--idle-timeout-s"; "2" ]
+    @ (match grammar_dir with
+       | Some dir -> [ "--grammar-dir"; dir ]
+       | None -> [])
+  in
   let pid =
-    Unix.create_process exe
-      [| exe; "--port"; "0"; "--jobs"; string_of_int jobs; "--max-inflight";
-         string_of_int (max 4 (clients * 2)); "--idle-timeout-s"; "2" |]
-      Unix.stdin w Unix.stderr
+    Unix.create_process exe (Array.of_list argv) Unix.stdin w Unix.stderr
   in
   Unix.close w;
   let out = Unix.in_channel_of_descr r in
@@ -348,6 +358,7 @@ type run = {
   warm : pass;
   domain_requests : int array;
   coalesced : int;
+  grammars : int;  (* registry size from wqi_grammar_info *)
   identity_mismatches : int;
   server_exit : int option;
 }
@@ -364,7 +375,20 @@ let pass_json p =
     p.requests p.failed p.cache_hits (json_float p.p50_ms)
     (json_float p.p95_ms) (json_float p.p99_ms)
 
-let write_json file ~smoke ~interfaces ~clients runs =
+let run_json ~cores r =
+  Printf.sprintf
+    "{\"jobs\": %d, \"cores\": %d, \"cold\": %s, \"warm\": %s, \
+     \"domain_requests\": [%s], \"coalesced\": %d, \"grammars\": %d, \
+     \"identity_mismatches\": %d, \"server_exit\": %s}"
+    r.r_jobs cores (pass_json r.cold) (pass_json r.warm)
+    (String.concat ", "
+       (Array.to_list (Array.map string_of_int r.domain_requests)))
+    r.coalesced r.grammars r.identity_mismatches
+    (match r.server_exit with
+     | Some c -> string_of_int c
+     | None -> "null")
+
+let write_json file ~smoke ~interfaces ~clients ~grammar_run runs =
   let oc = open_out file in
   let p fmt = Printf.fprintf oc fmt in
   let cores = Domain.recommended_domain_count () in
@@ -377,17 +401,7 @@ let write_json file ~smoke ~interfaces ~clients runs =
   p "  \"runs\": [\n";
   List.iteri
     (fun i r ->
-       p
-         "    {\"jobs\": %d, \"cores\": %d, \"cold\": %s, \"warm\": %s, \
-          \"domain_requests\": [%s], \"coalesced\": %d, \
-          \"identity_mismatches\": %d, \"server_exit\": %s}%s\n"
-         r.r_jobs cores (pass_json r.cold) (pass_json r.warm)
-         (String.concat ", "
-            (Array.to_list (Array.map string_of_int r.domain_requests)))
-         r.coalesced r.identity_mismatches
-         (match r.server_exit with
-          | Some c -> string_of_int c
-          | None -> "null")
+       p "    %s%s\n" (run_json ~cores r)
          (if i = List.length runs - 1 then "" else ","))
     runs;
   p "  ],\n";
@@ -397,6 +411,17 @@ let write_json file ~smoke ~interfaces ~clients runs =
   let warm_rps r = float_of_int r.warm.requests /. r.warm.seconds in
   let cold_rps r = float_of_int r.cold.requests /. r.cold.seconds in
   let first = List.hd runs and last = List.nth runs (List.length runs - 1) in
+  (* The registry row: the same corpus under a --grammar-dir server
+     whose std.wqg shadows the built-in grammar.  Responses are
+     byte-checked against the reference (identity_mismatches), and the
+     warm ratio against the single-grammar jobs-matched run records the
+     cost of per-request grammar resolution on the cache-hit path. *)
+  (match grammar_run with
+   | Some g ->
+     p "  \"grammar_dir_run\": %s,\n" (run_json ~cores g);
+     p "  \"grammar_warm_ratio\": %s,\n"
+       (json_float (warm_rps g /. warm_rps first))
+   | None -> ());
   p "  \"throughput_speedup_jobs\": %s,\n"
     (json_float (warm_rps last /. warm_rps first));
   p "  \"cold_speedup_jobs\": %s,\n"
@@ -420,9 +445,11 @@ let () =
   let interfaces = ref 120 in
   let json = ref None in
   let smoke = ref false in
+  let grammar_dir = ref None in
   let rec parse = function
     | [] -> ()
     | "--server" :: exe :: rest -> server_exe := Some exe; parse rest
+    | "--grammar-dir" :: d :: rest -> grammar_dir := Some d; parse rest
     | "--host" :: h :: rest -> host := h; parse rest
     | "--port" :: p :: rest -> port := Some (int_of_string p); parse rest
     | "--jobs-list" :: l :: rest ->
@@ -438,7 +465,7 @@ let () =
       Format.eprintf
         "unknown argument %s@.usage: loadgen (--server EXE | --port P) \
          [--host H] [--jobs-list 1,4] [--clients N] [--interfaces N] \
-         [--json FILE] [--smoke]@."
+         [--json FILE] [--smoke] [--grammar-dir DIR]@."
         arg;
       exit 2
   in
@@ -487,7 +514,7 @@ let () =
       Array.blit cold_bodies 0 reference 0 (Array.length docs);
       have_reference := true
     end;
-    let domain_requests, coalesced = scrape_metrics ~host ~port in
+    let domain_requests, coalesced, grammars = scrape_metrics ~host ~port in
     Array.iter
       (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
       conns;
@@ -500,6 +527,7 @@ let () =
       warm;
       domain_requests;
       coalesced;
+      grammars;
       identity_mismatches = cold_mism + warm_mism;
       server_exit }
   in
@@ -517,13 +545,30 @@ let () =
       Format.eprintf "need --server EXE or --port P@.";
       exit 2
   in
+  (* One extra jobs-matched run against a --grammar-dir server: its
+     registry std.wqg shadows the built-in grammar, so the byte-identity
+     check (against the first run's responses) proves the loaded grammar
+     equals the compiled one over the whole serving path, and the warm
+     pass prices per-request grammar resolution. *)
+  let grammar_run =
+    match (!server_exe, !grammar_dir) with
+    | Some exe, Some dir ->
+      let jobs = List.hd !jobs_list in
+      Format.eprintf "grammar-dir run (%s):@." dir;
+      let s = spawn_server exe ~jobs ~clients:!clients ~grammar_dir:dir in
+      Some (one_run ~jobs ~host:!host ~port:s.s_port ~server:(Some s))
+    | _ -> None
+  in
   let failed =
-    List.fold_left (fun acc r -> acc + r.cold.failed + r.warm.failed) 0 runs
+    List.fold_left
+      (fun acc r -> acc + r.cold.failed + r.warm.failed)
+      0
+      (runs @ Option.to_list grammar_run)
   in
   (match !json with
    | Some file ->
      write_json file ~smoke:!smoke ~interfaces:!interfaces ~clients:!clients
-       runs
+       ~grammar_run runs
    | None -> ());
   if failed > 0 then begin
     Format.eprintf "%d failed requests@." failed;

@@ -19,7 +19,15 @@
        0.75 x (jobs ratio) x the jobs=1 throughput — full runs on
        machines with >= 4 cores only, following the BENCH_parse.json
        convention: a 1-core container records speedup as measured and
-       only asserts it where parallelism is physically possible. *)
+       only asserts it where parallelism is physically possible;
+     - when the record carries a grammar_dir_run (loadgen
+       --grammar-dir): the run validates like any other (zero failures,
+       zero identity mismatches — the registry's std.wqg shadows the
+       built-in grammar, so byte-identity proves loaded == compiled
+       over the serving path), its registry holds > 1 grammar, and on
+       full runs the warm throughput stays within 3% of the
+       jobs-matched single-grammar run (per-request grammar resolution
+       must be free on the cache-hit path). *)
 
 open Json_min
 
@@ -44,7 +52,9 @@ let check_pass ctx p =
   (requests, hits, rps)
 
 let check_run ~interfaces i run =
-  let ctx = Printf.sprintf "runs[%d]" i in
+  let ctx =
+    if i < 0 then "grammar_dir_run" else Printf.sprintf "runs[%d]" i
+  in
   let jobs = non_negative (ctx ^ ".jobs") (field run "jobs") in
   ignore (positive (ctx ^ ".cores") (field run "cores"));
   let cold_requests, _, _ = check_pass (ctx ^ ".cold") (field run "cold") in
@@ -71,6 +81,11 @@ let check_run ~interfaces i run =
          byte-identical across passes and jobs counts), got %g"
       ctx mismatches;
   ignore (non_negative (ctx ^ ".coalesced") (field run "coalesced"));
+  (* Registry size from the /metrics scrape; absent on records written
+     before the grammar registry existed, 0 when the scrape failed. *)
+  (match field_opt run "grammars" with
+   | Some v -> ignore (non_negative (ctx ^ ".grammars") v)
+   | None -> ());
   (* The merged /metrics scrape attributes every request of both passes
      to exactly one owning domain.  An empty array means the scrape was
      not captured (external server died first); anything else must add
@@ -125,6 +140,32 @@ let () =
     in
     let checked = List.mapi (check_run ~interfaces) runs in
     let jobs = List.map fst checked in
+    (* The --grammar-dir row, when recorded: same gates as every run,
+       plus a populated registry and (full runs) warm throughput within
+       3% of the jobs-matched single-grammar run. *)
+    (match field_opt j "grammar_dir_run" with
+     | None ->
+       if field_opt j "grammar_warm_ratio" <> None then
+         bad "grammar_warm_ratio without grammar_dir_run"
+     | Some g ->
+       let g_jobs, _ = check_run ~interfaces (-1) g in
+       if not (List.mem g_jobs jobs) then
+         bad "grammar_dir_run.jobs %g matches no single-grammar run" g_jobs;
+       let grammars =
+         non_negative "grammar_dir_run.grammars" (field g "grammars")
+       in
+       if grammars <= 1. then
+         bad "grammar_dir_run.grammars: expected > 1 loaded grammars, got %g"
+           grammars;
+       let ratio =
+         positive "grammar_warm_ratio" (field j "grammar_warm_ratio")
+       in
+       if (not smoke) && ratio < 0.97 then
+         bad
+           "grammar_warm_ratio: warm throughput with --grammar-dir is %g of \
+            the single-grammar run (expected >= 0.97: grammar resolution \
+            must be free on the cache-hit path)"
+           ratio);
     (match jobs with
      | first :: (_ :: _ as rest) ->
        if List.exists (fun j -> j <= first) rest then

@@ -82,7 +82,8 @@ let is_broken_pipe msg =
   done;
   !found
 
-let run_guarded dir output jobs deadline_ms max_instances trace_dir =
+let run_guarded dir output jobs grammar_file deadline_ms max_instances
+    trace_dir =
   if not (Sys.file_exists dir && Sys.is_directory dir) then begin
     Format.eprintf "%s is not a directory@." dir;
     1
@@ -111,6 +112,18 @@ let run_guarded dir output jobs deadline_ms max_instances trace_dir =
       | _ -> Budget.make ?deadline_ms ?max_instances ()
     in
     let config = Extractor.Config.(default |> with_budget budget) in
+    (* Load once, share the compiled pack across all worker domains —
+       packs are immutable after compile. *)
+    let config =
+      match grammar_file with
+      | None -> config
+      | Some path ->
+        (match Extractor.load_grammar path with
+         | Ok pack -> Extractor.Config.with_compiled pack config
+         | Error msg ->
+           Format.eprintf "%s@." msg;
+           exit 2)
+    in
     let t0 = Unix.gettimeofday () in
     let results =
       Pool.run ~jobs (fun pool ->
@@ -159,9 +172,11 @@ let run_guarded dir output jobs deadline_ms max_instances trace_dir =
     if files = [||] then 1 else 0
   end
 
-let run dir output jobs deadline_ms max_instances trace_dir =
+let run dir output jobs grammar_file deadline_ms max_instances trace_dir =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  try run_guarded dir output jobs deadline_ms max_instances trace_dir
+  try
+    run_guarded dir output jobs grammar_file deadline_ms max_instances
+      trace_dir
   with Sys_error msg when is_broken_pipe msg ->
     (* The downstream reader went away mid-stream (e.g. `| head -1`);
        the documents already emitted reached it, so exit clean. *)
@@ -183,6 +198,15 @@ let jobs =
      recommended domain count).  Output order is independent of $(docv)."
   in
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let grammar_file =
+  let doc =
+    "Parse every document with the 2P grammar loaded from $(docv) (a \
+     .wqg sexp grammar file) instead of the built-in standard grammar.  \
+     The grammar is loaded and compiled once and shared across all \
+     worker domains."
+  in
+  Arg.(value & opt (some file) None & info [ "grammar" ] ~docv:"FILE" ~doc)
 
 let deadline_ms =
   let doc =
@@ -208,8 +232,8 @@ let cmd =
   let doc = "extract capabilities from a directory of query interfaces" in
   let term =
     Term.(
-      const run $ dir $ output $ jobs $ deadline_ms $ max_instances
-      $ trace_dir)
+      const run $ dir $ output $ jobs $ grammar_file $ deadline_ms
+      $ max_instances $ trace_dir)
   in
   Cmd.v (Cmd.info "wqi_batch" ~version:"1.0.0" ~doc) term
 

@@ -27,13 +27,23 @@ let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   if verbose then Logs.set_level (Some Logs.Debug)
 
-let config_of width deadline_ms max_instances =
+let config_of grammar_file width deadline_ms max_instances =
   let budget =
     match (deadline_ms, max_instances) with
     | None, None -> Budget.unlimited
     | _ -> Budget.make ?deadline_ms ?max_instances ()
   in
   let c = Extractor.Config.(default |> with_budget budget) in
+  let c =
+    match grammar_file with
+    | None -> c
+    | Some path ->
+      (match Extractor.load_grammar path with
+       | Ok pack -> Extractor.Config.with_compiled pack c
+       | Error msg ->
+         prerr_endline msg;
+         exit 2)
+  in
   match width with
   | Some w -> Extractor.Config.with_width w c
   | None -> c
@@ -58,11 +68,11 @@ let write_file path s =
     (fun () -> output_string oc s)
 
 let run_guarded input show_tokens show_trees show_stats show_ascii as_json
-    width deadline_ms max_instances trace_file profile =
+    grammar_file width deadline_ms max_instances trace_file profile =
   let html =
     match input with Some path -> read_file path | None -> read_stdin ()
   in
-  let config = config_of width deadline_ms max_instances in
+  let config = config_of grammar_file width deadline_ms max_instances in
   let trace =
     if trace_file <> None || profile then Some (Trace.create ()) else None
   in
@@ -119,12 +129,12 @@ let run_guarded input show_tokens show_trees show_stats show_ascii as_json
   if e.model.conditions = [] then 1 else 0
 
 let run input show_tokens show_trees show_stats show_ascii as_json verbose
-    width deadline_ms max_instances trace_file profile =
+    grammar_file width deadline_ms max_instances trace_file profile =
   setup_logs verbose;
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   try
     run_guarded input show_tokens show_trees show_stats show_ascii as_json
-      width deadline_ms max_instances trace_file profile
+      grammar_file width deadline_ms max_instances trace_file profile
   with Sys_error msg when is_broken_pipe msg ->
     (* The downstream reader went away mid-output; what was written is
        whatever it asked for.  Drop anything still buffered in the
@@ -166,6 +176,15 @@ let verbose =
   Arg.(value & flag
        & info [ "v"; "verbose" ]
            ~doc:"Trace instance creation and preference pruning.")
+
+let grammar_file =
+  let doc =
+    "Parse with the 2P grammar loaded from $(docv) (a .wqg sexp grammar \
+     file, see README \"Grammars as data\") instead of the built-in \
+     standard grammar.  The file is validated on load; malformations \
+     exit with status 2 and a file:line:col diagnostic."
+  in
+  Arg.(value & opt (some file) None & info [ "grammar" ] ~docv:"FILE" ~doc)
 
 let width =
   let doc = "Page width in pixels handed to the layout engine." in
@@ -221,8 +240,8 @@ let cmd =
   let term =
     Term.(
       const run $ input $ show_tokens $ show_trees $ show_stats $ show_ascii
-      $ as_json $ verbose $ width $ deadline_ms $ max_instances $ trace_file
-      $ profile)
+      $ as_json $ verbose $ grammar_file $ width $ deadline_ms $ max_instances
+      $ trace_file $ profile)
   in
   Cmd.v (Cmd.info "wqi_extract" ~version:"1.0.0" ~doc ~man) term
 

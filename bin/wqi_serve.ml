@@ -13,9 +13,9 @@ module Extractor = Wqi_core.Extractor
 module Budget = Wqi_core.Budget
 
 let run host port jobs accept_mode max_inflight max_body cache_bytes
-    cache_ttl_s cache_shards deadline_ms max_instances cap_deadline_ms
-    cap_instances idle_timeout_s drain_grace_s trace_sample trace_dir slow_ms
-    access_log =
+    cache_ttl_s cache_shards grammar_dir deadline_ms max_instances
+    cap_deadline_ms cap_instances idle_timeout_s drain_grace_s trace_sample
+    trace_dir slow_ms access_log =
   let budget =
     match (deadline_ms, max_instances) with
     | None, None -> Budget.unlimited
@@ -44,6 +44,7 @@ let run host port jobs accept_mode max_inflight max_body cache_bytes
       max_body;
       cache;
       extractor = Extractor.Config.(default |> with_budget budget);
+      grammar_dir;
       cap_budget;
       idle_timeout_s;
       drain_grace_s;
@@ -54,19 +55,25 @@ let run host port jobs accept_mode max_inflight max_body cache_bytes
   in
   match
     Serve.run config ~on_listen:(fun t ->
-        (* The banner is parsed by bench/loadgen and the smoke tests
-           (port = text after the last ':'); keep colons out of the
-           parenthesized part. *)
+        (* The listening banner must stay the first stdout line, with
+           no colon in the parenthesized part: bench/loadgen and the
+           smoke tests parse the port as the text after the last ':'. *)
         Printf.printf
           "wqi_serve: listening on %s:%d (jobs=%d, accept=%s, \
            max-inflight=%d)\n"
           host (Serve.port t) (Serve.domain_count t)
           (Serve.accept_mode_name t) max_inflight;
+        Printf.printf "wqi_serve: grammars loaded: %s\n"
+          (String.concat ", " (Serve.grammar_names t));
         flush stdout)
   with
   | () -> 0
   | exception Unix.Unix_error (e, fn, _) ->
     Format.eprintf "wqi_serve: %s: %s@." fn (Unix.error_message e);
+    1
+  | exception Invalid_argument msg ->
+    (* Grammar-registry load failure: the server refuses to start. *)
+    Format.eprintf "wqi_serve: %s@." msg;
     1
 
 open Cmdliner
@@ -130,6 +137,16 @@ let cache_shards =
   Arg.(value
        & opt int Cache.default_config.Cache.shards
        & info [ "cache-shards" ] ~docv:"N" ~doc)
+
+let grammar_dir =
+  let doc =
+    "Load every .wqg grammar file in $(docv) into the grammar registry \
+     at startup; requests select one with ?grammar=NAME (default: the \
+     built-in standard grammar).  A malformed file refuses to start the \
+     server.  SIGHUP re-scans the directory and hot-swaps the registry; \
+     a failed re-scan keeps the previous grammars serving."
+  in
+  Arg.(value & opt (some dir) None & info [ "grammar-dir" ] ~docv:"DIR" ~doc)
 
 let deadline_ms =
   let doc =
@@ -225,9 +242,9 @@ let cmd =
   let term =
     Term.(
       const run $ host $ port $ jobs $ accept_mode $ max_inflight $ max_body
-      $ cache_bytes $ cache_ttl_s $ cache_shards $ deadline_ms $ max_instances
-      $ cap_deadline_ms $ cap_instances $ idle_timeout_s $ drain_grace_s
-      $ trace_sample $ trace_dir $ slow_ms $ access_log)
+      $ cache_bytes $ cache_ttl_s $ cache_shards $ grammar_dir $ deadline_ms
+      $ max_instances $ cap_deadline_ms $ cap_instances $ idle_timeout_s
+      $ drain_grace_s $ trace_sample $ trace_dir $ slow_ms $ access_log)
   in
   Cmd.v (Cmd.info "wqi_serve" ~version:"1.0.0" ~doc ~man) term
 

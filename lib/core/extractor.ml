@@ -8,19 +8,26 @@ module Trace = Wqi_obs.Trace
 
 module Config = struct
   type t = {
-    grammar : Wqi_grammar.Grammar.t;
+    grammar : Engine.compiled;
     options : Engine.options;
     width : int;
     budget : Budget.t;
   }
 
+  (* The one remaining reference to the compiled-in standard grammar in
+     lib/core: the legacy default.  [run] itself is grammar-parametric —
+     it only ever consults [t.grammar]. *)
+  let std =
+    Engine.compile ~name:"std" ~version:"1" Wqi_stdgrammar.Std.grammar
+
   let default =
-    { grammar = Wqi_stdgrammar.Std.grammar;
+    { grammar = std;
       options = Engine.default_options;
       width = Wqi_layout.Style.page_width;
       budget = Budget.unlimited }
 
-  let with_grammar grammar t = { t with grammar }
+  let with_compiled grammar t = { t with grammar }
+  let with_grammar grammar t = { t with grammar = Engine.compile grammar }
   let with_options options t = { t with options }
   let with_width width t = { t with width }
   let with_budget budget t = { t with budget }
@@ -201,8 +208,8 @@ let run ?trace (config : Config.t) input =
     stage := Budget.Parse;
     let result, parse_seconds =
       timed trace "parse" (fun () ->
-          Engine.parse ?gauge ?trace ~options:config.options config.grammar
-            tokens)
+          Engine.parse_compiled ?gauge ?trace ~options:config.options
+            config.grammar tokens)
     in
     stage := Budget.Merge;
     let (model, trees), merge_seconds =
@@ -298,9 +305,22 @@ let run_forms ?trace (config : Config.t) html =
          degrade (run ?trace config (Document isolated)))
       forms
 
+let load_grammar path =
+  match
+    Wqi_grammar.Loader.load_grammar ~env:Wqi_stdgrammar.Std_decl.env path
+  with
+  | Error msg -> Error msg
+  | Ok (decl, g) ->
+    (match
+       Engine.compile ~name:decl.Wqi_grammar.Algebra.g_name
+         ~version:decl.Wqi_grammar.Algebra.g_version g
+     with
+     | pack -> Ok pack
+     | exception Invalid_argument msg -> Error (path ^ ": " ^ msg))
+
 let config_of ?grammar ?options ?width () =
   let c = Config.default in
-  let c = match grammar with Some grammar -> { c with Config.grammar } | None -> c in
+  let c = match grammar with Some g -> Config.with_grammar g c | None -> c in
   let c = match options with Some options -> { c with Config.options } | None -> c in
   match width with Some width -> { c with Config.width } | None -> c
 

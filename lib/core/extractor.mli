@@ -25,17 +25,32 @@
     ]} *)
 module Config : sig
   type t = {
-    grammar : Wqi_grammar.Grammar.t;
+    grammar : Wqi_parser.Engine.compiled;
+        (** the grammar pack the parse stage runs — [run] consults only
+            this field, never a global *)
     options : Wqi_parser.Engine.options;
     width : int;
     budget : Wqi_budget.Budget.t;
   }
 
+  val std : Wqi_parser.Engine.compiled
+  (** The derived global grammar [Wqi_stdgrammar.Std.grammar] compiled
+      once, under identity [std]/[1] — the default pack, and the only
+      place lib/core depends on the standard grammar. *)
+
   val default : t
-  (** The derived global grammar [Wqi_stdgrammar.Std.grammar], default
-      parser options, default page width, unlimited budget. *)
+  (** {!std}, default parser options, default page width, unlimited
+      budget. *)
+
+  val with_compiled : Wqi_parser.Engine.compiled -> t -> t
+  (** Install a prebuilt pack — e.g. one from a grammar-file registry —
+      without recompiling. *)
 
   val with_grammar : Wqi_grammar.Grammar.t -> t -> t
+  (** Legacy setter: compiles the grammar on the spot (identity
+      [anonymous]/[0], raising [Invalid_argument] if it fails
+      validation).  Prefer {!with_compiled} when the pack is reused. *)
+
   val with_options : Wqi_parser.Engine.options -> t -> t
   val with_width : int -> t -> t
   val with_budget : Wqi_budget.Budget.t -> t -> t
@@ -110,6 +125,15 @@ val run_forms : ?trace:Wqi_obs.Trace.t -> Config.t -> string -> extraction list
     across the page).  The page-level HTML parse is governed too; if it
     trips, the trip is prepended to every form's outcome.  Pages with no
     [<form>] element yield a single whole-page extraction. *)
+
+val load_grammar :
+  string -> (Wqi_parser.Engine.compiled, string) result
+(** [load_grammar path] reads a [.wqg] grammar file, resolves it against
+    the standard lexical environment ({!Wqi_stdgrammar.Std_decl.env}),
+    and compiles it into a pack carrying the file's declared
+    name/version — ready for {!Config.with_compiled}.  Errors (I/O,
+    malformed file, failed validation) come back as one printable
+    [file:line:col]-prefixed string. *)
 
 val failed : ?stage:Wqi_budget.Budget.stage -> string -> extraction
 (** [failed msg] is an empty extraction with [outcome = Failed _]; for

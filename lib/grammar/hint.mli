@@ -70,4 +70,6 @@ val region : rel -> anchor:Wqi_layout.Geometry.box -> anchor_is_first:bool -> re
     spans intersect the returned intervals.  The converse is not
     guaranteed — callers must re-check {!holds_rel} (and the guard). *)
 
+val pp_rel : Format.formatter -> rel -> unit
+
 val pp : Format.formatter -> t -> unit

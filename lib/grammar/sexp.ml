@@ -1,0 +1,173 @@
+type pos = { line : int; col : int }
+
+type t =
+  | Atom of pos * string
+  | List of pos * t list
+
+let no_pos = { line = 0; col = 0 }
+
+let pos = function Atom (p, _) | List (p, _) -> p
+
+exception Parse_error of pos * string
+
+let error p fmt = Format.kasprintf (fun m -> raise (Parse_error (p, m))) fmt
+
+let is_bare_char c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> true
+  | '_' | '+' | '*' | '/' | '.' | ':' | '@' | '%' | '<' | '>' | '=' | '!'
+  | '?' | '-' ->
+    true
+  | _ -> false
+
+(* A hand-rolled reader: the project deliberately has no sexp library
+   dependency, and grammar files are small enough that a simple
+   character scanner with explicit line/column tracking is the whole
+   story. *)
+type cursor = {
+  src : string;
+  mutable off : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let peek c = if c.off >= String.length c.src then None else Some c.src.[c.off]
+
+let advance c =
+  (match peek c with
+   | Some '\n' ->
+     c.line <- c.line + 1;
+     c.col <- 1
+   | Some _ -> c.col <- c.col + 1
+   | None -> ());
+  c.off <- c.off + 1
+
+let here c = { line = c.line; col = c.col }
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance c;
+    skip_ws c
+  | Some ';' ->
+    let rec to_eol () =
+      match peek c with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance c;
+        to_eol ()
+    in
+    to_eol ();
+    skip_ws c
+  | _ -> ()
+
+let read_string c =
+  let start = here c in
+  advance c (* opening quote *);
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> error start "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' ->
+      advance c;
+      (match peek c with
+       | Some '\\' -> Buffer.add_char buf '\\'
+       | Some '"' -> Buffer.add_char buf '"'
+       | Some 'n' -> Buffer.add_char buf '\n'
+       | Some 't' -> Buffer.add_char buf '\t'
+       | Some ch -> error (here c) "unknown escape '\\%c'" ch
+       | None -> error start "unterminated string");
+      advance c;
+      go ()
+    | Some ch ->
+      Buffer.add_char buf ch;
+      advance c;
+      go ()
+  in
+  go ();
+  Atom (start, Buffer.contents buf)
+
+let read_bare c =
+  let start = here c in
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | Some ch when is_bare_char ch ->
+      Buffer.add_char buf ch;
+      advance c;
+      go ()
+    | _ -> ()
+  in
+  go ();
+  Atom (start, Buffer.contents buf)
+
+let rec read_form c =
+  skip_ws c;
+  match peek c with
+  | None -> None
+  | Some '(' ->
+    let start = here c in
+    advance c;
+    let items = ref [] in
+    let rec go () =
+      skip_ws c;
+      match peek c with
+      | None -> error start "unclosed '('"
+      | Some ')' -> advance c
+      | Some _ ->
+        (match read_form c with
+         | Some f ->
+           items := f :: !items;
+           go ()
+         | None -> error start "unclosed '('")
+    in
+    go ();
+    Some (List (start, List.rev !items))
+  | Some ')' -> error (here c) "unexpected ')'"
+  | Some '"' -> Some (read_string c)
+  | Some ch when is_bare_char ch -> Some (read_bare c)
+  | Some ch -> error (here c) "unexpected character %C" ch
+
+let parse_string src =
+  let c = { src; off = 0; line = 1; col = 1 } in
+  let rec go acc =
+    match read_form c with
+    | Some f -> go (f :: acc)
+    | None -> List.rev acc
+  in
+  go []
+
+let atom s = Atom (no_pos, s)
+let list items = List (no_pos, items)
+
+let is_bare s = s <> "" && String.for_all is_bare_char s
+
+let add_quoted buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun ch ->
+       match ch with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | '\t' -> Buffer.add_string buf "\\t"
+       | _ -> Buffer.add_char buf ch)
+    s;
+  Buffer.add_char buf '"'
+
+let rec to_buf buf = function
+  | Atom (_, s) -> if is_bare s then Buffer.add_string buf s else add_quoted buf s
+  | List (_, items) ->
+    Buffer.add_char buf '(';
+    List.iteri
+      (fun i f ->
+         if i > 0 then Buffer.add_char buf ' ';
+         to_buf buf f)
+      items;
+    Buffer.add_char buf ')'
+
+let to_string f =
+  let buf = Buffer.create 64 in
+  to_buf buf f;
+  Buffer.contents buf

@@ -1,0 +1,38 @@
+(** Minimal s-expressions for the external grammar format.
+
+    The grammar-as-data pipeline ({!Algebra}, {!Loader}) stores
+    grammars as s-expressions: atoms (bare words, integers, or quoted
+    strings) and parenthesized lists.  The reader tracks source
+    positions so loader diagnostics can point at the offending form
+    ([file:line:col]); the printer is canonical — one fixed rendering
+    per value — so dump → load → dump is byte-identical. *)
+
+type pos = { line : int; col : int }
+(** 1-based line, 1-based column of a form's first character. *)
+
+type t =
+  | Atom of pos * string
+  | List of pos * t list
+
+val pos : t -> pos
+
+exception Parse_error of pos * string
+
+val parse_string : string -> t list
+(** Top-level forms of the input, in order.  Comments run from [;] to
+    end of line.  Atoms are bare words ([A-Za-z0-9_+*/.:@%<>=!?-]) or
+    double-quoted strings with backslash escapes (backslash, quote,
+    [n], [t]).  Raises {!Parse_error} on unbalanced parens,
+    unterminated strings, or stray characters. *)
+
+val atom : string -> t
+(** Position-less atom (for building values to print). *)
+
+val list : t list -> t
+
+val to_buf : Buffer.t -> t -> unit
+(** Canonical one-line rendering: atoms printed bare when they lex as
+    bare atoms, double-quoted (with escapes) otherwise; lists as
+    [(a b c)] with single spaces. *)
+
+val to_string : t -> string

@@ -688,7 +688,28 @@ let make_filler universe =
   in
   Instance.of_token ~id:(-1) ~universe:(max 1 universe) tok
 
-let parse ?gauge ?trace ?(options = default_options) grammar tokens =
+type compiled = {
+  grammar : G.Grammar.t;
+  name : string;
+  version : string;
+  schedule : G.Schedule.t;
+  d_order : Symbol.t list;
+  prefs_by_sym : (Symbol.t, G.Preference.t list) Hashtbl.t;
+}
+
+(* Everything is computed eagerly: compiled packs are shared across
+   serving domains, and a lazy thunk forced concurrently from several
+   domains would race. *)
+let compile ?(name = "anonymous") ?(version = "0") grammar =
+  { grammar;
+    name;
+    version;
+    schedule = G.Schedule.build grammar;
+    d_order = d_only_order grammar;
+    prefs_by_sym = preferences_by_symbol grammar }
+
+let parse_compiled ?gauge ?trace ?(options = default_options) compiled tokens =
+  let grammar = compiled.grammar in
   let universe = List.length tokens in
   let st =
     { grammar;
@@ -738,13 +759,12 @@ let parse ?gauge ?trace ?(options = default_options) grammar tokens =
     go [] tokens
   in
   let schedule =
-    if options.use_scheduling then G.Schedule.build grammar
+    if options.use_scheduling then compiled.schedule
     else
-      { G.Schedule.order = d_only_order grammar; transformed = []; relaxed = [] }
+      { G.Schedule.order = compiled.d_order; transformed = []; relaxed = [] }
   in
-  let prefs_by_sym = preferences_by_symbol grammar in
   let prefs_for sym =
-    Option.value ~default:[] (Hashtbl.find_opt prefs_by_sym sym)
+    Option.value ~default:[] (Hashtbl.find_opt compiled.prefs_by_sym sym)
   in
   (try
      if not !truncated then begin
@@ -798,6 +818,9 @@ let parse ?gauge ?trace ?(options = default_options) grammar tokens =
         guards_admitted = st.guards_admitted;
         index_probes = st.index_probes;
         index_pruned = st.index_pruned } }
+
+let parse ?gauge ?trace ?options grammar tokens =
+  parse_compiled ?gauge ?trace ?options (compile grammar) tokens
 
 let count_trees result =
   let universe = List.length result.tokens in

@@ -86,6 +86,43 @@ type result = {
   stats : stats;
 }
 
+(** A grammar compiled for repeated parsing: the 2P schedule (d-edges +
+    r-edges), the d-edge-only ablation order, and the per-symbol
+    preference table are derived once instead of on every parse, and the
+    pack carries the grammar's identity ([name]/[version]) so callers
+    that cache or route by grammar (the extraction service) have a
+    stable key.  A pack is immutable after {!compile} and safe to share
+    across domains. *)
+type compiled = private {
+  grammar : Wqi_grammar.Grammar.t;
+  name : string;
+  version : string;
+  schedule : Wqi_grammar.Schedule.t;
+  d_order : Wqi_grammar.Symbol.t list;
+      (** topological order over d-edges alone, for
+          [use_scheduling = false] *)
+  prefs_by_sym :
+    (Wqi_grammar.Symbol.t, Wqi_grammar.Preference.t list) Hashtbl.t;
+      (** read-only after compile *)
+}
+
+val compile :
+  ?name:string -> ?version:string -> Wqi_grammar.Grammar.t -> compiled
+(** [compile g] validates [g] (raising [Invalid_argument] like {!parse}
+    would) and precomputes everything {!parse_compiled} needs.  [name]
+    defaults to ["anonymous"], [version] to ["0"]; loaders pass the
+    grammar file's declared identity. *)
+
+val parse_compiled :
+  ?gauge:Wqi_budget.Budget.gauge ->
+  ?trace:Wqi_obs.Trace.t ->
+  ?options:options ->
+  compiled ->
+  Wqi_token.Token.t list ->
+  result
+(** {!parse} minus the per-call schedule/preference derivation.
+    Byte-identical results to [parse pack.grammar]. *)
+
 val parse :
   ?gauge:Wqi_budget.Budget.gauge ->
   ?trace:Wqi_obs.Trace.t ->

@@ -1,4 +1,5 @@
 module Extractor = Wqi_core.Extractor
+module Engine = Wqi_parser.Engine
 module Budget = Wqi_budget.Budget
 module Export = Wqi_model.Export
 module Trace = Wqi_obs.Trace
@@ -17,6 +18,7 @@ type config = {
   max_body : int;
   cache : Cache.config option;
   extractor : Extractor.Config.t;
+  grammar_dir : string option;
   cap_budget : Budget.t;
   idle_timeout_s : float;
   drain_grace_s : float;
@@ -35,6 +37,7 @@ let default_config =
     max_body = 4 * 1024 * 1024;
     cache = Some Cache.default_config;
     extractor = Extractor.Config.default;
+    grammar_dir = None;
     cap_budget = Budget.unlimited;
     idle_timeout_s = 5.;
     drain_grace_s = 30.;
@@ -78,6 +81,11 @@ type t = {
   config : config;
   bound_port : int;
   mode : [ `Reuseport | `Dispatch ];
+  registry : (string * Engine.compiled) list Atomic.t;
+      (* name → compiled pack, sorted by name; always contains the
+         default grammar.  Swapped wholesale (never mutated) so request
+         threads read a consistent registry with one atomic load. *)
+  reload_flag : bool Atomic.t;  (* SIGHUP: re-scan grammar_dir *)
   shards : shard array;
   dispatch_listen : Unix.file_descr option;  (* `Dispatch mode only *)
   inflight : int Atomic.t;  (* admitted extractions, all domains *)
@@ -97,6 +105,78 @@ type t = {
 let draining t = Atomic.get t.draining
 
 let port t = t.bound_port
+
+(* ------------------------------------------------------------------ *)
+(* Grammar registry                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Load every *.wqg in [dir] (sorted, so errors are deterministic) into
+   (name, pack) pairs.  The whole scan fails on the first malformed
+   file — a server must not come up (or hot-swap to) a half-loaded
+   registry. *)
+let scan_grammar_dir dir =
+  match Sys.readdir dir with
+  | exception Sys_error msg -> Error msg
+  | entries ->
+    let files =
+      Array.to_list entries
+      |> List.filter (fun f -> Filename.check_suffix f ".wqg")
+      |> List.sort compare
+    in
+    List.fold_left
+      (fun acc file ->
+         match acc with
+         | Error _ as e -> e
+         | Ok packs ->
+           (match Extractor.load_grammar (Filename.concat dir file) with
+            | Error msg -> Error msg
+            | Ok pack ->
+              let name = pack.Engine.name in
+              if List.mem_assoc name packs then
+                Error
+                  (Printf.sprintf "%s: duplicate grammar name %S"
+                     (Filename.concat dir file) name)
+              else Ok ((name, pack) :: packs)))
+      (Ok []) files
+
+(* The registry always resolves the default grammar under its own name;
+   a directory file with the same name shadows the built-in. *)
+let build_registry config =
+  let dflt = config.extractor.Extractor.Config.grammar in
+  let from_dir =
+    match config.grammar_dir with
+    | None -> Ok []
+    | Some dir -> scan_grammar_dir dir
+  in
+  match from_dir with
+  | Error _ as e -> e
+  | Ok packs ->
+    let packs =
+      if List.mem_assoc dflt.Engine.name packs then packs
+      else (dflt.Engine.name, dflt) :: packs
+    in
+    Ok (List.sort (fun (a, _) (b, _) -> compare a b) packs)
+
+let grammar_names t = List.map fst (Atomic.get t.registry)
+
+let reload_grammars t =
+  match build_registry t.config with
+  | Error _ as e -> e
+  | Ok packs ->
+    Atomic.set t.registry packs;
+    Ok (List.length packs)
+
+let request_reload t = Atomic.set t.reload_flag true
+
+let maybe_reload t =
+  if Atomic.exchange t.reload_flag false then
+    match reload_grammars t with
+    | Ok n -> Printf.eprintf "wqi_serve: reloaded %d grammar(s)\n%!" n
+    | Error msg ->
+      (* Keep serving the previous registry: a bad file must never take
+         the old grammars down with it. *)
+      Printf.eprintf "wqi_serve: grammar reload failed, keeping previous \
+                      registry: %s\n%!" msg
 
 let jobs_of config =
   match config.jobs with
@@ -237,14 +317,14 @@ let log_slow t ~meth ~path ~status ~seconds ~id =
    per-stage histograms), the structured access log, and the
    slow-request log all see exactly the bytes that went on the wire.
    Telemetry lands in the serving domain's own arena. *)
-let finish t sh ~scratch fd req ~t0 ~id ~status ?headers ?content_type ?outcome
-    ?cache_hit ?stats ?stage_seconds ?(cache = "-") body =
+let finish t sh ~scratch fd req ~t0 ~id ~status ?headers ?content_type ?grammar
+    ?outcome ?cache_hit ?stats ?stage_seconds ?(cache = "-") body =
   let seconds = Budget.now_s () -. t0 in
   (* Account before writing: once the client has the response bytes, a
      /metrics scrape must already see this request, or a scrape racing
      the last response reads an undercounted split. *)
-  Telemetry.observe_request sh.s_telemetry ~code:status ?outcome ?cache_hit
-    ?stats ?stage_seconds ~seconds ();
+  Telemetry.observe_request sh.s_telemetry ~code:status ?grammar ?outcome
+    ?cache_hit ?stats ?stage_seconds ~seconds ();
   respond ~scratch fd ~status ?headers ?content_type body;
   let meth = req.Http.meth and path = req.Http.path in
   let outcome =
@@ -324,19 +404,21 @@ let admit t =
 
 let release t = ignore (Atomic.fetch_and_add t.inflight (-1))
 
-let respond_hit t sh ~scratch fd req ~t0 ~id stored =
+let respond_hit t sh ~scratch fd req ~t0 ~id ~grammar stored =
   let outcome, body = decode_cached stored in
   finish t sh ~scratch fd req ~t0 ~id ~status:200
     ~headers:
       [ ("x-wqi-outcome", outcome_name outcome);
         ("x-wqi-cache", "hit");
+        ("x-wqi-grammar", grammar);
         ("x-wqi-trace-id", id) ]
-    ~outcome ~cache_hit:true ~cache:"hit" body
+    ~grammar ~outcome ~cache_hit:true ~cache:"hit" body
 
 (* Run the extraction on this handler thread, inside this domain: the
    whole accept → parse → extract → respond path stays on one core.
    [publish] tells the single-flight leader path to feed waiters. *)
-let run_extraction t sh ~scratch fd req ~t0 ~id ~budget ~name ~publish ckey =
+let run_extraction t sh ~scratch fd req ~t0 ~id ~budget ~pack ~name ~publish
+    ckey =
   if not (admit t) then begin
     publish None;
     Telemetry.shed sh.s_telemetry;
@@ -358,7 +440,10 @@ let run_extraction t sh ~scratch fd req ~t0 ~id ~budget ~name ~publish ckey =
           release t;
           publish_once None)
     @@ fun () ->
-    let config = Extractor.Config.with_budget budget t.config.extractor in
+    let config =
+      Extractor.Config.(
+        t.config.extractor |> with_budget budget |> with_compiled pack)
+    in
     let tdir = want_trace t req in
     let trace =
       match tdir with None -> None | Some _ -> Some (Trace.create ())
@@ -381,11 +466,37 @@ let run_extraction t sh ~scratch fd req ~t0 ~id ~budget ~name ~publish ckey =
       ~headers:
         [ ("x-wqi-outcome", outcome_name tag);
           ("x-wqi-cache", cache);
+          ("x-wqi-grammar", pack.Engine.name);
           ("x-wqi-trace-id", id) ]
-      ~outcome:tag ~stats:e.Extractor.diagnostics.Extractor.parse_stats
+      ~grammar:pack.Engine.name ~outcome:tag
+      ~stats:e.Extractor.diagnostics.Extractor.parse_stats
       ~stage_seconds:(stage_seconds_of e.Extractor.diagnostics)
       ~cache body
   end
+
+(* Resolve the pack serving this request: [?grammar=NAME] selects from
+   the registry (one atomic load — a concurrent hot-swap cannot give
+   half-old, half-new state), absent/empty means the configured
+   default.  Unknown names are a deterministic 404 listing the
+   available grammars (the registry is kept sorted by name). *)
+let resolve_grammar t req =
+  let packs = Atomic.get t.registry in
+  match Http.query_param req "grammar" with
+  | Some g when g <> "" ->
+    (match List.assoc_opt g packs with
+     | Some pack -> Ok pack
+     | None ->
+       Error
+         (Printf.sprintf "unknown grammar %S; available: %s" g
+            (String.concat ", " (List.map fst packs))))
+  | _ ->
+    let dflt = t.config.extractor.Extractor.Config.grammar in
+    (* A grammar-dir file with the default's name shadows the built-in
+       for unqualified requests too, so NAME and ?grammar=NAME always
+       agree on which pack runs. *)
+    (match List.assoc_opt dflt.Engine.name packs with
+     | Some pack -> Ok pack
+     | None -> Ok dflt)
 
 let handle_extract t sh ~scratch fd req t0 ~id =
   match budget_of_query t.config req with
@@ -394,47 +505,59 @@ let handle_extract t sh ~scratch fd req t0 ~id =
       ~headers:[ ("x-wqi-trace-id", id) ]
       (json_error msg)
   | Ok budget ->
-    let name =
-      match Http.query_param req "name" with
-      | Some n when n <> "" -> n
-      | _ -> "request"
-    in
-    let spec =
-      Printf.sprintf "v%d|name=%s|budget=%s" Export.extraction_version name
-        (Export.budget budget)
-    in
-    let ckey =
-      Option.map (fun _ -> Cache.key ~html:req.Http.body ~spec) sh.s_cache
-    in
-    (* Single-flight retry loop: a follower woken without a value
-       (leader shed or failed) re-checks the cache and competes to
-       lead; the attempt bound is a backstop, after which the request
-       extracts on its own rather than loop. *)
-    let rec attempt n =
-      let cached =
-        match (sh.s_cache, ckey) with
-        | Some cache, Some k -> Cache.find cache k
-        | _ -> None
-      in
-      match cached with
-      | Some stored -> respond_hit t sh ~scratch fd req ~t0 ~id stored
-      | None ->
-        (match (sh.s_cache, ckey) with
-         | Some cache, Some k when n < 8 ->
-           (match Cache.begin_flight cache k with
-            | Cache.Follower (Some stored) ->
-              respond_hit t sh ~scratch fd req ~t0 ~id stored
-            | Cache.Follower None -> attempt (n + 1)
-            | Cache.Leader ->
-              run_extraction t sh ~scratch fd req ~t0 ~id ~budget ~name
-                ~publish:(fun v -> Cache.end_flight cache k v)
+    (match resolve_grammar t req with
+     | Error msg ->
+       finish t sh ~scratch fd req ~t0 ~id ~status:404
+         ~headers:[ ("x-wqi-trace-id", id) ]
+         (json_error msg)
+     | Ok pack ->
+       let grammar = pack.Engine.name in
+       let name =
+         match Http.query_param req "name" with
+         | Some n when n <> "" -> n
+         | _ -> "request"
+       in
+       (* The grammar identity (name and version) is part of the cache
+          key: the same HTML under two grammars — or two versions of
+          one grammar, e.g. across a hot reload — never shares an
+          entry. *)
+       let spec =
+         Printf.sprintf "v%d|grammar=%s@%s|name=%s|budget=%s"
+           Export.extraction_version pack.Engine.name pack.Engine.version name
+           (Export.budget budget)
+       in
+       let ckey =
+         Option.map (fun _ -> Cache.key ~html:req.Http.body ~spec) sh.s_cache
+       in
+       (* Single-flight retry loop: a follower woken without a value
+          (leader shed or failed) re-checks the cache and competes to
+          lead; the attempt bound is a backstop, after which the request
+          extracts on its own rather than loop. *)
+       let rec attempt n =
+         let cached =
+           match (sh.s_cache, ckey) with
+           | Some cache, Some k -> Cache.find cache k
+           | _ -> None
+         in
+         match cached with
+         | Some stored -> respond_hit t sh ~scratch fd req ~t0 ~id ~grammar stored
+         | None ->
+           (match (sh.s_cache, ckey) with
+            | Some cache, Some k when n < 8 ->
+              (match Cache.begin_flight cache k with
+               | Cache.Follower (Some stored) ->
+                 respond_hit t sh ~scratch fd req ~t0 ~id ~grammar stored
+               | Cache.Follower None -> attempt (n + 1)
+               | Cache.Leader ->
+                 run_extraction t sh ~scratch fd req ~t0 ~id ~budget ~pack ~name
+                   ~publish:(fun v -> Cache.end_flight cache k v)
+                   ckey)
+            | _ ->
+              run_extraction t sh ~scratch fd req ~t0 ~id ~budget ~pack ~name
+                ~publish:(fun _ -> ())
                 ckey)
-         | _ ->
-           run_extraction t sh ~scratch fd req ~t0 ~id ~budget ~name
-             ~publish:(fun _ -> ())
-             ckey)
-    in
-    attempt 0
+       in
+       attempt 0)
 
 (* ------------------------------------------------------------------ *)
 (* Metrics: merge-on-scrape                                           *)
@@ -514,10 +637,25 @@ let metrics_body t =
          snaps)
   in
   let inflight = Atomic.get t.inflight in
-  Telemetry.render_snapshot merged
+  let packs = Atomic.get t.registry in
+  let grammar_rows =
+    List.map
+      (fun (name, pack) ->
+         (Printf.sprintf "name=\"%s\",version=\"%s\"" name
+            pack.Engine.version,
+          1.))
+      packs
+  in
+  (* The historical code-only wqi_requests_total contract holds while a
+     single grammar is loaded; the grammar label appears only once
+     there is more than one grammar to tell apart. *)
+  Telemetry.render_snapshot ~grammar_label:(List.length packs > 1) merged
     ~extra:
       (cache_series
-       @ [ ("wqi_domain_requests_total",
+       @ [ ("wqi_grammar_info",
+            "Loaded grammars, by name and version; value is always 1.",
+            `Gauge, grammar_rows);
+           ("wqi_domain_requests_total",
             "Requests served, by owning domain (merge-on-scrape).",
             `Counter, domain_rows);
            ("wqi_pool_queue_depth",
@@ -662,6 +800,9 @@ let accept_loop t sh listen_fd =
                  ((EAGAIN | EWOULDBLOCK | ECONNABORTED | EINTR), _, _) ->
              ()
            | fd, _ -> register_conn t sh fd));
+      (* Every accept loop ticks the reload flag; Atomic.exchange makes
+         exactly one of them perform the swap. *)
+      maybe_reload t;
       loop ()
     end
   in
@@ -753,6 +894,9 @@ let dispatcher_loop t listen_fd =
              Queue.push fd sh.s_pending;
              Condition.signal sh.s_cond;
              Mutex.unlock sh.s_mutex));
+      (* In dispatch mode the domains block on their inboxes, so the
+         dispatcher's select tick is the reload heartbeat. *)
+      maybe_reload t;
       loop ()
     end
   in
@@ -835,6 +979,13 @@ let bind_listeners config ~jobs addr =
        (`Dispatch, [], Some fd, port_of fd))
 
 let start config =
+  (* Load the grammar registry before binding any socket: a server that
+     cannot serve its configured grammars must not come up at all. *)
+  let registry =
+    match build_registry config with
+    | Ok packs -> packs
+    | Error msg -> invalid_arg ("Serve.start: " ^ msg)
+  in
   let addr = resolve_host config.host in
   let jobs = jobs_of config in
   let mode, listeners, dispatch_listen, bound_port =
@@ -888,6 +1039,8 @@ let start config =
     { config;
       bound_port;
       mode;
+      registry = Atomic.make registry;
+      reload_flag = Atomic.make false;
       shards;
       dispatch_listen;
       inflight = Atomic.make 0;
@@ -945,6 +1098,9 @@ let run ?on_listen config =
   let on_stop_signal _ = stop t in
   Sys.set_signal Sys.sigterm (Sys.Signal_handle on_stop_signal);
   Sys.set_signal Sys.sigint (Sys.Signal_handle on_stop_signal);
+  (* SIGHUP requests a grammar-dir re-scan; the swap itself happens on
+     a serving thread's next tick, never inside the signal handler. *)
+  Sys.set_signal Sys.sighup (Sys.Signal_handle (fun _ -> request_reload t));
   (match on_listen with Some f -> f t | None -> ());
   wait t
 

@@ -30,25 +30,42 @@
     (counted as cache hits, plus the [wqi_cache_coalesced_total]
     counter).
 
+    {b Grammars.} The server holds a registry of compiled 2P grammars:
+    the configured default plus every [*.wqg] file in
+    [config.grammar_dir] (loaded and validated at startup — a bad file
+    refuses to start the server).  [POST /extract?grammar=NAME] selects
+    the grammar per request; an unknown name is a deterministic 404
+    listing the available grammars.  The grammar's name and version are
+    part of the cache key, so the same HTML under two grammars (or two
+    versions across a reload) never shares a cache entry.  SIGHUP
+    (wired by {!run}) re-scans the directory and hot-swaps the registry
+    wholesale on a serving thread's next tick; a failed re-scan keeps
+    the previous registry serving.
+
     {b Endpoints.}
     - [POST /extract] — body: raw HTML; optional query parameters
-      [name] (source name in the JSON) and per-request budget
-      overrides [deadline_ms], [max_html_nodes], [max_boxes],
+      [name] (source name in the JSON), [grammar] (registry grammar to
+      parse with; default the configured grammar) and per-request
+      budget overrides [deadline_ms], [max_html_nodes], [max_boxes],
       [max_tokens], [max_instances], [max_rounds], each clamped by the
       server's cap budget.  Responds 200 with the version-2 JSON
       source description ([Complete] and [Degraded] outcomes; see the
-      [x-wqi-outcome] and [x-wqi-cache] headers), 500 with the same
-      envelope for [Failed] extractions, 400 for malformed requests
-      and parameters, 413 for oversized bodies, 503 (with
+      [x-wqi-outcome], [x-wqi-cache] and [x-wqi-grammar] headers), 500
+      with the same envelope for [Failed] extractions, 400 for
+      malformed requests and parameters, 404 for unknown [grammar]
+      names, 413 for oversized bodies, 503 (with
       [Retry-After]) when admission control sheds the request.
     - [GET /healthz] — 200 ["ok"] while serving, 503 ["draining"]
       during shutdown.
     - [GET /metrics] — Prometheus text exposition merged over every
       domain's arena: requests by status, outcomes, latency histogram,
       per-stage latency histograms ([wqi_stage_seconds{stage=...}]),
+      the loaded grammars ([wqi_grammar_info{name=...,version=...}]),
       summed cache hit/miss/eviction/coalesced counters, aggregated
       parser guard/index counters, per-domain request counts
-      ([wqi_domain_requests_total{domain="i"}]), in-flight gauges
+      ([wqi_domain_requests_total{domain="i"}]) — with
+      [wqi_requests_total] gaining a [grammar] label once more than one
+      grammar is loaded — in-flight gauges
       (including the [wqi_pool_peak_inflight] high-water mark), the
       accept architecture ([wqi_accept_mode_info{mode=...}]), build
       info and uptime.
@@ -101,7 +118,12 @@ type config = {
           shards. *)
   extractor : Wqi_core.Extractor.Config.t;
       (** base extractor configuration; its budget is the per-request
-          default *)
+          default and its grammar the default (and always-resolvable)
+          registry entry *)
+  grammar_dir : string option;
+      (** directory of [*.wqg] grammar files loaded into the registry
+          at startup and on SIGHUP; [None] serves only the configured
+          default grammar *)
   cap_budget : Wqi_budget.Budget.t;
       (** per-field ceilings for request budget overrides: a request
           can tighten a cap but never exceed these; unlimited fields
@@ -140,7 +162,25 @@ type t
 
 val start : config -> t
 (** Bind the listeners and spawn the serving domains.  Raises
-    [Unix.Unix_error] if the address cannot be bound. *)
+    [Unix.Unix_error] if the address cannot be bound and
+    [Invalid_argument] if [config.grammar_dir] fails to load (missing
+    directory, malformed file, duplicate grammar name). *)
+
+val grammar_names : t -> string list
+(** Names the registry currently serves, sorted (always includes the
+    default grammar's name). *)
+
+val reload_grammars : t -> (int, string) result
+(** Re-scan [config.grammar_dir] and swap the registry wholesale;
+    returns the number of grammars now loaded.  On [Error] the previous
+    registry keeps serving.  Safe to call from any thread; requests
+    racing the swap see either the old or the new registry, never a
+    mix. *)
+
+val request_reload : t -> unit
+(** Ask a serving thread to {!reload_grammars} at its next tick (at
+    most ~0.25 s later).  Async-signal-safe — this is what the SIGHUP
+    handler installed by {!run} calls. *)
 
 val port : t -> int
 (** The actually-bound port (useful with [config.port = 0]). *)
@@ -163,5 +203,6 @@ val wait : t -> unit
 
 val run : ?on_listen:(t -> unit) -> config -> unit
 (** [run config] = {!start}, install SIGTERM/SIGINT handlers that
-    {!stop}, ignore SIGPIPE, then {!wait}.  [on_listen] fires once the
+    {!stop} and a SIGHUP handler that {!request_reload}s the grammar
+    registry, ignore SIGPIPE, then {!wait}.  [on_listen] fires once the
     sockets are bound (the CLI prints the address there). *)

@@ -15,7 +15,11 @@ type t = {
   mutex : Mutex.t;
   version : string;
   start_s : float;  (* monotonic; uptime = now - start *)
-  by_code : (int, int ref) Hashtbl.t;
+  by_code : (int * string, int ref) Hashtbl.t;
+      (* key: status code × grammar name ("" = request not attributed
+         to a grammar, e.g. /healthz or /metrics).  The grammar
+         dimension is folded away at render time unless the exposition
+         asks for it (multi-grammar servers). *)
   mutable complete : int;
   mutable degraded : int;
   mutable failed : int;
@@ -76,8 +80,8 @@ let stage_index name =
   in
   go 0
 
-let observe_request t ~code ?outcome ?(cache_hit = false) ?stats
-    ?(stage_seconds = []) ~seconds () =
+let observe_request t ~code ?(grammar = "") ?outcome ?(cache_hit = false)
+    ?stats ?(stage_seconds = []) ~seconds () =
   Mutex.lock t.mutex;
   List.iter
     (fun (name, s) ->
@@ -89,9 +93,9 @@ let observe_request t ~code ?outcome ?(cache_hit = false) ?stats
          t.stage_sums.(i) <- t.stage_sums.(i) +. s;
          t.stage_counts.(i) <- t.stage_counts.(i) + 1)
     stage_seconds;
-  (match Hashtbl.find_opt t.by_code code with
+  (match Hashtbl.find_opt t.by_code (code, grammar) with
    | Some r -> incr r
-   | None -> Hashtbl.replace t.by_code code (ref 1));
+   | None -> Hashtbl.replace t.by_code (code, grammar) (ref 1));
   (match outcome with
    | Some `Complete -> t.complete <- t.complete + 1
    | Some `Degraded -> t.degraded <- t.degraded + 1
@@ -130,7 +134,8 @@ let shed t =
 type snapshot = {
   s_version : string;
   s_start : float;
-  s_codes : (int * int) list;  (* sorted by code, deterministic *)
+  s_codes : ((int * string) * int) list;
+      (* sorted by (code, grammar), deterministic *)
   s_complete : int;
   s_degraded : int;
   s_failed : int;
@@ -156,7 +161,7 @@ let snapshot t =
     { s_version = t.version;
       s_start = t.start_s;
       s_codes =
-        Hashtbl.fold (fun code r acc -> (code, !r) :: acc) t.by_code []
+        Hashtbl.fold (fun key r acc -> (key, !r) :: acc) t.by_code []
         |> List.sort compare;
       s_complete = t.complete;
       s_degraded = t.degraded;
@@ -181,8 +186,20 @@ let snapshot t =
 
 let requests sn = List.fold_left (fun acc (_, n) -> acc + n) 0 sn.s_codes
 
+(* Fold the grammar dimension away: totals per status code, sorted. *)
+let codes_only s_codes =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun ((code, _grammar), n) ->
+       match Hashtbl.find_opt tbl code with
+       | Some r -> r := !r + n
+       | None -> Hashtbl.replace tbl code (ref n))
+    s_codes;
+  Hashtbl.fold (fun code r acc -> (code, !r) :: acc) tbl []
+  |> List.sort compare
+
 let merge_codes a b =
-  (* Both inputs sorted: merge like merge-sort, summing equal codes, so
+  (* Both inputs sorted: merge like merge-sort, summing equal keys, so
      the result stays sorted and deterministic. *)
   let rec go a b acc =
     match (a, b) with
@@ -259,7 +276,7 @@ let series b ~name ~help ~kind rows =
        else Printf.bprintf b "%s{%s} %s\n" name labels (float_repr value))
     rows
 
-let render_snapshot sn ~extra =
+let render_snapshot ?(grammar_label = false) sn ~extra =
   let outcomes =
     [ ("complete", sn.s_complete); ("degraded", sn.s_degraded);
       ("failed", sn.s_failed) ]
@@ -280,12 +297,22 @@ let render_snapshot sn ~extra =
        sn.s_parses) ]
   in
   let b = Buffer.create 2048 in
+  (* The [grammar] label exists only on multi-grammar servers: a
+     single-grammar exposition keeps the historical one-label contract
+     (and its dashboards) byte-compatible. *)
   series b ~name:"wqi_requests_total" ~help:"Requests by HTTP status code."
     ~kind:`Counter
-    (List.map
-       (fun (code, n) ->
-          (Printf.sprintf "code=\"%d\"" code, float_of_int n))
-       sn.s_codes);
+    (if grammar_label then
+       List.map
+         (fun ((code, grammar), n) ->
+            ( Printf.sprintf "code=\"%d\",grammar=\"%s\"" code
+                (escape_label grammar),
+              float_of_int n ))
+         sn.s_codes
+     else
+       List.map
+         (fun (code, n) -> (Printf.sprintf "code=\"%d\"" code, float_of_int n))
+         (codes_only sn.s_codes));
   series b ~name:"wqi_extract_outcomes_total"
     ~help:"Extraction responses by outcome." ~kind:`Counter
     (List.map
@@ -357,4 +384,5 @@ let render_snapshot sn ~extra =
     extra;
   Buffer.contents b
 
-let render t ~extra = render_snapshot (snapshot t) ~extra
+let render ?grammar_label t ~extra =
+  render_snapshot ?grammar_label (snapshot t) ~extra

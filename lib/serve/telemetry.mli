@@ -25,6 +25,7 @@ val create : ?version:string -> unit -> t
 val observe_request :
   t ->
   code:int ->
+  ?grammar:string ->
   ?outcome:[ `Complete | `Degraded | `Failed ] ->
   ?cache_hit:bool ->
   ?stats:Wqi_parser.Engine.stats ->
@@ -35,9 +36,13 @@ val observe_request :
 (** Record one finished request: status code, wall time from request
     read to response ready, and — for requests that ran an extraction —
     its outcome, whether the cache answered it, and the parser
-    counters.  [stage_seconds] feeds the per-stage latency histograms
-    ([wqi_stage_seconds{stage=...}]); entries whose stage name is not
-    one of html/layout/classify/parse/merge are ignored. *)
+    counters.  [grammar] (default [""], meaning "not attributed to a
+    grammar") names the grammar that served an extract request; the
+    dimension is kept per-arena and surfaces in the exposition only
+    when rendering with [~grammar_label:true].  [stage_seconds] feeds
+    the per-stage latency histograms ([wqi_stage_seconds{stage=...}]);
+    entries whose stage name is not one of
+    html/layout/classify/parse/merge are ignored. *)
 
 val shed : t -> unit
 (** Record one load-shed request (also counted by [observe_request]
@@ -66,18 +71,26 @@ val requests : snapshot -> int
     [wqi_domain_requests_total{domain=...}]. *)
 
 val render_snapshot :
+  ?grammar_label:bool ->
   snapshot ->
   extra:
     (string * string * [ `Counter | `Gauge ] * (string * float) list) list ->
   string
-(** The exposition body for a (possibly merged) snapshot.  [extra]
-    appends caller-owned series — [(name, help, kind, rows)], each row
-    a [(labels, value)] sample where [labels] is either [""] (no
-    labels) or a pre-rendered [name="value"] list — used for pool
-    gauges, cache totals and per-domain request counters whose live
-    values the registry does not own. *)
+(** The exposition body for a (possibly merged) snapshot.
+    [grammar_label] (default [false]) controls the [wqi_requests_total]
+    label set: [false] renders the historical [code]-only contract
+    (grammar counts folded together); [true] — what the server uses
+    when more than one grammar is loaded — renders
+    [code]×[grammar] rows, with [grammar=""] for requests not
+    attributed to a grammar.  [extra] appends caller-owned series —
+    [(name, help, kind, rows)], each row a [(labels, value)] sample
+    where [labels] is either [""] (no labels) or a pre-rendered
+    [name="value"] list — used for pool gauges, cache totals and
+    per-domain request counters whose live values the registry does not
+    own. *)
 
 val render :
+  ?grammar_label:bool ->
   t ->
   extra:
     (string * string * [ `Counter | `Gauge ] * (string * float) list) list ->

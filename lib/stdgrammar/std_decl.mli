@@ -1,0 +1,26 @@
+(** The standard grammar, expressed in the {!Wqi_grammar.Algebra}
+    spatial-rule algebra — the declarative twin of {!Std}.
+
+    {!Std} builds the paper's derived grammar out of OCaml closures;
+    this module states the same productions and preferences as data.
+    The equivalence suite proves the two parse the whole corpus
+    byte-identically, which is what licenses shipping grammars as
+    files: the algebra interpreter is exactly as trustworthy as the
+    hand-written guards it replaces.  [examples/grammars/std.wqg] is
+    {!Wqi_grammar.Loader.dump} of {!decl}, committed. *)
+
+val env : Wqi_grammar.Algebra.env
+(** The standard lexical environment: {!Lexicon} judgements under
+    stable names — text classes [plausible-attribute], [bound-marker],
+    [unit-word], [operator-phrase]; options class
+    [all-operator-options]; splitters [bound-suffix], [unit-prefix];
+    combo [date-combo].  Grammar files are resolved against these
+    names. *)
+
+val decl : Wqi_grammar.Algebra.grammar
+(** The declarative standard grammar, name ["std"]. *)
+
+val grammar : Wqi_grammar.Grammar.t
+(** [decl] instantiated against {!env}.  Semantically interchangeable
+    with {!Std.grammar} (proved corpus-wide by the equivalence
+    suite). *)

@@ -15,9 +15,16 @@
      - SIGTERM graceful drain across all domains: the in-flight
        extraction completes and the process exits 0;
      - single-flight, against a --jobs 1 --accept dispatch server:
-       concurrent identical cold misses run exactly one extraction.
+       concurrent identical cold misses run exactly one extraction;
+     - the grammar registry, against the same server started with
+       --grammar-dir: per-request ?grammar= selection (x-wqi-grammar
+       echoes the choice), per-grammar cache keying (same HTML under
+       two grammars misses twice; the default and ?grammar=std share
+       one key), deterministic 404 for unknown names listing the
+       available grammars, wqi_grammar_info rows and the
+       grammar-labelled wqi_requests_total split in /metrics.
 
-   usage: serve_smoke SERVER_EXE FIXTURES_DIR *)
+   usage: serve_smoke SERVER_EXE FIXTURES_DIR GRAMMARS_DIR *)
 
 let fail fmt =
   Printf.ksprintf
@@ -218,9 +225,11 @@ let spawn server_exe args =
 
 let () =
   (match Sys.argv with
-   | [| _; _; _ |] -> ()
-   | _ -> fail "usage: serve_smoke SERVER_EXE FIXTURES_DIR");
-  let server_exe = Sys.argv.(1) and fixtures = Sys.argv.(2) in
+   | [| _; _; _; _ |] -> ()
+   | _ -> fail "usage: serve_smoke SERVER_EXE FIXTURES_DIR GRAMMARS_DIR");
+  let server_exe = Sys.argv.(1)
+  and fixtures = Sys.argv.(2)
+  and grammars_dir = Sys.argv.(3) in
   (* A hung server must fail the alias, not wedge CI. *)
   ignore (Unix.alarm 120);
   let books = read_file (Filename.concat fixtures "books.html") in
@@ -478,7 +487,8 @@ let () =
   let pid2, port2, _ic2, banner2 =
     spawn server_exe
       [ "--port"; "0"; "--jobs"; "1"; "--accept"; "dispatch";
-        "--max-inflight"; "4"; "--idle-timeout-s"; "2" ]
+        "--max-inflight"; "4"; "--idle-timeout-s"; "2";
+        "--grammar-dir"; grammars_dir ]
   in
   if not (contains banner2 "accept=dispatch") then
     fail "dispatch server banner %S does not announce accept=dispatch" banner2;
@@ -524,6 +534,66 @@ let () =
    | v ->
      fail "wqi_cache_coalesced_total: %s (want >= 1)"
        (match v with Some f -> string_of_float f | None -> "absent"));
+  note "single-flight ok (1 extraction for 4 concurrent identical requests)";
+
+  (* Grammar registry: the same server runs with --grammar-dir, so the
+     registry holds the built-in std plus the example variants.  Every
+     grammar serves concurrently; selection is per request. *)
+  let extract ?grammar body =
+    let target =
+      match grammar with
+      | None -> "/extract?name=gsel"
+      | Some g -> "/extract?name=gsel&grammar=" ^ g
+    in
+    request port2 ~meth:"POST" ~target ~body ()
+  in
+  let expect_cache label r want =
+    if r.status <> 200 then fail "%s: %d (want 200)" label r.status;
+    if header r "x-wqi-cache" <> Some want then
+      fail "%s: cache %s (want %s)" label
+        (Option.value ~default:"-" (header r "x-wqi-cache"))
+        want
+  in
+  let r_air = extract ~grammar:"airline" books in
+  expect_cache "airline miss" r_air "miss";
+  if header r_air "x-wqi-grammar" <> Some "airline" then
+    fail "airline request did not echo x-wqi-grammar: airline";
+  expect_cache "airline hit" (extract ~grammar:"airline" books) "hit";
+  (* Same HTML under another grammar must be a fresh cache key... *)
+  let r_re = extract ~grammar:"realestate" books in
+  expect_cache "realestate miss" r_re "miss";
+  if r_re.body = r_air.body then
+    fail "airline and realestate produced identical models on books \
+          (variant grammars are not being applied)";
+  expect_cache "realestate hit" (extract ~grammar:"realestate" books) "hit";
+  (* ...while the default grammar and ?grammar=std share one key. *)
+  expect_cache "default miss" (extract books) "miss";
+  let r_std = extract ~grammar:"std" books in
+  expect_cache "std aliases default" r_std "hit";
+  if header r_std "x-wqi-grammar" <> Some "std" then
+    fail "std request did not echo x-wqi-grammar: std";
+  (* Unknown names are a deterministic 404 listing what is loaded. *)
+  let r = extract ~grammar:"nope" books in
+  if r.status <> 404 then fail "unknown grammar: %d (want 404)" r.status;
+  if
+    not
+      (contains r.body
+         "unknown grammar \\\"nope\\\"; available: airline, realestate, std")
+  then fail "unknown-grammar 404 body not deterministic: %s" r.body;
+  let m = request port2 ~meth:"GET" ~target:"/metrics" () in
+  List.iter
+    (fun needle ->
+       if not (contains m.body needle) then
+         fail "/metrics missing %S in:\n%s" needle m.body)
+    [ "wqi_grammar_info{name=\"airline\",version=\"1\"} 1";
+      "wqi_grammar_info{name=\"realestate\",version=\"1\"} 1";
+      "wqi_grammar_info{name=\"std\",version=\"1\"} 1";
+      (* >1 grammar loaded: the requests split grows the grammar label,
+         cache hits included. *)
+      "wqi_requests_total{code=\"200\",grammar=\"airline\"} 2";
+      "wqi_requests_total{code=\"200\",grammar=\"realestate\"} 2";
+      "wqi_requests_total{code=\"404\",grammar=\"\"}" ];
+  note "grammar registry ok (3 grammars, per-grammar cache keys)";
   Unix.kill pid2 Sys.sigterm;
   (match Unix.waitpid [] pid2 with
    | _, Unix.WEXITED 0 -> ()
@@ -534,5 +604,4 @@ let () =
         | Unix.WSIGNALED n -> Printf.sprintf "signal %d" n
         | Unix.WSTOPPED n -> Printf.sprintf "stopped %d" n
         | Unix.WEXITED n -> string_of_int n));
-  note "single-flight ok (1 extraction for 4 concurrent identical requests)";
   print_endline "serve smoke ok"

@@ -1,0 +1,236 @@
+(* Grammar-as-data suite: the declarative standard grammar (Std_decl,
+   the Algebra twin of Std's hand-written closures) and the .wqg file
+   format must be exactly as trustworthy as the compiled grammar they
+   replace.  Three layers:
+
+   - equivalence: Std_decl.grammar — and the grammar loaded back from
+     examples/grammars/std.wqg — parse the whole equivalence corpus
+     byte-identically to Std.grammar (instance ids included, via
+     Test_parser_equiv.check_equivalent);
+   - round-trip: dump → parse → dump is byte-identical, and the
+     committed std.wqg is exactly [Loader.dump Std_decl.decl];
+   - rejection: malformed grammar files fail to load with precise
+     file:line:col diagnostics, never a late crash. *)
+
+module G = Wqi_grammar
+module Algebra = G.Algebra
+module Loader = G.Loader
+module Engine = Wqi_parser.Engine
+module Generator = Wqi_corpus.Generator
+module Tokenize = Wqi_token.Tokenize
+module Std = Wqi_stdgrammar.Std
+module Std_decl = Wqi_stdgrammar.Std_decl
+module Extractor = Wqi_core.Extractor
+
+let check_string = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+let grammars_dir = "../examples/grammars"
+let std_wqg = Filename.concat grammars_dir "std.wqg"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let instantiated decl =
+  match Algebra.instantiate Std_decl.env decl with
+  | Ok g -> g
+  | Error msgs -> Alcotest.failf "instantiate: %s" (String.concat "; " msgs)
+
+let loaded path =
+  match Loader.load ~env:Std_decl.env path with
+  | Ok decl -> decl
+  | Error e -> Alcotest.failf "load %s: %s" path (Loader.error_to_string e)
+
+(* --- equivalence: declarative twin = compiled closures --- *)
+
+let check_corpus_equivalent ctx grammar =
+  let reference = Std.grammar in
+  List.iter
+    (fun (s : Generator.source) ->
+       let tokens = Tokenize.of_html s.Generator.html in
+       let decl_result = Engine.parse grammar tokens in
+       let ref_result = Engine.parse reference tokens in
+       Test_parser_equiv.check_equivalent
+         (ctx ^ "/" ^ s.Generator.id)
+         decl_result ref_result)
+    (Test_parser_equiv.corpus_sources ())
+
+let test_decl_equivalence () =
+  check_corpus_equivalent "decl" Std_decl.grammar
+
+let test_loaded_equivalence () =
+  (* The full loop the file format licenses: committed bytes → loader →
+     interpreter → parser, byte-identical to the compiled grammar. *)
+  check_corpus_equivalent "loaded" (instantiated (loaded std_wqg))
+
+let test_decl_hints_match_std () =
+  (* Hints are auto-derived from the top-level positive relational
+     conjuncts of each declarative guard; they must reproduce Std's
+     hand-written hints production by production (they are why the
+     declarative grammar is as fast, not just as correct). *)
+  let hints_by_name (g : G.Grammar.t) =
+    List.map
+      (fun (p : G.Production.t) ->
+         ( p.G.Production.name,
+           List.map (Fmt.str "%a" G.Hint.pp) p.G.Production.hints ))
+      g.G.Grammar.productions
+  in
+  List.iter2
+    (fun (name_std, hints_std) (name_decl, hints_decl) ->
+       check_string "production order" name_std name_decl;
+       Alcotest.(check (list string)) (name_std ^ ": hints") hints_std
+         hints_decl)
+    (hints_by_name Std.grammar)
+    (hints_by_name Std_decl.grammar)
+
+(* --- round-trips and the committed golden --- *)
+
+let test_dump_parse_dump () =
+  let dumped = Loader.dump Std_decl.decl in
+  match Loader.parse ~env:Std_decl.env ~file:"<dump>" dumped with
+  | Error e -> Alcotest.failf "reparse: %s" (Loader.error_to_string e)
+  | Ok decl -> check_string "dump/parse/dump" dumped (Loader.dump decl)
+
+let test_committed_std_is_golden () =
+  (* examples/grammars/std.wqg is `wqi_grammar_dump --export`, committed;
+     regenerate it whenever Std_decl changes. *)
+  check_string "std.wqg bytes" (Loader.dump Std_decl.decl) (read_file std_wqg)
+
+let test_variant_roundtrips () =
+  List.iter
+    (fun file ->
+       let path = Filename.concat grammars_dir file in
+       let decl = loaded path in
+       let dumped = Loader.dump decl in
+       (match Loader.parse ~env:Std_decl.env ~file dumped with
+        | Error e ->
+          Alcotest.failf "%s redump: %s" file (Loader.error_to_string e)
+        | Ok decl' ->
+          check_string (file ^ ": canonical") dumped (Loader.dump decl'));
+       ignore (instantiated decl))
+    [ "airline.wqg"; "realestate.wqg" ]
+
+let test_variants_extract () =
+  (* Variants are live grammars, not inert data: an airline-ish form
+     must yield conditions under the airline grammar through the full
+     extractor stack, selected via Config.with_compiled. *)
+  let html =
+    "<form><table>\
+     <tr><td>Departure city:</td><td><input type=\"text\" name=\"from\"></td></tr>\
+     <tr><td>Passengers:</td><td><select name=\"n\">\
+     <option>1</option><option>2</option><option>3</option></select></td></tr>\
+     </table></form>"
+  in
+  List.iter
+    (fun (file, name) ->
+       let path = Filename.concat grammars_dir file in
+       let decl = loaded path in
+       check_string (file ^ ": name") name decl.Algebra.g_name;
+       let pack =
+         Engine.compile ~name:decl.Algebra.g_name ~version:decl.Algebra.g_version
+           (instantiated decl)
+       in
+       let config = Extractor.Config.(default |> with_compiled pack) in
+       let e = Extractor.run config (Extractor.Html html) in
+       check_bool (file ^ ": outcome complete") true
+         (e.Extractor.outcome = Wqi_budget.Budget.Complete);
+       check_bool (file ^ ": found conditions") true
+         (List.length (Extractor.conditions e) >= 2))
+    [ ("airline.wqg", "airline"); ("realestate.wqg", "realestate") ]
+
+(* --- rejection: precise diagnostics --- *)
+
+let header =
+  "(wqi-grammar (format 1) (name t) (version 1) (terminals text textbox) \
+   (start QI))\n"
+
+let expect_error ctx text expected =
+  match Loader.parse ~env:Std_decl.env ~file:"bad.wqg" text with
+  | Ok _ -> Alcotest.failf "%s: expected a load error" ctx
+  | Error e -> check_string ctx expected (Loader.error_to_string e)
+
+let test_reject_unknown_symbol () =
+  expect_error "unknown symbol"
+    (header
+     ^ "(production P-QI (head QI) (components Nope) (build (lift 0)))\n")
+    "bad.wqg:2:40: unknown symbol \"Nope\""
+
+let test_reject_arity_mismatch () =
+  expect_error "slot out of arity"
+    (header
+     ^ "(production P-QI (head QI) (components text) (guard (text-class \
+        plausible-attribute token 2)))\n")
+    "bad.wqg:2:91: slot 2 out of range (production has 1 component)"
+
+let test_reject_cycle () =
+  expect_error "cyclic productions"
+    (header
+     ^ "(production P-A (head A) (components B) (build (lift 0)))\n"
+     ^ "(production P-B (head B) (components A) (build (lift 0)))\n"
+     ^ "(production P-QI (head QI) (components A) (build (lift 0)))\n")
+    "bad.wqg:3:2: production P-B: cyclic productions: A -> B -> A"
+
+let test_reject_malformed_predicate () =
+  expect_error "malformed predicate"
+    (header
+     ^ "(production P-QI (head QI) (components text text) (guard (frob 0 1)))\n")
+    "bad.wqg:2:58: unknown predicate \"frob\""
+
+let test_reject_unknown_text_class () =
+  expect_error "unknown text class"
+    (header
+     ^ "(production P-QI (head QI) (components text) (guard (text-class \
+        mystery token 0)))\n")
+    "bad.wqg:2:65: unknown text class \"mystery\""
+
+let test_reject_duplicate_production () =
+  expect_error "duplicate production name"
+    (header
+     ^ "(production P-QI (head QI) (components text))\n"
+     ^ "(production P-QI (head QI) (components textbox))\n")
+    "bad.wqg:3:2: duplicate production name \"P-QI\""
+
+let test_reject_non_head_start () =
+  expect_error "start is not a head"
+    (header ^ "(production P-A (head A) (components text))\n")
+    "bad.wqg:1:78: start symbol \"QI\" is not the head of any production"
+
+let test_reject_bad_format () =
+  expect_error "unsupported format"
+    "(wqi-grammar (format 2) (name t) (version 1) (terminals text) (start \
+     QI))\n"
+    "bad.wqg:1:22: unsupported grammar format 2"
+
+let test_reject_self_relation () =
+  expect_error "slot related to itself"
+    (header
+     ^ "(production P-QI (head QI) (components text textbox) (guard (left-of \
+        60 1 1)))\n")
+    "bad.wqg:2:61: left-of relates slot 1 to itself"
+
+let suite =
+  [ ("declarative std = compiled std on the corpus", `Quick,
+     test_decl_equivalence);
+    ("loaded std.wqg = compiled std on the corpus", `Quick,
+     test_loaded_equivalence);
+    ("derived hints reproduce the hand-written hints", `Quick,
+     test_decl_hints_match_std);
+    ("dump/parse/dump is byte-identical", `Quick, test_dump_parse_dump);
+    ("committed std.wqg matches --export", `Quick,
+     test_committed_std_is_golden);
+    ("variant files are canonical and instantiate", `Quick,
+     test_variant_roundtrips);
+    ("variant grammars drive the extractor", `Quick, test_variants_extract);
+    ("reject: unknown symbol", `Quick, test_reject_unknown_symbol);
+    ("reject: slot out of arity", `Quick, test_reject_arity_mismatch);
+    ("reject: cyclic productions", `Quick, test_reject_cycle);
+    ("reject: malformed predicate", `Quick, test_reject_malformed_predicate);
+    ("reject: unknown text class", `Quick, test_reject_unknown_text_class);
+    ("reject: duplicate production name", `Quick,
+     test_reject_duplicate_production);
+    ("reject: start not a head", `Quick, test_reject_non_head_start);
+    ("reject: unsupported format", `Quick, test_reject_bad_format);
+    ("reject: self-relation", `Quick, test_reject_self_relation) ]

@@ -316,6 +316,42 @@ let test_extra_labeled_rows () =
     "domain 1" (Some 4.)
     (sample body "wqi_domain_requests_total{domain=\"1\"}")
 
+(* The grammar dimension: kept per-arena, folded away under the
+   default (historical, code-only) rendering, surfaced as a second
+   wqi_requests_total label under ~grammar_label:true — with
+   grammar="" for requests not attributed to any grammar — and
+   preserved exactly by merge. *)
+let test_grammar_label () =
+  let ts = Array.init 2 (fun _ -> Telemetry.create ~version:"1.0.0" ()) in
+  Telemetry.observe_request ts.(0) ~code:200 ~grammar:"std" ~seconds:0.001 ();
+  Telemetry.observe_request ts.(1) ~code:200 ~grammar:"airline"
+    ~seconds:0.001 ();
+  Telemetry.observe_request ts.(0) ~code:200 ~grammar:"airline"
+    ~seconds:0.001 ();
+  Telemetry.observe_request ts.(1) ~code:404 ~seconds:0.001 ();
+  let merged =
+    Telemetry.merge (Array.to_list (Array.map Telemetry.snapshot ts))
+  in
+  let folded = Telemetry.render_snapshot merged ~extra:[] in
+  Alcotest.(check (option (float 0.)))
+    "folded 200 sums grammars" (Some 3.)
+    (sample folded "wqi_requests_total{code=\"200\"}");
+  Alcotest.(check bool) "no grammar label under the default contract" false
+    (contains folded "grammar=");
+  let labeled =
+    Telemetry.render_snapshot ~grammar_label:true merged ~extra:[]
+  in
+  check_help_and_type labeled;
+  Alcotest.(check (option (float 0.)))
+    "std row" (Some 1.)
+    (sample labeled "wqi_requests_total{code=\"200\",grammar=\"std\"}");
+  Alcotest.(check (option (float 0.)))
+    "airline row merged across arenas" (Some 2.)
+    (sample labeled "wqi_requests_total{code=\"200\",grammar=\"airline\"}");
+  Alcotest.(check (option (float 0.)))
+    "unattributed request keeps an empty grammar label" (Some 1.)
+    (sample labeled "wqi_requests_total{code=\"404\",grammar=\"\"}")
+
 let suite =
   [ ("HELP and TYPE precede samples", `Quick,
      test_help_and_type_precede_samples);
@@ -330,4 +366,6 @@ let suite =
     ("merged output satisfies the exposition contract", `Quick,
      test_merged_contract);
     ("merge of zero snapshots rejected", `Quick, test_merge_empty_rejected);
-    ("extra labeled rows", `Quick, test_extra_labeled_rows) ]
+    ("extra labeled rows", `Quick, test_extra_labeled_rows);
+    ("grammar label folded by default, rendered on demand", `Quick,
+     test_grammar_label) ]
