@@ -45,6 +45,11 @@ type perf_row = {
   row_guards_tried_nohints : int;
       (* guard pressure of the same parse with spatial hints disabled:
          the regression record for the candidate-indexing optimization *)
+  row_minor_words : float;
+  row_major_words : float;
+      (* words allocated per steady-state parse (schema 5): the
+         regression record for the arena engine — the validator gates
+         minor words against the pre-arena baselines *)
 }
 
 type governed_result = {
@@ -176,19 +181,31 @@ let sized_interfaces () =
           ~oog_prob:0. ())
   in
   let with_tokens =
-    List.map (fun (s : Generator.source) -> (Tokenize.of_html s.html, s)) sources
+    List.map
+      (fun (s : Generator.source) ->
+         let tokens = Tokenize.of_html s.html in
+         let r = Engine.parse_compiled Wqi_stdgrammar.Std.compiled tokens in
+         (tokens, s, r.Engine.stats.Engine.created))
+      sources
   in
-  (* Pick one interface near each target size. *)
+  (* Pick one interface near each target size; among equally-near
+     candidates take the least ambiguous one (fewest instances
+     created).  Token count alone mixes Simple and Rich documents into
+     the same ladder — a Rich 20-token form can create more instances
+     than a Simple 30-token one, which makes ns-per-run non-monotone in
+     size and made the committed parse/20 row slower than parse/25.
+     The min-ambiguity tie-break keeps the ladder's parse work itself
+     monotone, which the validator now asserts. *)
   let pick target =
     List.fold_left
-      (fun best (tokens, s) ->
+      (fun best (tokens, s, created) ->
          let d = abs (List.length tokens - target) in
          match best with
-         | Some (bd, _, _) when bd <= d -> best
-         | _ -> Some (d, tokens, s))
+         | Some (bd, bc, _, _) when (bd, bc) <= (d, created) -> best
+         | _ -> Some (d, created, tokens, s))
       None with_tokens
     |> Option.get
-    |> fun (_, tokens, s) -> (tokens, s)
+    |> fun (_, _, tokens, s) -> (tokens, s)
   in
   let picks = List.map pick [ 10; 15; 20; 25; 30; 40 ] in
   (* Deduplicate interfaces that ended up closest to several targets. *)
@@ -203,13 +220,18 @@ let perf () =
      (superlinear growth) at far smaller absolute times";
   let open Bechamel in
   let interfaces = sized_interfaces () in
+  (* One shared pack: the measurement is the parse itself, on the arena
+     engine's steady state (pooled arenas, precompiled dispatch tables)
+     — grammar compilation is a per-process cost, not a per-parse one,
+     and at these sizes it would dominate the row. *)
+  let pack = Wqi_stdgrammar.Std.compiled in
   let tests =
     List.map
       (fun (tokens, _s) ->
          Test.make
            ~name:(Printf.sprintf "parse/%02d-tokens" (List.length tokens))
            (Staged.stage (fun () ->
-                ignore (Engine.parse Wqi_stdgrammar.Std.grammar tokens))))
+                ignore (Engine.parse_compiled pack tokens))))
       interfaces
   in
   let test = Test.make_grouped ~name:"parse" ~fmt:"%s %s" tests in
@@ -230,22 +252,41 @@ let perf () =
     |> List.sort compare
   in
   (* One plain run per size for the instance counters the OLS fit
-     cannot see, plus a hints-off run for the guard-pressure
-     comparison. *)
+     cannot see, plus a hints-off run for the guard-pressure comparison
+     and a counted loop against the Gc allocation counters (schema 5) —
+     Bechamel's clock fit says nothing about allocation pressure, and
+     the arena engine's whole point is that steady-state parses barely
+     allocate. *)
   let nohints =
     { Engine.default_options with Engine.use_hints = false }
+  in
+  let alloc_per_parse tokens =
+    (* Warm-up seeds the arena pool so growth is not billed to the
+       measured iterations. *)
+    ignore (Engine.parse_compiled pack tokens);
+    let iters = if !smoke then 5 else 50 in
+    (* [Gc.counters], not [quick_stat]: only the former includes the
+       words allocated since the last minor collection. *)
+    let m0, _, j0 = Gc.counters () in
+    for _ = 1 to iters do
+      ignore (Engine.parse_compiled pack tokens)
+    done;
+    let m1, _, j1 = Gc.counters () in
+    let per c0 c1 = (c1 -. c0) /. float_of_int iters in
+    (per m0 m1, per j0 j1)
   in
   let stats_by_name =
     List.map
       (fun (tokens, _s) ->
-         let r = Engine.parse Wqi_stdgrammar.Std.grammar tokens in
-         let r0 = Engine.parse ~options:nohints Wqi_stdgrammar.Std.grammar tokens in
+         let r = Engine.parse_compiled pack tokens in
+         let r0 = Engine.parse_compiled ~options:nohints pack tokens in
+         let minor, major = alloc_per_parse tokens in
          ( Printf.sprintf "parse parse/%02d-tokens" (List.length tokens),
-           (List.length tokens, r.Engine.stats, r0.Engine.stats) ))
+           (List.length tokens, r.Engine.stats, r0.Engine.stats, minor, major) ))
       interfaces
   in
-  Format.printf "  %-22s %12s %8s  %s@." "test" "time/run" "r^2"
-    "guards hinted/unhinted (admit rate)";
+  Format.printf "  %-22s %12s %8s %10s  %s@." "test" "time/run" "r^2"
+    "minor w" "guards hinted/unhinted (admit rate)";
   let collected =
     List.filter_map
       (fun (name, result) ->
@@ -259,9 +300,9 @@ let perf () =
          | None ->
            Format.printf "  %-22s %9.3f ms %8.4f@." name (estimate /. 1e6) r2;
            None
-         | Some (tokens, stats, stats0) ->
-           Format.printf "  %-22s %9.3f ms %8.4f  %d/%d (%.2f)@." name
-             (estimate /. 1e6) r2 stats.Engine.guards_tried
+         | Some (tokens, stats, stats0, minor, major) ->
+           Format.printf "  %-22s %9.3f ms %8.4f %10.0f  %d/%d (%.2f)@." name
+             (estimate /. 1e6) r2 minor stats.Engine.guards_tried
              stats0.Engine.guards_tried
              (float_of_int stats.Engine.guards_admitted
               /. float_of_int (max 1 stats.Engine.guards_tried));
@@ -276,7 +317,9 @@ let perf () =
                row_guards_admitted = stats.Engine.guards_admitted;
                row_index_probes = stats.Engine.index_probes;
                row_index_pruned = stats.Engine.index_pruned;
-               row_guards_tried_nohints = stats0.Engine.guards_tried })
+               row_guards_tried_nohints = stats0.Engine.guards_tried;
+               row_minor_words = minor;
+               row_major_words = major })
       rows
   in
   json_perf := Some collected
@@ -308,7 +351,8 @@ let batch120 () =
     let results =
       Pool.run ~jobs (fun pool ->
           Pool.map_array pool
-            (fun tokens -> Engine.parse Wqi_stdgrammar.Std.grammar tokens)
+            (fun tokens ->
+               Engine.parse_compiled Wqi_stdgrammar.Std.compiled tokens)
             tokenized)
     in
     let elapsed = Unix.gettimeofday () -. t0 in
@@ -346,7 +390,7 @@ let batch120 () =
                 let trace =
                   if traced then Some (Wqi_obs.Trace.create ()) else None
                 in
-                Engine.parse ?trace Wqi_stdgrammar.Std.grammar tokens)
+                Engine.parse_compiled ?trace Wqi_stdgrammar.Std.compiled tokens)
              tokenized));
     Unix.gettimeofday () -. t0
   in
@@ -660,7 +704,7 @@ let write_json file =
   let oc = open_out file in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema_version\": 4,\n";
+  p "  \"schema_version\": 5,\n";
   p "  \"smoke\": %b" !smoke;
   (match !json_perf with
    | None -> ()
@@ -673,7 +717,8 @@ let write_json file =
              \"r_square\": %s, \"created\": %d, \"live\": %d, \
              \"guards_tried\": %d, \"guards_admitted\": %d, \
              \"index_probes\": %d, \"index_pruned\": %d, \
-             \"guards_tried_nohints\": %d}%s\n"
+             \"guards_tried_nohints\": %d, \"minor_words\": %s, \
+             \"major_words\": %s}%s\n"
             (json_escape r.row_name) r.row_tokens
             (json_float r.row_ns_per_run)
             (json_float r.row_r_square)
@@ -681,6 +726,8 @@ let write_json file =
             r.row_guards_tried r.row_guards_admitted
             r.row_index_probes r.row_index_pruned
             r.row_guards_tried_nohints
+            (json_float r.row_minor_words)
+            (json_float r.row_major_words)
             (if i = List.length rows - 1 then "" else ","))
        rows;
      p "  ]");

@@ -16,9 +16,10 @@ module Config = struct
 
   (* The one remaining reference to the compiled-in standard grammar in
      lib/core: the legacy default.  [run] itself is grammar-parametric —
-     it only ever consults [t.grammar]. *)
-  let std =
-    Engine.compile ~name:"std" ~version:"1" Wqi_stdgrammar.Std.grammar
+     it only ever consults [t.grammar].  The pack is the process-wide
+     shared one: its arena pool then serves every default-config caller
+     rather than one pool per compile site. *)
+  let std = Wqi_stdgrammar.Std.compiled
 
   let default =
     { grammar = std;

@@ -131,19 +131,48 @@ let lookup kind table name =
   | Some f -> f
   | None -> err "unknown %s %S" kind name
 
+(* Conjunction chains compile to a flat closure array walked by index —
+   [P_and [p; P_and [q; r]]] costs three calls through one array, not a
+   [List.for_all] re-traversing cons cells per guard invocation — and
+   relations resolve their [Hint.rel] match here, once, so the per-call
+   closure is the monomorphic geometry predicate with its parameter
+   already bound. *)
+let rec flatten_and acc = function
+  | P_and ps -> List.fold_left flatten_and acc ps
+  | P_true -> acc
+  | p -> p :: acc
+
 let rec c_pred env ~arity p : Instance.t array -> bool =
   match p with
   | P_true -> fun _ -> true
   | P_and ps ->
-    let fs = List.map (c_pred env ~arity) ps in
-    fun arr -> List.for_all (fun f -> f arr) fs
+    (match List.rev (List.fold_left flatten_and [] ps) with
+     | [] -> fun _ -> true
+     | [ p ] -> c_pred env ~arity p
+     | ps ->
+       let fs = Array.of_list (List.map (c_pred env ~arity) ps) in
+       let n = Array.length fs in
+       fun arr ->
+         let rec go k = k >= n || ((Array.unsafe_get fs k) arr && go (k + 1)) in
+         go 0)
   | P_not p ->
     let f = c_pred env ~arity p in
     fun arr -> not (f arr)
   | P_rel (rel, a, b) ->
     let a = slot ~arity a and b = slot ~arity b in
     if a = b then err "relation %a relates slot %d to itself" Hint.pp_rel rel a;
-    fun arr -> Hint.holds_rel rel arr.(a).Instance.box arr.(b).Instance.box
+    let holds : Geometry.box -> Geometry.box -> bool =
+      match rel with
+      | Hint.Left_of max_gap -> Geometry.left_of ~max_gap
+      | Hint.Above max_gap -> Geometry.above ~max_gap
+      | Hint.Below max_gap -> Geometry.below ~max_gap
+      | Hint.Same_row -> Geometry.same_row
+      | Hint.Same_column -> Geometry.same_column
+      | Hint.Left_aligned tolerance -> Geometry.left_aligned ~tolerance
+      | Hint.Top_aligned tolerance -> Geometry.top_aligned ~tolerance
+      | Hint.Bottom_aligned tolerance -> Geometry.bottom_aligned ~tolerance
+    in
+    fun arr -> holds arr.(a).Instance.box arr.(b).Instance.box
   | P_text_is (name, src, s) ->
     let f = lookup "text class" env.text_classes name in
     let s = slot ~arity s in

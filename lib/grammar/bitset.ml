@@ -18,6 +18,15 @@ let empty n =
   if n <= bits_per_word then Small { size = n; bits = 0 }
   else Big { size = n; words = Array.make (words_for n) 0 }
 
+let of_word n bits =
+  if n > bits_per_word then
+    invalid_arg "Bitset.of_word: universe exceeds one word";
+  Small { size = n; bits }
+
+let to_word = function
+  | Small { bits; _ } -> bits
+  | Big _ -> invalid_arg "Bitset.to_word: universe exceeds one word"
+
 let check size i =
   if i < 0 || i >= size then
     invalid_arg (Printf.sprintf "Bitset: index %d outside universe %d" i size)

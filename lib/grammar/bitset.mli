@@ -11,8 +11,23 @@ type t
 
 val universe_size : t -> int
 
+val bits_per_word : int
+(** Universes up to this size are a single unboxed word
+    ([Sys.int_size]); the parser's arena keeps their covers as raw ints
+    and materializes a set only when an instance is built. *)
+
 val empty : int -> t
 (** [empty n] is the empty set over universe [{0, ..., n-1}]. *)
+
+val of_word : int -> int -> t
+(** [of_word n bits] is the set over universe [n] whose members are the
+    set bits of [bits].  Requires [n <= bits_per_word]; the result is
+    structurally identical to building the same set by {!add}/{!union},
+    so downstream {!equal}/{!hash}/{!subset} behave as if it had been. *)
+
+val to_word : t -> int
+(** Inverse of {!of_word}: the raw member word of a single-word set.
+    Raises [Invalid_argument] on universes past {!bits_per_word}. *)
 
 val singleton : int -> int -> t
 (** [singleton n i] is [{i}] over a universe of size [n]. *)

@@ -54,6 +54,20 @@ let make ~id ~sym ~prod ~children ~sem =
   List.iter (fun c -> c.parents <- inst :: c.parents) children;
   inst
 
+(* Arena fast path: the parser already tracked the cover as a raw word
+   and the box as running min/max coordinates while binding components,
+   so recomputing both from the children would be pure waste.  The
+   caller guarantees [cover] and [box] equal the unions [make] would
+   have computed — everything else (parent registration included) is
+   identical to [make]. *)
+let prebuilt ~id ~sym ~prod ~children ~sem ~cover ~box =
+  let inst =
+    { id; sym; prod = Some prod; children; cover; box; sem; token = None;
+      alive = true; parents = [] }
+  in
+  List.iter (fun c -> c.parents <- inst :: c.parents) children;
+  inst
+
 let kill inst = inst.alive <- false
 
 let rollback ?(on_kill = fun _ -> ()) inst =

@@ -43,6 +43,21 @@ val make :
 (** Nonterminal instance; cover and box are the unions over [children].
     Registers itself as a parent of each child. *)
 
+val prebuilt :
+  id:int ->
+  sym:Symbol.t ->
+  prod:string ->
+  children:t list ->
+  sem:sem ->
+  cover:Bitset.t ->
+  box:Wqi_layout.Geometry.box ->
+  t
+(** {!make} with the cover and box supplied by the caller instead of
+    recomputed from [children].  For the parser's arena fast path, which
+    tracks both incrementally while binding components; the caller must
+    pass exactly the unions {!make} would have computed, or every
+    downstream subsumption/conflict decision is corrupted. *)
+
 val kill : t -> unit
 (** Mark dead.  Does not touch parents; see {!rollback}. *)
 

@@ -1,24 +1,30 @@
 module Geometry = Wqi_layout.Geometry
 
-(* Entries carry the creation index into the per-symbol instance store
-   plus the instance's bounding box, so a probe can pre-filter without
-   touching the store at all. *)
-type entry = { idx : int; x1 : int; y1 : int; x2 : int; y2 : int }
+(* Entries are packed five-wide into a flat int array per band —
+   [idx, x1, y1, x2, y2] — so registering an instance allocates nothing
+   once a band's array has grown, and a probe walks consecutive words
+   instead of chasing entry records. *)
+let stride = 5
 
-let dummy_entry = { idx = -1; x1 = 0; y1 = 0; x2 = 0; y2 = 0 }
-
-type band = { mutable arr : entry array; mutable len : int }
+type band = { mutable arr : int array; mutable len : int }
+(* [len] counts entries, not words: the payload occupies
+   [arr.(0 .. stride*len - 1)]. *)
 
 let band_make () = { arr = [||]; len = 0 }
 
-let band_push b e =
-  let cap = Array.length b.arr in
-  if b.len = cap then begin
-    let arr = Array.make (max 8 (2 * cap)) dummy_entry in
-    Array.blit b.arr 0 arr 0 b.len;
+let band_push b idx x1 y1 x2 y2 =
+  let base = stride * b.len in
+  if base = Array.length b.arr then begin
+    let arr = Array.make (max (8 * stride) (2 * base)) 0 in
+    Array.blit b.arr 0 arr 0 base;
     b.arr <- arr
   end;
-  Array.unsafe_set b.arr b.len e;
+  let arr = b.arr in
+  Array.unsafe_set arr base idx;
+  Array.unsafe_set arr (base + 1) x1;
+  Array.unsafe_set arr (base + 2) y1;
+  Array.unsafe_set arr (base + 3) x2;
+  Array.unsafe_set arr (base + 4) y2;
   b.len <- b.len + 1
 
 (* 32-pixel horizontal bands: about one visual form row per band.  A
@@ -33,7 +39,8 @@ let band_of y = y asr band_bits
 let max_span_bands = 8
 
 type t = {
-  bands : (int, band) Hashtbl.t;
+  mutable bands : band array;  (* dense, indexed by clamped band number *)
+  mutable nbands : int;        (* bands allocated so far (array prefix) *)
   tall : band;
   alive : int -> bool;
   mutable added : int;  (* instances registered since the last sweep *)
@@ -41,39 +48,58 @@ type t = {
 }
 
 let create ~alive =
-  { bands = Hashtbl.create 16; tall = band_make (); alive; added = 0;
+  { bands = [||]; nbands = 0; tall = band_make (); alive; added = 0;
     dead = 0 }
 
-let add t ~idx (box : Geometry.box) =
-  let e = { idx; x1 = box.x1; y1 = box.y1; x2 = box.x2; y2 = box.y2 } in
-  let lo = band_of box.y1 and hi = band_of box.y2 in
-  if hi - lo + 1 > max_span_bands then band_push t.tall e
+(* Emptying for reuse keeps the band arrays (entries are plain ints, so
+   a stale tail pins nothing) — a pooled per-symbol index costs zero
+   allocation per parse in the steady state. *)
+let reset t =
+  for bk = 0 to t.nbands - 1 do
+    t.bands.(bk).len <- 0
+  done;
+  t.tall.len <- 0;
+  t.added <- 0;
+  t.dead <- 0
+
+(* Page coordinates are non-negative in practice; a stray negative y
+   (and probe regions extending above the page) clamps into band 0. *)
+let clamp_band bk = if bk < 0 then 0 else bk
+
+let band_at t bk =
+  if bk >= t.nbands then begin
+    let cap = Array.length t.bands in
+    if bk >= cap then begin
+      let bands = Array.init (max 16 (2 * (bk + 1))) (fun _ -> band_make ()) in
+      Array.blit t.bands 0 bands 0 t.nbands;
+      (* Array.init ran band_make for the copied prefix too; those heads
+         are garbage, the blit replaced them. *)
+      t.bands <- bands
+    end;
+    t.nbands <- bk + 1
+  end;
+  Array.unsafe_get t.bands bk
+
+let add_coords t ~idx x1 y1 x2 y2 =
+  let lo = clamp_band (band_of y1) and hi = clamp_band (band_of y2) in
+  if hi - lo + 1 > max_span_bands then band_push t.tall idx x1 y1 x2 y2
   else
     for bk = lo to hi do
-      let b =
-        match Hashtbl.find_opt t.bands bk with
-        | Some b -> b
-        | None ->
-          let b = band_make () in
-          Hashtbl.replace t.bands bk b;
-          b
-      in
-      band_push b e
+      band_push (band_at t bk) idx x1 y1 x2 y2
     done;
   t.added <- t.added + 1
+
+let add t ~idx (box : Geometry.box) =
+  add_coords t ~idx box.x1 box.y1 box.x2 box.y2
 
 let sweep_band t (b : band) =
   let w = ref 0 in
   for i = 0 to b.len - 1 do
-    let e = Array.unsafe_get b.arr i in
-    if t.alive e.idx then begin
-      Array.unsafe_set b.arr !w e;
+    let base = stride * i in
+    if t.alive (Array.unsafe_get b.arr base) then begin
+      Array.blit b.arr base b.arr (stride * !w) stride;
       incr w
     end
-  done;
-  (* Clear the trimmed tail so dead entries do not pin anything. *)
-  for i = !w to b.len - 1 do
-    Array.unsafe_set b.arr i dummy_entry
   done;
   b.len <- !w
 
@@ -85,57 +111,63 @@ let sweep_band t (b : band) =
 let note_killed t =
   t.dead <- t.dead + 1;
   if t.added > 64 && 2 * t.dead > t.added then begin
-    Hashtbl.iter (fun _ b -> sweep_band t b) t.bands;
+    for bk = 0 to t.nbands - 1 do
+      sweep_band t t.bands.(bk)
+    done;
     sweep_band t t.tall;
     t.added <- t.added - t.dead;
     t.dead <- 0
   end
 
-let query t ~y_lo ~y_hi ~x ~start ~stop =
-  let xlo, xhi = match x with Some r -> r | None -> (min_int, max_int) in
-  let acc = ref [] in
+(* Candidates from a single source band are already in creation order;
+   multiple bands (or the overflow list) interleave, and an entry can
+   appear in several probed bands.  Restore strict ascending order and
+   drop duplicates — enumeration order is what keeps hinted parses
+   byte-identical to unhinted ones. *)
+let query_into t ~y_lo ~y_hi ~x_lo ~x_hi ~start ~stop buf =
+  let out = ref !buf in
   let n = ref 0 in
-  let consider (e : entry) =
-    if
-      e.idx >= start && e.idx < stop && e.y2 >= y_lo && e.y1 <= y_hi
-      && e.x2 >= xlo && e.x1 <= xhi
-    then begin
-      acc := e.idx :: !acc;
-      incr n
-    end
+  let push idx =
+    let cap = Array.length !out in
+    if !n = cap then begin
+      let arr = Array.make (max 64 (2 * cap)) 0 in
+      Array.blit !out 0 arr 0 !n;
+      out := arr;
+      buf := arr
+    end;
+    Array.unsafe_set !out !n idx;
+    incr n
   in
   let scan_band (b : band) =
+    let arr = b.arr in
     for i = 0 to b.len - 1 do
-      consider (Array.unsafe_get b.arr i)
+      let base = stride * i in
+      let idx = Array.unsafe_get arr base in
+      if
+        idx >= start && idx < stop
+        && Array.unsafe_get arr (base + 4) >= y_lo
+        && Array.unsafe_get arr (base + 2) <= y_hi
+        && Array.unsafe_get arr (base + 3) >= x_lo
+        && Array.unsafe_get arr (base + 1) <= x_hi
+      then push idx
     done
   in
-  for bk = band_of y_lo to band_of y_hi do
-    match Hashtbl.find_opt t.bands bk with
-    | Some b -> scan_band b
-    | None -> ()
+  let bk_hi = min (clamp_band (band_of y_hi)) (t.nbands - 1) in
+  for bk = clamp_band (band_of y_lo) to bk_hi do
+    scan_band (Array.unsafe_get t.bands bk)
   done;
   scan_band t.tall;
-  let out = Array.make !n 0 in
-  let i = ref (!n - 1) in
-  List.iter
-    (fun idx ->
-       Array.unsafe_set out !i idx;
-       decr i)
-    !acc;
-  (* Candidates from a single source band are already in creation order;
-     multiple bands (or the overflow list) interleave, and an entry can
-     appear in several probed bands.  Restore strict ascending order and
-     drop duplicates — enumeration order is what keeps hinted parses
-     byte-identical to unhinted ones. *)
+  let out = !out in
   let sorted =
     let rec ascending i =
       i >= !n - 1 || (out.(i) < out.(i + 1) && ascending (i + 1))
     in
     ascending 0
   in
-  if sorted then out
+  if sorted then !n
   else begin
-    Array.sort (fun (a : int) b -> compare a b) out;
+    let sub = Array.sub out 0 !n in
+    Array.sort (fun (a : int) b -> compare a b) sub;
     let w = ref 0 in
     Array.iter
       (fun idx ->
@@ -143,6 +175,12 @@ let query t ~y_lo ~y_hi ~x ~start ~stop =
            out.(!w) <- idx;
            incr w
          end)
-      out;
-    if !w = !n then out else Array.sub out 0 !w
+      sub;
+    !w
   end
+
+let query t ~y_lo ~y_hi ~x ~start ~stop =
+  let x_lo, x_hi = match x with Some r -> r | None -> (min_int, max_int) in
+  let buf = ref [||] in
+  let n = query_into t ~y_lo ~y_hi ~x_lo ~x_hi ~start ~stop buf in
+  Array.sub !buf 0 n

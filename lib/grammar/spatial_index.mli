@@ -22,13 +22,45 @@ val create : alive:(int -> bool) -> t
 (** [create ~alive] with [alive idx] reporting whether the instance at
     creation index [idx] of the owning store is still live. *)
 
+val reset : t -> unit
+(** Empty the index for reuse, keeping the band storage.  Entries are
+    packed ints, so retained capacity pins no instances — the parser's
+    arena resets one pooled index per symbol between parses instead of
+    rebuilding the band tables. *)
+
 val add : t -> idx:int -> Wqi_layout.Geometry.box -> unit
 (** Register an instance under its creation index.  Indices must be
     added in ascending order (they are: stores are append-only). *)
 
+val add_coords : t -> idx:int -> int -> int -> int -> int -> unit
+(** [add_coords t ~idx x1 y1 x2 y2]: {!add} from raw coordinates, for
+    callers whose boxes live in unboxed column storage.  The parser's
+    arena registers instances lazily — only when a column's first probe
+    arrives — so parses that never probe a symbol pay nothing for its
+    index. *)
+
 val note_killed : t -> unit
 (** Record that one registered instance died; triggers band compaction
     when the dead fraction reaches one half. *)
+
+val query_into :
+  t ->
+  y_lo:int ->
+  y_hi:int ->
+  x_lo:int ->
+  x_hi:int ->
+  start:int ->
+  stop:int ->
+  int array ref ->
+  int
+(** [query_into t ~y_lo ~y_hi ~x_lo ~x_hi ~start ~stop buf] writes the
+    creation indices in [\[start, stop)] whose box y-span intersects
+    [\[y_lo, y_hi\]] and x-span intersects [\[x_lo, x_hi\]] into [!buf]
+    (growing and re-seating the caller-owned scratch buffer as needed)
+    and returns their count.  Results are strictly ascending with
+    duplicates removed.  A superset filter: callers must still check
+    liveness, the exact hint relations, and the production guard.
+    Unconstrained axes pass [min_int]/[max_int]. *)
 
 val query :
   t ->
@@ -38,8 +70,5 @@ val query :
   start:int ->
   stop:int ->
   int array
-(** [query t ~y_lo ~y_hi ~x ~start ~stop]: creation indices in
-    [\[start, stop)] whose box y-span intersects [\[y_lo, y_hi\]] (and
-    x-span intersects [x] when given), strictly ascending, duplicates
-    removed.  A superset filter: callers must still check liveness, the
-    exact hint relations, and the production guard. *)
+(** {!query_into} returning a fresh exactly-sized array; convenience
+    for callers without a scratch buffer. *)

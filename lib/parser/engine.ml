@@ -2,7 +2,6 @@ module G = Wqi_grammar
 module Instance = G.Instance
 module Symbol = G.Symbol
 module Bitset = G.Bitset
-module Hint = G.Hint
 module Spatial_index = G.Spatial_index
 module Token = Wqi_token.Token
 module Budget = Wqi_budget.Budget
@@ -48,50 +47,21 @@ type result = {
 
 exception Truncated
 
-(* Per-symbol instance store: a growable vector in creation order.  The
-   creation index doubles as the semi-naive watermark coordinate — the
-   instances of a symbol created since a production last ran are exactly
-   the suffix starting at that production's recorded length — and as the
-   coordinate of the spatial candidate index. *)
-type vec = { mutable arr : Instance.t array; mutable len : int }
-
-let vec_make () = { arr = [||]; len = 0 }
-
-(* Grown slots are filled with the parse-wide [filler] dummy, never the
-   pushed instance: filling with [inst] would pin it in every unused
-   slot, keeping rolled-back instances (and their whole subtrees)
-   reachable for as long as the store lives. *)
-let vec_push ~filler v inst =
-  let cap = Array.length v.arr in
-  if v.len = cap then begin
-    let arr = Array.make (max 8 (2 * cap)) filler in
-    Array.blit v.arr 0 arr 0 v.len;
-    v.arr <- arr
-  end;
-  Array.unsafe_set v.arr v.len inst;
-  v.len <- v.len + 1
-
-(* Per-slot hint obligations of one production: [(other, rel, cand_first)]
-   means the instance chosen for this slot must satisfy [rel] against the
-   instance already bound at slot [other]; [cand_first] tells which side
-   of the (ordered) relation the candidate occupies. *)
-type slot_check = { other : int; rel : Hint.rel; cand_first : bool }
-
+(* The parse-time state is a thin record over the pooled {!Arena}: all
+   per-symbol storage lives in the arena's columns, all per-production
+   scratch in its flat arrays at the offsets {!Dispatch} assigned at
+   compile time.  [small] selects the word-cover fast path (universes of
+   at most [Bitset.bits_per_word] tokens — every interface in the
+   paper's corpus); larger universes run the same algorithm on boxed
+   covers. *)
 type state = {
   grammar : G.Grammar.t;
-  store : (Symbol.t, vec) Hashtbl.t;
-  sindex : (Symbol.t, Spatial_index.t) Hashtbl.t;
-      (* row-band candidate index per symbol store; maintained only when
-         [hints_enabled] *)
-  dedup : (string * int array, unit) Hashtbl.t;
-      (* naive oracle only; the delta discipline needs no dedup table *)
-  marks : (string, int array) Hashtbl.t;
-      (* per-production store-length snapshots from its last application *)
-  plans : (string, slot_check list array) Hashtbl.t;
-      (* per-production hint obligations, resolved to slot order once *)
+  tables : Dispatch.t;
+  arena : Arena.t;
   universe : int;
-  filler : Instance.t;
+  small : bool;
   hints_enabled : bool;
+  on_kill : Instance.t -> unit;
   mutable next_id : int;
   mutable created : int;
   mutable pruned : int;
@@ -118,148 +88,221 @@ let probe st =
   | None -> ()
   | Some g -> if not (Budget.tick g Budget.Parse) then raise Truncated
 
-let find_vec st sym = Hashtbl.find_opt st.store sym
+(* Live instances of one symbol in creation order (oldest first):
+   downstream derivations then inherit the priority that production
+   order established (earlier productions yield smaller ids, and
+   maximal-tree selection prefers smaller ids on ties).  List-building
+   is off the fast path — the naive oracle and the big-universe
+   preference scan use it; the word-cover engine walks columns. *)
+let live_instances st sid =
+  let col = st.arena.Arena.cols.(sid) in
+  let out = ref [] in
+  for i = col.Arena.len - 1 downto 0 do
+    let inst = Array.unsafe_get col.Arena.inst i in
+    if inst.Instance.alive then out := inst :: !out
+  done;
+  !out
 
-let get_vec st sym =
-  match Hashtbl.find_opt st.store sym with
-  | Some v -> v
-  | None ->
-    let v = vec_make () in
-    Hashtbl.replace st.store sym v;
-    v
-
-let get_index st sym (v : vec) =
-  match Hashtbl.find_opt st.sindex sym with
-  | Some sx -> sx
-  | None ->
-    let sx =
-      Spatial_index.create ~alive:(fun idx ->
-          (Array.unsafe_get v.arr idx).Instance.alive)
-    in
-    Hashtbl.replace st.sindex sym sx;
-    sx
-
-(* Rollback notifications keep the spatial index's dead-entry accounting
-   in step with the store, so heavily-pruned bands get compacted instead
-   of being rescanned corpse by corpse. *)
-let note_kill st (i : Instance.t) =
-  match Hashtbl.find_opt st.sindex i.Instance.sym with
-  | Some sx -> Spatial_index.note_killed sx
-  | None -> ()
-
-(* Live instances in creation order (oldest first): downstream
-   derivations then inherit the priority that production order
-   established (earlier productions yield smaller ids, and maximal-tree
-   selection prefers smaller ids on ties). *)
-let live_instances st sym =
-  match find_vec st sym with
-  | None -> []
-  | Some v ->
-    let out = ref [] in
-    for i = v.len - 1 downto 0 do
-      let inst = Array.unsafe_get v.arr i in
-      if inst.Instance.alive then out := inst :: !out
-    done;
-    !out
-
-let add_instance st inst =
-  let sym = inst.Instance.sym in
-  let v = get_vec st sym in
-  let idx = v.len in
-  vec_push ~filler:st.filler v inst;
-  if st.hints_enabled then
-    Spatial_index.add (get_index st sym v) ~idx inst.Instance.box
+let add_instance st sid (inst : Instance.t) ~bits =
+  let a = st.arena in
+  let col = a.Arena.cols.(sid) in
+  let idx = Arena.push a col inst ~bits in
+  Arena.record_id a ~id:inst.Instance.id ~col:sid ~idx
 
 let fresh_id st =
   let id = st.next_id in
   st.next_id <- id + 1;
   id
 
-let create_instance st (p : G.Production.t) arr =
+let charge_instance st =
   if st.created >= st.options.max_instances then raise Truncated;
-  (match st.gauge with
-   | None -> ()
-   | Some g -> if not (Budget.instance g) then raise Truncated);
+  match st.gauge with
+  | None -> ()
+  | Some g -> if not (Budget.instance g) then raise Truncated
+
+(* Boxed creation path (naive oracle and big universes): cover and box
+   recomputed from the children by [Instance.make], exactly as the
+   reference semantics specify. *)
+let create_instance st (fp : Dispatch.fprod) arr =
+  charge_instance st;
+  let p = fp.Dispatch.prod in
   let children = Array.to_list arr in
-  let sem = p.build arr in
+  let sem = p.G.Production.build arr in
   let inst =
     Instance.make ~id:(fresh_id st) ~sym:p.head ~prod:p.name ~children ~sem
   in
   st.created <- st.created + 1;
-  add_instance st inst;
-  Log.debug (fun m ->
-      m "new %a by %s from [%a]" Instance.pp inst p.name
-        Fmt.(list ~sep:comma Instance.pp)
-        children)
+  let bits = if st.small then Bitset.to_word inst.Instance.cover else 0 in
+  add_instance st fp.Dispatch.head inst ~bits
 
-let marks_for st (p : G.Production.t) arity =
-  match Hashtbl.find_opt st.marks p.name with
-  | Some m -> m
-  | None ->
-    let m = Array.make arity 0 in
-    Hashtbl.replace st.marks p.name m;
-    m
+(* Word-cover creation path: the enumeration already carried the cover
+   as a raw word and the bound slots' coordinates in the arena scratch,
+   so the instance is assembled without re-unioning anything.  Field
+   values are identical to what [Instance.make] computes. *)
+let create_instance_small st (fp : Dispatch.fprod) chosen cover_bits =
+  charge_instance st;
+  let p = fp.Dispatch.prod in
+  let arr = Array.copy chosen in
+  let children = Array.to_list arr in
+  let sem = p.G.Production.build arr in
+  let a = st.arena in
+  let mb = fp.Dispatch.mark_base in
+  let x1 = ref a.Arena.sx1.(mb) and y1 = ref a.Arena.sy1.(mb) in
+  let x2 = ref a.Arena.sx2.(mb) and y2 = ref a.Arena.sy2.(mb) in
+  for i = 1 to fp.Dispatch.arity - 1 do
+    let o = mb + i in
+    if a.Arena.sx1.(o) < !x1 then x1 := a.Arena.sx1.(o);
+    if a.Arena.sy1.(o) < !y1 then y1 := a.Arena.sy1.(o);
+    if a.Arena.sx2.(o) > !x2 then x2 := a.Arena.sx2.(o);
+    if a.Arena.sy2.(o) > !y2 then y2 := a.Arena.sy2.(o)
+  done;
+  let box =
+    { Wqi_layout.Geometry.x1 = !x1; y1 = !y1; x2 = !x2; y2 = !y2 }
+  in
+  let inst =
+    Instance.prebuilt ~id:(fresh_id st) ~sym:p.G.Production.head ~prod:p.name
+      ~children ~sem
+      ~cover:(Bitset.of_word st.universe cover_bits)
+      ~box
+  in
+  st.created <- st.created + 1;
+  add_instance st fp.Dispatch.head inst ~bits:cover_bits
 
-let plan_for st (p : G.Production.t) arity =
-  match Hashtbl.find_opt st.plans p.name with
-  | Some pl -> pl
-  | None ->
-    let pl = Array.make arity [] in
-    List.iter
-      (fun (h : Hint.t) ->
-         (* A hint becomes checkable at the later of its two slots, when
-            the earlier one is already bound. *)
-         let slot = max h.a h.b and other = min h.a h.b in
-         pl.(slot) <- { other; rel = h.rel; cand_first = h.a > h.b } :: pl.(slot))
-      p.hints;
-    Array.iteri (fun i l -> pl.(i) <- List.rev l) pl;
-    Hashtbl.replace st.plans p.name pl;
-    pl
-
-let guard_admits st (p : G.Production.t) chosen =
+let guard_admits st (fp : Dispatch.fprod) chosen =
   st.guards_tried <- st.guards_tried + 1;
-  let ok = p.guard chosen in
+  let ok = fp.Dispatch.prod.G.Production.guard chosen in
   if ok then st.guards_admitted <- st.guards_admitted + 1;
   ok
 
-(* Exact hint evaluation against the already-bound slots.  Sound
+(* ------------------------------------------------------------------ *)
+(* Packed spatial checks                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Exact hint evaluation against the already-bound slots, on raw
+   coordinates.  Each tag reproduces the corresponding
+   [Wqi_layout.Geometry] predicate verbatim (candidate first), so the
+   admitted set is identical to [Hint.holds_rel] on boxes.  Sound
    pre-filtering only: every hint is implied by the guard (the Hint
    contract), so a candidate rejected here could never have produced an
-   instance — the enumeration merely skips subtrees the guard would have
-   rejected at every leaf. *)
-let hints_ok (checks : slot_check list) chosen (cand : Instance.t) =
-  List.for_all
-    (fun c ->
-       let other = (Array.unsafe_get chosen c.other).Instance.box in
-       if c.cand_first then Hint.holds_rel c.rel cand.Instance.box other
-       else Hint.holds_rel c.rel other cand.Instance.box)
-    checks
+   instance. *)
+let checks_hold (a : Arena.t) mb (checks : int array) cx1 cy1 cx2 cy2 =
+  let n = Array.length checks in
+  let rec go k =
+    k >= n
+    ||
+    let meta = Array.unsafe_get checks k in
+    let param = Array.unsafe_get checks (k + 1) in
+    let o = mb + (meta lsr 4) in
+    let ox1 = Array.unsafe_get a.Arena.sx1 o in
+    let oy1 = Array.unsafe_get a.Arena.sy1 o in
+    let ox2 = Array.unsafe_get a.Arena.sx2 o in
+    let oy2 = Array.unsafe_get a.Arena.sy2 o in
+    let ok =
+      match meta land 15 with
+      | 0 ->
+        (* candidate left_of other *)
+        cx2 <= ox1 + 2
+        && ox1 - cx2 <= param
+        && min cy2 oy2 - max cy1 oy1 > 0
+      | 1 ->
+        (* other left_of candidate *)
+        ox2 <= cx1 + 2
+        && cx1 - ox2 <= param
+        && min cy2 oy2 - max cy1 oy1 > 0
+      | 2 ->
+        (* candidate above other *)
+        cy2 <= oy1 + 2
+        && oy1 - cy2 <= param
+        && min cx2 ox2 - max cx1 ox1 > 0
+      | 3 ->
+        (* other above candidate *)
+        oy2 <= cy1 + 2
+        && cy1 - oy2 <= param
+        && min cx2 ox2 - max cx1 ox1 > 0
+      | 4 ->
+        (* same_row *)
+        let ov = min cy2 oy2 - max cy1 oy1 in
+        2 * max 0 ov >= max 1 (min (cy2 - cy1) (oy2 - oy1))
+      | 5 ->
+        (* same_column *)
+        let ov = min cx2 ox2 - max cx1 ox1 in
+        2 * max 0 ov >= max 1 (min (cx2 - cx1) (ox2 - ox1))
+      | 6 -> abs (cx1 - ox1) <= param
+      | 7 -> abs (cy1 - oy1) <= param
+      | _ -> abs (cy2 - oy2) <= param
+    in
+    ok && go (k + 2)
+  in
+  go 0
 
 (* Pick the tightest conservative probe region the bound anchors allow:
    the narrowest y-interval drives the band probe, the narrowest
-   x-interval pre-filters entries.  Intervals from different hints can be
-   combined axis-by-axis because each is independently implied by the
-   guard. *)
-let probe_region (checks : slot_check list) chosen =
-  let best_y = ref None and best_x = ref None in
-  let narrow best (lo, hi) =
-    match !best with
-    | Some (blo, bhi) when bhi - blo <= hi - lo -> ()
-    | _ -> best := Some (lo, hi)
+   x-interval pre-filters entries.  Intervals from different hints can
+   be combined axis-by-axis because each is independently implied by
+   the guard.  The per-tag regions are [Hint.region] evaluated on the
+   anchor's coordinates; results land in the arena's [pr_*] scratch.
+   Returns false when no hint constrains y — the band index cannot help
+   then, and the caller falls back to a scan. *)
+let probe_region (a : Arena.t) mb (checks : int array) =
+  a.Arena.pr_have_y <- false;
+  a.Arena.pr_have_x <- false;
+  let set_y lo hi =
+    if (not a.Arena.pr_have_y) || hi - lo < a.Arena.pr_y_hi - a.Arena.pr_y_lo
+    then begin
+      a.Arena.pr_have_y <- true;
+      a.Arena.pr_y_lo <- lo;
+      a.Arena.pr_y_hi <- hi
+    end
   in
-  List.iter
-    (fun c ->
-       let anchor = (Array.unsafe_get chosen c.other).Instance.box in
-       let r = Hint.region c.rel ~anchor ~anchor_is_first:(not c.cand_first) in
-       (match r.Hint.y with Some iv -> narrow best_y iv | None -> ());
-       (match r.Hint.x with Some iv -> narrow best_x iv | None -> ()))
-    checks;
-  match !best_y with
-  | None -> None
-  | Some (y_lo, y_hi) -> Some (y_lo, y_hi, !best_x)
+  let set_x lo hi =
+    if (not a.Arena.pr_have_x) || hi - lo < a.Arena.pr_x_hi - a.Arena.pr_x_lo
+    then begin
+      a.Arena.pr_have_x <- true;
+      a.Arena.pr_x_lo <- lo;
+      a.Arena.pr_x_hi <- hi
+    end
+  in
+  let n = Array.length checks in
+  let k = ref 0 in
+  while !k < n do
+    let meta = Array.unsafe_get checks !k in
+    let param = Array.unsafe_get checks (!k + 1) in
+    let o = mb + (meta lsr 4) in
+    let ox1 = Array.unsafe_get a.Arena.sx1 o in
+    let oy1 = Array.unsafe_get a.Arena.sy1 o in
+    let ox2 = Array.unsafe_get a.Arena.sx2 o in
+    let oy2 = Array.unsafe_get a.Arena.sy2 o in
+    (match meta land 15 with
+     | 0 ->
+       set_y oy1 oy2;
+       set_x (ox1 - param) (ox1 + 2)
+     | 1 ->
+       set_y oy1 oy2;
+       set_x (ox2 - 2) (ox2 + param)
+     | 2 ->
+       set_y (oy1 - param) (oy1 + 2);
+       set_x ox1 ox2
+     | 3 ->
+       set_y (oy2 - 2) (oy2 + param);
+       set_x ox1 ox2
+     | 4 -> set_y oy1 oy2
+     | 5 -> set_x ox1 ox2
+     | 6 -> set_x (ox1 - param) (ox1 + param)
+     | 7 -> set_y (oy1 - param) (oy1 + param)
+     | _ -> set_y (oy2 - param) (oy2 + param));
+    k := !k + 2
+  done;
+  a.Arena.pr_have_y
 
-(* Scans shorter than this are cheaper than a banded probe. *)
-let probe_min_scan = 16
+(* Scans shorter than this are cheaper than a banded probe.  Arena
+   probing is cheap enough that only very short scans should bypass it
+   (the old threshold of 16 left 10-20-token parses entirely unhinted —
+   the BENCH_parse parse/20 anomaly). *)
+let probe_min_scan = 4
+
+(* ------------------------------------------------------------------ *)
+(* Semi-naive production application                                   *)
+(* ------------------------------------------------------------------ *)
 
 (* Semi-naive application of one production (the Datalog delta trick).
    Each component slot records the store length seen at the previous
@@ -277,100 +320,286 @@ let probe_min_scan = 16
    spatially compatible candidate subset instead of the whole store:
    either through the row-band index (candidates come back in ascending
    creation order, so the enumeration order is untouched) or, for short
-   scans, by checking the hint relations inline before recursing.  The
-   guard is still evaluated on every surviving combination.  Returns
-   true when at least one new instance was created. *)
-let apply_production_delta st (p : G.Production.t) =
-  let comps = Array.of_list p.components in
-  let arity = Array.length comps in
-  let marks = marks_for st p arity in
-  let vecs = Array.map (fun sym -> get_vec st sym) comps in
-  let plan =
-    if st.hints_enabled && p.hints <> [] then plan_for st p arity
-    else [||]
-  in
-  (* Snapshot lengths: instances created by this very application only
-     become candidates in the next round, as in the reference. *)
-  let lens = Array.map (fun v -> v.len) vecs in
-  (* delta_from.(i): some slot >= i has delta candidates. *)
-  let delta_from = Array.make (arity + 1) false in
-  for i = arity - 1 downto 0 do
-    delta_from.(i) <- delta_from.(i + 1) || lens.(i) > marks.(i)
+   scans, by checking the packed relations inline before recursing.
+   The guard is still evaluated on every surviving combination.
+
+   Common prologue for both cover representations: snapshot the slot
+   lengths (instances created by this very application only become
+   candidates in the next round, as in the reference), compute the
+   delta-from flags, and report whether anything can fire at all.
+   Returns true when the enumeration should run. *)
+let application_ready (a : Arena.t) (fp : Dispatch.fprod) =
+  let arity = fp.Dispatch.arity in
+  let mb = fp.Dispatch.mark_base and db = fp.Dispatch.delta_base in
+  let marks = a.Arena.marks and lens = a.Arena.lens in
+  let pcols = a.Arena.pcols.(fp.Dispatch.ord) in
+  let nothing_new = ref true and any_empty = ref false in
+  for i = 0 to arity - 1 do
+    let l = (Array.unsafe_get pcols i).Arena.len in
+    Array.unsafe_set lens (mb + i) l;
+    if l = 0 then any_empty := true;
+    if l > Array.unsafe_get marks (mb + i) then nothing_new := false
   done;
-  let nothing_new = not delta_from.(0) in
-  if nothing_new then false
-  else if Array.exists (fun l -> l = 0) lens then begin
+  if !nothing_new then false
+  else if !any_empty then begin
     (* A component has no instances at all: the production cannot fire,
        but the watermarks still advance past whatever the other slots
        gained. *)
-    Array.blit lens 0 marks 0 arity;
+    Array.blit lens mb marks mb arity;
     false
   end
   else begin
-    let chosen = Array.make arity (Array.unsafe_get vecs.(0).arr 0) in
+    let deltas = a.Arena.deltas in
+    (* delta flag at [db + i]: some slot >= i has delta candidates. *)
+    Bytes.unsafe_set deltas (db + arity) '\000';
+    for i = arity - 1 downto 0 do
+      Bytes.unsafe_set deltas (db + i)
+        (if
+           Bytes.unsafe_get deltas (db + i + 1) <> '\000'
+           || Array.unsafe_get lens (mb + i) > Array.unsafe_get marks (mb + i)
+         then '\001'
+         else '\000')
+    done;
+    true
+  end
+
+(* Word-cover enumeration: covers are raw ints carried through the
+   recursion (zero allocation per step), candidate filtering runs on the
+   arena columns, and the instance is assembled from tracked state.
+   Cheapest rejections first: liveness, then cover disjointness (word
+   operations), then the packed hint relations — geometry runs only on
+   candidates that would otherwise recurse.  Filter order cannot change
+   the admitted set, only who pays for the rejection. *)
+let apply_production_small st (fp : Dispatch.fprod) =
+  let a = st.arena in
+  if not (application_ready a fp) then false
+  else begin
+    let arity = fp.Dispatch.arity in
+    let mb = fp.Dispatch.mark_base and db = fp.Dispatch.delta_base in
+    let marks = a.Arena.marks and lens = a.Arena.lens in
+    let deltas = a.Arena.deltas in
+    let pcols = a.Arena.pcols.(fp.Dispatch.ord) in
+    let chosen = a.Arena.chosen.(fp.Dispatch.ord) in
+    let all_checks = fp.Dispatch.checks in
     let added = ref false in
     let rec assign i cover have_delta =
       probe st;
       if i = arity then begin
-        if guard_admits st p chosen then begin
-          create_instance st p (Array.copy chosen);
+        if guard_admits st fp chosen then begin
+          create_instance_small st fp chosen cover;
           added := true
         end
       end
       else begin
-        let v = vecs.(i) in
-        let checks = if plan = [||] then [] else plan.(i) in
+        let col = Array.unsafe_get pcols i in
+        let checks =
+          if st.hints_enabled then Array.unsafe_get all_checks i
+          else Dispatch.no_checks
+        in
+        let mark0 = Array.unsafe_get marks (mb + i) in
         (* If no delta child is bound yet and no later slot can supply
            one, this slot must: start at its watermark. *)
         let start =
-          if have_delta || delta_from.(i + 1) then 0 else marks.(i)
+          if have_delta || Bytes.unsafe_get deltas (db + i + 1) <> '\000'
+          then 0
+          else mark0
         in
-        let stop = lens.(i) in
-        (* Cheapest rejections first: liveness, then cover disjointness
-           (word operations), then the hint relations — geometry runs
-           only on candidates that would otherwise recurse.  Filter
-           order cannot change the admitted set, only who pays for the
-           rejection. *)
-        let inspect idx =
-          let cand = Array.unsafe_get v.arr idx in
-          if
-            cand.Instance.alive
-            && Bitset.disjoint cover cand.cover
-            && (checks == [] || hints_ok checks chosen cand)
-          then begin
-            Array.unsafe_set chosen i cand;
-            assign (i + 1)
-              (Bitset.union cover cand.cover)
-              (have_delta || idx >= marks.(i))
-          end
-        in
-        let scan () =
+        let stop = Array.unsafe_get lens (mb + i) in
+        let insts = col.Arena.inst and cbits = col.Arena.bits in
+        let ax1 = col.Arena.x1 and ay1 = col.Arena.y1 in
+        let ax2 = col.Arena.x2 and ay2 = col.Arena.y2 in
+        let alive = col.Arena.alive in
+        let nchecks = Array.length checks in
+        (* The candidate body is duplicated across the scan and probe
+           loops (instead of a shared [visit] closure) deliberately: the
+           closure would capture the per-recursion [cover]/[have_delta]
+           and be heap-allocated on every slot visit of every partial
+           binding — thousands of allocations per parse on the hottest
+           path. *)
+        if
+          nchecks = 0
+          || stop - start < probe_min_scan
+          || not (probe_region a mb checks)
+        then
           for idx = start to stop - 1 do
-            inspect idx
+            if Bytes.unsafe_get alive idx <> '\000' then begin
+              let cb = Array.unsafe_get cbits idx in
+              if cb land cover = 0 then begin
+                let x1 = Array.unsafe_get ax1 idx in
+                let y1 = Array.unsafe_get ay1 idx in
+                let x2 = Array.unsafe_get ax2 idx in
+                let y2 = Array.unsafe_get ay2 idx in
+                if nchecks = 0 || checks_hold a mb checks x1 y1 x2 y2
+                then begin
+                  Array.unsafe_set chosen i (Array.unsafe_get insts idx);
+                  let o = mb + i in
+                  Array.unsafe_set a.Arena.sx1 o x1;
+                  Array.unsafe_set a.Arena.sy1 o y1;
+                  Array.unsafe_set a.Arena.sx2 o x2;
+                  Array.unsafe_set a.Arena.sy2 o y2;
+                  assign (i + 1) (cover lor cb) (have_delta || idx >= mark0)
+                end
+              end
+            end
           done
+        else begin
+          let x_lo = if a.Arena.pr_have_x then a.Arena.pr_x_lo else min_int in
+          let x_hi = if a.Arena.pr_have_x then a.Arena.pr_x_hi else max_int in
+          Arena.sync_index col;
+          let buf = a.Arena.qbufs.(i) in
+          let n =
+            Spatial_index.query_into col.Arena.index ~y_lo:a.Arena.pr_y_lo
+              ~y_hi:a.Arena.pr_y_hi ~x_lo ~x_hi ~start ~stop buf
+          in
+          st.index_probes <- st.index_probes + 1;
+          st.index_pruned <- st.index_pruned + (stop - start) - n;
+          let cands = !buf in
+          for k = 0 to n - 1 do
+            let idx = Array.unsafe_get cands k in
+            if Bytes.unsafe_get alive idx <> '\000' then begin
+              let cb = Array.unsafe_get cbits idx in
+              if cb land cover = 0 then begin
+                let x1 = Array.unsafe_get ax1 idx in
+                let y1 = Array.unsafe_get ay1 idx in
+                let x2 = Array.unsafe_get ax2 idx in
+                let y2 = Array.unsafe_get ay2 idx in
+                if checks_hold a mb checks x1 y1 x2 y2 then begin
+                  Array.unsafe_set chosen i (Array.unsafe_get insts idx);
+                  let o = mb + i in
+                  Array.unsafe_set a.Arena.sx1 o x1;
+                  Array.unsafe_set a.Arena.sy1 o y1;
+                  Array.unsafe_set a.Arena.sx2 o x2;
+                  Array.unsafe_set a.Arena.sy2 o y2;
+                  assign (i + 1) (cover lor cb) (have_delta || idx >= mark0)
+                end
+              end
+            end
+          done
+        end
+      end
+    in
+    (try assign 0 0 false
+     with Truncated ->
+       Array.blit lens mb marks mb arity;
+       raise Truncated);
+    Array.blit lens mb marks mb arity;
+    !added
+  end
+
+(* Boxed-cover enumeration for universes past one word: same delta
+   discipline and candidate filtering (the coordinate columns and
+   packed checks still apply), with covers as [Bitset.t]. *)
+let apply_production_big st (fp : Dispatch.fprod) =
+  let a = st.arena in
+  if not (application_ready a fp) then false
+  else begin
+    let arity = fp.Dispatch.arity in
+    let mb = fp.Dispatch.mark_base and db = fp.Dispatch.delta_base in
+    let marks = a.Arena.marks and lens = a.Arena.lens in
+    let deltas = a.Arena.deltas in
+    let pcols = a.Arena.pcols.(fp.Dispatch.ord) in
+    let chosen = a.Arena.chosen.(fp.Dispatch.ord) in
+    let all_checks = fp.Dispatch.checks in
+    let added = ref false in
+    let rec assign i cover have_delta =
+      probe st;
+      if i = arity then begin
+        if guard_admits st fp chosen then begin
+          create_instance st fp (Array.copy chosen);
+          added := true
+        end
+      end
+      else begin
+        let col = Array.unsafe_get pcols i in
+        let checks =
+          if st.hints_enabled then Array.unsafe_get all_checks i
+          else Dispatch.no_checks
         in
-        if checks == [] || stop - start < probe_min_scan then scan ()
-        else
-          match probe_region checks chosen with
-          | None -> scan ()
-          | Some (y_lo, y_hi, x) ->
-            (match Hashtbl.find_opt st.sindex comps.(i) with
-             | None -> scan ()
-             | Some sx ->
-               let cands =
-                 Spatial_index.query sx ~y_lo ~y_hi ~x ~start ~stop
-               in
-               st.index_probes <- st.index_probes + 1;
-               st.index_pruned <-
-                 st.index_pruned + (stop - start) - Array.length cands;
-               Array.iter inspect cands)
+        let mark0 = Array.unsafe_get marks (mb + i) in
+        let start =
+          if have_delta || Bytes.unsafe_get deltas (db + i + 1) <> '\000'
+          then 0
+          else mark0
+        in
+        let stop = Array.unsafe_get lens (mb + i) in
+        let insts = col.Arena.inst in
+        let ax1 = col.Arena.x1 and ay1 = col.Arena.y1 in
+        let ax2 = col.Arena.x2 and ay2 = col.Arena.y2 in
+        let alive = col.Arena.alive in
+        let nchecks = Array.length checks in
+        (* Candidate body duplicated across both loops; see
+           [apply_production_small]. *)
+        if
+          nchecks = 0
+          || stop - start < probe_min_scan
+          || not (probe_region a mb checks)
+        then
+          for idx = start to stop - 1 do
+            if Bytes.unsafe_get alive idx <> '\000' then begin
+              let cand = Array.unsafe_get insts idx in
+              if Bitset.disjoint cover cand.Instance.cover then begin
+                let x1 = Array.unsafe_get ax1 idx in
+                let y1 = Array.unsafe_get ay1 idx in
+                let x2 = Array.unsafe_get ax2 idx in
+                let y2 = Array.unsafe_get ay2 idx in
+                if nchecks = 0 || checks_hold a mb checks x1 y1 x2 y2
+                then begin
+                  Array.unsafe_set chosen i cand;
+                  let o = mb + i in
+                  Array.unsafe_set a.Arena.sx1 o x1;
+                  Array.unsafe_set a.Arena.sy1 o y1;
+                  Array.unsafe_set a.Arena.sx2 o x2;
+                  Array.unsafe_set a.Arena.sy2 o y2;
+                  assign (i + 1)
+                    (Bitset.union cover cand.Instance.cover)
+                    (have_delta || idx >= mark0)
+                end
+              end
+            end
+          done
+        else begin
+          let x_lo = if a.Arena.pr_have_x then a.Arena.pr_x_lo else min_int in
+          let x_hi = if a.Arena.pr_have_x then a.Arena.pr_x_hi else max_int in
+          Arena.sync_index col;
+          let buf = a.Arena.qbufs.(i) in
+          let n =
+            Spatial_index.query_into col.Arena.index ~y_lo:a.Arena.pr_y_lo
+              ~y_hi:a.Arena.pr_y_hi ~x_lo ~x_hi ~start ~stop buf
+          in
+          st.index_probes <- st.index_probes + 1;
+          st.index_pruned <- st.index_pruned + (stop - start) - n;
+          let cands = !buf in
+          for k = 0 to n - 1 do
+            let idx = Array.unsafe_get cands k in
+            if Bytes.unsafe_get alive idx <> '\000' then begin
+              let cand = Array.unsafe_get insts idx in
+              if Bitset.disjoint cover cand.Instance.cover then begin
+                let x1 = Array.unsafe_get ax1 idx in
+                let y1 = Array.unsafe_get ay1 idx in
+                let x2 = Array.unsafe_get ax2 idx in
+                let y2 = Array.unsafe_get ay2 idx in
+                if checks_hold a mb checks x1 y1 x2 y2 then begin
+                  Array.unsafe_set chosen i cand;
+                  let o = mb + i in
+                  Array.unsafe_set a.Arena.sx1 o x1;
+                  Array.unsafe_set a.Arena.sy1 o y1;
+                  Array.unsafe_set a.Arena.sx2 o x2;
+                  Array.unsafe_set a.Arena.sy2 o y2;
+                  assign (i + 1)
+                    (Bitset.union cover cand.Instance.cover)
+                    (have_delta || idx >= mark0)
+                end
+              end
+            end
+          done
+        end
       end
     in
     (try assign 0 (Bitset.empty st.universe) false
      with Truncated ->
-       Array.blit lens 0 marks 0 arity;
+       Array.blit lens mb marks mb arity;
        raise Truncated);
-    Array.blit lens 0 marks 0 arity;
+    Array.blit lens mb marks mb arity;
     !added
   end
 
@@ -379,23 +608,26 @@ let apply_production_delta st (p : G.Production.t) =
    the oracle for the equivalence suite ([options.semi_naive = false]).
    Hints are deliberately ignored here — the oracle defines the
    semantics the hinted engines must reproduce. *)
-let apply_production_naive st (p : G.Production.t) =
+let apply_production_naive st (fp : Dispatch.fprod) =
+  let arity = fp.Dispatch.arity in
   let candidates =
-    List.map (fun sym -> Array.of_list (live_instances st sym)) p.components
+    Array.map
+      (fun sid -> Array.of_list (live_instances st sid))
+      fp.Dispatch.comps
   in
-  let arity = List.length p.components in
-  let candidates = Array.of_list candidates in
   let chosen = Array.make arity None in
+  let dedup = st.arena.Arena.dedup in
+  let pname = fp.Dispatch.prod.G.Production.name in
   let added = ref false in
   let rec assign i cover =
     probe st;
     if i = arity then begin
       let arr = Array.map (fun c -> Option.get c) chosen in
-      if guard_admits st p arr then begin
-        let key = (p.name, Array.map (fun (c : Instance.t) -> c.id) arr) in
-        if not (Hashtbl.mem st.dedup key) then begin
-          Hashtbl.replace st.dedup key ();
-          create_instance st p arr;
+      if guard_admits st fp arr then begin
+        let key = (pname, Array.map (fun (c : Instance.t) -> c.id) arr) in
+        if not (Hashtbl.mem dedup key) then begin
+          Hashtbl.replace dedup key ();
+          create_instance st fp arr;
           added := true
         end
       end
@@ -420,14 +652,25 @@ let apply_production_naive st (p : G.Production.t) =
    created, pruned and rolled back how much, and what the guards and the
    spatial index did for it.  The untraced path is the code that existed
    before tracing: one [None] branch per round. *)
-let instantiate st sym =
-  let productions = G.Grammar.productions_with_head st.grammar sym in
+let instantiate st sid =
+  let prods = st.tables.Dispatch.prods in
+  let ords = st.tables.Dispatch.by_head.(sid) in
   let apply =
-    if st.options.semi_naive then apply_production_delta
-    else apply_production_naive
+    if not st.options.semi_naive then apply_production_naive
+    else if st.small then apply_production_small
+    else apply_production_big
+  in
+  let run_round () =
+    let progressed = ref false in
+    for k = 0 to Array.length ords - 1 do
+      if apply st prods.(Array.unsafe_get ords k) then progressed := true
+    done;
+    !progressed
   in
   let sym_name =
-    match st.trace with None -> "" | Some _ -> Fmt.str "%a" Symbol.pp sym
+    match st.trace with
+    | None -> ""
+    | Some _ -> Fmt.str "%a" Symbol.pp st.tables.Dispatch.syms.(sid)
   in
   let rec loop round =
     (match st.gauge with
@@ -435,16 +678,14 @@ let instantiate st sym =
      | Some g -> if not (Budget.round g) then raise Truncated);
     let progressed =
       match st.trace with
-      | None -> List.fold_left (fun acc p -> apply st p || acc) false productions
+      | None -> run_round ()
       | Some _ ->
         let t0 = Budget.now_s () in
         let created0 = st.created and pruned0 = st.pruned in
         let rolled0 = st.rolled_back in
         let tried0 = st.guards_tried and admitted0 = st.guards_admitted in
         let probes0 = st.index_probes and ipruned0 = st.index_pruned in
-        let progressed =
-          List.fold_left (fun acc p -> apply st p || acc) false productions
-        in
+        let progressed = run_round () in
         Trace.span st.trace ~cat:"parser.round" sym_name ~t0
           ~t1:(Budget.now_s ())
           ~args:
@@ -463,98 +704,117 @@ let instantiate st sym =
   in
   loop 0
 
+(* ------------------------------------------------------------------ *)
+(* Preference enforcement                                              *)
+(* ------------------------------------------------------------------ *)
+
 (* Above this many winner×loser pairs, [enforce] buckets the winners by
    covered token so each loser only meets the winners it can actually
-   conflict with. *)
-(* Bucketing pays only when covers are sparse relative to the universe
-   — many-row interfaces, where most winner/loser pairs share no token.
-   On narrow universes nearly every pair conflicts, so bucketing would
-   reproduce the quadratic scan with allocation on top; the universe
-   floor keeps those on the plain path. *)
+   conflict with.  Bucketing pays only when covers are sparse relative
+   to the universe — many-row interfaces, where most winner/loser pairs
+   share no token.  On narrow universes nearly every pair conflicts, so
+   bucketing would reproduce the quadratic scan with allocation on top;
+   word-cover universes take the column scan below instead. *)
 let enforce_bucket_min_pairs = 2048
 
-let enforce_bucket_min_universe = 64
+(* Enforce one preference over the current instances (procedure
+   [enforce]).  Enforcement only ever kills instances, so scanning the
+   columns with per-pair [alive] re-checks is equivalent to
+   re-filtering the store after every rollback — a rollback can
+   invalidate entries but never add new ones.  Losers are visited in
+   creation order, winners in creation order within each loser, so
+   kills (and their order) are identical across engine variants.
 
-(* Enforce one preference over the current instances (procedure [enforce]).
-   Both sides are snapshotted once: enforcement only ever kills
-   instances, so the snapshots plus the per-element [alive] re-checks
-   are equivalent to re-filtering the store after every rollback — a
-   rollback can invalidate entries but never add new ones.
-
-   Two instances conflict only when their covers intersect, i.e. they
-   share at least one token — so for large preference fronts the
-   winners are bucketed by covered token and each loser scans the
-   merged (creation-ordered, deduplicated) buckets of its own tokens
-   instead of the full winner list.  The candidate sequence each loser
-   sees is the original winner order restricted to winners sharing a
-   token, and skipped winners satisfy [not (conflicts v1 v2)], so kills
-   (and their order) are identical to the quadratic scan. *)
+   The word-cover path pre-filters pairs by cover-word intersection
+   straight off the columns: skipped pairs satisfy
+   [not (Instance.conflicts v1 v2)], which the reference scan would
+   have rejected anyway. *)
 let enforce st (r : G.Preference.t) =
-  let winners = live_instances st r.winner in
-  let losers = live_instances st r.loser in
-  let on_kill = note_kill st in
   let try_kill (v1 : Instance.t) (v2 : Instance.t) =
     if v1.alive && v2.alive && v1.id <> v2.id
     && Instance.conflicts v1 v2
     && r.conflict v1 v2 && r.wins v1 v2
     && not (Instance.is_descendant v2 ~of_:v1)
     then begin
-      let killed = Instance.rollback ~on_kill v2 in
+      let killed = Instance.rollback ~on_kill:st.on_kill v2 in
       st.pruned <- st.pruned + 1;
-      st.rolled_back <- st.rolled_back + (killed - 1);
-      Log.debug (fun m ->
-          m "preference %s: %a beats %a (%d rolled back)"
-            r.G.Preference.name Instance.pp v1 Instance.pp v2
-            (killed - 1))
+      st.rolled_back <- st.rolled_back + (killed - 1)
     end
   in
-  let nw = List.length winners in
-  if
-    st.universe < enforce_bucket_min_universe || nw = 0
-    || nw * List.length losers < enforce_bucket_min_pairs
-  then
-    List.iter
-      (fun (v2 : Instance.t) ->
-         probe st;
-         if v2.alive then
-           List.iter (fun (v1 : Instance.t) -> try_kill v1 v2) winners)
-      losers
+  let wsid = Dispatch.sym_id st.tables r.winner in
+  let lsid = Dispatch.sym_id st.tables r.loser in
+  if st.small then begin
+    let wcol = st.arena.Arena.cols.(wsid) in
+    let lcol = st.arena.Arena.cols.(lsid) in
+    let wlen = wcol.Arena.len and llen = lcol.Arena.len in
+    if wlen > 0 then begin
+      let winsts = wcol.Arena.inst and wbits = wcol.Arena.bits in
+      let linsts = lcol.Arena.inst and lbits = lcol.Arena.bits in
+      for li = 0 to llen - 1 do
+        let v2 = Array.unsafe_get linsts li in
+        if v2.Instance.alive then begin
+          probe st;
+          let lb = Array.unsafe_get lbits li in
+          for wi = 0 to wlen - 1 do
+            if Array.unsafe_get wbits wi land lb <> 0 then
+              try_kill (Array.unsafe_get winsts wi) v2
+          done
+        end
+      done
+    end
+  end
   else begin
-    let warr = Array.of_list winners in
-    let buckets = Array.make st.universe [] in
-    Array.iteri
-      (fun ord (w : Instance.t) ->
-         List.iter
-           (fun t -> buckets.(t) <- ord :: buckets.(t))
-           (Bitset.elements w.cover))
-      warr;
-    (* Per-loser dedup by marking winner ordinals: each bucket entry is
-       visited once, and only the (usually few) marked ordinals are
-       sorted back into creation order — never the full winner list. *)
-    let marked = Bytes.make nw '\000' in
-    List.iter
-      (fun (v2 : Instance.t) ->
-         probe st;
-         if v2.alive then begin
-           let touched = ref [] in
+    (* Boxed covers: snapshot both sides (equivalent, see above), and
+       bucket the winners by covered token for large fronts so each
+       loser scans the merged (creation-ordered, deduplicated) buckets
+       of its own tokens instead of the full winner list. *)
+    let winners = live_instances st wsid in
+    let losers = live_instances st lsid in
+    let nw = List.length winners in
+    if nw = 0 || nw * List.length losers < enforce_bucket_min_pairs then
+      List.iter
+        (fun (v2 : Instance.t) ->
+           probe st;
+           if v2.alive then
+             List.iter (fun (v1 : Instance.t) -> try_kill v1 v2) winners)
+        losers
+    else begin
+      let warr = Array.of_list winners in
+      let buckets = Array.make st.universe [] in
+      Array.iteri
+        (fun ord (w : Instance.t) ->
            List.iter
-             (fun t ->
-                List.iter
-                  (fun ord ->
-                     if Bytes.unsafe_get marked ord = '\000' then begin
-                       Bytes.unsafe_set marked ord '\001';
-                       touched := ord :: !touched
-                     end)
-                  buckets.(t))
-             (Bitset.elements v2.cover);
-           let cands = List.sort Int.compare !touched in
-           List.iter
-             (fun ord ->
-                Bytes.unsafe_set marked ord '\000';
-                try_kill (Array.unsafe_get warr ord) v2)
-             cands
-         end)
-      losers
+             (fun t -> buckets.(t) <- ord :: buckets.(t))
+             (Bitset.elements w.cover))
+        warr;
+      (* Per-loser dedup by marking winner ordinals: each bucket entry
+         is visited once, and only the (usually few) marked ordinals are
+         sorted back into creation order — never the full winner list. *)
+      let marked = Bytes.make nw '\000' in
+      List.iter
+        (fun (v2 : Instance.t) ->
+           probe st;
+           if v2.alive then begin
+             let touched = ref [] in
+             List.iter
+               (fun t ->
+                  List.iter
+                    (fun ord ->
+                       if Bytes.unsafe_get marked ord = '\000' then begin
+                         Bytes.unsafe_set marked ord '\001';
+                         touched := ord :: !touched
+                       end)
+                    buckets.(t))
+               (Bitset.elements v2.cover);
+             let cands = List.sort Int.compare !touched in
+             List.iter
+               (fun ord ->
+                  Bytes.unsafe_set marked ord '\000';
+                  try_kill (Array.unsafe_get warr ord) v2)
+               cands
+           end)
+        losers
+    end
   end
 
 (* Rollback annotation: one span per enforcement that actually killed
@@ -575,7 +835,7 @@ let enforce_traced st (r : G.Preference.t) =
           [ ("pruned", Trace.Int (st.pruned - pruned0));
             ("rolled_back", Trace.Int (st.rolled_back - rolled0)) ]
 
-(* Symbol -> preferences involving it, precomputed once per parse (the
+(* Symbol -> preferences involving it, precomputed once per compile (the
    schedule loop used to re-filter the full preference list for every
    symbol). *)
 let preferences_by_symbol (g : G.Grammar.t) =
@@ -602,17 +862,21 @@ let d_only_order (g : G.Grammar.t) =
   in
   (G.Schedule.build bare).G.Schedule.order
 
+(* ------------------------------------------------------------------ *)
+(* Result assembly                                                     *)
+(* ------------------------------------------------------------------ *)
+
 let all_live_list st =
-  Hashtbl.fold
-    (fun _sym v acc ->
-       let out = ref acc in
-       for i = 0 to v.len - 1 do
-         let inst = Array.unsafe_get v.arr i in
-         if inst.Instance.alive then out := inst :: !out
-       done;
-       !out)
-    st.store []
-  |> List.sort (fun (a : Instance.t) b -> Int.compare a.id b.id)
+  let cols = st.arena.Arena.cols in
+  let out = ref [] in
+  for s = Array.length cols - 1 downto 0 do
+    let col = Array.unsafe_get cols s in
+    for i = col.Arena.len - 1 downto 0 do
+      let inst = Array.unsafe_get col.Arena.inst i in
+      if inst.Instance.alive then out := inst :: !out
+    done
+  done;
+  List.sort (fun (a : Instance.t) b -> Int.compare a.id b.id) !out
 
 let reachable_ids roots =
   let seen = Hashtbl.create 256 in
@@ -633,13 +897,13 @@ let reachable_ids roots =
    subsumption.  Untripped runs are never windowed. *)
 let tripped_tops_window = 1024
 
-let maximal_trees st ~tripped =
+let maximal_trees ~tripped all_live =
   let tops =
     List.filter
       (fun (i : Instance.t) ->
          (not (Symbol.is_terminal i.sym))
          && not (List.exists (fun (p : Instance.t) -> p.alive) i.parents))
-      (all_live_list st)
+      all_live
   in
   (* Maximum subsumption: drop any top whose cover is contained in the
      cover of an already-kept top.  Sorting big-to-small makes one pass
@@ -678,15 +942,9 @@ let maximal_trees st ~tripped =
           else t :: kept)
        [] sorted)
 
-(* The filler never participates in parsing: it exists only so vector
-   growth has something GC-neutral to put in unused slots. *)
-let make_filler universe =
-  let tok =
-    { Token.id = 0; kind = Token.Text; box = Wqi_layout.Geometry.origin;
-      sval = ""; name = ""; options = []; value = ""; checked = false;
-      multiple = false }
-  in
-  Instance.of_token ~id:(-1) ~universe:(max 1 universe) tok
+(* ------------------------------------------------------------------ *)
+(* Compiled packs and the parse driver                                 *)
+(* ------------------------------------------------------------------ *)
 
 type compiled = {
   grammar : G.Grammar.t;
@@ -695,32 +953,55 @@ type compiled = {
   schedule : G.Schedule.t;
   d_order : Symbol.t list;
   prefs_by_sym : (Symbol.t, G.Preference.t list) Hashtbl.t;
+  tables : Dispatch.t;
+  pool : Arena.pool;
 }
 
 (* Everything is computed eagerly: compiled packs are shared across
    serving domains, and a lazy thunk forced concurrently from several
-   domains would race. *)
+   domains would race.  (The arena pool is the one mutable member, and
+   it is a lock-free Atomic stack.) *)
 let compile ?(name = "anonymous") ?(version = "0") grammar =
+  let schedule = G.Schedule.build grammar in
   { grammar;
     name;
     version;
-    schedule = G.Schedule.build grammar;
+    schedule;
     d_order = d_only_order grammar;
-    prefs_by_sym = preferences_by_symbol grammar }
+    prefs_by_sym = preferences_by_symbol grammar;
+    tables = Dispatch.build grammar;
+    pool = Arena.make_pool () }
 
 let parse_compiled ?gauge ?trace ?(options = default_options) compiled tokens =
   let grammar = compiled.grammar in
+  let tables = compiled.tables in
   let universe = List.length tokens in
+  let hints_enabled = options.semi_naive && options.use_hints in
+  let arena = Arena.acquire compiled.pool tables in
+  Fun.protect ~finally:(fun () -> Arena.release compiled.pool arena)
+  @@ fun () ->
+  let on_kill =
+    (* Mirror rollback kills into the liveness column (and the spatial
+       index's dead-entry accounting) — rollback walks boxed parent
+       links across symbols, so the column cannot learn about kills any
+       other way. *)
+    fun (i : Instance.t) ->
+      let id = i.Instance.id in
+      let col = arena.Arena.cols.(arena.Arena.id2col.(id)) in
+      let idx = arena.Arena.id2idx.(id) in
+      Bytes.unsafe_set col.Arena.alive idx '\000';
+      (* Compaction accounting only concerns registered entries. *)
+      if hints_enabled && idx < col.Arena.indexed then
+        Spatial_index.note_killed col.Arena.index
+  in
   let st =
     { grammar;
-      store = Hashtbl.create 64;
-      sindex = Hashtbl.create 64;
-      dedup = Hashtbl.create (if options.semi_naive then 1 else 1024);
-      marks = Hashtbl.create 64;
-      plans = Hashtbl.create 64;
+      tables;
+      arena;
       universe;
-      filler = make_filler universe;
-      hints_enabled = options.semi_naive && options.use_hints;
+      small = universe <= Bitset.bits_per_word;
+      hints_enabled;
+      on_kill;
       next_id = 0;
       created = 0;
       pruned = 0;
@@ -752,7 +1033,9 @@ let parse_compiled ?gauge ?trace ?(options = default_options) compiled tokens =
         else begin
           let inst = Instance.of_token ~id:(fresh_id st) ~universe tok in
           st.created <- st.created + 1;
-          add_instance st inst;
+          let sid = Dispatch.sym_id tables inst.Instance.sym in
+          let bits = if st.small then 1 lsl tok.Token.id else 0 in
+          add_instance st sid inst ~bits;
           go (inst :: acc) rest
         end
     in
@@ -771,7 +1054,7 @@ let parse_compiled ?gauge ?trace ?(options = default_options) compiled tokens =
        List.iter
          (fun sym ->
             Log.debug (fun m -> m "instantiating %a" Symbol.pp sym);
-            instantiate st sym;
+            instantiate st (Dispatch.sym_id tables sym);
             if options.use_preferences && options.use_scheduling then
               List.iter (enforce_traced st) (prefs_for sym))
          schedule.G.Schedule.order;
@@ -791,7 +1074,7 @@ let parse_compiled ?gauge ?trace ?(options = default_options) compiled tokens =
   let all_live = all_live_list st in
   let maximal =
     Trace.with_span trace ~cat:"parser" "maximize" (fun () ->
-        maximal_trees st ~tripped:(!truncated && gauge <> None))
+        maximal_trees ~tripped:(!truncated && gauge <> None) all_live)
   in
   let complete =
     List.find_opt

@@ -104,6 +104,12 @@ type compiled = private {
   prefs_by_sym :
     (Wqi_grammar.Symbol.t, Wqi_grammar.Preference.t list) Hashtbl.t;
       (** read-only after compile *)
+  tables : Dispatch.t;
+      (** flat dispatch tables: interned symbol ids, per-production
+          component/watermark layout, packed spatial checks *)
+  pool : Arena.pool;
+      (** reusable parse arenas (lock-free stack); the only mutable
+          member, safe to share across domains *)
 }
 
 val compile :

@@ -660,3 +660,9 @@ let preferences =
 
 let grammar =
   G.Grammar.make ~terminals ~start ~productions ~preferences ()
+
+(* Compile once at load: the pack (symbol interning, dispatch tables,
+   arena pool) is immutable apart from its lock-free pool, so one shared
+   copy serves every thread and domain. *)
+let compiled =
+  Wqi_parser.Engine.compile ~name:"std" ~version:"1" grammar

@@ -29,3 +29,11 @@ val start : Wqi_grammar.Symbol.t
 (** The start symbol [QI]. *)
 
 val terminals : Wqi_grammar.Symbol.t list
+(** The terminal symbols, one per token kind. *)
+
+val compiled : Wqi_parser.Engine.compiled
+(** [grammar] compiled once at module load — interned symbol tables,
+    flat dispatch tables and a shared arena pool.  Every consumer of
+    the standard grammar ([wqi_core]'s default config, the CLI, the
+    server, benches) should parse through this pack rather than paying
+    {!Wqi_parser.Engine.compile} per call site. *)

@@ -149,6 +149,71 @@ let test_truncation_equivalence () =
   check_bool "truncated" true fast.Engine.stats.truncated;
   check_equivalent "truncation" fast slow
 
+(* --- randomized truncation fuzz --- *)
+
+module Budget = Wqi_budget.Budget
+
+let trip_strings gauge =
+  List.map (Fmt.str "%a" Budget.pp_trip) (Budget.trips gauge)
+
+(* Budget degradation is part of the observable contract: wherever the
+   axe falls — engine-level instance cap, gauge-level instance cap, or
+   a fix-point round cap — the arena engine (hinted and unhinted) and
+   the naive oracle must degrade *identically*: same truncation point,
+   same surviving instance ids, same maximal trees, same recorded
+   trips.  Random (seeded) trip points over corpus sources probe axe
+   positions no hand-written case would pick: mid-round, mid-assembly,
+   one short of a preference kill.  Deadlines are deliberately absent —
+   a wall-clock trip lands nondeterministically by nature, while the
+   deterministic axes share all of its trip machinery. *)
+let test_truncation_fuzz () =
+  let grammar = Wqi_stdgrammar.Std.grammar in
+  let rng = Wqi_corpus.Prng.create 0xF0221L in
+  let sources = corpus_sources () |> List.filteri (fun i _ -> i < 10) in
+  List.iter
+    (fun (s : Generator.source) ->
+       let tokens = Tokenize.of_html s.Generator.html in
+       let ntok = List.length tokens in
+       let created = (Engine.parse grammar tokens).Engine.stats.created in
+       for round = 0 to 2 do
+         (* A cap below the token count would truncate tokenization
+            itself; anywhere in (ntok, created) lands mid-derivation. *)
+         let cap =
+           if created <= ntok + 1 then ntok + 1
+           else ntok + 1 + Wqi_corpus.Prng.int rng (created - ntok - 1)
+         in
+         let budget, options =
+           match round with
+           | 0 -> (None, { Engine.default_options with max_instances = cap })
+           | 1 -> (Some (Budget.make ~max_instances:cap ()),
+                   Engine.default_options)
+           | _ -> (Some (Budget.make
+                           ~max_rounds:(1 + Wqi_corpus.Prng.int rng 4) ()),
+                   Engine.default_options)
+         in
+         let ctx = Printf.sprintf "%s/fuzz-%d(cap %d)" s.Generator.id round cap in
+         let run options =
+           match budget with
+           | None -> (Engine.parse ~options grammar tokens, [])
+           | Some b ->
+             let gauge = Budget.start b in
+             let r = Engine.parse ~gauge ~options grammar tokens in
+             (r, trip_strings gauge)
+         in
+         let fast, fast_trips = run Engine.{ options with use_hints = true } in
+         let plain, plain_trips = run (unhinted options) in
+         let slow, slow_trips = run (naive options) in
+         if round < 2 && cap < created then
+           check_bool (ctx ^ ": tripped") true fast.Engine.stats.truncated;
+         check_equivalent (ctx ^ "/hints-off") fast plain;
+         check_equivalent (ctx ^ "/naive") fast slow;
+         Alcotest.(check (list string))
+           (ctx ^ ": trips vs hints-off") fast_trips plain_trips;
+         Alcotest.(check (list string))
+           (ctx ^ ": trips vs naive") fast_trips slow_trips
+       done)
+    sources
+
 (* --- single-word bitset specialization boundary --- *)
 
 let boundary_universes = [ 62; 63; 64; 65; 126; 127 ]
@@ -282,6 +347,8 @@ let suite =
      test_corpus_equivalence_unscheduled);
     ("delta = naive exhaustive", `Quick, test_corpus_equivalence_exhaustive);
     ("delta = naive under truncation", `Quick, test_truncation_equivalence);
+    ("randomized truncation fuzz degrades identically", `Quick,
+     test_truncation_fuzz);
     ("bitset word-boundary membership", `Quick,
      test_bitset_boundary_membership);
     ("bitset word-boundary algebra", `Quick, test_bitset_boundary_algebra);
