@@ -1,0 +1,187 @@
+(* Scalability benchmark for the persistent extraction store: how much
+   does resuming over a warm store save versus a cold crawl?
+
+   The harness generates a deterministic corpus in memory, runs a cold
+   ingestion pass (every document extracted and put), closes and reopens
+   the store — exercising the manifest replay a real resumed crawl goes
+   through — then runs a resumed pass over the identical corpus (every
+   document answered from the store).  A final identity sweep
+   re-extracts a sample fresh and byte-compares against the stored
+   values, pinning the store's core contract: a hit is indistinguishable
+   from a fresh extraction.
+
+   Emits a BENCH_store.json record (see validate_store_json.ml for the
+   schema and acceptance gates):
+
+     {"wqi_store_bench_version": 1,
+      "docs": N, "jobs": J, "smoke": false,
+      "cold":    {"seconds": s, "extracted": N, "store_hits": 0},
+      "resumed": {"seconds": s, "extracted": 0, "store_hits": N,
+                  "replayed": N, "dropped": 0},
+      "speedup": cold.seconds / resumed.seconds,
+      "identity_checked": K, "identity_mismatches": 0,
+      "entries": N, "bytes": B}
+
+   --smoke shrinks the corpus so the harness itself is exercised from
+   `dune runtest` in a few hundred milliseconds; the speedup gate is
+   relaxed accordingly (tiny corpora measure open/replay overhead as
+   much as extraction). *)
+
+module Generator = Wqi_corpus.Generator
+module Vocabulary = Wqi_corpus.Vocabulary
+module Prng = Wqi_corpus.Prng
+module Extractor = Wqi_core.Extractor
+module Engine = Wqi_parser.Engine
+module Pool = Wqi_parallel.Pool
+module Store = Wqi_store.Store
+module Key = Wqi_store.Key
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Sys.remove path
+
+type doc = { d_name : string; d_html : string; d_key : Key.t }
+
+let corpus config n =
+  let g = Prng.create 42L in
+  let domains = Array.of_list Vocabulary.all in
+  let pack = config.Extractor.Config.grammar in
+  Array.init n (fun i ->
+      let d_name = Printf.sprintf "doc-%06d" i in
+      let domain = domains.(i mod Array.length domains) in
+      let complexity = if i land 1 = 0 then `Simple else `Rich in
+      let src =
+        Generator.generate g ~id:d_name ~domain ~complexity ~oog_prob:0.1 ()
+      in
+      let spec =
+        Key.spec ~grammar_name:pack.Engine.name
+          ~grammar_version:pack.Engine.version ~name:d_name
+          config.Extractor.Config.budget
+      in
+      { d_name;
+        d_html = src.Generator.html;
+        d_key = Key.make ~html:src.Generator.html ~spec })
+
+(* One ingestion pass: probe first, extract-and-put on miss — the same
+   shape wqi_batch --store and wqi_crawl use.  Returns per-document
+   `Hit / `Extracted so both passes share one code path and the
+   validator can gate on exact counts. *)
+let pass config store jobs docs =
+  let t0 = Unix.gettimeofday () in
+  let results =
+    Pool.run ~jobs (fun pool ->
+        Pool.map_array pool
+          (fun d ->
+            match Store.find store d.d_key with
+            | Some _ -> `Hit
+            | None ->
+              let e = Extractor.run config (Extractor.Html d.d_html) in
+              let bytes = Extractor.export ~timings:false ~name:d.d_name e in
+              Store.put store d.d_key
+                ~meta:
+                  { Store.source = d.d_name;
+                    grammar = "std@1";
+                    outcome = "complete";
+                    domain = "" }
+                bytes;
+              `Extracted)
+          docs)
+  in
+  let seconds = Unix.gettimeofday () -. t0 in
+  let hits = ref 0 and extracted = ref 0 in
+  Array.iter
+    (function `Hit -> incr hits | `Extracted -> incr extracted)
+    results;
+  (seconds, !hits, !extracted)
+
+let () =
+  let docs_n = ref 2000 in
+  let jobs = ref (Domain.recommended_domain_count ()) in
+  let smoke = ref false in
+  let json = ref None in
+  let dir = ref "_store_bench" in
+  let rec parse = function
+    | [] -> ()
+    | "--docs" :: n :: rest -> docs_n := int_of_string n; parse rest
+    | "--jobs" :: n :: rest -> jobs := int_of_string n; parse rest
+    | "--json" :: f :: rest -> json := Some f; parse rest
+    | "--dir" :: d :: rest -> dir := d; parse rest
+    | "--smoke" :: rest -> smoke := true; parse rest
+    | arg :: _ ->
+      Format.eprintf
+        "unknown argument %s@.usage: store_bench [--docs N] [--jobs N] \
+         [--json FILE] [--dir DIR] [--smoke]@."
+        arg;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !smoke && !docs_n = 2000 then docs_n := 120;
+  let config = Extractor.Config.default in
+  let docs = corpus config !docs_n in
+  let total_bytes =
+    Array.fold_left (fun acc d -> acc + String.length d.d_html) 0 docs
+  in
+  Format.eprintf "corpus: %d documents, %d bytes@." !docs_n total_bytes;
+
+  rm_rf !dir;
+  let store = Store.open_ !dir in
+  let cold_s, cold_hits, cold_ext = pass config store !jobs docs in
+  Store.close store;
+  Format.eprintf "cold:    %.3f s, %d extracted, %d hits@." cold_s cold_ext
+    cold_hits;
+
+  (* Reopen: the resumed pass pays the manifest replay a real resumed
+     crawl pays, so the speedup is honest about the fixed cost too. *)
+  let store = Store.open_ !dir in
+  let resumed_s, res_hits, res_ext = pass config store !jobs docs in
+  let st = Store.stats store in
+  Format.eprintf "resumed: %.3f s, %d hits, %d extracted (replayed %d)@."
+    resumed_s res_hits res_ext st.Store.replayed;
+
+  (* Identity sweep: stored bytes must equal a fresh extraction's. *)
+  let check_n = min !docs_n 64 in
+  let mismatches = ref 0 in
+  for i = 0 to check_n - 1 do
+    let d = docs.(i) in
+    let stored = Store.find store d.d_key in
+    let fresh =
+      Extractor.export ~timings:false ~name:d.d_name
+        (Extractor.run config (Extractor.Html d.d_html))
+    in
+    if stored <> Some fresh then begin
+      incr mismatches;
+      Format.eprintf "identity mismatch: %s@." d.d_name
+    end
+  done;
+  Store.close store;
+  let speedup = if resumed_s > 0. then cold_s /. resumed_s else 0. in
+  Format.eprintf
+    "speedup: %.1fx; identity: %d checked, %d mismatches; %d entries, %d \
+     value bytes@."
+    speedup check_n !mismatches st.Store.entries st.Store.bytes;
+
+  let record =
+    Printf.sprintf
+      "{\"wqi_store_bench_version\":1,\"docs\":%d,\"jobs\":%d,\
+       \"smoke\":%b,\n\
+       \ \"cold\":{\"seconds\":%.6f,\"extracted\":%d,\"store_hits\":%d},\n\
+       \ \"resumed\":{\"seconds\":%.6f,\"extracted\":%d,\"store_hits\":%d,\
+       \"replayed\":%d,\"dropped\":%d},\n\
+       \ \"speedup\":%.3f,\"identity_checked\":%d,\
+       \"identity_mismatches\":%d,\"entries\":%d,\"bytes\":%d}\n"
+      !docs_n !jobs !smoke cold_s cold_ext cold_hits resumed_s res_ext
+      res_hits st.Store.replayed st.Store.dropped speedup check_n !mismatches
+      st.Store.entries st.Store.bytes
+  in
+  (match !json with
+   | Some file ->
+     let oc = open_out file in
+     output_string oc record;
+     close_out oc
+   | None -> print_string record);
+  rm_rf !dir;
+  exit (if !mismatches = 0 && res_ext = 0 then 0 else 1)

@@ -1,0 +1,101 @@
+(* Schema validator for the BENCH_store.json record emitted by
+   store_bench.exe --json (schema 1): the persistent-store counterpart
+   of validate_bench_json / validate_serve_json.  Wired into
+   `dune runtest` (and `dune build @store-smoke`) against a smoke run
+   so harness or store regressions fail the suite.
+
+   Acceptance gates (ISSUE: persistent store tentpole):
+     - the cold pass extracted every document and hit nothing — always
+       (the bench starts from an empty directory);
+     - the resumed pass answered {b every} document from the store and
+       extracted {b zero} — always; a single re-extraction means keys
+       or replay are broken;
+     - the reopen replayed exactly [docs] manifest lines and dropped
+       none — always (the bench writer exits cleanly);
+     - zero identity mismatches over the sampled sweep — always; a
+       stored value that differs from a fresh extraction violates the
+       store's core contract;
+     - resumed at least 10x faster than cold — full runs only; smoke
+       corpora are small enough that fixed open/replay costs dominate,
+       so they gate at 1.5x, enough to catch a resume that silently
+       re-extracts. *)
+
+open Json_min
+
+let int_field ctx obj name =
+  let f = non_negative (ctx ^ "." ^ name) (field obj name) in
+  if Float.of_int (Float.to_int f) <> f then
+    bad "%s.%s: expected integer, got %g" ctx name f;
+  Float.to_int f
+
+let check_pass ctx p =
+  let seconds = positive (ctx ^ ".seconds") (field p "seconds") in
+  let extracted = int_field ctx p "extracted" in
+  let hits = int_field ctx p "store_hits" in
+  (seconds, extracted, hits)
+
+let () =
+  let file =
+    match Sys.argv with
+    | [| _; file |] -> file
+    | _ ->
+      prerr_endline "usage: validate_store_json BENCH_store.json";
+      exit 2
+  in
+  match
+    let j = parse (read_file file) in
+    let version = num "wqi_store_bench_version"
+        (field j "wqi_store_bench_version")
+    in
+    if version <> 1. then bad "unsupported schema version %g" version;
+    let docs = int_field "record" j "docs" in
+    let _jobs = int_field "record" j "jobs" in
+    if docs < 1 then bad "docs: expected >= 1, got %d" docs;
+    let smoke = match field j "smoke" with
+      | Bool b -> b
+      | _ -> bad "smoke: expected bool"
+    in
+    let _cold_s, cold_ext, cold_hits = check_pass "cold" (field j "cold") in
+    if cold_ext <> docs then
+      bad "cold.extracted: expected %d (every document), got %d" docs cold_ext;
+    if cold_hits <> 0 then
+      bad "cold.store_hits: expected 0 (empty store), got %d" cold_hits;
+    let resumed = field j "resumed" in
+    let _res_s, res_ext, res_hits = check_pass "resumed" resumed in
+    if res_hits <> docs then
+      bad "resumed.store_hits: expected %d (every document), got %d" docs
+        res_hits;
+    if res_ext <> 0 then
+      bad "resumed.extracted: expected 0, got %d — resume is re-extracting"
+        res_ext;
+    let replayed = int_field "resumed" resumed "replayed" in
+    if replayed <> docs then
+      bad "resumed.replayed: expected %d manifest lines, got %d" docs replayed;
+    let dropped = int_field "resumed" resumed "dropped" in
+    if dropped <> 0 then
+      bad "resumed.dropped: expected 0 (clean writer), got %d" dropped;
+    let checked = int_field "record" j "identity_checked" in
+    if checked < 1 then bad "identity_checked: expected >= 1, got %d" checked;
+    let mismatches = int_field "record" j "identity_mismatches" in
+    if mismatches <> 0 then
+      bad "identity_mismatches: expected 0, got %d — stored bytes differ \
+           from fresh extraction"
+        mismatches;
+    let entries = int_field "record" j "entries" in
+    if entries <> docs then
+      bad "entries: expected %d, got %d" docs entries;
+    let _bytes = positive "bytes" (field j "bytes") in
+    let speedup = positive "speedup" (field j "speedup") in
+    let floor = if smoke then 1.5 else 10. in
+    if speedup < floor then
+      bad "speedup: expected >= %gx (%s run), got %.2fx" floor
+        (if smoke then "smoke" else "full")
+        speedup;
+    (docs, speedup)
+  with
+  | docs, speedup ->
+    Printf.printf "%s: ok (%d docs, resumed %.1fx faster than cold)\n" file
+      docs speedup
+  | exception Bad msg ->
+    Printf.eprintf "%s: %s\n" file msg;
+    exit 1

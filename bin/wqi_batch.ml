@@ -12,12 +12,25 @@
    extraction fails is reported on stderr (as a version-2 failed-source
    JSON line) and counted in the summary, and stdout carries exactly the
    lines of the documents that succeeded — adding a broken document to a
-   directory does not perturb the output for the others. *)
+   directory does not perturb the output for the others.  --errors-json
+   additionally writes the failures as a machine-readable array.
+
+   With --store DIR the batch becomes resumable: each document's content
+   key (normalized HTML ⊕ budget spec ⊕ grammar identity) is probed
+   against the persistent store first, and present keys emit the stored
+   Export-v2 bytes without re-extracting.  A key miss on a known source
+   means the document (or the grammar) changed and is re-extracted;
+   store mode therefore emits version-2 extraction lines — the exact
+   stored bytes — so a resumed run's stdout is byte-identical to the
+   cold run's. *)
 
 module Pool = Wqi_parallel.Pool
 module Extractor = Wqi_core.Extractor
 module Budget = Wqi_core.Budget
 module Trace = Wqi_obs.Trace
+module Store = Wqi_store.Store
+module Key = Wqi_store.Key
+module Report = Wqi_store.Report
 
 let read_file path =
   let ic = open_in_bin path in
@@ -27,47 +40,135 @@ let read_file path =
        let n = in_channel_length ic in
        really_input_string ic n)
 
+(* What one document contributed, in both modes.  [d_bytes] is the line
+   to emit on stdout: v1 source descriptions in plain mode, stored /
+   fresh Export-v2 bytes in store mode. *)
+type disposition =
+  | Emit of string
+  | Fail of string  (* failure detail for stderr + --errors-json *)
+
 type doc = {
   d_file : string;
-  d_outcome : Budget.outcome;
-  d_model : Wqi_model.Semantic_model.t;
+  d_disposition : disposition;
+  d_outcome : string;  (* "complete" | "degraded" | "failed" | "read-error" *)
+  d_store : [ `Off | `Hit | `Changed | `New ];
+  d_conditions : int;
+  d_errors : bool;  (* the model carried error reports *)
   d_seconds : float;
 }
 
-let process config ?trace_dir dir file =
+let write_doc_trace trace_dir file trace =
+  match (trace, trace_dir) with
+  | Some t, Some tdir ->
+    let path =
+      Filename.concat tdir (Filename.remove_extension file ^ ".trace.json")
+    in
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+         output_string oc (Trace.to_chrome_json t);
+         output_char oc '\n')
+  | _ -> ()
+
+let outcome_label = function
+  | Budget.Complete -> "complete"
+  | Budget.Degraded _ -> "degraded"
+  | Budget.Failed _ -> "failed"
+
+let process config ?store ?trace_dir dir file =
   let t0 = Budget.now_s () in
-  (* One trace per document; workers write distinct files, so tracing
-     needs no cross-domain coordination. *)
-  let trace =
-    match trace_dir with None -> None | Some _ -> Some (Trace.create ())
-  in
-  let outcome, model =
-    match read_file (Filename.concat dir file) with
-    | exception e ->
-      ( Budget.Failed { Budget.error_stage = None; message = Printexc.to_string e },
-        Wqi_model.Semantic_model.empty )
-    | html ->
-      (* [run] itself never raises — in-pipeline errors come back as a
-         [Failed] outcome — so only the file read needs the handler. *)
-      let e = Extractor.run ?trace config (Extractor.Html html) in
-      (e.Extractor.outcome, e.Extractor.model)
-  in
-  (match (trace, trace_dir) with
-   | Some t, Some tdir ->
-     let path =
-       Filename.concat tdir (Filename.remove_extension file ^ ".trace.json")
-     in
-     let oc = open_out_bin path in
-     Fun.protect
-       ~finally:(fun () -> close_out_noerr oc)
-       (fun () ->
-          output_string oc (Trace.to_chrome_json t);
-          output_char oc '\n')
-   | _ -> ());
-  { d_file = file;
-    d_outcome = outcome;
-    d_model = model;
-    d_seconds = Budget.now_s () -. t0 }
+  let name = Filename.remove_extension file in
+  match read_file (Filename.concat dir file) with
+  | exception e ->
+    { d_file = file;
+      d_disposition = Fail (Printexc.to_string e);
+      d_outcome = "read-error";
+      d_store = (if Option.is_none store then `Off else `New);
+      d_conditions = 0;
+      d_errors = false;
+      d_seconds = Budget.now_s () -. t0 }
+  | html ->
+    let probe =
+      match store with
+      | None -> None
+      | Some st ->
+        let pack = config.Extractor.Config.grammar in
+        let spec =
+          Key.spec ~grammar_name:pack.Wqi_parser.Engine.name
+            ~grammar_version:pack.Wqi_parser.Engine.version ~name
+            config.Extractor.Config.budget
+        in
+        Some (st, Key.make ~html ~spec, pack)
+    in
+    let hit =
+      match probe with
+      | Some (st, key, _) -> Store.find_entry st key
+      | None -> None
+    in
+    (match hit with
+     | Some (m, bytes) ->
+       { d_file = file;
+         d_disposition = Emit bytes;
+         d_outcome = m.Store.outcome;
+         d_store = `Hit;
+         d_conditions = 0;
+         d_errors = false;
+         d_seconds = Budget.now_s () -. t0 }
+     | None ->
+       (* One trace per document; workers write distinct files, so
+          tracing needs no cross-domain coordination. *)
+       let trace =
+         match trace_dir with None -> None | Some _ -> Some (Trace.create ())
+       in
+       (* [run] itself never raises — in-pipeline errors come back as a
+          [Failed] outcome — so only the file read needed a handler. *)
+       let e = Extractor.run ?trace config (Extractor.Html html) in
+       write_doc_trace trace_dir file trace;
+       let seconds = Budget.now_s () -. t0 in
+       let store_kind =
+         match probe with
+         | None -> `Off
+         | Some (st, _, _) ->
+           if Store.source_known st file then `Changed else `New
+       in
+       (match e.Extractor.outcome with
+        | Budget.Failed err ->
+          { d_file = file;
+            d_disposition = Fail err.Budget.message;
+            d_outcome = "failed";
+            d_store = store_kind;
+            d_conditions = 0;
+            d_errors = false;
+            d_seconds = seconds }
+        | (Budget.Complete | Budget.Degraded _) as outcome ->
+          let model = e.Extractor.model in
+          let line =
+            match probe with
+            | None -> Wqi_model.Export.source_description ~name model
+            | Some (st, key, pack) ->
+              let bytes = Extractor.export ~timings:false ~name e in
+              (* Value first, manifest line second, all flushed: a kill
+                 between put and exit still leaves a resumable store. *)
+              Store.put st key
+                ~meta:
+                  { Store.source = file;
+                    grammar =
+                      pack.Wqi_parser.Engine.name ^ "@"
+                      ^ pack.Wqi_parser.Engine.version;
+                    outcome = outcome_label outcome;
+                    domain = "" }
+                bytes;
+              bytes
+          in
+          { d_file = file;
+            d_disposition = Emit line;
+            d_outcome = outcome_label outcome;
+            d_store = store_kind;
+            d_conditions =
+              List.length model.Wqi_model.Semantic_model.conditions;
+            d_errors = model.Wqi_model.Semantic_model.errors <> [];
+            d_seconds = seconds }))
 
 (* With SIGPIPE ignored, writing JSONL to a closed pipe surfaces as a
    [Sys_error] carrying the strerror text; a reader like `head` closing
@@ -83,7 +184,7 @@ let is_broken_pipe msg =
   !found
 
 let run_guarded dir output jobs grammar_file deadline_ms max_instances
-    trace_dir =
+    trace_dir store_dir errors_json =
   if not (Sys.file_exists dir && Sys.is_directory dir) then begin
     Format.eprintf "%s is not a directory@." dir;
     1
@@ -124,12 +225,14 @@ let run_guarded dir output jobs grammar_file deadline_ms max_instances
            Format.eprintf "%s@." msg;
            exit 2)
     in
+    let store = Option.map Store.open_ store_dir in
     let t0 = Unix.gettimeofday () in
     let results =
       Pool.run ~jobs (fun pool ->
-          Pool.map_array pool (process config ?trace_dir dir) files)
+          Pool.map_array pool (process config ?store ?trace_dir dir) files)
     in
     let wall = Unix.gettimeofday () -. t0 in
+    (match store with Some st -> Store.close st | None -> ());
     let oc =
       match output with Some path -> open_out path | None -> stdout
     in
@@ -138,45 +241,59 @@ let run_guarded dir output jobs grammar_file deadline_ms max_instances
     let with_errors = ref 0 in
     let degraded = ref 0 in
     let failed = ref 0 in
+    let store_hits = ref 0 in
+    let store_misses = ref 0 in
+    let re_extracted = ref 0 in
+    let errors = ref [] in
     Array.iter
       (fun d ->
          total_seconds := !total_seconds +. d.d_seconds;
-         match d.d_outcome with
-         | Budget.Failed e ->
+         (match d.d_store with
+          | `Hit -> incr store_hits
+          | `Changed -> incr re_extracted
+          | `New when Option.is_some store -> incr store_misses
+          | `New | `Off -> ());
+         if d.d_outcome = "degraded" then incr degraded;
+         total_conditions := !total_conditions + d.d_conditions;
+         if d.d_errors then incr with_errors;
+         match d.d_disposition with
+         | Emit line ->
+           output_string oc line;
+           output_char oc '\n'
+         | Fail detail ->
            incr failed;
+           errors :=
+             { Report.path = Filename.concat dir d.d_file;
+               outcome = d.d_outcome;
+               error = detail }
+             :: !errors;
            Format.eprintf "%s@."
              (Wqi_model.Export.failed_source
                 ~name:(Filename.remove_extension d.d_file)
-                e)
-         | (Budget.Complete | Budget.Degraded _) as outcome ->
-           (match outcome with
-            | Budget.Degraded _ -> incr degraded
-            | _ -> ());
-           total_conditions :=
-             !total_conditions
-             + List.length d.d_model.Wqi_model.Semantic_model.conditions;
-           if d.d_model.Wqi_model.Semantic_model.errors <> [] then
-             incr with_errors;
-           output_string oc
-             (Wqi_model.Export.source_description
-                ~name:(Filename.remove_extension d.d_file)
-                d.d_model);
-           output_char oc '\n')
+                { Budget.error_stage = None; message = detail }))
       results;
     if output <> None then close_out oc;
+    (match errors_json with
+     | Some path -> Report.write_file path (Report.errors_json (List.rev !errors))
+     | None -> ());
     Format.eprintf
       "%d interfaces, %d conditions extracted, %d with error reports, \
        %d degraded, %d failed, %.2f s extraction (%.2f s wall, %d jobs)@."
       (Array.length files) !total_conditions !with_errors !degraded !failed
       !total_seconds wall jobs;
+    if Option.is_some store then
+      Format.eprintf
+        "store: %d hits, %d new, %d re-extracted (changed source)@."
+        !store_hits !store_misses !re_extracted;
     if files = [||] then 1 else 0
   end
 
-let run dir output jobs grammar_file deadline_ms max_instances trace_dir =
+let run dir output jobs grammar_file deadline_ms max_instances trace_dir
+    store_dir errors_json =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   try
     run_guarded dir output jobs grammar_file deadline_ms max_instances
-      trace_dir
+      trace_dir store_dir errors_json
   with Sys_error msg when is_broken_pipe msg ->
     (* The downstream reader went away mid-stream (e.g. `| head -1`);
        the documents already emitted reached it, so exit clean. *)
@@ -228,12 +345,31 @@ let trace_dir =
   in
   Arg.(value & opt (some string) None & info [ "trace-dir" ] ~docv:"DIR" ~doc)
 
+let store_dir =
+  let doc =
+    "Resumable mode: probe the persistent extraction store at $(docv) \
+     (created if missing) before extracting, emit stored bytes for \
+     present keys and write fresh extractions back.  Output switches to \
+     version-2 extraction JSONL — the exact stored bytes — so an \
+     interrupted run re-run with the same arguments produces \
+     byte-identical output while re-extracting only documents whose HTML \
+     or grammar changed."
+  in
+  Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+
+let errors_json =
+  let doc =
+    "Write the per-document failures as a machine-readable JSON array \
+     ([{\"path\",\"outcome\",\"error\"}, ...]) to $(docv), atomically."
+  in
+  Arg.(value & opt (some string) None & info [ "errors-json" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc = "extract capabilities from a directory of query interfaces" in
   let term =
     Term.(
       const run $ dir $ output $ jobs $ grammar_file $ deadline_ms
-      $ max_instances $ trace_dir)
+      $ max_instances $ trace_dir $ store_dir $ errors_json)
   in
   Cmd.v (Cmd.info "wqi_batch" ~version:"1.0.0" ~doc) term
 

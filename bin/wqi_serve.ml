@@ -13,7 +13,7 @@ module Extractor = Wqi_core.Extractor
 module Budget = Wqi_core.Budget
 
 let run host port jobs accept_mode max_inflight max_body cache_bytes
-    cache_ttl_s cache_shards grammar_dir deadline_ms max_instances
+    cache_ttl_s cache_shards store grammar_dir deadline_ms max_instances
     cap_deadline_ms cap_instances idle_timeout_s drain_grace_s trace_sample
     trace_dir slow_ms access_log =
   let budget =
@@ -43,6 +43,7 @@ let run host port jobs accept_mode max_inflight max_body cache_bytes
       max_inflight;
       max_body;
       cache;
+      store;
       extractor = Extractor.Config.(default |> with_budget budget);
       grammar_dir;
       cap_budget;
@@ -137,6 +138,18 @@ let cache_shards =
   Arg.(value
        & opt int Cache.default_config.Cache.shards
        & info [ "cache-shards" ] ~docv:"N" ~doc)
+
+let store =
+  let doc =
+    "Persistent extraction store at $(docv) (created if missing): a warm \
+     tier below the in-memory cache.  Cache misses probe the store before \
+     extracting (answered with $(b,x-wqi-cache: store)) and fresh \
+     extractions are written behind, so warm throughput survives \
+     restarts.  The store is replayed at startup and compacted at \
+     shutdown; the same directory is shared with wqi_batch/wqi_crawl \
+     --store."
+  in
+  Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
 
 let grammar_dir =
   let doc =
@@ -242,7 +255,8 @@ let cmd =
   let term =
     Term.(
       const run $ host $ port $ jobs $ accept_mode $ max_inflight $ max_body
-      $ cache_bytes $ cache_ttl_s $ cache_shards $ grammar_dir $ deadline_ms
+      $ cache_bytes $ cache_ttl_s $ cache_shards $ store $ grammar_dir
+      $ deadline_ms
       $ max_instances $ cap_deadline_ms $ cap_instances $ idle_timeout_s
       $ drain_grace_s $ trace_sample $ trace_dir $ slow_ms $ access_log)
   in

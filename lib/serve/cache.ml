@@ -6,11 +6,7 @@ type config = {
 
 let default_config = { max_bytes = 64 * 1024 * 1024; ttl_s = 0.; shards = 8 }
 
-type key = {
-  k_hash : int64;
-  k_len : int;    (* normalized-HTML length: a cheap collision guard *)
-  k_spec : string;
-}
+type key = Wqi_store.Key.t
 
 (* Doubly-linked LRU node; [prev] points toward the most recent end. *)
 type node = {
@@ -81,55 +77,19 @@ let create ?(clock = Wqi_budget.Budget.now_s) (config : config) =
 (* Keys                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let fnv_offset = 0xcbf29ce484222325L
-let fnv_prime = 0x100000001b3L
+(* Keying lives in [Wqi_store.Key] so the in-memory cache and the
+   persistent store can never drift apart: the same bytes under the
+   same spec hash to the same key in both tiers. *)
 
-let fnv1a_fold h s =
-  let h = ref h in
-  String.iter
-    (fun c ->
-       h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
-    s;
-  !h
+let fingerprint = Wqi_store.Key.fingerprint
 
-let fingerprint s = fnv1a_fold fnv_offset s
+let normalize = Wqi_store.Key.normalize
 
-let is_space = function ' ' | '\t' | '\n' | '\r' | '\012' -> true | _ -> false
+let key ~html ~spec = Wqi_store.Key.make ~html ~spec
 
-let normalize html =
-  let n = String.length html in
-  let lo = ref 0 in
-  while !lo < n && is_space html.[!lo] do incr lo done;
-  let hi = ref (n - 1) in
-  while !hi >= !lo && is_space html.[!hi] do decr hi done;
-  if !lo > !hi then ""
-  else begin
-    let b = Buffer.create (!hi - !lo + 1) in
-    let i = ref !lo in
-    while !i <= !hi do
-      (match html.[!i] with
-       | '\r' ->
-         Buffer.add_char b '\n';
-         if !i + 1 <= !hi && html.[!i + 1] = '\n' then incr i
-       | c -> Buffer.add_char b c);
-      incr i
-    done;
-    Buffer.contents b
-  end
-
-let key ~html ~spec =
-  let normalized = normalize html in
-  (* Chain the spec into the same hash stream, separated by a byte that
-     cannot occur in either part's role, so ("ab","c") and ("a","bc")
-     fingerprint differently. *)
-  let h = fnv1a_fold (fnv1a_fold fnv_offset spec) "\x00" in
-  { k_hash = fnv1a_fold h normalized;
-    k_len = String.length normalized;
-    k_spec = spec }
-
-let shard_of t k =
+let shard_of t (k : key) =
   (* The low bits select the shard; FNV mixes well enough for that. *)
-  t.shards.(Int64.to_int k.k_hash land max_int mod t.config.shards)
+  t.shards.(Int64.to_int k.Wqi_store.Key.hash land max_int mod t.config.shards)
 
 (* ------------------------------------------------------------------ *)
 (* Intrusive LRU list (shard mutex held)                              *)

@@ -45,22 +45,25 @@ val create : ?clock:(unit -> float) -> config -> t
     [Wqi_budget.Budget.now_s]; tests inject a fake clock to exercise
     expiry deterministically. *)
 
-type key
+type key = Wqi_store.Key.t
+(** Cache keys {i are} store keys — the equality is deliberate and
+    load-bearing: the persistent store ({!Wqi_store.Store}) sits under
+    this cache as a warm tier, and a key computed once per request
+    addresses both. *)
 
 val fingerprint : string -> int64
 (** The raw FNV-1a/64 hash (offset basis 0xcbf29ce484222325, prime
-    0x100000001b3), exposed for tests. *)
+    0x100000001b3); delegates to {!Wqi_store.Key.fingerprint}. *)
 
 val normalize : string -> string
 (** Line-ending and outer-whitespace normalization applied to HTML
-    before hashing: CRLF and lone CR become LF, leading and trailing
-    ASCII whitespace is dropped.  Deliberately conservative — it only
-    merges representations that tokenize identically. *)
+    before hashing; delegates to {!Wqi_store.Key.normalize}. *)
 
 val key : html:string -> spec:string -> key
 (** [key ~html ~spec] fingerprints [normalize html] together with
     [spec] — the caller's rendering of everything else that shapes the
-    response (budget caps, source name, format version). *)
+    response (budget caps, source name, format version).  Delegates to
+    {!Wqi_store.Key.make}. *)
 
 val find : t -> key -> string option
 (** A hit refreshes the entry's LRU position.  Expired entries are

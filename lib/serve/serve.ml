@@ -4,6 +4,8 @@ module Budget = Wqi_budget.Budget
 module Export = Wqi_model.Export
 module Trace = Wqi_obs.Trace
 module Group = Wqi_parallel.Pool.Group
+module Store = Wqi_store.Store
+module Key = Wqi_store.Key
 
 let version = "1.0.0"
 
@@ -17,6 +19,7 @@ type config = {
   max_inflight : int;
   max_body : int;
   cache : Cache.config option;
+  store : string option;
   extractor : Extractor.Config.t;
   grammar_dir : string option;
   cap_budget : Budget.t;
@@ -36,6 +39,7 @@ let default_config =
     max_inflight = 4 * Domain.recommended_domain_count ();
     max_body = 4 * 1024 * 1024;
     cache = Some Cache.default_config;
+    store = None;
     extractor = Extractor.Config.default;
     grammar_dir = None;
     cap_budget = Budget.unlimited;
@@ -86,6 +90,11 @@ type t = {
          default grammar.  Swapped wholesale (never mutated) so request
          threads read a consistent registry with one atomic load. *)
   reload_flag : bool Atomic.t;  (* SIGHUP: re-scan grammar_dir *)
+  store : Store.t option;
+      (* warm tier below the per-domain caches.  Shared across domains,
+         but only touched on cache misses (probe, then a buffered append
+         after extraction), so its internal mutexes never sit on a
+         cache-hit path. *)
   shards : shard array;
   dispatch_listen : Unix.file_descr option;  (* `Dispatch mode only *)
   inflight : int Atomic.t;  (* admitted extractions, all domains *)
@@ -448,30 +457,84 @@ let run_extraction t sh ~scratch fd req ~t0 ~id ~budget ~pack ~name ~publish
     let trace =
       match tdir with None -> None | Some _ -> Some (Trace.create ())
     in
-    let e = Extractor.run ?trace config (Extractor.Html req.Http.body) in
-    (match (trace, tdir) with
-     | Some tr, Some dir -> write_trace dir ~id tr
-     | _ -> ());
-    let body = Extractor.export ~timings:false ~name e in
-    let tag = outcome_tag e.Extractor.outcome in
-    let status = match tag with `Failed -> 500 | _ -> 200 in
-    (match (sh.s_cache, ckey, tag) with
-     | Some cache, Some k, (`Complete | `Degraded) ->
-       let stored = encode_cached tag body in
-       Cache.add cache k stored;
-       publish_once (Some stored)
-     | _ -> publish_once None);
-    let cache = if Option.is_none sh.s_cache then "off" else "miss" in
-    finish t sh ~scratch fd req ~t0 ~id ~status
-      ~headers:
-        [ ("x-wqi-outcome", outcome_name tag);
-          ("x-wqi-cache", cache);
-          ("x-wqi-grammar", pack.Engine.name);
-          ("x-wqi-trace-id", id) ]
-      ~grammar:pack.Engine.name ~outcome:tag
-      ~stats:e.Extractor.diagnostics.Extractor.parse_stats
-      ~stage_seconds:(stage_seconds_of e.Extractor.diagnostics)
-      ~cache body
+    (* Warm tier: a store hit skips the extractor entirely.  Probed
+       only on the leader path, under admission, so a popular key costs
+       one probe per flight, not one per waiter. *)
+    let from_store =
+      match (t.store, ckey) with
+      | Some store, Some k ->
+        let p0 = Trace.now () in
+        let r = try Store.find_entry store k with Invalid_argument _ -> None in
+        Trace.span trace ~cat:"store" "store.probe" ~t0:p0 ~t1:(Trace.now ());
+        r
+      | _ -> None
+    in
+    (* The trace file must exist by the time the client reads its
+       response (x-wqi-trace-id names it), so every branch writes the
+       trace before [finish]. *)
+    let flush_trace () =
+      match (trace, tdir) with
+      | Some tr, Some dir -> write_trace dir ~id tr
+      | _ -> ()
+    in
+    match from_store with
+    | Some (m, body) ->
+      let tag = if m.Store.outcome = "degraded" then `Degraded else `Complete in
+      let stored = encode_cached tag body in
+      (match (sh.s_cache, ckey) with
+       | Some cache, Some k -> Cache.add cache k stored
+       | _ -> ());
+      publish_once (Some stored);
+      flush_trace ();
+      finish t sh ~scratch fd req ~t0 ~id ~status:200
+        ~headers:
+          [ ("x-wqi-outcome", outcome_name tag);
+            ("x-wqi-cache", "store");
+            ("x-wqi-grammar", pack.Engine.name);
+            ("x-wqi-trace-id", id) ]
+        ~grammar:pack.Engine.name ~outcome:tag ~cache_hit:true ~cache:"store"
+        body
+    | None ->
+      let e = Extractor.run ?trace config (Extractor.Html req.Http.body) in
+      let body = Extractor.export ~timings:false ~name e in
+      let tag = outcome_tag e.Extractor.outcome in
+      let status = match tag with `Failed -> 500 | _ -> 200 in
+      (match (sh.s_cache, ckey, tag) with
+       | Some cache, Some k, (`Complete | `Degraded) ->
+         let stored = encode_cached tag body in
+         Cache.add cache k stored;
+         publish_once (Some stored)
+       | _ -> publish_once None);
+      (* Persist before responding: a buffered segment append costs
+         microseconds against an extraction's milliseconds, and it
+         makes the contract simple — once a client has its bytes, a
+         restarted server can serve them from the store. *)
+      (match (t.store, ckey, tag) with
+       | Some store, Some k, (`Complete | `Degraded) ->
+         let w0 = Trace.now () in
+         (try
+            Store.put store k
+              ~meta:
+                { Store.source = name;
+                  grammar = pack.Engine.name ^ "@" ^ pack.Engine.version;
+                  outcome = outcome_name tag;
+                  domain = "" }
+              body
+          with Invalid_argument _ | Sys_error _ -> ());
+         Trace.span trace ~cat:"store" "store.write" ~t0:w0 ~t1:(Trace.now ())
+       | _ -> ());
+      let cache = if Option.is_none sh.s_cache then "off" else "miss" in
+      flush_trace ();
+      finish t sh ~scratch fd req ~t0 ~id ~status
+        ~headers:
+          [ ("x-wqi-outcome", outcome_name tag);
+            ("x-wqi-cache", cache);
+            ("x-wqi-grammar", pack.Engine.name);
+            ("x-wqi-trace-id", id) ]
+        ~grammar:pack.Engine.name ~outcome:tag
+        ~stats:e.Extractor.diagnostics.Extractor.parse_stats
+        ~stage_seconds:(stage_seconds_of e.Extractor.diagnostics)
+        ~cache body
   end
 
 (* Resolve the pack serving this request: [?grammar=NAME] selects from
@@ -520,14 +583,17 @@ let handle_extract t sh ~scratch fd req t0 ~id =
        (* The grammar identity (name and version) is part of the cache
           key: the same HTML under two grammars — or two versions of
           one grammar, e.g. across a hot reload — never shares an
-          entry. *)
+          entry.  The canonical spec renderer lives next to the key so
+          the cache, the store and the batch tools agree byte for
+          byte. *)
        let spec =
-         Printf.sprintf "v%d|grammar=%s@%s|name=%s|budget=%s"
-           Export.extraction_version pack.Engine.name pack.Engine.version name
-           (Export.budget budget)
+         Key.spec ~grammar_name:pack.Engine.name
+           ~grammar_version:pack.Engine.version ~name budget
        in
        let ckey =
-         Option.map (fun _ -> Cache.key ~html:req.Http.body ~spec) sh.s_cache
+         if Option.is_some sh.s_cache || Option.is_some t.store then
+           Some (Cache.key ~html:req.Http.body ~spec)
+         else None
        in
        (* Single-flight retry loop: a follower woken without a value
           (leader shed or failed) re-checks the cache and competes to
@@ -628,6 +694,25 @@ let metrics_body t =
          [ ("", Cache.hit_ratio s) ]) ]
     end
   in
+  let store_series =
+    match t.store with
+    | None -> []
+    | Some store ->
+      let s = Store.stats store in
+      [ ("wqi_store_hits_total",
+         "Requests answered from the persistent store.", `Counter,
+         [ ("", float_of_int s.Store.hits) ]);
+        ("wqi_store_misses_total",
+         "Store probes that found no entry.", `Counter,
+         [ ("", float_of_int s.Store.misses) ]);
+        ("wqi_store_puts_total",
+         "Extractions written behind to the persistent store.", `Counter,
+         [ ("", float_of_int s.Store.puts) ]);
+        ("wqi_store_entries", "Live entries in the persistent store.",
+         `Gauge, [ ("", float_of_int s.Store.entries) ]);
+        ("wqi_store_bytes", "Live value bytes in the persistent store.",
+         `Gauge, [ ("", float_of_int s.Store.bytes) ]) ]
+  in
   let domain_rows =
     Array.to_list
       (Array.mapi
@@ -651,7 +736,7 @@ let metrics_body t =
      there is more than one grammar to tell apart. *)
   Telemetry.render_snapshot ~grammar_label:(List.length packs > 1) merged
     ~extra:
-      (cache_series
+      (cache_series @ store_series
        @ [ ("wqi_grammar_info",
             "Loaded grammars, by name and version; value is always 1.",
             `Gauge, grammar_rows);
@@ -1035,12 +1120,17 @@ let start config =
           s_token = 0;
           s_pending = Queue.create () })
   in
+  (* Open the store before serving: replaying the manifest up front
+     means the first request already sees the warm tier, and an
+     unopenable store directory fails the start like a bad grammar. *)
+  let store = Option.map Store.open_ config.store in
   let t =
     { config;
       bound_port;
       mode;
       registry = Atomic.make registry;
       reload_flag = Atomic.make false;
+      store;
       shards;
       dispatch_listen;
       inflight = Atomic.make 0;
@@ -1085,6 +1175,11 @@ let wait t =
   (match t.access_out with
    | Some oc when oc != stderr -> close_out_noerr oc
    | _ -> ());
+  (* Every handler is joined by now, so no put can race the close; the
+     close compacts the manifest for the next process. *)
+  (match t.store with
+   | Some store -> (try Store.close store with Sys_error _ -> ())
+   | None -> ());
   let listen_fds =
     Array.to_list (Array.map (fun sh -> sh.s_listen) t.shards)
     |> List.filter_map Fun.id

@@ -61,8 +61,12 @@
       domain's arena: requests by status, outcomes, latency histogram,
       per-stage latency histograms ([wqi_stage_seconds{stage=...}]),
       the loaded grammars ([wqi_grammar_info{name=...,version=...}]),
-      summed cache hit/miss/eviction/coalesced counters, aggregated
-      parser guard/index counters, per-domain request counts
+      summed cache hit/miss/eviction/coalesced counters,
+      persistent-store counters and gauges ([wqi_store_hits_total],
+      [wqi_store_misses_total], [wqi_store_puts_total],
+      [wqi_store_entries], [wqi_store_bytes]) when [config.store] is
+      set, aggregated parser guard/index counters, per-domain request
+      counts
       ([wqi_domain_requests_total{domain="i"}]) — with
       [wqi_requests_total] gaining a [grammar] label once more than one
       grammar is loaded — in-flight gauges
@@ -116,6 +120,16 @@ type config = {
       (** [None] disables the result cache.  [max_bytes] is a
           process-wide bound, split evenly across the per-domain
           shards. *)
+  store : string option;
+      (** directory of a persistent {!Wqi_store.Store} used as a warm
+          tier below the in-memory cache: an LRU miss probes the store
+          before extracting ([x-wqi-cache: store] on a hit), and fresh
+          extractions are persisted before the response goes out, so
+          warm throughput survives restarts.  Cache and store
+          share keys ({!Cache.key} {i is} {!Wqi_store.Key.make}), the
+          store holds the same Export-v2 bytes a fresh extraction
+          produces, and {!wait} compacts it on shutdown.  [None]
+          disables the tier. *)
   extractor : Wqi_core.Extractor.Config.t;
       (** base extractor configuration; its budget is the per-request
           default and its grammar the default (and always-resolvable)
@@ -151,9 +165,9 @@ type config = {
 val default_config : config
 (** Port 8080 on 127.0.0.1, recommended jobs, [`Auto] accept mode,
     [max_inflight] = 4 × recommended domain count, 4 MiB bodies,
-    default cache config, default extractor config (unlimited budget),
-    no caps, 5 s idle timeout, 30 s drain grace; no tracing, no
-    slow-request log, no access log. *)
+    default cache config, no persistent store, default extractor config
+    (unlimited budget), no caps, 5 s idle timeout, 30 s drain grace; no
+    tracing, no slow-request log, no access log. *)
 
 val version : string
 (** Server version, reported by the [wqi_build_info] metric. *)

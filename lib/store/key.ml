@@ -1,0 +1,75 @@
+type t = {
+  hash : int64;
+  len : int;
+  spec : string;
+}
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fold h s =
+  let h = ref h in
+  String.iter
+    (fun c ->
+       h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    s;
+  !h
+
+let fingerprint s = fold fnv_offset s
+
+let is_space = function ' ' | '\t' | '\n' | '\r' | '\012' -> true | _ -> false
+
+let normalize html =
+  let n = String.length html in
+  let lo = ref 0 in
+  while !lo < n && is_space html.[!lo] do incr lo done;
+  let hi = ref (n - 1) in
+  while !hi >= !lo && is_space html.[!hi] do decr hi done;
+  if !lo > !hi then ""
+  else begin
+    let b = Buffer.create (!hi - !lo + 1) in
+    let i = ref !lo in
+    while !i <= !hi do
+      (match html.[!i] with
+       | '\r' ->
+         Buffer.add_char b '\n';
+         if !i + 1 <= !hi && html.[!i + 1] = '\n' then incr i
+       | c -> Buffer.add_char b c);
+      incr i
+    done;
+    Buffer.contents b
+  end
+
+let make ~html ~spec =
+  let normalized = normalize html in
+  (* Chain the spec into the same hash stream, separated by a byte that
+     cannot occur in either part's role, so ("ab","c") and ("a","bc")
+     fingerprint differently. *)
+  let h = fold (fold fnv_offset spec) "\x00" in
+  { hash = fold h normalized;
+    len = String.length normalized;
+    spec }
+
+let spec ~grammar_name ~grammar_version ~name budget =
+  Printf.sprintf "v%d|grammar=%s@%s|name=%s|budget=%s"
+    Wqi_model.Export.extraction_version grammar_name grammar_version name
+    (Wqi_model.Export.budget budget)
+
+let equal a b =
+  Int64.equal a.hash b.hash && a.len = b.len && String.equal a.spec b.spec
+
+let compare a b =
+  match Int64.compare a.hash b.hash with
+  | 0 -> (match Int.compare a.len b.len with
+      | 0 -> String.compare a.spec b.spec
+      | c -> c)
+  | c -> c
+
+let to_hex h = Printf.sprintf "%016Lx" h
+
+let of_hex s =
+  if String.length s <> 16 then None
+  else
+    match Int64.of_string_opt ("0x" ^ s) with
+    | Some v -> Some v
+    | None -> None

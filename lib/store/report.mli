@@ -1,0 +1,27 @@
+(** Machine-readable run reports shared by [wqi_batch] and [wqi_crawl].
+
+    Both tools isolate per-document failures — one bad file must not
+    sink a million-form run — which means the interesting wreckage ends
+    up scattered through stderr.  [--errors-json] and [--summary-json]
+    give pipelines a structured view instead: a JSON array of
+    per-document failures, and one flat JSON object of run counters. *)
+
+type error = {
+  path : string;     (** document path as discovered *)
+  outcome : string;  (** ["failed"] or ["read-error"] *)
+  error : string;    (** human-readable cause *)
+}
+
+val errors_json : error list -> string
+(** JSON array (one object per error, input order preserved),
+    newline-terminated. *)
+
+type value = Int of int | Float of float | Str of string
+
+val summary_json : version:string -> (string * value) list -> string
+(** Flat one-line JSON object, newline-terminated.  [version] names the
+    leading [*_version:1] discriminator field. *)
+
+val write_file : string -> string -> unit
+(** [write_file path contents] writes atomically (temp file in the same
+    directory, then rename), so a consumer never sees a torn report. *)

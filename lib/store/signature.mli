@@ -1,0 +1,37 @@
+(** Pre-extraction structural signatures for crawl-time deduplication.
+
+    A crawl frontier rediscovers the same interface constantly — the
+    same search form mirrored across a site, or the same markup
+    re-serialized with different whitespace by a templating layer.
+    Extracting each copy wastes the most expensive stage of the
+    pipeline, so [wqi_crawl] fingerprints documents {i before}
+    extraction and processes one representative per signature.
+
+    Two signatures are provided, both FNV-1a/64 chains over a scan of
+    the raw markup (no DOM is built — the scanner is a single pass over
+    the bytes):
+
+    - {!structural} hashes the document's tag-path shape {i and} its
+      content: every open/close tag name, each tag's attribute text,
+      and every text node, with whitespace runs collapsed and trimmed.
+      Documents that differ only in formatting (indentation, CRLF,
+      blank lines between elements) collide; documents with different
+      labels, options or field names do not.  This is the dedup key —
+      collapsing two genuinely different interfaces would silently drop
+      one, so content participates.
+    - {!shape} hashes only the tag-path shape (open/close tag names and
+      nesting), ignoring attributes and text entirely — the loosest
+      form-similarity bucket, useful for clustering telemetry, too
+      coarse to dedup by alone.
+
+    Comments, doctypes and processing instructions are skipped; [<] that
+    does not open a tag is treated as text.  The scanner is best-effort
+    by design, like the parser it front-runs: a pathological document
+    still gets {i some} signature, and the worst case is a missed dedup
+    (the document is extracted again), never a lost document. *)
+
+val structural : string -> int64
+(** Shape + attributes + whitespace-collapsed text. *)
+
+val shape : string -> int64
+(** Tag open/close events only. *)

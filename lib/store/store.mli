@@ -1,0 +1,111 @@
+(** Persistent content-addressed store of extraction results.
+
+    Every run of [wqi_batch] or [wqi_serve] used to start cold,
+    re-extracting documents whose HTML and grammar had not changed and
+    losing the serve cache with the process.  The store is the durable
+    tier underneath both: keys are the {!Key} fingerprints the serve
+    cache already uses (normalized HTML ⊕ budget spec ⊕ grammar
+    name@version), values are the deterministic Export-v2 wire bytes
+    ([Extractor.export ~timings:false]), so a store hit is byte-identical
+    to a fresh extraction and can be served — or emitted by a resumed
+    batch — without re-running the pipeline.
+
+    {b On-disk layout.}  A store directory holds
+
+    - [segments/seg-NNN.dat] — append-only value segments, sharded by
+      key fingerprint so concurrent writers from a [Pool] rarely
+      contend on one file;
+    - [manifest.jsonl] — an append-only manifest, one JSON object per
+      completed put: key (hash/len/spec), segment, offset, byte count,
+      CRC-32 of the value bytes, plus provenance (source path or URL,
+      grammar name@version, outcome, crawl-classified domain).
+
+    {b Crash safety.}  A put appends and flushes the value bytes
+    {i before} appending and flushing its manifest line, so a crash
+    (including [kill -9]) between the two leaves only orphaned segment
+    bytes that no manifest line references.  {!open_} replays the
+    manifest and {b drops, rather than fails on,} any line that does
+    not parse — in particular a torn final line from a crashed writer —
+    counting it in [stats.dropped].  Values are CRC-checked on read;
+    a corrupt value is dropped from the index and reads as a miss, so
+    the worst case of any corruption is a re-extraction, never a wrong
+    answer.  {!close} compacts the manifest (latest entry per key,
+    written to a temp file and renamed over — the rename is the commit
+    point); segment bytes orphaned by overwrites are reclaimed only by
+    [segments/*] deletion alongside a fresh manifest, which the store
+    never does on its own.
+
+    {b Concurrency.}  All operations are safe from concurrent threads
+    and domains of one process (per-segment mutexes for value I/O, one
+    mutex each for the manifest and the index).  The store is not
+    coordinated across processes — one writer process at a time. *)
+
+type t
+
+type meta = {
+  source : string;   (** path or URL the bytes were extracted from *)
+  grammar : string;  (** grammar identity, [name@version] *)
+  outcome : string;  (** ["complete"] or ["degraded"] — failed
+                         extractions are never stored, so a crash or
+                         grammar fix retries them *)
+  domain : string;   (** crawl-classified domain; [""] when unknown *)
+}
+
+type stats = {
+  entries : int;   (** live keys *)
+  bytes : int;     (** live value bytes (excludes orphaned bytes) *)
+  segments : int;  (** segment shard count *)
+  hits : int;      (** {!find}/{!find_entry} calls answered *)
+  misses : int;    (** lookups for absent keys *)
+  puts : int;
+  replayed : int;  (** manifest lines accepted at {!open_} *)
+  dropped : int;   (** malformed/torn manifest lines dropped at {!open_} *)
+  corrupt : int;   (** reads that failed CRC/length verification *)
+}
+
+val open_ : ?segments:int -> string -> t
+(** [open_ dir] creates [dir] (and [dir/segments]) if missing, replays
+    the manifest, and opens the segments for append.  [segments]
+    (default 16, clamped to ≥ 1) is fixed at directory creation: an
+    existing store keeps the shard count it was created with.  Raises
+    [Sys_error] when the directory cannot be created or opened. *)
+
+val dir : t -> string
+
+val mem : t -> Key.t -> bool
+(** Index-only membership — no I/O, no stat movement. *)
+
+val find : t -> Key.t -> string option
+(** Read and CRC-verify the value bytes.  A failed verification drops
+    the entry (counted in [stats.corrupt]) and returns [None]. *)
+
+val find_entry : t -> Key.t -> (meta * string) option
+(** {!find} plus the entry's provenance. *)
+
+val meta : t -> Key.t -> meta option
+(** Provenance without reading the value bytes. *)
+
+val put : t -> Key.t -> meta:meta -> string -> unit
+(** Append the value and its manifest line, then publish the key in the
+    index.  Re-putting a key replaces its entry (the old value bytes
+    become orphans until a fresh-manifest rebuild). *)
+
+val source_known : t -> string -> bool
+(** Whether any live entry was extracted from [source] — how a resumed
+    batch distinguishes a {i changed} document (source known, key
+    absent: HTML or grammar moved, re-extract) from a {i new} one. *)
+
+val iter : t -> (Key.t -> meta -> unit) -> unit
+(** Visit every live entry (no value I/O).  Snapshot semantics: entries
+    put concurrently with the iteration may or may not be visited. *)
+
+val stats : t -> stats
+
+val flush : t -> unit
+(** Flush segment and manifest channels (puts already flush; this is a
+    belt for long idle periods). *)
+
+val close : t -> unit
+(** Compact the manifest (write-temp-then-rename) and close every
+    channel.  Idempotent; operations other than {!stats}, {!flush} and
+    {!close} raise [Invalid_argument] on a closed store. *)

@@ -604,4 +604,67 @@ let () =
         | Unix.WSIGNALED n -> Printf.sprintf "signal %d" n
         | Unix.WSTOPPED n -> Printf.sprintf "stopped %d" n
         | Unix.WEXITED n -> string_of_int n));
+  (* Persistent store as the warm tier: a server started with --store
+     writes extractions behind the cache; a NEW process over the same
+     directory must answer the same request from the store — no
+     extraction — byte-identical to the original response. *)
+  let pid3, port3, _ic3, _banner3 =
+    spawn server_exe
+      [ "--port"; "0"; "--jobs"; "1"; "--idle-timeout-s"; "2";
+        "--store"; "smoke-store" ]
+  in
+  let r =
+    request port3 ~meth:"POST" ~target:"/extract?name=books" ~body:books ()
+  in
+  if r.status <> 200 || header r "x-wqi-cache" <> Some "miss" then
+    fail "store server first request: %d cache=%s (want 200 miss)" r.status
+      (Option.value ~default:"-" (header r "x-wqi-cache"));
+  let stored_body = r.body in
+  Unix.kill pid3 Sys.sigterm;
+  (match Unix.waitpid [] pid3 with
+   | _, Unix.WEXITED 0 -> ()
+   | _, Unix.WEXITED c -> fail "store server exited %d (want 0)" c
+   | _, _ -> fail "store server did not exit cleanly");
+  let pid4, port4, _ic4, _banner4 =
+    spawn server_exe
+      [ "--port"; "0"; "--jobs"; "1"; "--idle-timeout-s"; "2";
+        "--store"; "smoke-store" ]
+  in
+  let r =
+    request port4 ~meth:"POST" ~target:"/extract?name=books" ~body:books ()
+  in
+  if r.status <> 200 then fail "restarted store server: %d" r.status;
+  if header r "x-wqi-cache" <> Some "store" then
+    fail "restart must answer from the store, got cache=%s"
+      (Option.value ~default:"-" (header r "x-wqi-cache"));
+  if r.body <> stored_body then
+    fail "store hit is not byte-identical across restart";
+  (* And the in-memory cache now fronts the store entry. *)
+  let r2 =
+    request port4 ~meth:"POST" ~target:"/extract?name=books" ~body:books ()
+  in
+  if r2.status <> 200 then fail "post-store request: %d" r2.status;
+  if r2.body <> stored_body then fail "post-store hit not byte-identical";
+  let m = request port4 ~meth:"GET" ~target:"/metrics" () in
+  (match metric_value m.body "wqi_store_hits_total" with
+   | Some v when v >= 1. -> ()
+   | v ->
+     fail "wqi_store_hits_total: %s (want >= 1)"
+       (match v with Some f -> string_of_float f | None -> "absent"));
+  (match metric_value m.body "wqi_store_entries" with
+   | Some v when v >= 1. -> ()
+   | v ->
+     fail "wqi_store_entries: %s (want >= 1)"
+       (match v with Some f -> string_of_float f | None -> "absent"));
+  (match metric_value m.body "wqi_extractions_total" with
+   | Some 0. | None -> ()
+   | Some v -> fail "restarted server extracted %g times (want 0)" v);
+  Unix.kill pid4 Sys.sigterm;
+  (match Unix.waitpid [] pid4 with
+   | _, Unix.WEXITED 0 -> ()
+   | _, Unix.WEXITED c -> fail "restarted store server exited %d (want 0)" c
+   | _, _ -> fail "restarted store server did not exit cleanly");
+  note "persistent store ok (hit across restart, byte-identical, 0 \
+        extractions)";
+
   print_endline "serve smoke ok"

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the persistent store across its three CLI fronts,
+# run by `dune build @store-smoke` (and dune runtest):
+#
+#   - wqi_corpus_gen --gen writes a corpus with a ground-truth
+#     ALIASES.json duplicate manifest;
+#   - wqi_crawl ingests it twice: the first pass extracts exactly the
+#     unique documents (signature dedup verified against the manifest),
+#     the second answers every document from the store;
+#   - wqi_batch --store runs twice over the same directory with
+#     byte-identical stdout, the second run all store hits, and
+#     re-extracts exactly the one document we then touch;
+#   - a torn manifest tail (a crashed writer's final line) is dropped
+#     on reopen and the store stays fully usable;
+#   - a poisoned document fails in isolation and lands in --errors-json.
+set -euo pipefail
+
+corpus_gen=$1
+crawl=$2
+batch=$3
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+# --- corpus with known duplicates ---------------------------------
+
+"$corpus_gen" --gen 40 --out-dir "$work/docs" --seed 11 --dup-prob 0.3 \
+  >/dev/null
+dup_count=$(grep -c '"file":' "$work/docs/ALIASES.json" || true)
+total=40
+uniq=$((total - dup_count))
+
+# --- crawl: dedup + resume ----------------------------------------
+
+"$crawl" "$work/docs" --store "$work/store" --jobs 2 \
+  --summary-json "$work/crawl1.json" 2>/dev/null
+grep -q "\"discovered\":$total," "$work/crawl1.json"
+grep -q "\"unique\":$uniq," "$work/crawl1.json"
+grep -q "\"aliases\":$dup_count," "$work/crawl1.json"
+grep -q "\"store_hits\":0," "$work/crawl1.json"
+grep -q "\"extracted\":$uniq," "$work/crawl1.json"
+grep -q '"failed":0,' "$work/crawl1.json"
+
+"$crawl" "$work/docs" --store "$work/store" --jobs 2 \
+  --summary-json "$work/crawl2.json" 2>/dev/null
+grep -q "\"store_hits\":$uniq," "$work/crawl2.json"
+grep -q '"extracted":0,' "$work/crawl2.json"
+echo "crawl ok: $dup_count/$total deduped, resume all hits"
+
+# --- batch --store: resumable, byte-identical ---------------------
+
+"$batch" --jobs 2 --store "$work/bstore" "$work/docs" \
+  >"$work/cold.jsonl" 2>"$work/cold.err"
+grep -q "store: 0 hits, $total new, 0 re-extracted" "$work/cold.err"
+
+"$batch" --jobs 2 --store "$work/bstore" "$work/docs" \
+  >"$work/resumed.jsonl" 2>"$work/resumed.err"
+grep -q "store: $total hits, 0 new, 0 re-extracted" "$work/resumed.err"
+cmp "$work/cold.jsonl" "$work/resumed.jsonl"
+
+# Touching one document's bytes re-extracts that document only.
+printf '\n<!-- revised -->\n' >>"$work/docs/doc-00000.html"
+"$batch" --jobs 2 --store "$work/bstore" "$work/docs" \
+  >/dev/null 2>"$work/touched.err"
+grep -q "store: $((total - 1)) hits, 0 new, 1 re-extracted" "$work/touched.err"
+echo "batch ok: resumed byte-identical, 1 re-extract after touch"
+
+# --- torn manifest tail -------------------------------------------
+
+printf '{"k":"00dead' >>"$work/bstore/manifest.jsonl"
+"$batch" --jobs 2 --store "$work/bstore" "$work/docs" \
+  >"$work/torn.jsonl" 2>"$work/torn.err"
+grep -q "store: $total hits, 0 new, 0 re-extracted" "$work/torn.err"
+echo "torn tail ok: dropped on reopen, store usable"
+
+# --- per-document failure isolation + --errors-json ---------------
+
+mkdir "$work/docs/zzz_poison.html"
+"$batch" --jobs 2 --store "$work/bstore" --errors-json "$work/errors.json" \
+  "$work/docs" >"$work/poisoned.jsonl" 2>/dev/null
+cmp "$work/torn.jsonl" "$work/poisoned.jsonl"
+grep -q 'zzz_poison' "$work/errors.json"
+grep -q '"outcome":"read-error"' "$work/errors.json"
+
+rmdir "$work/docs/zzz_poison.html"
+"$crawl" "$work/docs" --store "$work/store" --jobs 2 \
+  --errors-json "$work/crawl_errors.json" 2>/dev/null
+grep -q '^\[\]' "$work/crawl_errors.json"
+echo "errors-json ok: poison isolated and reported"
+
+echo "store smoke ok"

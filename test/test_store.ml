@@ -1,0 +1,316 @@
+(* The persistent extraction store (lib/store): keys must stay
+   byte-compatible with the serve cache's, a reopened store must see
+   exactly what was put (including after a torn manifest tail or a
+   corrupted value — as misses, never wrong answers), concurrent Pool
+   writers must not lose entries, and a stored value must be
+   byte-identical to a fresh extraction. *)
+
+module Store = Wqi_store.Store
+module Key = Wqi_store.Key
+module Signature = Wqi_store.Signature
+module Cache = Wqi_serve.Cache
+module Extractor = Wqi_core.Extractor
+module Generator = Wqi_corpus.Generator
+module Pool = Wqi_parallel.Pool
+
+let temp_dir () =
+  let d = Filename.temp_file "wqi_store" "" in
+  Sys.remove d;
+  d
+
+let meta =
+  { Store.source = "doc.html"; grammar = "std@1"; outcome = "complete";
+    domain = "" }
+
+let key_of i = Key.make ~html:(Printf.sprintf "<form>doc %d</form>" i) ~spec:"s"
+
+(* --- keying ------------------------------------------------------- *)
+
+(* The FNV-1a/64 chain is pinned by constant: a silent change to the
+   hash would orphan every existing store directory and cache entry. *)
+let test_fnv_pinned () =
+  Alcotest.(check string) "offset basis" "cbf29ce484222325"
+    (Key.to_hex (Key.fingerprint ""));
+  Alcotest.(check string) "fnv1a(a)" "af63dc4c8601ec8c"
+    (Key.to_hex (Key.fingerprint "a"));
+  Alcotest.(check string) "fold = fingerprint"
+    (Key.to_hex (Key.fingerprint "ab"))
+    (Key.to_hex (Key.fold (Key.fingerprint "a") "b"))
+
+(* The serve cache delegates its keying to Key; cross-check that both
+   paths produce identical keys, so a store written by wqi_batch is
+   probeable with keys computed by wqi_serve. *)
+let test_cache_key_identity () =
+  List.iter
+    (fun (html, spec) ->
+       let a = Cache.key ~html ~spec and b = Key.make ~html ~spec in
+       Alcotest.(check bool) "cache key = store key" true (Key.equal a b))
+    [ ("<form>a</form>", "v2|name=x|budget=");
+      ("  <FORM>\r\nA</FORM>  ", "v2|name=x|budget=");
+      ("", "");
+      (String.make 4096 'z', "v2|grammar=std@1|name=y|budget={}") ]
+
+let test_spec_distinguishes () =
+  let html = "<form><input name=q></form>" in
+  let b = Wqi_budget.Budget.unlimited in
+  let k v =
+    Key.make ~html
+      ~spec:(Key.spec ~grammar_name:"std" ~grammar_version:v ~name:"d" b)
+  in
+  (* A grammar version bump changes every key: present results read as
+     misses and the documents re-extract under the new grammar. *)
+  Alcotest.(check bool) "version bump changes key" false
+    (Key.equal (k "1") (k "2"));
+  Alcotest.(check bool) "same version, same key" true
+    (Key.equal (k "1") (k "1"))
+
+(* --- store lifecycle ---------------------------------------------- *)
+
+let test_put_find_roundtrip () =
+  let dir = temp_dir () in
+  let st = Store.open_ dir in
+  let k = key_of 1 in
+  Alcotest.(check bool) "absent before put" false (Store.mem st k);
+  Store.put st k ~meta "value-bytes";
+  Alcotest.(check (option string)) "find" (Some "value-bytes")
+    (Store.find st k);
+  (match Store.meta st k with
+   | None -> Alcotest.fail "meta absent"
+   | Some m ->
+     Alcotest.(check string) "meta source" "doc.html" m.Store.source);
+  Alcotest.(check (option string)) "other key misses" None
+    (Store.find st (key_of 2));
+  let s = Store.stats st in
+  Alcotest.(check int) "entries" 1 s.Store.entries;
+  Alcotest.(check int) "puts" 1 s.Store.puts;
+  Alcotest.(check int) "hits" 1 s.Store.hits;
+  Store.close st
+
+let test_reopen_replay () =
+  let dir = temp_dir () in
+  let st = Store.open_ dir in
+  for i = 0 to 19 do
+    Store.put st (key_of i) ~meta (Printf.sprintf "value %d" i)
+  done;
+  (* Overwrite one key: the replay must keep the latest value. *)
+  Store.put st (key_of 7) ~meta "value 7 revised";
+  Store.close st;
+  let st = Store.open_ dir in
+  let s = Store.stats st in
+  Alcotest.(check int) "entries after reopen" 20 s.Store.entries;
+  Alcotest.(check int) "dropped" 0 s.Store.dropped;
+  for i = 0 to 19 do
+    let expect = if i = 7 then "value 7 revised" else Printf.sprintf "value %d" i in
+    Alcotest.(check (option string)) "value survives reopen" (Some expect)
+      (Store.find st (key_of i))
+  done;
+  Alcotest.(check bool) "source known" true (Store.source_known st "doc.html");
+  Store.close st
+
+(* Appends after a reopen must land at (and record) the real end of a
+   non-empty segment: with one segment, every put after the first
+   reopen extends a file that already has bytes, so a recorded offset
+   of 0 (the append-mode [pos_out] trap) would corrupt the first
+   entry and make the new one unreadable. *)
+let test_append_after_reopen () =
+  let dir = temp_dir () in
+  let st = Store.open_ ~segments:1 dir in
+  Store.put st (key_of 0) ~meta "first value";
+  Store.close st;
+  let st = Store.open_ dir in
+  Store.put st (key_of 1) ~meta "second value";
+  Alcotest.(check (option string)) "new put readable in-session"
+    (Some "second value") (Store.find st (key_of 1));
+  Store.close st;
+  let st = Store.open_ dir in
+  Alcotest.(check (option string)) "old value intact" (Some "first value")
+    (Store.find st (key_of 0));
+  Alcotest.(check (option string)) "new value survives reopen"
+    (Some "second value")
+    (Store.find st (key_of 1));
+  Alcotest.(check int) "no corruption" 0 (Store.stats st).Store.corrupt;
+  Store.close st
+
+(* A writer killed mid-append leaves a torn final manifest line; the
+   reopen must drop it (a miss, re-extracted on resume) and keep every
+   complete line before it. *)
+let test_torn_manifest_tail () =
+  let dir = temp_dir () in
+  let st = Store.open_ dir in
+  for i = 0 to 9 do
+    Store.put st (key_of i) ~meta (Printf.sprintf "value %d" i)
+  done;
+  Store.close st;
+  let manifest = Filename.concat dir "manifest.jsonl" in
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 manifest in
+  output_string oc "{\"k\":\"00deadbeef";  (* no closing quote, no newline *)
+  close_out oc;
+  let st = Store.open_ dir in
+  let s = Store.stats st in
+  Alcotest.(check int) "complete lines kept" 10 s.Store.entries;
+  Alcotest.(check int) "torn tail dropped" 1 s.Store.dropped;
+  (* The store must still accept puts after recovery. *)
+  Store.put st (key_of 99) ~meta "post-recovery";
+  Alcotest.(check (option string)) "post-recovery put" (Some "post-recovery")
+    (Store.find st (key_of 99));
+  Store.close st;
+  let st = Store.open_ dir in
+  Alcotest.(check int) "clean after recompaction" 0 (Store.stats st).Store.dropped;
+  Alcotest.(check int) "all entries" 11 (Store.stats st).Store.entries;
+  Store.close st
+
+(* Bit rot (or a partial value append from a crash that never reached
+   the manifest flush) must never surface as a wrong answer: a CRC
+   failure reads as a miss and drops the entry. *)
+let test_corrupt_value_is_a_miss () =
+  let dir = temp_dir () in
+  let st = Store.open_ ~segments:1 dir in
+  Store.put st (key_of 1) ~meta "precious bytes";
+  Store.close st;
+  let seg = Filename.concat (Filename.concat dir "segments") "seg-000.dat" in
+  let fd = Unix.openfile seg [ Unix.O_WRONLY ] 0o644 in
+  ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+  ignore (Unix.write_substring fd "X" 0 1);
+  Unix.close fd;
+  let st = Store.open_ dir in
+  Alcotest.(check bool) "indexed at replay" true (Store.mem st (key_of 1));
+  Alcotest.(check (option string)) "corrupt value misses" None
+    (Store.find st (key_of 1));
+  Alcotest.(check int) "corruption counted" 1 (Store.stats st).Store.corrupt;
+  Alcotest.(check bool) "entry dropped" false (Store.mem st (key_of 1));
+  Store.close st
+
+let test_concurrent_writers () =
+  let dir = temp_dir () in
+  let st = Store.open_ dir in
+  let n = 200 in
+  let results =
+    Pool.run ~jobs:4 (fun pool ->
+        Pool.map_array pool
+          (fun i ->
+            Store.put st (key_of i) ~meta (Printf.sprintf "value %d" i);
+            Store.find st (key_of i) <> None)
+          (Array.init n (fun i -> i)))
+  in
+  Array.iteri
+    (fun i ok ->
+       if not ok then Alcotest.failf "writer %d: own put not visible" i)
+    results;
+  Store.close st;
+  let st = Store.open_ dir in
+  Alcotest.(check int) "all entries survive" n (Store.stats st).Store.entries;
+  for i = 0 to n - 1 do
+    Alcotest.(check (option string)) "value intact"
+      (Some (Printf.sprintf "value %d" i))
+      (Store.find st (key_of i))
+  done;
+  Store.close st
+
+(* The store-level guarantee mirroring the cache suite's: over 60
+   corpus interfaces, a value read back — across a close/reopen — is
+   byte-identical to extracting the same markup again. *)
+let test_stored_is_fresh () =
+  let g = Wqi_corpus.Prng.create 0x5704EL in
+  let domains = Wqi_corpus.Vocabulary.core_three in
+  let sources =
+    List.init 60 (fun i ->
+        Generator.generate g
+          ~id:(Printf.sprintf "store-%02d" i)
+          ~domain:(List.nth domains (i mod 3))
+          ~complexity:(if i mod 2 = 0 then `Simple else `Rich)
+          ~oog_prob:0.05 ())
+  in
+  let fresh (s : Generator.source) =
+    Extractor.export ~timings:false ~name:s.id
+      (Extractor.run Extractor.Config.default (Extractor.Html s.html))
+  in
+  let key (s : Generator.source) = Key.make ~html:s.html ~spec:s.id in
+  let dir = temp_dir () in
+  let st = Store.open_ dir in
+  List.iter (fun s -> Store.put st (key s) ~meta (fresh s)) sources;
+  Store.close st;
+  let st = Store.open_ dir in
+  List.iter
+    (fun (s : Generator.source) ->
+       match Store.find st (key s) with
+       | None -> Alcotest.failf "%s: miss after reopen" s.id
+       | Some stored ->
+         Alcotest.(check string) (s.id ^ ": stored = fresh") (fresh s) stored)
+    sources;
+  Store.close st
+
+let test_closed_store_raises () =
+  let dir = temp_dir () in
+  let st = Store.open_ dir in
+  Store.put st (key_of 1) ~meta "v";
+  Store.close st;
+  Store.close st;  (* idempotent *)
+  (match Store.find st (key_of 1) with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "find on closed store must raise");
+  ignore (Store.stats st)  (* stats stays readable *)
+
+(* --- structural signatures (crawl dedup) -------------------------- *)
+
+let test_signature_whitespace_invariant () =
+  let html =
+    "<form action=\"/q\">\n  <label>Title</label>\n  <input name=\"t\">\n\
+     </form>\n"
+  in
+  let reformatted =
+    (* Doubled newlines, trailing blank line: the wqi_corpus_gen "ws"
+       duplicate kind. *)
+    String.concat "\n\n" (String.split_on_char '\n' html) ^ "\n"
+  in
+  let indented = "  " ^ String.concat "\n      " (String.split_on_char '\n' html) in
+  Alcotest.(check string) "reformatting preserves signature"
+    (Key.to_hex (Signature.structural html))
+    (Key.to_hex (Signature.structural reformatted));
+  Alcotest.(check string) "re-indentation preserves signature"
+    (Key.to_hex (Signature.structural html))
+    (Key.to_hex (Signature.structural indented))
+
+let test_signature_structural_sensitivity () =
+  let base = "<form><label>Title</label><input name=\"t\"></form>" in
+  let differ what other =
+    Alcotest.(check bool) what false
+      (Signature.structural base = Signature.structural other)
+  in
+  differ "added field changes signature"
+    "<form><label>Title</label><input name=\"t\"><input name=\"u\"></form>";
+  differ "label text changes signature"
+    "<form><label>Author</label><input name=\"t\"></form>";
+  differ "attribute changes signature"
+    "<form><label>Title</label><input name=\"t\" type=\"hidden\"></form>"
+
+let test_signature_shape_vs_structural () =
+  let a = "<form><label>Title</label><input name=\"t\"></form>" in
+  let b = "<form><label>Author</label><input name=\"a\"></form>" in
+  Alcotest.(check bool) "structural separates different text" false
+    (Signature.structural a = Signature.structural b);
+  Alcotest.(check string) "shape ignores text and attributes"
+    (Key.to_hex (Signature.shape a))
+    (Key.to_hex (Signature.shape b))
+
+let suite =
+  [ ("fnv-1a/64 constants pinned", `Quick, test_fnv_pinned);
+    ("cache key = store key", `Quick, test_cache_key_identity);
+    ("grammar version bump changes keys", `Quick, test_spec_distinguishes);
+    ("put/find round-trip", `Quick, test_put_find_roundtrip);
+    ("reopen replays the manifest", `Quick, test_reopen_replay);
+    ("appends after reopen land at the real end", `Quick,
+     test_append_after_reopen);
+    ("torn manifest tail dropped, store usable", `Quick,
+     test_torn_manifest_tail);
+    ("corrupt value reads as a miss", `Quick, test_corrupt_value_is_a_miss);
+    ("concurrent pool writers", `Quick, test_concurrent_writers);
+    ("stored bytes = fresh extraction (60 sources)", `Quick,
+     test_stored_is_fresh);
+    ("closed store raises, close idempotent", `Quick,
+     test_closed_store_raises);
+    ("signature: whitespace-invariant", `Quick,
+     test_signature_whitespace_invariant);
+    ("signature: structure-sensitive", `Quick,
+     test_signature_structural_sensitivity);
+    ("signature: shape vs structural", `Quick,
+     test_signature_shape_vs_structural) ]
