@@ -72,6 +72,12 @@ type batch_result = {
   b_instances_created : int;
   b_trace_off_seconds : float;  (* same sweep, tracing explicitly off *)
   b_trace_on_seconds : float;   (* same sweep, fresh trace per document *)
+  b_quality_off_seconds : float;
+      (* full-pipeline sweep with quality records off *)
+  b_quality_on_seconds : float;
+      (* same sweep computing + rendering a quality record per document:
+         the wqi_batch --quality-jsonl / wqi_crawl pattern, gated at
+         1.03x in the validator *)
   b_governed : governed_result;
 }
 
@@ -400,6 +406,30 @@ let batch120 () =
   note "tracing: off %.3f s, on %.3f s (enabled overhead %+.1f%%)"
     trace_off_seconds trace_on_seconds
     (100. *. (trace_on_seconds /. trace_off_seconds -. 1.));
+  (* Quality-record overhead (schema 6): the full pipeline (HTML up)
+     over the same corpus, bare vs. computing and rendering one
+     Wqi_quality record per document — what --quality-jsonl adds to a
+     batch.  Same best-of-two discipline as the trace sweep; the
+     validator gates enabled records at 3% of the bare sweep. *)
+  let qsweep ~quality =
+    let config = Wqi_core.Extractor.Config.default in
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun (s : Generator.source) ->
+         let e = Wqi_core.Extractor.run config (Wqi_core.Extractor.Html s.html) in
+         if quality then
+           ignore
+             (Wqi_quality.Quality.to_json
+                (Wqi_quality.Quality.of_extraction ~source:"bench"
+                   ~grammar:"std@1" e)))
+      sources;
+    Unix.gettimeofday () -. t0
+  in
+  let quality_off_seconds = best (fun () -> qsweep ~quality:false) in
+  let quality_on_seconds = best (fun () -> qsweep ~quality:true) in
+  note "quality records: off %.3f s, on %.3f s (enabled overhead %+.1f%%)"
+    quality_off_seconds quality_on_seconds
+    (100. *. (quality_on_seconds /. quality_off_seconds -. 1.));
   (* Governed pass: the same 120 interfaces through the full pipeline
      (HTML up) under an aggressive per-document budget, to measure what
      resource governance costs and how often it trips on a realistic
@@ -446,6 +476,8 @@ let batch120 () =
         b_instances_created = created;
         b_trace_off_seconds = trace_off_seconds;
         b_trace_on_seconds = trace_on_seconds;
+        b_quality_off_seconds = quality_off_seconds;
+        b_quality_on_seconds = quality_on_seconds;
         b_governed =
           { g_deadline_ms = deadline_ms;
             g_max_instances = governed_max_instances;
@@ -704,7 +736,7 @@ let write_json file =
   let oc = open_out file in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema_version\": 5,\n";
+  p "  \"schema_version\": 6,\n";
   p "  \"smoke\": %b" !smoke;
   (match !json_perf with
    | None -> ()
@@ -749,6 +781,12 @@ let write_json file =
      p "      \"on_seconds\": %s,\n" (json_float b.b_trace_on_seconds);
      p "      \"on_off_ratio\": %s\n"
        (json_float (b.b_trace_on_seconds /. b.b_trace_off_seconds));
+     p "    },\n";
+     p "    \"quality\": {\n";
+     p "      \"off_seconds\": %s,\n" (json_float b.b_quality_off_seconds);
+     p "      \"on_seconds\": %s,\n" (json_float b.b_quality_on_seconds);
+     p "      \"on_off_ratio\": %s\n"
+       (json_float (b.b_quality_on_seconds /. b.b_quality_off_seconds));
      p "    },\n";
      let g = b.b_governed in
      p "    \"governed\": {\n";

@@ -86,7 +86,8 @@ let pass config store jobs docs =
                   { Store.source = d.d_name;
                     grammar = "std@1";
                     outcome = "complete";
-                    domain = "" }
+                    domain = "";
+                    quality = None }
                 bytes;
               `Extracted)
           docs)

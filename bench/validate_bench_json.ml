@@ -134,6 +134,21 @@ let check_trace ~seconds_jobs1 t =
   if on < off *. 0.5 then
     bad "batch120.trace: on_seconds %g implausibly below off_seconds %g" on off
 
+(* Quality records must stay off the hot path (schema 6): computing and
+   rendering one record per document is a few list walks over the model
+   errors, so the enabled sweep may cost at most 3% over the bare
+   full-pipeline sweep (plus the same 5 ms absolute slack as the trace
+   gate — the sweeps are tens of milliseconds). *)
+let check_quality q =
+  let off = positive "batch120.quality.off_seconds" (field q "off_seconds") in
+  let on = positive "batch120.quality.on_seconds" (field q "on_seconds") in
+  ignore (positive "batch120.quality.on_off_ratio" (field q "on_off_ratio"));
+  if on > (1.03 *. off) +. 0.005 then
+    bad
+      "batch120.quality.on_seconds: %g > 1.03 * off_seconds %g + 5 ms \
+       (quality records are not cheap any more)"
+      on off
+
 let check_batch b =
   ignore (positive "batch120.interfaces" (field b "interfaces"));
   ignore (positive "batch120.avg_tokens" (field b "avg_tokens"));
@@ -146,6 +161,7 @@ let check_batch b =
   ignore (positive "batch120.speedup" (field b "speedup"));
   ignore (positive "batch120.instances_created" (field b "instances_created"));
   check_trace ~seconds_jobs1 (field b "trace");
+  check_quality (field b "quality");
   check_governed (field b "governed")
 
 let () =
@@ -159,7 +175,7 @@ let () =
   match
     let j = parse (read_file file) in
     let version = num "schema_version" (field j "schema_version") in
-    if version <> 5. then bad "schema_version: expected 5, got %g" version;
+    if version <> 6. then bad "schema_version: expected 6, got %g" version;
     let smoke =
       match field j "smoke" with
       | Bool b -> b

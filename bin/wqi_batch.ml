@@ -31,6 +31,7 @@ module Trace = Wqi_obs.Trace
 module Store = Wqi_store.Store
 module Key = Wqi_store.Key
 module Report = Wqi_store.Report
+module Quality = Wqi_quality.Quality
 
 let read_file path =
   let ic = open_in_bin path in
@@ -54,14 +55,24 @@ type doc = {
   d_store : [ `Off | `Hit | `Changed | `New ];
   d_conditions : int;
   d_errors : bool;  (* the model carried error reports *)
+  d_quality : Quality.t option;  (* None only for pre-quality store hits *)
   d_seconds : float;
 }
 
-let write_doc_trace trace_dir file trace =
+(* Trace files are suffixed with the document's content key so stems
+   that collide after [remove_extension] — or repeated runs over
+   different corpora sharing one --trace-dir — never overwrite each
+   other's traces. *)
+let write_doc_trace trace_dir file ~key trace =
   match (trace, trace_dir) with
   | Some t, Some tdir ->
+    let key_hex =
+      match key with Some k -> Key.to_hex k.Key.hash | None -> ""
+    in
     let path =
-      Filename.concat tdir (Filename.remove_extension file ^ ".trace.json")
+      Filename.concat tdir
+        (Trace.doc_file_name ~name:(Filename.remove_extension file)
+           ~key:key_hex)
     in
     let oc = open_out_bin path in
     Fun.protect
@@ -79,6 +90,10 @@ let outcome_label = function
 let process config ?store ?trace_dir dir file =
   let t0 = Budget.now_s () in
   let name = Filename.remove_extension file in
+  let pack = config.Extractor.Config.grammar in
+  let grammar_id =
+    pack.Wqi_parser.Engine.name ^ "@" ^ pack.Wqi_parser.Engine.version
+  in
   match read_file (Filename.concat dir file) with
   | exception e ->
     { d_file = file;
@@ -87,24 +102,25 @@ let process config ?store ?trace_dir dir file =
       d_store = (if Option.is_none store then `Off else `New);
       d_conditions = 0;
       d_errors = false;
+      d_quality = Some (Quality.failed ~source:file ~grammar:grammar_id ());
       d_seconds = Budget.now_s () -. t0 }
   | html ->
-    let probe =
-      match store with
-      | None -> None
-      | Some st ->
-        let pack = config.Extractor.Config.grammar in
+    (* The content key names the store entry and suffixes the trace
+       file, so it is computed whenever either consumer is active. *)
+    let key =
+      if Option.is_some store || Option.is_some trace_dir then
         let spec =
           Key.spec ~grammar_name:pack.Wqi_parser.Engine.name
             ~grammar_version:pack.Wqi_parser.Engine.version ~name
             config.Extractor.Config.budget
         in
-        Some (st, Key.make ~html ~spec, pack)
+        Some (Key.make ~html ~spec)
+      else None
     in
     let hit =
-      match probe with
-      | Some (st, key, _) -> Store.find_entry st key
-      | None -> None
+      match (store, key) with
+      | Some st, Some k -> Store.find_entry st k
+      | _ -> None
     in
     (match hit with
      | Some (m, bytes) ->
@@ -114,6 +130,15 @@ let process config ?store ?trace_dir dir file =
          d_store = `Hit;
          d_conditions = 0;
          d_errors = false;
+         d_quality =
+           Option.map
+             (fun q ->
+                Quality.of_rollup ~source:m.Store.source
+                  ~grammar:m.Store.grammar ~domain:m.Store.domain
+                  ~outcome:m.Store.outcome ~score:q.Store.q_score
+                  ~coverage:q.Store.q_coverage
+                  ~conflicts:q.Store.q_conflicts)
+             m.Store.quality;
          d_seconds = Budget.now_s () -. t0 }
      | None ->
        (* One trace per document; workers write distinct files, so
@@ -124,13 +149,13 @@ let process config ?store ?trace_dir dir file =
        (* [run] itself never raises — in-pipeline errors come back as a
           [Failed] outcome — so only the file read needed a handler. *)
        let e = Extractor.run ?trace config (Extractor.Html html) in
-       write_doc_trace trace_dir file trace;
+       write_doc_trace trace_dir file ~key trace;
        let seconds = Budget.now_s () -. t0 in
+       let q = Quality.of_extraction ~source:file ~grammar:grammar_id e in
        let store_kind =
-         match probe with
+         match store with
          | None -> `Off
-         | Some (st, _, _) ->
-           if Store.source_known st file then `Changed else `New
+         | Some st -> if Store.source_known st file then `Changed else `New
        in
        (match e.Extractor.outcome with
         | Budget.Failed err ->
@@ -140,26 +165,30 @@ let process config ?store ?trace_dir dir file =
             d_store = store_kind;
             d_conditions = 0;
             d_errors = false;
+            d_quality = Some q;
             d_seconds = seconds }
         | (Budget.Complete | Budget.Degraded _) as outcome ->
           let model = e.Extractor.model in
           let line =
-            match probe with
-            | None -> Wqi_model.Export.source_description ~name model
-            | Some (st, key, pack) ->
+            match (store, key) with
+            | Some st, Some k ->
               let bytes = Extractor.export ~timings:false ~name e in
               (* Value first, manifest line second, all flushed: a kill
                  between put and exit still leaves a resumable store. *)
-              Store.put st key
+              Store.put st k
                 ~meta:
                   { Store.source = file;
-                    grammar =
-                      pack.Wqi_parser.Engine.name ^ "@"
-                      ^ pack.Wqi_parser.Engine.version;
+                    grammar = grammar_id;
                     outcome = outcome_label outcome;
-                    domain = "" }
+                    domain = "";
+                    quality =
+                      Some
+                        { Store.q_score = q.Quality.score;
+                          q_coverage = q.Quality.coverage;
+                          q_conflicts = q.Quality.conflicts } }
                 bytes;
               bytes
+            | _ -> Wqi_model.Export.source_description ~name model
           in
           { d_file = file;
             d_disposition = Emit line;
@@ -168,6 +197,7 @@ let process config ?store ?trace_dir dir file =
             d_conditions =
               List.length model.Wqi_model.Semantic_model.conditions;
             d_errors = model.Wqi_model.Semantic_model.errors <> [];
+            d_quality = Some q;
             d_seconds = seconds }))
 
 (* With SIGPIPE ignored, writing JSONL to a closed pipe surfaces as a
@@ -184,7 +214,7 @@ let is_broken_pipe msg =
   !found
 
 let run_guarded dir output jobs grammar_file deadline_ms max_instances
-    trace_dir store_dir errors_json =
+    trace_dir store_dir errors_json quality_jsonl =
   if not (Sys.file_exists dir && Sys.is_directory dir) then begin
     Format.eprintf "%s is not a directory@." dir;
     1
@@ -245,8 +275,14 @@ let run_guarded dir output jobs grammar_file deadline_ms max_instances
     let store_misses = ref 0 in
     let re_extracted = ref 0 in
     let errors = ref [] in
+    let q_oc = Option.map open_out quality_jsonl in
     Array.iter
       (fun d ->
+         (match (q_oc, d.d_quality) with
+          | Some qoc, Some q ->
+            output_string qoc (Quality.to_json q);
+            output_char qoc '\n'
+          | _ -> ());
          total_seconds := !total_seconds +. d.d_seconds;
          (match d.d_store with
           | `Hit -> incr store_hits
@@ -272,6 +308,7 @@ let run_guarded dir output jobs grammar_file deadline_ms max_instances
                 ~name:(Filename.remove_extension d.d_file)
                 { Budget.error_stage = None; message = detail }))
       results;
+    (match q_oc with Some qoc -> close_out qoc | None -> ());
     if output <> None then close_out oc;
     (match errors_json with
      | Some path -> Report.write_file path (Report.errors_json (List.rev !errors))
@@ -289,11 +326,11 @@ let run_guarded dir output jobs grammar_file deadline_ms max_instances
   end
 
 let run dir output jobs grammar_file deadline_ms max_instances trace_dir
-    store_dir errors_json =
+    store_dir errors_json quality_jsonl =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   try
     run_guarded dir output jobs grammar_file deadline_ms max_instances
-      trace_dir store_dir errors_json
+      trace_dir store_dir errors_json quality_jsonl
   with Sys_error msg when is_broken_pipe msg ->
     (* The downstream reader went away mid-stream (e.g. `| head -1`);
        the documents already emitted reached it, so exit clean. *)
@@ -340,8 +377,10 @@ let max_instances =
 let trace_dir =
   let doc =
     "Write one Chrome trace-event JSON per document into $(docv) \
-     (created if missing), named after the source file with a \
-     .trace.json suffix."
+     (created if missing), named \
+     $(i,<stem>.<content-key>.trace.json) — the content-key suffix \
+     keeps documents with identical stems from overwriting each \
+     other's traces."
   in
   Arg.(value & opt (some string) None & info [ "trace-dir" ] ~docv:"DIR" ~doc)
 
@@ -364,12 +403,24 @@ let errors_json =
   in
   Arg.(value & opt (some string) None & info [ "errors-json" ] ~docv:"FILE" ~doc)
 
+let quality_jsonl =
+  let doc =
+    "Append one Wqi_quality record per document (JSONL, in input order) \
+     to $(docv): outcome, token coverage, conflict/missing counts, \
+     surviving ambiguity and the scalar quality score.  Store hits \
+     rebuild their record from the persisted manifest fields; feed the \
+     file to wqi_report for rollups and drift comparisons."
+  in
+  Arg.(value
+       & opt (some string) None
+       & info [ "quality-jsonl" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc = "extract capabilities from a directory of query interfaces" in
   let term =
     Term.(
       const run $ dir $ output $ jobs $ grammar_file $ deadline_ms
-      $ max_instances $ trace_dir $ store_dir $ errors_json)
+      $ max_instances $ trace_dir $ store_dir $ errors_json $ quality_jsonl)
   in
   Cmd.v (Cmd.info "wqi_batch" ~version:"1.0.0" ~doc) term
 

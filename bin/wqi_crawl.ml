@@ -31,6 +31,7 @@ module Key = Wqi_store.Key
 module Signature = Wqi_store.Signature
 module Report = Wqi_store.Report
 module Vocabulary = Wqi_corpus.Vocabulary
+module Quality = Wqi_quality.Quality
 
 let read_file path =
   let ic = open_in_bin path in
@@ -152,16 +153,22 @@ type cres = {
   r_doc : fdoc;
   r_kind : result_kind;
   r_domain : string;
+  r_quality : Quality.t option;  (* None only for pre-quality store hits *)
 }
 
 let process config store ~no_classify doc =
+  let pack = config.Extractor.Config.grammar in
+  let grammar_id =
+    pack.Wqi_parser.Engine.name ^ "@" ^ pack.Wqi_parser.Engine.version
+  in
   match read_file doc.f_path with
   | exception e ->
     { r_doc = doc;
       r_kind = R_failed ("read-error", Printexc.to_string e);
-      r_domain = "" }
+      r_domain = "";
+      r_quality =
+        Some (Quality.failed ~source:doc.f_id ~grammar:grammar_id ()) }
   | html ->
-    let pack = config.Extractor.Config.grammar in
     let spec =
       Key.spec ~grammar_name:pack.Wqi_parser.Engine.name
         ~grammar_version:pack.Wqi_parser.Engine.version
@@ -170,18 +177,37 @@ let process config store ~no_classify doc =
     in
     let key = Key.make ~html ~spec in
     (match Store.meta store key with
-     | Some m -> { r_doc = doc; r_kind = R_hit; r_domain = m.Store.domain }
+     | Some m ->
+       (* Store hits roll up from the persisted headline fields — this
+          is what lets a re-crawl emit a complete quality.jsonl without
+          re-extracting anything. *)
+       { r_doc = doc;
+         r_kind = R_hit;
+         r_domain = m.Store.domain;
+         r_quality =
+           Option.map
+             (fun q ->
+                Quality.of_rollup ~source:m.Store.source
+                  ~grammar:m.Store.grammar ~domain:m.Store.domain
+                  ~outcome:m.Store.outcome ~score:q.Store.q_score
+                  ~coverage:q.Store.q_coverage
+                  ~conflicts:q.Store.q_conflicts)
+             m.Store.quality }
      | None ->
        let domain = if no_classify then "" else classify html in
        let e = Extractor.run config (Extractor.Html html) in
+       let q =
+         Quality.of_extraction ~source:doc.f_id ~grammar:grammar_id ~domain e
+       in
        (match e.Extractor.outcome with
         | Budget.Failed err ->
           { r_doc = doc;
             r_kind = R_failed ("failed", err.Budget.message);
-            r_domain = domain }
-        | (Budget.Complete | Budget.Degraded _) as outcome ->
+            r_domain = domain;
+            r_quality = Some q }
+        | Budget.Complete | Budget.Degraded _ ->
           let tag =
-            match outcome with
+            match e.Extractor.outcome with
             | Budget.Degraded _ -> `Degraded
             | _ -> `Complete
           in
@@ -193,23 +219,29 @@ let process config store ~no_classify doc =
           Store.put store key
             ~meta:
               { Store.source = doc.f_id;
-                grammar =
-                  pack.Wqi_parser.Engine.name ^ "@"
-                  ^ pack.Wqi_parser.Engine.version;
+                grammar = grammar_id;
                 outcome =
                   (match tag with
                    | `Complete -> "complete"
                    | `Degraded -> "degraded");
-                domain }
+                domain;
+                quality =
+                  Some
+                    { Store.q_score = q.Quality.score;
+                      q_coverage = q.Quality.coverage;
+                      q_conflicts = q.Quality.conflicts } }
             bytes;
-          { r_doc = doc; r_kind = R_extracted tag; r_domain = domain }))
+          { r_doc = doc;
+            r_kind = R_extracted tag;
+            r_domain = domain;
+            r_quality = Some q }))
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                             *)
 (* ------------------------------------------------------------------ *)
 
 let run roots lists store_dir jobs grammar_file deadline_ms max_instances
-    no_classify summary_json errors_json =
+    no_classify summary_json errors_json quality_jsonl =
   let jobs =
     match jobs with
     | Some n when n >= 1 -> n
@@ -274,13 +306,25 @@ let run roots lists store_dir jobs grammar_file deadline_ms max_instances
       Pool.run ~jobs (fun pool ->
           Pool.map_array pool (process config store ~no_classify) unique)
     in
+    let store_stats = Store.stats store in
     Store.close store;
     let seconds = Unix.gettimeofday () -. t0 in
     let hits = ref 0 and extracted = ref 0 and degraded = ref 0 in
     let failed = ref 0 in
     let domains = Hashtbl.create 16 in
+    let agg = Quality.Agg.create () in
+    let q_oc = Option.map open_out quality_jsonl in
+    let emit_quality q =
+      Quality.Agg.add agg q;
+      match q_oc with
+      | Some qoc ->
+        output_string qoc (Quality.to_json q);
+        output_char qoc '\n'
+      | None -> ()
+    in
     Array.iter
       (fun r ->
+         Option.iter emit_quality r.r_quality;
          (match r.r_kind with
           | R_hit -> incr hits
           | R_extracted tag ->
@@ -300,6 +344,7 @@ let run roots lists store_dir jobs grammar_file deadline_ms max_instances
            Hashtbl.replace domains d
              (1 + Option.value ~default:0 (Hashtbl.find_opt domains d)))
       results;
+    (match q_oc with Some qoc -> close_out qoc | None -> ());
     let errors = List.rev !errors in
     (match errors_json with
      | Some path -> Report.write_file path (Report.errors_json errors)
@@ -321,6 +366,10 @@ let run roots lists store_dir jobs grammar_file deadline_ms max_instances
                ("degraded", Report.Int !degraded);
                ("failed", Report.Int !failed);
                ("read_errors", Report.Int read_errors);
+               ("store_orphaned_bytes", Report.Int store_stats.orphaned_bytes);
+               ("mean_score",
+                Report.Float
+                  (Quality.Agg.mean_score (Quality.Agg.total agg)));
                ("seconds", Report.Float seconds);
                ("jobs", Report.Int jobs) ]
              @ domain_fields))
@@ -385,8 +434,8 @@ let no_classify =
 let summary_json =
   let doc =
     "Write the run counters (discovered, unique, aliases, store_hits, \
-     extracted, degraded, failed, per-domain tallies) as one flat JSON \
-     object to $(docv), atomically."
+     extracted, degraded, failed, store_orphaned_bytes, mean_score, \
+     per-domain tallies) as one flat JSON object to $(docv), atomically."
   in
   Arg.(value & opt (some string) None & info [ "summary-json" ] ~docv:"FILE" ~doc)
 
@@ -396,6 +445,19 @@ let errors_json =
      ([{\"path\",\"outcome\",\"error\"}, ...]) to $(docv), atomically."
   in
   Arg.(value & opt (some string) None & info [ "errors-json" ] ~docv:"FILE" ~doc)
+
+let quality_jsonl =
+  let doc =
+    "Append one Wqi_quality record per processed document (JSONL) to \
+     $(docv): outcome, token coverage, conflicts, surviving ambiguity \
+     and the scalar score, with the crawl-classified domain.  Store \
+     hits rebuild their record from the persisted manifest fields, so \
+     a fully warm re-crawl still emits a complete file; feed it to \
+     wqi_report for per-domain rollups and drift comparisons."
+  in
+  Arg.(value
+       & opt (some string) None
+       & info [ "quality-jsonl" ] ~docv:"FILE" ~doc)
 
 let cmd =
   let doc = "crawl query interfaces into a persistent extraction store" in
@@ -416,7 +478,7 @@ let cmd =
     Term.(
       const run $ roots $ lists $ store_dir $ jobs $ grammar_file
       $ deadline_ms $ max_instances $ no_classify $ summary_json
-      $ errors_json)
+      $ errors_json $ quality_jsonl)
   in
   Cmd.v (Cmd.info "wqi_crawl" ~version:"1.0.0" ~doc ~man) term
 

@@ -5,6 +5,7 @@
 module Extractor = Wqi_core.Extractor
 module Budget = Wqi_core.Budget
 module Trace = Wqi_obs.Trace
+module Quality = Wqi_quality.Quality
 
 let read_file path =
   let ic = open_in_bin path in
@@ -68,7 +69,7 @@ let write_file path s =
     (fun () -> output_string oc s)
 
 let run_guarded input show_tokens show_trees show_stats show_ascii as_json
-    grammar_file width deadline_ms max_instances trace_file profile =
+    grammar_file width deadline_ms max_instances trace_file profile quality =
   let html =
     match input with Some path -> read_file path | None -> read_stdin ()
   in
@@ -86,11 +87,26 @@ let run_guarded input show_tokens show_trees show_stats show_ascii as_json
      (* Stderr, so `--json | jq` style pipelines keep a pure stdout. *)
      prerr_string (Trace.profile t)
    | _ -> ());
+  let name =
+    match input with Some path -> Filename.basename path | None -> "stdin"
+  in
+  (* The quality record is always the last stdout line, in text and
+     --json mode alike, so `tail -1` scrapes it from either. *)
+  let print_quality () =
+    if quality then begin
+      let pack = config.Extractor.Config.grammar in
+      print_endline
+        (Quality.to_json
+           (Quality.of_extraction ~source:name
+              ~grammar:
+                (pack.Wqi_parser.Engine.name ^ "@"
+                 ^ pack.Wqi_parser.Engine.version)
+              e))
+    end
+  in
   if as_json then begin
-    let name =
-      match input with Some path -> Filename.basename path | None -> "stdin"
-    in
     print_endline (Extractor.export ~name e);
+    print_quality ();
     exit (if Extractor.conditions e = [] then 1 else 0)
   end;
   if show_ascii then begin
@@ -126,15 +142,17 @@ let run_guarded input show_tokens show_trees show_stats show_ascii as_json
       (1000. *. d.merge_seconds)
       (1000. *. d.total_seconds)
   end;
+  Format.pp_print_flush Format.std_formatter ();
+  print_quality ();
   if e.model.conditions = [] then 1 else 0
 
 let run input show_tokens show_trees show_stats show_ascii as_json verbose
-    grammar_file width deadline_ms max_instances trace_file profile =
+    grammar_file width deadline_ms max_instances trace_file profile quality =
   setup_logs verbose;
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   try
     run_guarded input show_tokens show_trees show_stats show_ascii as_json
-      grammar_file width deadline_ms max_instances trace_file profile
+      grammar_file width deadline_ms max_instances trace_file profile quality
   with Sys_error msg when is_broken_pipe msg ->
     (* The downstream reader went away mid-output; what was written is
        whatever it asked for.  Drop anything still buffered in the
@@ -221,6 +239,15 @@ let profile =
   in
   Arg.(value & flag & info [ "profile" ] ~doc)
 
+let quality =
+  let doc =
+    "Print the Wqi_quality record of the extraction — outcome, token \
+     coverage, conflict/missing counts, surviving ambiguity and the \
+     scalar quality score — as one canonical JSON line, always the \
+     last stdout line (also after $(b,--json))."
+  in
+  Arg.(value & flag & info [ "quality" ] ~doc)
+
 let cmd =
   let doc = "extract query capabilities from a Web query interface" in
   let man =
@@ -241,7 +268,7 @@ let cmd =
     Term.(
       const run $ input $ show_tokens $ show_trees $ show_stats $ show_ascii
       $ as_json $ verbose $ grammar_file $ width $ deadline_ms $ max_instances
-      $ trace_file $ profile)
+      $ trace_file $ profile $ quality)
   in
   Cmd.v (Cmd.info "wqi_extract" ~version:"1.0.0" ~doc ~man) term
 

@@ -15,7 +15,7 @@ module Budget = Wqi_core.Budget
 let run host port jobs accept_mode max_inflight max_body cache_bytes
     cache_ttl_s cache_shards store grammar_dir deadline_ms max_instances
     cap_deadline_ms cap_instances idle_timeout_s drain_grace_s trace_sample
-    trace_dir slow_ms access_log =
+    trace_dir slow_ms access_log quality_exemplars quality_window =
   let budget =
     match (deadline_ms, max_instances) with
     | None, None -> Budget.unlimited
@@ -52,7 +52,9 @@ let run host port jobs accept_mode max_inflight max_body cache_bytes
       trace_sample;
       trace_dir;
       slow_ms;
-      access_log }
+      access_log;
+      quality_exemplars;
+      quality_window }
   in
   match
     Serve.run config ~on_listen:(fun t ->
@@ -231,6 +233,22 @@ let access_log =
   in
   Arg.(value & opt (some string) None & info [ "access-log" ] ~docv:"FILE" ~doc)
 
+let quality_exemplars =
+  let doc =
+    "Capture the $(docv) worst-quality extractions of each \
+     $(b,--quality-window) as Chrome traces named \
+     $(i,quality-<id>.json) in $(b,--trace-dir) (required); 0 disables \
+     exemplar capture."
+  in
+  Arg.(value & opt int 0 & info [ "quality-exemplars" ] ~docv:"K" ~doc)
+
+let quality_window =
+  let doc =
+    "Extractions per exemplar window, per serving domain (each domain \
+     keeps its own window)."
+  in
+  Arg.(value & opt int 128 & info [ "quality-window" ] ~docv:"N" ~doc)
+
 let cmd =
   let doc = "serve query-interface extraction over HTTP" in
   let man =
@@ -258,7 +276,8 @@ let cmd =
       $ cache_bytes $ cache_ttl_s $ cache_shards $ store $ grammar_dir
       $ deadline_ms
       $ max_instances $ cap_deadline_ms $ cap_instances $ idle_timeout_s
-      $ drain_grace_s $ trace_sample $ trace_dir $ slow_ms $ access_log)
+      $ drain_grace_s $ trace_sample $ trace_dir $ slow_ms $ access_log
+      $ quality_exemplars $ quality_window)
   in
   Cmd.v (Cmd.info "wqi_serve" ~version:"1.0.0" ~doc ~man) term
 

@@ -30,3 +30,17 @@ let conflict_count m =
 let missing_count m =
   List.length
     (List.filter (function Missing _ -> true | Conflict _ -> false) m.errors)
+
+let distinct_sorted ids = List.sort_uniq Int.compare ids
+
+let missing_token_ids m =
+  distinct_sorted
+    (List.filter_map
+       (function Missing (tok, _) -> Some tok | Conflict _ -> None)
+       m.errors)
+
+let conflict_token_ids m =
+  distinct_sorted
+    (List.filter_map
+       (function Conflict (tok, _, _) -> Some tok | Missing _ -> None)
+       m.errors)

@@ -24,3 +24,12 @@ val pp : Format.formatter -> t -> unit
 val condition_count : t -> int
 val conflict_count : t -> int
 val missing_count : t -> int
+
+val missing_token_ids : t -> int list
+(** Distinct ids of tokens no selected parse tree covered, sorted.
+    [missing_count] counts error reports; this counts {i tokens}, which
+    is what a coverage ratio needs (a token can be reported once per
+    merge pass). *)
+
+val conflict_token_ids : t -> int list
+(** Distinct ids of tokens claimed by more than one condition, sorted. *)

@@ -293,3 +293,14 @@ let profile t =
       (Printf.sprintf "(%d events dropped: ring capacity %d)\n" t.dropped
          t.cap);
   Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Trace file naming                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let doc_file_name ~name ~key =
+  let flat =
+    String.map (function '/' | '\\' -> '_' | c -> c) name
+  in
+  if key = "" then flat ^ ".trace.json"
+  else flat ^ "." ^ key ^ ".trace.json"

@@ -79,3 +79,12 @@ val profile : t -> string
 (** A human-readable per-stage profile: spans aggregated by name
     (calls, total/avg/max milliseconds, share of the [total] span),
     followed by instant-event counts with summed integer args. *)
+
+val doc_file_name : name:string -> key:string -> string
+(** The file name for a per-document trace:
+    ["<name>.<key>.trace.json"], with path separators in [name]
+    flattened to ['_'] and [key] the document's content key in hex —
+    so two documents whose stems collide (same relative path under two
+    crawl roots, or stems that coincide after
+    [Filename.remove_extension]) still get distinct trace files.  An
+    empty [key] omits the suffix. *)

@@ -6,6 +6,7 @@ module Trace = Wqi_obs.Trace
 module Group = Wqi_parallel.Pool.Group
 module Store = Wqi_store.Store
 module Key = Wqi_store.Key
+module Quality = Wqi_quality.Quality
 
 let version = "1.0.0"
 
@@ -29,6 +30,10 @@ type config = {
   trace_dir : string option;
   slow_ms : float option;
   access_log : string option;
+  quality_exemplars : int;
+      (* K worst-quality extractions per window get a Chrome trace into
+         trace_dir; 0 disables exemplar capture *)
+  quality_window : int;  (* extractions per exemplar window *)
 }
 
 let default_config =
@@ -48,7 +53,9 @@ let default_config =
     trace_sample = 0;
     trace_dir = None;
     slow_ms = None;
-    access_log = None }
+    access_log = None;
+    quality_exemplars = 0;
+    quality_window = 128 }
 
 (* ------------------------------------------------------------------ *)
 (* Per-domain state                                                   *)
@@ -79,6 +86,19 @@ type shard = {
   mutable s_zombies : Thread.t list;  (* finished handlers, to join *)
   mutable s_token : int;
   s_pending : Unix.file_descr Queue.t;  (* `Dispatch mode inbox *)
+  (* OCaml runtime health, sampled by this domain's own loop (an
+     accept-loop tick or a connection registration) so each shard
+     reports its own domain's view; the scrape merges them without ever
+     running code on another domain.  Guarded by s_mutex. *)
+  mutable s_gc_minor_words : float;
+  mutable s_gc_major : int;
+  mutable s_gc_heap_bytes : int;
+  (* Low-quality exemplar window: the K worst-scoring extractions of
+     the current window, flushed to trace_dir when the window fills.
+     Guarded by s_mutex; list kept sorted by ascending score, length
+     <= quality_exemplars. *)
+  mutable s_q_seen : int;
+  mutable s_q_worst : (float * string * Trace.t) list;
 }
 
 type t = {
@@ -267,6 +287,21 @@ let observe sh ~code t0 =
   Telemetry.observe_request sh.s_telemetry ~code
     ~seconds:(Budget.now_s () -. t0) ()
 
+(* Refresh this shard's view of its domain's GC counters.  Called from
+   code already running on the shard's own domain (accept-loop ticks,
+   connection registration, a /metrics handler), so each sample is the
+   owning domain's [Gc.quick_stat] — the scrape thread never has to run
+   code on another domain to read it. *)
+let word_bytes = Sys.word_size / 8
+
+let sample_gc sh =
+  let gc = Gc.quick_stat () in
+  Mutex.lock sh.s_mutex;
+  sh.s_gc_minor_words <- gc.Gc.minor_words;
+  sh.s_gc_major <- gc.Gc.major_collections;
+  sh.s_gc_heap_bytes <- gc.Gc.heap_words * word_bytes;
+  Mutex.unlock sh.s_mutex
+
 let outcome_tag = function
   | Budget.Complete -> `Complete
   | Budget.Degraded _ -> `Degraded
@@ -327,13 +362,13 @@ let log_slow t ~meth ~path ~status ~seconds ~id =
    slow-request log all see exactly the bytes that went on the wire.
    Telemetry lands in the serving domain's own arena. *)
 let finish t sh ~scratch fd req ~t0 ~id ~status ?headers ?content_type ?grammar
-    ?outcome ?cache_hit ?stats ?stage_seconds ?(cache = "-") body =
+    ?outcome ?cache_hit ?stats ?stage_seconds ?quality ?(cache = "-") body =
   let seconds = Budget.now_s () -. t0 in
   (* Account before writing: once the client has the response bytes, a
      /metrics scrape must already see this request, or a scrape racing
      the last response reads an undercounted split. *)
   Telemetry.observe_request sh.s_telemetry ~code:status ?grammar ?outcome
-    ?cache_hit ?stats ?stage_seconds ~seconds ();
+    ?cache_hit ?stats ?stage_seconds ?quality ~seconds ();
   respond ~scratch fd ~status ?headers ?content_type body;
   let meth = req.Http.meth and path = req.Http.path in
   let outcome =
@@ -375,6 +410,43 @@ let write_trace dir ~id trace =
       (fun () ->
          output_string oc (Trace.to_chrome_json trace);
          output_char oc '\n')
+
+(* Exemplar capture: keep the K lowest-scoring extractions of the
+   current window in the shard (traces held in memory, bounded by K);
+   when the window fills, write them as [quality-<id>.json] and start
+   over.  Per-shard state, so capture needs no cross-domain
+   coordination; request ids are process-unique, so exemplar filenames
+   never collide. *)
+let note_exemplar t sh ~score ~id trace =
+  match (trace, t.config.trace_dir) with
+  | Some tr, Some dir when t.config.quality_exemplars > 0 ->
+    let k = t.config.quality_exemplars in
+    let rec insert = function
+      | [] -> [ (score, id, tr) ]
+      | (s, _, _) :: _ as rest when score <= s -> (score, id, tr) :: rest
+      | e :: rest -> e :: insert rest
+    in
+    let rec take n = function
+      | e :: rest when n > 0 -> e :: take (n - 1) rest
+      | _ -> []
+    in
+    Mutex.lock sh.s_mutex;
+    sh.s_q_seen <- sh.s_q_seen + 1;
+    sh.s_q_worst <- take k (insert sh.s_q_worst);
+    let flushed =
+      if sh.s_q_seen >= max 1 t.config.quality_window then begin
+        let w = sh.s_q_worst in
+        sh.s_q_worst <- [];
+        sh.s_q_seen <- 0;
+        w
+      end
+      else []
+    in
+    Mutex.unlock sh.s_mutex;
+    List.iter
+      (fun (_, eid, etr) -> write_trace dir ~id:("quality-" ^ eid) etr)
+      flushed
+  | _ -> ()
 
 (* Cached values carry their outcome in a one-byte prefix so a hit can
    report the original outcome without re-parsing the JSON. *)
@@ -454,8 +526,16 @@ let run_extraction t sh ~scratch fd req ~t0 ~id ~budget ~pack ~name ~publish
         t.config.extractor |> with_budget budget |> with_compiled pack)
     in
     let tdir = want_trace t req in
+    (* Exemplar capture needs a trace for every fresh extraction — the
+       worst-quality ones are only known after the fact.  Tracing is
+       observational (the response bytes are identical) and this path
+       already pays for a full extraction; hits stay untraced. *)
+    let exemplars =
+      t.config.quality_exemplars > 0 && Option.is_some t.config.trace_dir
+    in
     let trace =
-      match tdir with None -> None | Some _ -> Some (Trace.create ())
+      if Option.is_some tdir || exemplars then Some (Trace.create ())
+      else None
     in
     (* Warm tier: a store hit skips the extractor entirely.  Probed
        only on the leader path, under admission, so a popular key costs
@@ -492,12 +572,21 @@ let run_extraction t sh ~scratch fd req ~t0 ~id ~budget ~pack ~name ~publish
             ("x-wqi-cache", "store");
             ("x-wqi-grammar", pack.Engine.name);
             ("x-wqi-trace-id", id) ]
-        ~grammar:pack.Engine.name ~outcome:tag ~cache_hit:true ~cache:"store"
-        body
+        ~grammar:pack.Engine.name ~outcome:tag ~cache_hit:true
+        ?quality:
+          (Option.map
+             (fun q ->
+                (q.Store.q_score, q.Store.q_coverage, q.Store.q_conflicts))
+             m.Store.quality)
+        ~cache:"store" body
     | None ->
       let e = Extractor.run ?trace config (Extractor.Html req.Http.body) in
       let body = Extractor.export ~timings:false ~name e in
       let tag = outcome_tag e.Extractor.outcome in
+      let q =
+        Quality.of_extraction ~source:name
+          ~grammar:(pack.Engine.name ^ "@" ^ pack.Engine.version) e
+      in
       let status = match tag with `Failed -> 500 | _ -> 200 in
       (match (sh.s_cache, ckey, tag) with
        | Some cache, Some k, (`Complete | `Degraded) ->
@@ -518,13 +607,21 @@ let run_extraction t sh ~scratch fd req ~t0 ~id ~budget ~pack ~name ~publish
                 { Store.source = name;
                   grammar = pack.Engine.name ^ "@" ^ pack.Engine.version;
                   outcome = outcome_name tag;
-                  domain = "" }
+                  domain = "";
+                  quality =
+                    Some
+                      { Store.q_score = q.Quality.score;
+                        q_coverage = q.Quality.coverage;
+                        q_conflicts = q.Quality.conflicts } }
               body
           with Invalid_argument _ | Sys_error _ -> ());
          Trace.span trace ~cat:"store" "store.write" ~t0:w0 ~t1:(Trace.now ())
        | _ -> ());
       let cache = if Option.is_none sh.s_cache then "off" else "miss" in
       flush_trace ();
+      (* Exemplars land on disk when the window completes, not per
+         request — the K worst of a window are only known then. *)
+      note_exemplar t sh ~score:q.Quality.score ~id trace;
       finish t sh ~scratch fd req ~t0 ~id ~status
         ~headers:
           [ ("x-wqi-outcome", outcome_name tag);
@@ -534,6 +631,7 @@ let run_extraction t sh ~scratch fd req ~t0 ~id ~budget ~pack ~name ~publish
         ~grammar:pack.Engine.name ~outcome:tag
         ~stats:e.Extractor.diagnostics.Extractor.parse_stats
         ~stage_seconds:(stage_seconds_of e.Extractor.diagnostics)
+        ~quality:(q.Quality.score, q.Quality.coverage, q.Quality.conflicts)
         ~cache body
   end
 
@@ -711,7 +809,33 @@ let metrics_body t =
         ("wqi_store_entries", "Live entries in the persistent store.",
          `Gauge, [ ("", float_of_int s.Store.entries) ]);
         ("wqi_store_bytes", "Live value bytes in the persistent store.",
-         `Gauge, [ ("", float_of_int s.Store.bytes) ]) ]
+         `Gauge, [ ("", float_of_int s.Store.bytes) ]);
+        ("wqi_store_orphaned_bytes",
+         "Dead segment bytes (superseded, corrupt or unmanifested) \
+          awaiting a segment rebuild.",
+         `Gauge, [ ("", float_of_int s.Store.orphaned_bytes) ]) ]
+  in
+  (* Runtime health: minor heaps are per-domain, so allocation sums;
+     the major heap and its collection count are runtime-global in
+     OCaml 5, so the freshest (largest) per-domain sample wins. *)
+  let gc_series =
+    let minor = ref 0. and major = ref 0 and heap = ref 0 in
+    Array.iter
+      (fun sh ->
+         Mutex.lock sh.s_mutex;
+         minor := !minor +. sh.s_gc_minor_words;
+         if sh.s_gc_major > !major then major := sh.s_gc_major;
+         if sh.s_gc_heap_bytes > !heap then heap := sh.s_gc_heap_bytes;
+         Mutex.unlock sh.s_mutex)
+      t.shards;
+    [ ("wqi_gc_minor_words_total",
+       "Minor-heap words allocated, summed across domain samples.",
+       `Counter, [ ("", !minor) ]);
+      ("wqi_gc_major_collections_total",
+       "Major GC cycles completed (runtime-wide).", `Counter,
+       [ ("", float_of_int !major) ]);
+      ("wqi_gc_heap_bytes", "Major heap size in bytes (shared).", `Gauge,
+       [ ("", float_of_int !heap) ]) ]
   in
   let domain_rows =
     Array.to_list
@@ -736,7 +860,7 @@ let metrics_body t =
      there is more than one grammar to tell apart. *)
   Telemetry.render_snapshot ~grammar_label:(List.length packs > 1) merged
     ~extra:
-      (cache_series @ store_series
+      (cache_series @ store_series @ gc_series
        @ [ ("wqi_grammar_info",
             "Loaded grammars, by name and version; value is always 1.",
             `Gauge, grammar_rows);
@@ -773,6 +897,9 @@ let handle_request t sh ~scratch fd req =
        finish t sh ~scratch fd req ~t0 ~id ~status:200
          ~content_type:"text/plain" "ok\n"
    | "GET", "/metrics" ->
+     (* The scraped shard's own GC sample is refreshed here (we are on
+        its domain); the others were refreshed by their accept ticks. *)
+     sample_gc sh;
      finish t sh ~scratch fd req ~t0 ~id ~status:200
        ~content_type:"text/plain; version=0.0.4" (metrics_body t)
    | "POST", "/extract" ->
@@ -841,6 +968,9 @@ let handle_conn t sh token fd =
    calls this, so registration cannot race the drain (which runs on
    the same thread, after the loop exits). *)
 let register_conn t sh fd =
+  (* Dispatch-mode domains block on their inboxes between connections,
+     so registration is their GC-sampling tick. *)
+  sample_gc sh;
   Mutex.lock sh.s_mutex;
   let token = sh.s_token in
   sh.s_token <- token + 1;
@@ -886,7 +1016,9 @@ let accept_loop t sh listen_fd =
              ()
            | fd, _ -> register_conn t sh fd));
       (* Every accept loop ticks the reload flag; Atomic.exchange makes
-         exactly one of them perform the swap. *)
+         exactly one of them perform the swap.  The tick also refreshes
+         this domain's GC sample (at most every 0.25 s when idle). *)
+      sample_gc sh;
       maybe_reload t;
       loop ()
     end
@@ -947,6 +1079,7 @@ let drain_shard t sh =
 
 let domain_main t i =
   let sh = t.shards.(i) in
+  sample_gc sh;
   (match (t.mode, sh.s_listen) with
    | `Reuseport, Some fd -> accept_loop t sh fd
    | `Reuseport, None -> ()  (* unreachable by construction *)
@@ -1118,7 +1251,12 @@ let start config =
           s_live = Hashtbl.create 16;
           s_zombies = [];
           s_token = 0;
-          s_pending = Queue.create () })
+          s_pending = Queue.create ();
+          s_gc_minor_words = 0.;
+          s_gc_major = 0;
+          s_gc_heap_bytes = 0;
+          s_q_seen = 0;
+          s_q_worst = [] })
   in
   (* Open the store before serving: replaying the manifest up front
      means the first request already sees the warm tier, and an

@@ -82,6 +82,21 @@
     [config.access_log] enables a structured JSONL access log;
     [config.slow_ms] logs slower requests to stderr.
 
+    {b Quality.} Every extraction (fresh or answered from the store)
+    feeds its [Wqi_quality] record into the arena: [/metrics] exposes
+    [wqi_quality_score] and [wqi_coverage_ratio] histograms and the
+    [wqi_conflicts_total] counter, merged on scrape like everything
+    else, plus OCaml runtime health ([wqi_gc_minor_words_total] summed
+    across domains, [wqi_gc_major_collections_total] and
+    [wqi_gc_heap_bytes] as the max across per-domain samples — the
+    major heap is shared) and [wqi_store_orphaned_bytes] when a store
+    is attached.  With [config.quality_exemplars = K] (and a
+    [trace_dir]), each domain keeps the K worst-scoring extractions of
+    every [config.quality_window]-extraction window and writes their
+    Chrome traces to [trace_dir/quality-<id>.json] when the window
+    completes — automatic exemplars of exactly the requests worth
+    debugging.
+
     {b Admission control.} At most [max_inflight] extractions are
     admitted across all domains at once; beyond that, misses are
     refused immediately with 503 + [Retry-After] instead of queueing
@@ -160,6 +175,17 @@ type config = {
   access_log : string option;
       (** structured (JSONL) access-log sink: a path (appended to) or
           ["-"] for stderr; [None] disables the access log *)
+  quality_exemplars : int;
+      (** capture the K worst-quality extractions of each window as
+          Chrome traces ([trace_dir/quality-<id>.json]); requires
+          [trace_dir], 0 disables.  While enabled, every fresh
+          extraction is traced speculatively (cache and store hits are
+          not), so the hot path stays untraced and only extraction-heavy
+          windows pay the tracing overhead. *)
+  quality_window : int;
+      (** extractions per exemplar window, per serving domain (each
+          domain keeps its own window so capture needs no cross-domain
+          coordination); default 128 *)
 }
 
 val default_config : config

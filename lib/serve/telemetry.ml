@@ -11,6 +11,11 @@ let buckets =
    server feeds in. *)
 let stage_names = [| "html"; "layout"; "classify"; "parse"; "merge" |]
 
+(* Upper bounds of the quality-score and coverage-ratio histograms.
+   Both metrics live in [0, 1]; the +Inf bucket exists only to keep the
+   exposition shape Prometheus-conformant. *)
+let ratio_buckets = [| 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 |]
+
 type t = {
   mutex : Mutex.t;
   version : string;
@@ -37,6 +42,13 @@ type t = {
   mutable index_pruned : int;
   mutable instances_created : int;
   mutable parses : int;
+  score_bucket_counts : int array;  (* non-cumulative *)
+  mutable score_sum : float;
+  mutable score_count : int;
+  coverage_bucket_counts : int array;
+  mutable coverage_sum : float;
+  mutable coverage_count : int;
+  mutable conflicts : int;
 }
 
 let create ?(version = "dev") () =
@@ -62,7 +74,22 @@ let create ?(version = "dev") () =
     index_probes = 0;
     index_pruned = 0;
     instances_created = 0;
-    parses = 0 }
+    parses = 0;
+    score_bucket_counts = Array.make (Array.length ratio_buckets + 1) 0;
+    score_sum = 0.;
+    score_count = 0;
+    coverage_bucket_counts = Array.make (Array.length ratio_buckets + 1) 0;
+    coverage_sum = 0.;
+    coverage_count = 0;
+    conflicts = 0 }
+
+let ratio_bucket_index v =
+  let rec go i =
+    if i >= Array.length ratio_buckets then i
+    else if v <= ratio_buckets.(i) then i
+    else go (i + 1)
+  in
+  go 0
 
 let bucket_index seconds =
   let rec go i =
@@ -81,8 +108,20 @@ let stage_index name =
   go 0
 
 let observe_request t ~code ?(grammar = "") ?outcome ?(cache_hit = false)
-    ?stats ?(stage_seconds = []) ~seconds () =
+    ?stats ?(stage_seconds = []) ?quality ~seconds () =
   Mutex.lock t.mutex;
+  (match quality with
+   | Some (score, coverage, conflicts) ->
+     let si = ratio_bucket_index score in
+     t.score_bucket_counts.(si) <- t.score_bucket_counts.(si) + 1;
+     t.score_sum <- t.score_sum +. score;
+     t.score_count <- t.score_count + 1;
+     let ci = ratio_bucket_index coverage in
+     t.coverage_bucket_counts.(ci) <- t.coverage_bucket_counts.(ci) + 1;
+     t.coverage_sum <- t.coverage_sum +. coverage;
+     t.coverage_count <- t.coverage_count + 1;
+     t.conflicts <- t.conflicts + conflicts
+   | None -> ());
   List.iter
     (fun (name, s) ->
        match stage_index name with
@@ -153,6 +192,13 @@ type snapshot = {
   s_index_pruned : int;
   s_instances_created : int;
   s_parses : int;
+  s_score_buckets : int array;
+  s_score_sum : float;
+  s_score_count : int;
+  s_coverage_buckets : int array;
+  s_coverage_sum : float;
+  s_coverage_count : int;
+  s_conflicts : int;
 }
 
 let snapshot t =
@@ -179,7 +225,14 @@ let snapshot t =
       s_index_probes = t.index_probes;
       s_index_pruned = t.index_pruned;
       s_instances_created = t.instances_created;
-      s_parses = t.parses }
+      s_parses = t.parses;
+      s_score_buckets = Array.copy t.score_bucket_counts;
+      s_score_sum = t.score_sum;
+      s_score_count = t.score_count;
+      s_coverage_buckets = Array.copy t.coverage_bucket_counts;
+      s_coverage_sum = t.coverage_sum;
+      s_coverage_count = t.coverage_count;
+      s_conflicts = t.conflicts }
   in
   Mutex.unlock t.mutex;
   sn
@@ -235,7 +288,14 @@ let merge2 a b =
     s_index_probes = a.s_index_probes + b.s_index_probes;
     s_index_pruned = a.s_index_pruned + b.s_index_pruned;
     s_instances_created = a.s_instances_created + b.s_instances_created;
-    s_parses = a.s_parses + b.s_parses }
+    s_parses = a.s_parses + b.s_parses;
+    s_score_buckets = array_add a.s_score_buckets b.s_score_buckets;
+    s_score_sum = a.s_score_sum +. b.s_score_sum;
+    s_score_count = a.s_score_count + b.s_score_count;
+    s_coverage_buckets = array_add a.s_coverage_buckets b.s_coverage_buckets;
+    s_coverage_sum = a.s_coverage_sum +. b.s_coverage_sum;
+    s_coverage_count = a.s_coverage_count + b.s_coverage_count;
+    s_conflicts = a.s_conflicts + b.s_conflicts }
 
 let merge = function
   | [] -> invalid_arg "Telemetry.merge: empty snapshot list"
@@ -275,6 +335,21 @@ let series b ~name ~help ~kind rows =
          Printf.bprintf b "%s %s\n" name (float_repr value)
        else Printf.bprintf b "%s{%s} %s\n" name labels (float_repr value))
     rows
+
+(* One [0, 1]-bucketed histogram family (quality score, coverage). *)
+let ratio_histogram b ~name ~help counts sum count =
+  Printf.bprintf b "# HELP %s %s\n" name help;
+  Printf.bprintf b "# TYPE %s histogram\n" name;
+  let cumulative = ref 0 in
+  Array.iteri
+    (fun i upper ->
+       cumulative := !cumulative + counts.(i);
+       Printf.bprintf b "%s_bucket{le=\"%g\"} %d\n" name upper !cumulative)
+    ratio_buckets;
+  cumulative := !cumulative + counts.(Array.length ratio_buckets);
+  Printf.bprintf b "%s_bucket{le=\"+Inf\"} %d\n" name !cumulative;
+  Printf.bprintf b "%s_sum %g\n" name sum;
+  Printf.bprintf b "%s_count %d\n" name count
 
 let render_snapshot ?(grammar_label = false) sn ~extra =
   let outcomes =
@@ -366,6 +441,16 @@ let render_snapshot ?(grammar_label = false) sn ~extra =
        Printf.bprintf b "wqi_stage_seconds_count{stage=\"%s\"} %d\n" stage
          sn.s_stage_counts.(si))
     stage_names;
+  ratio_histogram b ~name:"wqi_quality_score"
+    ~help:"Extraction quality score per extract request."
+    sn.s_score_buckets sn.s_score_sum sn.s_score_count;
+  ratio_histogram b ~name:"wqi_coverage_ratio"
+    ~help:"Token coverage ratio per extract request."
+    sn.s_coverage_buckets sn.s_coverage_sum sn.s_coverage_count;
+  series b ~name:"wqi_conflicts_total"
+    ~help:"Merger conflict errors (token claimed by two conditions)."
+    ~kind:`Counter
+    [ ("", float_of_int sn.s_conflicts) ];
   List.iter
     (fun (name, help, value) ->
        series b ~name ~help ~kind:`Counter [ ("", float_of_int value) ])

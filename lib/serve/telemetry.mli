@@ -30,6 +30,7 @@ val observe_request :
   ?cache_hit:bool ->
   ?stats:Wqi_parser.Engine.stats ->
   ?stage_seconds:(string * float) list ->
+  ?quality:float * float * int ->
   seconds:float ->
   unit ->
   unit
@@ -42,7 +43,12 @@ val observe_request :
     when rendering with [~grammar_label:true].  [stage_seconds] feeds
     the per-stage latency histograms ([wqi_stage_seconds{stage=...}]);
     entries whose stage name is not one of
-    html/layout/classify/parse/merge are ignored. *)
+    html/layout/classify/parse/merge are ignored.  [quality] — a
+    [(score, coverage, conflicts)] triple from the extraction's
+    [Wqi_quality] record — feeds the [wqi_quality_score] and
+    [wqi_coverage_ratio] histograms (fixed [0.1 .. 1.0] buckets) and
+    the [wqi_conflicts_total] counter; both histogram dimensions merge
+    exactly like every other counter here. *)
 
 val shed : t -> unit
 (** Record one load-shed request (also counted by [observe_request]

@@ -4,11 +4,18 @@
    the order value → manifest → index, so every state a crash can leave
    behind replays to a consistent (if smaller) store. *)
 
+type quality = {
+  q_score : float;
+  q_coverage : float;
+  q_conflicts : int;
+}
+
 type meta = {
   source : string;
   grammar : string;
   outcome : string;
   domain : string;
+  quality : quality option;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -40,7 +47,7 @@ end
 
 (* One JSON object per line.  Emission reuses the export escaper so the
    manifest is ordinary JSONL; parsing is a small hand-rolled reader
-   for exactly the subset emitted (string and integer values).  Any
+   for exactly the subset emitted (string and number values).  Any
    line that fails to parse — a torn tail from a crashed writer, a
    stray editor artifact — is dropped and counted, never fatal. *)
 
@@ -52,15 +59,28 @@ type entry = {
   e_meta : meta;
 }
 
+(* Floats (quality score/coverage) render integer-valued without a
+   decimal point; the parser accepts both forms. *)
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.12g" f
+
 let render_line (k : Key.t) e =
   let str = Wqi_model.Export.string in
+  let quality =
+    match e.e_meta.quality with
+    | None -> ""
+    | Some q ->
+      Printf.sprintf ",\"score\":%s,\"coverage\":%s,\"conflicts\":%d"
+        (float_repr q.q_score) (float_repr q.q_coverage) q.q_conflicts
+  in
   Printf.sprintf
     "{\"k\":%s,\"len\":%d,\"spec\":%s,\"seg\":%d,\"off\":%d,\"bytes\":%d,\
-     \"crc\":%d,\"src\":%s,\"grammar\":%s,\"outcome\":%s,\"domain\":%s}"
+     \"crc\":%d,\"src\":%s,\"grammar\":%s,\"outcome\":%s,\"domain\":%s%s}"
     (str (Key.to_hex k.Key.hash))
     k.Key.len (str k.Key.spec) e.e_seg e.e_off e.e_len e.e_crc
     (str e.e_meta.source) (str e.e_meta.grammar) (str e.e_meta.outcome)
-    (str e.e_meta.domain)
+    (str e.e_meta.domain) quality
 
 exception Bad_line
 
@@ -111,16 +131,22 @@ let parse_fields line =
     go ();
     Buffer.contents b
   in
-  let parse_int () =
+  let parse_number () =
     skip_ws ();
     let start = !pos in
-    if !pos < n && line.[!pos] = '-' then incr pos;
-    while !pos < n && (match line.[!pos] with '0' .. '9' -> true | _ -> false)
-    do incr pos done;
+    let numeric = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && numeric line.[!pos] do incr pos done;
     if !pos = start then raise Bad_line;
-    match int_of_string_opt (String.sub line start (!pos - start)) with
-    | Some v -> v
-    | None -> raise Bad_line
+    let s = String.sub line start (!pos - start) in
+    match int_of_string_opt s with
+    | Some v -> `Int v
+    | None ->
+      (match float_of_string_opt s with
+       | Some v -> `Num v
+       | None -> raise Bad_line)
   in
   expect '{';
   let fields = ref [] in
@@ -132,7 +158,7 @@ let parse_fields line =
       expect ':';
       skip_ws ();
       let value =
-        if peek () = '"' then `Str (parse_string ()) else `Int (parse_int ())
+        if peek () = '"' then `Str (parse_string ()) else parse_number ()
       in
       fields := (key, value) :: !fields;
       skip_ws ();
@@ -161,6 +187,22 @@ let parse_line line =
       | Some (`Int v) when v >= 0 -> v
       | _ -> raise Bad_line
     in
+    let num k =
+      match List.assoc_opt k fields with
+      | Some (`Num v) -> v
+      | Some (`Int v) -> float_of_int v
+      | _ -> raise Bad_line
+    in
+    (* Quality provenance appeared in a later store revision: absent on
+       older manifests, so its absence is a None, never a Bad_line. *)
+    let quality () =
+      if List.mem_assoc "score" fields then
+        Some
+          { q_score = num "score";
+            q_coverage = num "coverage";
+            q_conflicts = int "conflicts" }
+      else None
+    in
     (match
        let hash =
          match Key.of_hex (str "k") with
@@ -177,7 +219,8 @@ let parse_line line =
              { source = str "src";
                grammar = str "grammar";
                outcome = str "outcome";
-               domain = str "domain" } }
+               domain = str "domain";
+               quality = quality () } }
        in
        (key, e)
      with
@@ -206,6 +249,7 @@ type t = {
   index : (Key.t, entry) Hashtbl.t;
   sources : (string, int) Hashtbl.t;  (* live entries per source *)
   mutable bytes : int;
+  mutable orphaned : int;
   mutable hits : int;
   mutable misses : int;
   mutable puts : int;
@@ -263,6 +307,7 @@ let index_accept t key e =
   (match Hashtbl.find_opt t.index key with
    | Some old ->
      t.bytes <- t.bytes - old.e_len;
+     t.orphaned <- t.orphaned + old.e_len;
      (match Hashtbl.find_opt t.sources old.e_meta.source with
       | Some 1 -> Hashtbl.remove t.sources old.e_meta.source
       | Some c -> Hashtbl.replace t.sources old.e_meta.source (c - 1)
@@ -316,6 +361,7 @@ let open_ ?(segments = 16) dir =
       index = Hashtbl.create 1024;
       sources = Hashtbl.create 1024;
       bytes = 0;
+      orphaned = 0;
       hits = 0;
       misses = 0;
       puts = 0;
@@ -325,6 +371,25 @@ let open_ ?(segments = 16) dir =
       closed = false }
   in
   replay t;
+  (* Replay sees only overwrites the manifest still witnesses; a
+     compacted manifest forgets them while the dead segment bytes
+     remain.  The ground truth at open is segment file size minus live
+     bytes — that also counts a crashed writer's value-without-manifest
+     tail.  Keep whichever is larger, then accumulate live overwrites
+     on top. *)
+  let seg_file_bytes =
+    Array.fold_left
+      (fun acc seg ->
+         if Sys.file_exists seg.s_path then begin
+           let ic = open_in_bin seg.s_path in
+           let len = in_channel_length ic in
+           close_in_noerr ic;
+           acc + len
+         end
+         else acc)
+      0 t.segs
+  in
+  t.orphaned <- max t.orphaned (seg_file_bytes - t.bytes);
   t
 
 let dir t = t.dir
@@ -415,6 +480,7 @@ let drop_corrupt t k e =
   (match Hashtbl.find_opt t.index k with
    | Some cur when cur.e_seg = e.e_seg && cur.e_off = e.e_off ->
      t.bytes <- t.bytes - cur.e_len;
+     t.orphaned <- t.orphaned + cur.e_len;
      Hashtbl.remove t.index k;
      (match Hashtbl.find_opt t.sources cur.e_meta.source with
       | Some 1 -> Hashtbl.remove t.sources cur.e_meta.source
@@ -506,6 +572,7 @@ let iter t f =
 type stats = {
   entries : int;
   bytes : int;
+  orphaned_bytes : int;
   segments : int;
   hits : int;
   misses : int;
@@ -520,6 +587,7 @@ let stats t =
   let s =
     { entries = Hashtbl.length t.index;
       bytes = t.bytes;
+      orphaned_bytes = t.orphaned;
       segments = t.segments;
       hits = t.hits;
       misses = t.misses;

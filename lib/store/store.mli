@@ -42,6 +42,15 @@
 
 type t
 
+type quality = {
+  q_score : float;     (** scalar quality score, [Wqi_quality] scale *)
+  q_coverage : float;  (** token coverage ratio *)
+  q_conflicts : int;   (** conflict errors the merger reported *)
+}
+(** Headline extraction-quality fields, persisted per entry so a
+    reopened store can be rolled up by [wqi_report] without re-running
+    any extraction. *)
+
 type meta = {
   source : string;   (** path or URL the bytes were extracted from *)
   grammar : string;  (** grammar identity, [name@version] *)
@@ -49,11 +58,21 @@ type meta = {
                          extractions are never stored, so a crash or
                          grammar fix retries them *)
   domain : string;   (** crawl-classified domain; [""] when unknown *)
+  quality : quality option;
+      (** [None] on entries written before quality records existed —
+          old manifests replay with [quality = None], never fail *)
 }
 
 type stats = {
   entries : int;   (** live keys *)
   bytes : int;     (** live value bytes (excludes orphaned bytes) *)
+  orphaned_bytes : int;
+      (** dead segment bytes: values superseded by overwrites, dropped
+          as corrupt, or left by a writer that crashed between value
+          and manifest append.  Measured at {!open_} as segment file
+          size minus live bytes (so compaction of the manifest does not
+          hide them) and accumulated as the process overwrites; the
+          gauge a future segment collector will drain. *)
   segments : int;  (** segment shard count *)
   hits : int;      (** {!find}/{!find_entry} calls answered *)
   misses : int;    (** lookups for absent keys *)

@@ -24,4 +24,5 @@ let () =
       ("obs", Test_obs.suite);
       ("telemetry", Test_telemetry.suite);
       ("pool", Test_pool.suite);
+      ("quality", Test_quality.suite);
       ("properties", Test_props.suite) ]

@@ -20,7 +20,7 @@ let temp_dir () =
 
 let meta =
   { Store.source = "doc.html"; grammar = "std@1"; outcome = "complete";
-    domain = "" }
+    domain = ""; quality = None }
 
 let key_of i = Key.make ~html:(Printf.sprintf "<form>doc %d</form>" i) ~spec:"s"
 
